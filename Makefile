@@ -1,0 +1,32 @@
+# ShareStreams-Go convenience targets (plain `go` commands work too).
+
+.PHONY: all build test race bench report experiments cover fuzz
+
+all: build test
+
+build:
+	go build ./...
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+report:
+	go run ./cmd/ssreport -full > report.md
+	@echo wrote report.md
+
+experiments:
+	go run ./cmd/ssbench all
+
+cover:
+	go test -cover ./...
+
+fuzz:
+	go test -fuzz FuzzWinnerCorrect -fuzztime 30s ./internal/shuffle/
+	go test -fuzz FuzzCompareConsistency -fuzztime 30s ./internal/decision/

@@ -1,0 +1,95 @@
+// Command ssarea explores the ShareStreams design space: for a requested
+// configuration it reports Virtex area, modeled clock rate, decision and
+// frame rates, and which link/frame-size combinations the design serves at
+// wire speed — the Figure 1 framework as a calculator.
+//
+//	ssarea -slots 32 -routing ba
+//	ssarea -slots 64 -routing wr -device v2
+//	ssarea -sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/fpga"
+)
+
+func main() {
+	var (
+		slots   = flag.Int("slots", 4, "stream-slot count (power of two)")
+		routing = flag.String("routing", "ba", "ba or wr")
+		device  = flag.String("device", "v1", "v1 (Virtex-I) or v2 (Virtex-II)")
+		sweep   = flag.Bool("sweep", false, "print the full Figure 1 feasibility sweep and exit")
+	)
+	flag.Parse()
+
+	if *sweep {
+		rows, err := experiments.Fig1(nil, nil, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Figure 1 — scheduling-rate feasibility sweep (Virtex-I)")
+		fmt.Print(experiments.FormatFig1(rows))
+		return
+	}
+
+	r := fpga.BA
+	if *routing == "wr" {
+		r = fpga.WR
+	} else if *routing != "ba" {
+		fail(fmt.Errorf("unknown -routing %q", *routing))
+	}
+	dev := fpga.VirtexI
+	if *device == "v2" {
+		dev = fpga.VirtexII
+	} else if *device != "v1" {
+		fail(fmt.Errorf("unknown -device %q", *device))
+	}
+
+	area, err := fpga.EstimateArea(*slots, r)
+	if err != nil {
+		fail(err)
+	}
+	mhz, err := fpga.ClockMHz(*slots, r, dev)
+	if err != nil {
+		fail(err)
+	}
+	k := 0
+	for 1<<k < *slots {
+		k++
+	}
+	cycles := k + 2 + *slots
+	block := 1
+	if r == fpga.BA {
+		block = *slots
+	}
+
+	fmt.Printf("ShareStreams %s design, %d stream-slots on %s\n\n", r, *slots, dev)
+	fmt.Printf("Area:   %d slices = %d Register Base (%d), %d Decision (%d), %d control, %d wiring\n",
+		area.TotalSlices(), area.RegBaseSlices, fpga.SlicesRegBase,
+		area.DecisionSlices, fpga.SlicesDecision, area.ControlSlices, area.WiringSlices)
+	fmt.Printf("        %d CLBs, %.0f%% of a Virtex-1000, fits=%v\n",
+		area.CLBs(), area.Utilization()*100, area.FitsVirtex1000())
+	fmt.Printf("Clock:  %.1f MHz; decision cycle = %d clocks (%d sort + 2 + %d ingest)\n",
+		mhz, cycles, k, *slots)
+	fmt.Printf("Rates:  %.2fM decisions/s, %.2fM frames/s with block transactions\n\n",
+		fpga.DecisionRate(mhz, cycles)/1e6, fpga.PacketRate(mhz, cycles, block)/1e6)
+
+	fmt.Printf("%-10s %-8s %14s %10s\n", "Frame", "Link", "packet-time", "wire-speed")
+	for _, fb := range []int{64, 1500, 9000} {
+		for _, g := range []float64{1e9, 1e10} {
+			pt := fpga.PacketTimeSeconds(fb, g)
+			ok := fpga.MeetsPacketTime(mhz, cycles, block, fb, g)
+			fmt.Printf("%-10s %-8s %12.2fns %10v\n",
+				fmt.Sprintf("%dB", fb), fmt.Sprintf("%.0fG", g/1e9), pt*1e9, ok)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "ssarea: %v\n", err)
+	os.Exit(1)
+}

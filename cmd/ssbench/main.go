@@ -1,0 +1,287 @@
+// Command ssbench regenerates every table and figure from the paper's
+// evaluation (§5) and the supporting comparisons:
+//
+//	ssbench table3       Table 3  — block decisions vs max-finding
+//	ssbench fig1         Figure 1 — scheduling-rate feasibility framework
+//	ssbench fig7         Figure 7 — area/clock of BA vs WR, 4–32 slots
+//	ssbench fig8         Figure 8 — 1:1:2:4 fair bandwidth allocation
+//	ssbench fig9         Figure 9 — queuing delay under bursty traffic
+//	ssbench fig10        Figure 10 — 100 streamlets per stream-slot
+//	ssbench throughput   §5.2 — line-card & endsystem vs software routers
+//	ssbench latency      §4.1 — processor-resident scheduler latencies
+//	ssbench ablation     §3   — shuffle vs heap/systolic/shift-register
+//	ssbench all          everything above
+//
+// Flags: -csv FILE writes the active figure's series as CSV.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/fpga"
+	"repro/internal/stats"
+)
+
+func main() {
+	csvPath := flag.String("csv", "", "write the figure's series to this CSV file (fig8/fig9/fig10)")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+	if err := run(cmd, *csvPath); err != nil {
+		fmt.Fprintf(os.Stderr, "ssbench %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ssbench [-csv file] {table3|fig1|fig7|fig8|fig9|fig10|throughput|latency|ablation|extensions|scale|gsr|sortquality|all}")
+}
+
+func run(cmd, csvPath string) error {
+	switch cmd {
+	case "table3":
+		return table3()
+	case "fig1":
+		return fig1()
+	case "fig7":
+		return fig7(csvPath)
+	case "fig8":
+		return fig8(csvPath)
+	case "fig9":
+		return fig9(csvPath)
+	case "fig10":
+		return fig10(csvPath)
+	case "throughput":
+		return throughput()
+	case "latency":
+		return latency()
+	case "ablation":
+		return ablation()
+	case "extensions":
+		return extensions()
+	case "scale":
+		return scale()
+	case "gsr":
+		return gsr()
+	case "sortquality":
+		return sortQuality()
+	case "all":
+		for _, c := range []string{"table3", "fig1", "fig7", "fig8", "fig9", "fig10", "throughput", "latency", "ablation", "extensions", "scale", "gsr", "sortquality"} {
+			fmt.Printf("════ %s ════\n", c)
+			if err := run(c, ""); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func table3() error {
+	fmt.Println("Table 3 — Comparing Block Decisions and Max-finding")
+	fmt.Println("(4 EDF streams, deadlines 1 apart, requested every cycle, 64000 frames)")
+	res, err := experiments.Table3(experiments.DefaultTable3())
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
+}
+
+func fig1() error {
+	fmt.Println("Figure 1 — ShareStreams architectural-solutions framework")
+	rows, err := experiments.Fig1(nil, nil, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatFig1(rows))
+	return nil
+}
+
+func fig7(csvPath string) error {
+	fmt.Println("Figure 7 — Area/clock-rate characteristics (Virtex-I)")
+	rows, err := experiments.Fig7(nil, fpga.VirtexI)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatFig7(rows))
+	if csvPath != "" {
+		series := make([][]stats.Point, 4)
+		labels := []string{"BA_slices", "BA_MHz", "WR_slices", "WR_MHz"}
+		for _, r := range rows {
+			base := 0
+			if r.Routing == fpga.WR {
+				base = 2
+			}
+			series[base] = append(series[base], stats.Point{X: float64(r.Slots), Y: float64(r.Slices)})
+			series[base+1] = append(series[base+1], stats.Point{X: float64(r.Slots), Y: r.ClockMHz})
+		}
+		if err := writeCSV(csvPath, "slots", labels, series, 1); err != nil {
+			return err
+		}
+	}
+	fmt.Println("\nVirtex-II extension (§6, hard multipliers):")
+	rows2, err := experiments.Fig7(nil, fpga.VirtexII)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatFig7(rows2))
+	return nil
+}
+
+func fig8(csvPath string) error {
+	fmt.Println("Figure 8 — Fair bandwidth allocation 1:1:2:4 (2/2/4/8 MB/s)")
+	res, err := experiments.Fig8(experiments.Fig8Config{})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	if csvPath != "" {
+		return writeCSV(csvPath, "time_s",
+			[]string{"stream1_MBps", "stream2_MBps", "stream3_MBps", "stream4_MBps"},
+			res.Bandwidth, 1)
+	}
+	return nil
+}
+
+func fig9(csvPath string) error {
+	fmt.Println("Figure 9 — Queuing delay under bursty traffic (zig-zag)")
+	res, err := experiments.Fig9(experiments.Fig9Config{})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	if csvPath != "" {
+		return writeCSV(csvPath, "packet",
+			[]string{"stream1_ms", "stream2_ms", "stream3_ms", "stream4_ms"},
+			res.Delays, 64)
+	}
+	return nil
+}
+
+func fig10(csvPath string) error {
+	fmt.Println("Figure 10 — Aggregation of 100 streamlets into a stream-slot")
+	res, err := experiments.Fig10(experiments.Fig10Config{})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	if csvPath != "" {
+		// Streamlet means as single-point series.
+		var series [][]stats.Point
+		var labels []string
+		for i, sets := range res.StreamletMBps {
+			for s, v := range sets {
+				labels = append(labels, fmt.Sprintf("slot%d_set%d_MBps", i+1, s+1))
+				series = append(series, []stats.Point{{X: 0, Y: v}})
+			}
+		}
+		return writeCSV(csvPath, "x", labels, series, 1)
+	}
+	return nil
+}
+
+func throughput() error {
+	fmt.Println("§5.2 — Performance comparison")
+	rows, err := experiments.Sec52()
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatThroughput(rows))
+	fmt.Println("\nLine-card scaling:")
+	lc, err := experiments.LineCardRates()
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatThroughput(lc))
+	return nil
+}
+
+func latency() error {
+	fmt.Println("§4.1 — Processor-resident scheduler latencies")
+	rows, err := experiments.Sec41(32, 20000)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatLatency(rows))
+	return nil
+}
+
+func ablation() error {
+	fmt.Println("§3 — Queuing/scheduling architecture comparison")
+	rows, err := experiments.Ablation(nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatAblation(rows))
+	return nil
+}
+
+func extensions() error {
+	fmt.Println("§6 — Microarchitectural extensions ablation (BA configuration)")
+	rows, err := experiments.Extensions(nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatExtensions(rows))
+	return nil
+}
+
+func sortQuality() error {
+	fmt.Println("Block orderedness: the paper's log2(N) passes vs the exact bitonic schedule")
+	rows, err := experiments.SortQuality(nil, 5000, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatSortQuality(rows))
+	fmt.Println("(the head and tail of the block — the circulation targets — are always exact)")
+	return nil
+}
+
+func gsr() error {
+	fmt.Println("§5.2 — 10Gbps line-card isolation (per-flow vs 8-queue DRR+RED vs 4-class)")
+	rows, err := experiments.GSRComparison(50000)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatGSR(rows))
+	return nil
+}
+
+func scale() error {
+	fmt.Println("§6 — Hundreds of streams (64 slots × 8 streamlets)")
+	res, err := experiments.Scale(64, 8, 64000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("streams: %d across %d stream-slots; %d decision cycles, %d services, win fairness (max/min) %.3f\n",
+		res.AggregatedStreams, res.DirectSlots, res.Cycles, res.Services, res.PerSlotFairness)
+	return nil
+}
+
+func writeCSV(path, xLabel string, labels []string, series [][]stats.Point, downsample int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ds := make([][]stats.Point, len(series))
+	for i, s := range series {
+		ds[i] = stats.Downsample(s, downsample)
+	}
+	if err := stats.WriteCSV(f, xLabel, labels, ds); err != nil {
+		return err
+	}
+	fmt.Printf("(series written to %s)\n", path)
+	return nil
+}

@@ -1,0 +1,27 @@
+// Command ssreport regenerates the full evaluation report as markdown on
+// stdout: every paper table and figure plus this reproduction's ablations,
+// computed live.
+//
+//	ssreport        > report.md   # scaled-down runs (seconds)
+//	ssreport -full  > report.md   # paper-scale runs
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/report"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run every experiment at paper scale")
+	flag.Parse()
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	if err := report.Generate(w, report.Options{Full: *full}); err != nil {
+		fmt.Fprintf(os.Stderr, "ssreport: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,64 @@
+// Aggregation: the Figure 10 scenario — scale beyond the FPGA's stream-slot
+// count by binding many streamlets to each Register Base block. 100
+// best-effort streamlets share each of four stream-slots allocated 2/2/4/8
+// MB/s; slot 4 carries two weighted streamlet sets (set 1 at double set 2's
+// bandwidth). The round-robin among streamlets runs on cheap processor
+// memory while the FPGA provides aggregate QoS per slot.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sharestreams "repro"
+	"repro/internal/experiments"
+)
+
+func main() {
+	// The aggregation machinery directly: 6 streamlets in two sets (2:1).
+	mk := func(n int) []sharestreams.HeadSource {
+		srcs := make([]sharestreams.HeadSource, n)
+		for i := range srcs {
+			srcs[i] = &sharestreams.PeriodicTraffic{Gap: 1, Backlogged: true}
+		}
+		return srcs
+	}
+	set1, err := sharestreams.NewStreamletSet(2, mk(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	set2, err := sharestreams.NewStreamletSet(1, mk(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	agg, err := sharestreams.Aggregate(set1, set2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched, err := sharestreams.NewScheduler(sharestreams.Config{Slots: 2, Routing: sharestreams.WinnerOnly})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sched.Admit(0, sharestreams.EDFStream(1), agg); err != nil {
+		log.Fatal(err)
+	}
+	if err := sched.Start(); err != nil {
+		log.Fatal(err)
+	}
+	sched.RunFor(900)
+	fmt.Println("one stream-slot, two streamlet sets (weights 2:1), 900 services:")
+	for s := 0; s < agg.Sets(); s++ {
+		set := agg.Set(s)
+		for k := 0; k < set.Size(); k++ {
+			fmt.Printf("  set %d streamlet %d: served %d\n", s+1, k+1, set.Streamlet(k).Served)
+		}
+	}
+
+	// The full Figure 10 run.
+	fmt.Println("\nFigure 10 — 100 streamlets per slot over 2/2/4/8 MB/s:")
+	res, err := experiments.Fig10(experiments.Fig10Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Format())
+}

@@ -1,0 +1,34 @@
+// Blockdecisions: the Table 3 experiment — deadline-constrained real-time
+// streams under the three architectural configurations of §5.1:
+//
+//   - max-finding (winner-only routing): one frame per decision cycle; with
+//     four streams requested every cycle, nearly every deadline misses;
+//   - block max-first: the whole sorted block transmits as one transaction
+//     per decision cycle, head first — every deadline met, 4x scheduler
+//     throughput;
+//   - block min-first: circulating/transmitting from the block tail
+//     violates the earliest-deadline stream every cycle.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sharestreams "repro"
+)
+
+func main() {
+	res, err := sharestreams.Table3()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Table 3 — Comparing Block Decisions and Max-finding")
+	fmt.Println("(4 EDF streams, successive deadlines 1 apart, T_i = 1, 64000 frames)")
+	fmt.Println()
+	fmt.Print(res.Format())
+	fmt.Println("\nReading the table:")
+	fmt.Println(" - max-finding needs 64000 decision cycles for 64000 frames and misses ~256k deadlines;")
+	fmt.Println(" - block max-first needs only 16000 cycles (throughput x block size) and misses none;")
+	fmt.Println(" - block min-first shows why the circulated end matters: the earliest-deadline")
+	fmt.Println("   stream leaves the transaction last and misses every cycle.")
+}

@@ -1,0 +1,97 @@
+package sharestreams
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fpga"
+)
+
+func TestLineCardFacade(t *testing.T) {
+	card, err := NewLineCard(LineCardConfig{Slots: 4, Routing: core.BlockRouting})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := card.Admit(i, EDFStream(4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := card.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 100; n++ {
+		for i := 0; i < 4; i++ {
+			card.SRAM().FabricArrival(i, uint64(n))
+		}
+		card.RunCycle()
+	}
+	card.DrainTransceiver()
+	var total uint64
+	for i := 0; i < 4; i++ {
+		total += card.Drained(i)
+	}
+	if total != 400 {
+		t.Fatalf("line card drained %d frames, want 400", total)
+	}
+	if !card.MeetsWireSpeed(1500, fpga.TenGigabit) {
+		t.Error("4-slot BA card should meet 1500B@10G")
+	}
+}
+
+func TestAdmissionFacade(t *testing.T) {
+	ctrl, err := NewAdmissionController(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.TryAdmit(EDFStream(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.TryAdmit(EDFStream(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.TryAdmit(EDFStream(4)); err == nil {
+		t.Fatal("overcommit admitted")
+	}
+	d, err := AggregateDelayBound(100, 8)
+	if err != nil || d != 800 {
+		t.Fatalf("delay bound = %v (%v)", d, err)
+	}
+}
+
+func TestRunAllocationFacade(t *testing.T) {
+	res, err := RunAllocation(AllocationConfig{RatesMBps: []float64{2, 2, 4}, FramesPerSlot: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TE.Frames(0)+res.TE.Frames(1)+res.TE.Frames(2) != 1200 {
+		t.Fatalf("frames = %d", res.TE.Frames(0)+res.TE.Frames(1)+res.TE.Frames(2))
+	}
+}
+
+func TestHeavyExperimentFacades(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale runs")
+	}
+	res, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCyclesBlock != 16000 {
+		t.Fatalf("block cycles = %d", res.TotalCyclesBlock)
+	}
+	f9, err := Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f9.Mean[3] >= f9.Mean[0] {
+		t.Error("fig9 stream-4 delay ordering broken")
+	}
+	f10, err := Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f10.SetShare[3]) != 2 {
+		t.Error("fig10 slot 4 sets missing")
+	}
+}

@@ -1,0 +1,131 @@
+// Package admission provides the schedulability checks behind Figure 1's
+// framework ("QoS bounds" × "scale" × "scheduling rate"): before a stream
+// is bound to a stream-slot, the Queue Manager can verify that the
+// requested service constraints are jointly feasible on the output link.
+//
+// Checks implemented:
+//
+//   - EDF streams demand one frame per request period; their bandwidth
+//     utilization Σ 1/Tᵢ must not exceed 1 (frame times per time unit).
+//   - Window-constrained (DWCS) streams may lose xᵢ of every yᵢ frames, so
+//     their *minimum* demand is (1 − xᵢ/yᵢ)/Tᵢ; the feasibility condition
+//     from the DWCS analysis is Σ (1 − xᵢ/yᵢ)/Tᵢ ≤ 1 for unit-size frames.
+//   - Static-priority and fair-share streams are best-effort from the
+//     real-time test's point of view: they consume the residual capacity
+//     and are always admissible, but the controller reports the residual
+//     so callers can size their weights.
+//
+// The package also computes the aggregate delay bound a stream-slot can
+// promise under aggregation (§6: "Stream-specific deadlines are not
+// possible with aggregation, although the stream-slot they are bound to
+// will be guaranteed a delay-bound").
+package admission
+
+import (
+	"fmt"
+
+	"repro/internal/attr"
+)
+
+// Controller tracks admitted specs against a slot budget and the link's
+// real-time capacity.
+type Controller struct {
+	slots    int
+	admitted []attr.Spec
+}
+
+// New builds a controller for a scheduler with the given stream-slot count.
+func New(slots int) (*Controller, error) {
+	if slots < 1 {
+		return nil, fmt.Errorf("admission: %d slots", slots)
+	}
+	return &Controller{slots: slots}, nil
+}
+
+// demand returns a spec's guaranteed-rate demand in frames per time unit.
+func demand(s attr.Spec) float64 {
+	switch s.Class {
+	case attr.EDF:
+		return 1 / float64(s.Period)
+	case attr.WindowConstrained:
+		w := 0.0
+		if s.Constraint.Den != 0 {
+			w = float64(s.Constraint.Num) / float64(s.Constraint.Den)
+		}
+		return (1 - w) / float64(s.Period)
+	default:
+		return 0 // best-effort: no guaranteed demand
+	}
+}
+
+// Utilization returns the total guaranteed-rate demand of a spec set.
+func Utilization(specs []attr.Spec) float64 {
+	var u float64
+	for _, s := range specs {
+		u += demand(s)
+	}
+	return u
+}
+
+// Admitted returns the number of admitted streams.
+func (c *Controller) Admitted() int { return len(c.admitted) }
+
+// Residual returns the link capacity left for best-effort traffic
+// (1 − utilization, clamped at 0).
+func (c *Controller) Residual() float64 {
+	r := 1 - Utilization(c.admitted)
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// TryAdmit checks spec against the slot budget and the schedulability
+// condition and, if feasible, records it. The returned error explains the
+// rejection.
+func (c *Controller) TryAdmit(spec attr.Spec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if len(c.admitted) >= c.slots {
+		return fmt.Errorf("admission: all %d stream-slots bound (aggregate with streamlets instead)", c.slots)
+	}
+	if u := Utilization(c.admitted) + demand(spec); u > 1+1e-12 {
+		return fmt.Errorf("admission: utilization %.3f would exceed the link (class %v, demand %.3f)",
+			u, spec.Class, demand(spec))
+	}
+	c.admitted = append(c.admitted, spec)
+	return nil
+}
+
+// Release removes the most recently admitted matching spec (stream
+// departure). It reports whether a stream was released.
+func (c *Controller) Release(spec attr.Spec) bool {
+	for i := len(c.admitted) - 1; i >= 0; i-- {
+		if c.admitted[i] == spec {
+			c.admitted = append(c.admitted[:i], c.admitted[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// AggregateDelayBound returns the worst-case queuing delay (in time units)
+// a frame entering a stream-slot aggregate of n round-robin streamlets can
+// see, given the slot's request period T: the slot is served once per T in
+// the worst case, and a newly arrived frame waits behind at most one frame
+// from each other streamlet plus its own slot turn:
+//
+//	D ≤ (n) · T
+//
+// This is the "delay-bound the stream-slot is guaranteed" under
+// aggregation; per-streamlet deadlines are not expressible (§6).
+func AggregateDelayBound(streamlets int, period uint16) (float64, error) {
+	if streamlets < 1 {
+		return 0, fmt.Errorf("admission: %d streamlets", streamlets)
+	}
+	if period == 0 {
+		return 0, fmt.Errorf("admission: zero period")
+	}
+	return float64(streamlets) * float64(period), nil
+}

@@ -1,0 +1,164 @@
+package admission
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/traffic"
+)
+
+func edf(period uint16) attr.Spec { return attr.Spec{Class: attr.EDF, Period: period} }
+
+func wc(period uint16, x, y uint8) attr.Spec {
+	return attr.Spec{Class: attr.WindowConstrained, Period: period, Constraint: attr.Constraint{Num: x, Den: y}}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("accepted zero slots")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	specs := []attr.Spec{
+		edf(4),      // 0.25
+		edf(2),      // 0.5
+		wc(4, 1, 4), // (1-0.25)/4 = 0.1875
+		{Class: attr.StaticPriority, Priority: 1}, // 0
+		{Class: attr.FairTag, Weight: 3},          // 0
+	}
+	if got := Utilization(specs); math.Abs(got-0.9375) > 1e-12 {
+		t.Fatalf("utilization = %v, want 0.9375", got)
+	}
+}
+
+func TestWCLossToleranceReducesDemand(t *testing.T) {
+	// A DWCS stream that tolerates half its frames being lost demands
+	// half the bandwidth of the equivalent EDF stream.
+	strict := Utilization([]attr.Spec{edf(4)})
+	lossy := Utilization([]attr.Spec{wc(4, 2, 4)})
+	if math.Abs(lossy-strict/2) > 1e-12 {
+		t.Fatalf("lossy demand %v, want %v", lossy, strict/2)
+	}
+	// Undefined constraint (y=0) counts as zero tolerance.
+	undef := Utilization([]attr.Spec{wc(4, 3, 0)})
+	if math.Abs(undef-strict) > 1e-12 {
+		t.Fatalf("undefined-constraint demand %v, want %v", undef, strict)
+	}
+}
+
+func TestTryAdmitCapacity(t *testing.T) {
+	c, _ := New(4)
+	// 2 streams at T=2 fill the link exactly.
+	if err := c.TryAdmit(edf(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.TryAdmit(edf(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Any further guaranteed demand must be rejected…
+	if err := c.TryAdmit(edf(1000)); err == nil {
+		t.Fatal("overcommitted the link")
+	}
+	// …but best-effort streams still fit.
+	if err := c.TryAdmit(attr.Spec{Class: attr.FairTag, Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Admitted() != 3 {
+		t.Fatalf("admitted = %d", c.Admitted())
+	}
+	if r := c.Residual(); r != 0 {
+		t.Fatalf("residual = %v, want 0", r)
+	}
+}
+
+func TestTryAdmitSlotBudget(t *testing.T) {
+	c, _ := New(2)
+	if err := c.TryAdmit(edf(8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.TryAdmit(edf(8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.TryAdmit(edf(8)); err == nil {
+		t.Fatal("exceeded the slot budget")
+	}
+}
+
+func TestTryAdmitRejectsInvalidSpec(t *testing.T) {
+	c, _ := New(4)
+	if err := c.TryAdmit(attr.Spec{Class: attr.EDF}); err == nil {
+		t.Fatal("accepted invalid spec")
+	}
+}
+
+func TestRelease(t *testing.T) {
+	c, _ := New(4)
+	c.TryAdmit(edf(2))
+	c.TryAdmit(edf(4))
+	if !c.Release(edf(2)) {
+		t.Fatal("release failed")
+	}
+	if c.Release(edf(2)) {
+		t.Fatal("double release succeeded")
+	}
+	if got := c.Residual(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("residual after release = %v", got)
+	}
+}
+
+// TestAdmittedSetsAreSchedulable is the integration property: any EDF set
+// the controller admits actually meets every deadline on the cycle-accurate
+// scheduler when sources arrive at their declared rates.
+func TestAdmittedSetsAreSchedulable(t *testing.T) {
+	f := func(raw [4]uint8) bool {
+		c, _ := New(4)
+		var periods []uint16
+		for _, r := range raw {
+			p := uint16(r%16) + 2 // 2..17
+			if c.TryAdmit(edf(p)) == nil {
+				periods = append(periods, p)
+			}
+		}
+		if len(periods) == 0 {
+			return true
+		}
+		sched, err := core.New(core.Config{Slots: 4, Routing: core.WinnerOnly})
+		if err != nil {
+			return false
+		}
+		for i, p := range periods {
+			src := &traffic.Periodic{Gap: uint64(p), Phase: uint64(i)}
+			if err := sched.Admit(i, edf(p), src); err != nil {
+				return false
+			}
+		}
+		if err := sched.Start(); err != nil {
+			return false
+		}
+		sched.RunFor(2000)
+		return sched.Totals().Missed == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregateDelayBound(t *testing.T) {
+	if _, err := AggregateDelayBound(0, 4); err == nil {
+		t.Error("accepted zero streamlets")
+	}
+	if _, err := AggregateDelayBound(10, 0); err == nil {
+		t.Error("accepted zero period")
+	}
+	d, err := AggregateDelayBound(100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 800 {
+		t.Fatalf("bound = %v, want 800", d)
+	}
+}

@@ -1,0 +1,271 @@
+// Package attr defines the per-stream service attributes that flow through
+// the ShareStreams datapath and the bit-level encodings the hardware uses.
+//
+// A Register Base block supplies a 53-bit attribute word to its Decision
+// block each cycle (Figure 4 of the paper): a 16-bit packet deadline, an
+// 8-bit loss numerator, an 8-bit loss denominator, a 16-bit arrival time and
+// a 5-bit register (stream-slot) ID. This package provides the field types,
+// the packed word layout, and the wrap-aware 16-bit time arithmetic the
+// hardware comparators use.
+//
+// Deadlines and arrival times are free-running 16-bit counters, so long runs
+// wrap. Comparisons therefore use serial-number arithmetic (RFC 1982 style):
+// a is "before" b iff the signed 16-bit difference a-b is negative. This is
+// exactly what a hardware subtract-and-test-sign comparator computes, and it
+// is correct as long as live deadlines stay within half the wrap period
+// (32768 ticks) of each other.
+package attr
+
+import "fmt"
+
+// SlotID identifies a Register Base block (stream-slot). The paper's
+// prototype exchanges 5-bit stream IDs with the host, supporting up to 32
+// slots on a Virtex-1000; the model widens the type so larger synthetic
+// designs can be explored, while EncodeWord enforces the 5-bit prototype
+// layout.
+type SlotID uint16
+
+// Time16 is a free-running 16-bit hardware time value (deadline or arrival
+// time). Arithmetic wraps modulo 2^16.
+type Time16 uint16
+
+// Before reports whether t is strictly earlier than u in wrap-aware
+// (serial-number) order.
+func (t Time16) Before(u Time16) bool { return int16(t-u) < 0 }
+
+// After reports whether t is strictly later than u in wrap-aware order.
+func (t Time16) After(u Time16) bool { return int16(t-u) > 0 }
+
+// Add advances t by d ticks, wrapping.
+func (t Time16) Add(d uint16) Time16 { return t + Time16(d) }
+
+// Sub returns the signed distance t-u, valid while |t-u| < 2^15.
+func (t Time16) Sub(u Time16) int { return int(int16(t - u)) }
+
+// WrapTime truncates a 64-bit virtual time to the 16-bit hardware field, the
+// way the Stream processor truncates arrival-time offsets before pushing
+// them over PCI.
+func WrapTime(v uint64) Time16 { return Time16(v & 0xFFFF) }
+
+// Class selects how a stream-slot's attribute word is interpreted and
+// updated. This is the paper's "unified canonical architecture" insight: one
+// datapath serves every discipline; only attribute loading/update differs.
+type Class uint8
+
+const (
+	// WindowConstrained is full DWCS: deadlines plus loss-tolerance
+	// (window-constraint) attributes, updated every decision cycle.
+	WindowConstrained Class = iota
+	// EDF uses deadlines only; the loss fields are zeroed and the winner's
+	// deadline advances by its request period on service.
+	EDF
+	// StaticPriority stores a time-invariant priority in the deadline
+	// field; PRIORITY_UPDATE is bypassed.
+	StaticPriority
+	// FairTag stores a per-packet service tag (virtual start/finish time)
+	// in the deadline field, computed by the Queue Manager; the tag does
+	// not change once the packet is queued, so PRIORITY_UPDATE is bypassed
+	// and new tags are loaded as packets are dequeued.
+	FairTag
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case WindowConstrained:
+		return "window-constrained"
+	case EDF:
+		return "edf"
+	case StaticPriority:
+		return "static-priority"
+	case FairTag:
+		return "fair-tag"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Attributes is the unpacked per-stream service attribute set held in a
+// Register Base block and compared by a Decision block.
+type Attributes struct {
+	Deadline Time16 // packet deadline (EDF/DWCS), priority (static), or service tag (fair)
+	LossNum  uint8  // window-constraint numerator x: packets that may be late/lost...
+	LossDen  uint8  // ...per window of y=LossDen consecutive packets in the stream
+	Arrival  Time16 // head-packet arrival time (FCFS tie-break)
+	Slot     SlotID // owning Register Base block
+	Valid    bool   // slot holds a backlogged stream (empty slots always lose)
+}
+
+// Word is the packed 53-bit attribute word on the Decision block input bus,
+// stored in a uint64. Bit layout (LSB first):
+//
+//	[15:0]  deadline
+//	[23:16] loss numerator
+//	[31:24] loss denominator
+//	[47:32] arrival time
+//	[52:48] slot ID (5 bits)
+//	[53]    valid
+type Word uint64
+
+const (
+	wordDeadlineShift = 0
+	wordLossNumShift  = 16
+	wordLossDenShift  = 24
+	wordArrivalShift  = 32
+	wordSlotShift     = 48
+	wordValidShift    = 53
+
+	// MaxPrototypeSlots is the largest slot count addressable by the
+	// 5-bit stream IDs of the Virtex-I prototype.
+	MaxPrototypeSlots = 32
+)
+
+// EncodeWord packs a into the prototype's 53-bit bus layout. It returns an
+// error if the slot ID does not fit the 5-bit field.
+func EncodeWord(a Attributes) (Word, error) {
+	if a.Slot >= MaxPrototypeSlots {
+		return 0, fmt.Errorf("attr: slot %d exceeds 5-bit prototype field (max %d)", a.Slot, MaxPrototypeSlots-1)
+	}
+	w := Word(a.Deadline)<<wordDeadlineShift |
+		Word(a.LossNum)<<wordLossNumShift |
+		Word(a.LossDen)<<wordLossDenShift |
+		Word(a.Arrival)<<wordArrivalShift |
+		Word(a.Slot)<<wordSlotShift
+	if a.Valid {
+		w |= 1 << wordValidShift
+	}
+	return w, nil
+}
+
+// DecodeWord unpacks a 53-bit attribute word.
+func DecodeWord(w Word) Attributes {
+	return Attributes{
+		Deadline: Time16(w >> wordDeadlineShift),
+		LossNum:  uint8(w >> wordLossNumShift),
+		LossDen:  uint8(w >> wordLossDenShift),
+		Arrival:  Time16(w >> wordArrivalShift),
+		Slot:     SlotID((w >> wordSlotShift) & 0x1F),
+		Valid:    w>>wordValidShift&1 == 1,
+	}
+}
+
+// Constraint is a stream's window-constraint (loss-tolerance) W = x/y: up to
+// x of every y consecutive packets may be late or lost.
+type Constraint struct {
+	Num uint8 // x, loss numerator
+	Den uint8 // y, loss denominator (window)
+}
+
+// Zero reports whether the constraint is the zero tolerance W = 0 (no losses
+// permitted). The paper's ordering rules special-case this.
+func (c Constraint) Zero() bool { return c.Num == 0 }
+
+// Cmp orders two window-constraints by value without division, the way the
+// Decision block's cross-multiplier does: it returns -1 if c < d (c is the
+// tighter/lower constraint, i.e. higher priority under "lowest
+// window-constraint first"), 0 if equal, +1 if c > d.
+//
+// A zero denominator makes the ratio undefined; hardware treats x/0 as the
+// loosest possible constraint (it never demands service), ordering it after
+// every well-formed constraint. Two undefined constraints compare equal.
+func (c Constraint) Cmp(d Constraint) int {
+	cUndef, dUndef := c.Den == 0, d.Den == 0
+	switch {
+	case cUndef && dUndef:
+		return 0
+	case cUndef:
+		return 1
+	case dUndef:
+		return -1
+	}
+	// Cross-multiply: c.Num/c.Den <=> d.Num/d.Den  ==>  c.Num*d.Den <=> d.Num*c.Den.
+	// 8-bit operands keep the products in 16 bits — the Virtex-II
+	// extension maps these onto hard multipliers.
+	lhs := uint16(c.Num) * uint16(d.Den)
+	rhs := uint16(d.Num) * uint16(c.Den)
+	switch {
+	case lhs < rhs:
+		return -1
+	case lhs > rhs:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String formats the constraint as "x/y".
+func (c Constraint) String() string { return fmt.Sprintf("%d/%d", c.Num, c.Den) }
+
+// Constraint returns the attribute word's window-constraint.
+func (a Attributes) Constraint() Constraint { return Constraint{Num: a.LossNum, Den: a.LossDen} }
+
+// String renders the word for traces and diagnostics.
+func (a Attributes) String() string {
+	if !a.Valid {
+		return fmt.Sprintf("slot%d<empty>", a.Slot)
+	}
+	return fmt.Sprintf("slot%d{d=%d w=%d/%d a=%d}", a.Slot, a.Deadline, a.LossNum, a.LossDen, a.Arrival)
+}
+
+// Spec is the user-facing stream specification handed to the Queue Manager
+// when a stream is admitted: the service constraints of §2 ("DWCS
+// Background") plus the attribute class that selects the discipline.
+type Spec struct {
+	Class Class
+	// Period is the request period T: the interval between deadlines of
+	// successive packets in the stream (EDF and window-constrained
+	// classes). The end of each period is the deadline by which the next
+	// packet must be scheduled.
+	Period uint16
+	// Constraint is the loss-tolerance W = x/y (window-constrained class).
+	Constraint Constraint
+	// Priority is the static priority (StaticPriority class); lower values
+	// are served first, matching earliest-deadline-first comparison on the
+	// shared deadline field.
+	Priority uint16
+	// Weight is the fair-share weight (FairTag class); service tags are
+	// computed as virtual times advancing inversely to Weight.
+	Weight uint16
+}
+
+// String summarizes the spec in the class's natural terms.
+func (s Spec) String() string {
+	switch s.Class {
+	case WindowConstrained:
+		return fmt.Sprintf("dwcs(T=%d, W=%s)", s.Period, s.Constraint)
+	case EDF:
+		return fmt.Sprintf("edf(T=%d)", s.Period)
+	case StaticPriority:
+		return fmt.Sprintf("static(p=%d)", s.Priority)
+	case FairTag:
+		return fmt.Sprintf("fair(w=%d)", s.Weight)
+	default:
+		return fmt.Sprintf("spec(class=%d)", uint8(s.Class))
+	}
+}
+
+// Validate checks that the spec is self-consistent for its class.
+func (s Spec) Validate() error {
+	switch s.Class {
+	case WindowConstrained:
+		if s.Period == 0 {
+			return fmt.Errorf("attr: window-constrained stream needs a nonzero request period")
+		}
+		if s.Constraint.Den != 0 && s.Constraint.Num > s.Constraint.Den {
+			return fmt.Errorf("attr: loss numerator %d exceeds denominator %d", s.Constraint.Num, s.Constraint.Den)
+		}
+	case EDF:
+		if s.Period == 0 {
+			return fmt.Errorf("attr: EDF stream needs a nonzero request period")
+		}
+	case StaticPriority:
+		// any priority is fine
+	case FairTag:
+		if s.Weight == 0 {
+			return fmt.Errorf("attr: fair-share stream needs a nonzero weight")
+		}
+	default:
+		return fmt.Errorf("attr: unknown class %d", s.Class)
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+package attr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTime16BeforeBasic(t *testing.T) {
+	cases := []struct {
+		a, b   Time16
+		before bool
+	}{
+		{0, 1, true},
+		{1, 0, false},
+		{5, 5, false},
+		{0xFFFF, 0, true},   // wrap: 65535 is just before 0
+		{0, 0xFFFF, false},  // and 0 is after 65535
+		{0x7FFF, 0, false},  // half-range boundary: 32767 - 0 = 32767 > 0
+		{0x8000, 0, true},   // 32768 - 0 wraps negative
+		{100, 0x8000, true}, // far apart within half range
+		{0xFFF0, 16, true},  // wrap across zero
+		{16, 0xFFF0, false}, // symmetric
+		{40000, 39999, false},
+		{39999, 40000, true},
+	}
+	for _, c := range cases {
+		if got := c.a.Before(c.b); got != c.before {
+			t.Errorf("Time16(%d).Before(%d) = %v, want %v", c.a, c.b, got, c.before)
+		}
+	}
+}
+
+func TestTime16BeforeAfterAntisymmetric(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := Time16(a), Time16(b)
+		if a == b {
+			return !x.Before(y) && !x.After(y)
+		}
+		// Exactly at half range the pair is ambiguous both ways in
+		// serial-number arithmetic: a-b == b-a == 0x8000, both negative
+		// as int16, so both report Before. That is an accepted property
+		// of the 16-bit hardware comparator; live deadlines must stay
+		// within the half window.
+		if uint16(a-b) == 0x8000 {
+			return x.Before(y) && y.Before(x)
+		}
+		return x.Before(y) != y.Before(x) && x.After(y) == y.Before(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTime16AddSub(t *testing.T) {
+	f := func(a uint16, d uint16) bool {
+		t0 := Time16(a)
+		t1 := t0.Add(d)
+		want := int(int16(d))
+		return t1.Sub(t0) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTime16AddPreservesOrderWithinWindow(t *testing.T) {
+	// Advancing a deadline by a small period keeps it after the old one,
+	// across wrap.
+	f := func(a uint16, d uint16) bool {
+		step := d%0x7FFF + 1 // 1..32767
+		t0 := Time16(a)
+		return t0.Before(t0.Add(step))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWrapTime(t *testing.T) {
+	if WrapTime(0x12345) != 0x2345 {
+		t.Errorf("WrapTime(0x12345) = %#x, want 0x2345", WrapTime(0x12345))
+	}
+	if WrapTime(math.MaxUint64) != 0xFFFF {
+		t.Errorf("WrapTime(max) = %#x, want 0xFFFF", WrapTime(math.MaxUint64))
+	}
+}
+
+func TestWordRoundTrip(t *testing.T) {
+	f := func(deadline uint16, num, den uint8, arrival uint16, slot uint8, valid bool) bool {
+		a := Attributes{
+			Deadline: Time16(deadline),
+			LossNum:  num,
+			LossDen:  den,
+			Arrival:  Time16(arrival),
+			Slot:     SlotID(slot % MaxPrototypeSlots),
+			Valid:    valid,
+		}
+		w, err := EncodeWord(a)
+		if err != nil {
+			return false
+		}
+		return DecodeWord(w) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeWordRejectsWideSlot(t *testing.T) {
+	_, err := EncodeWord(Attributes{Slot: MaxPrototypeSlots})
+	if err == nil {
+		t.Fatal("EncodeWord accepted a slot ID beyond the 5-bit prototype field")
+	}
+}
+
+func TestWordFieldIsolation(t *testing.T) {
+	// Changing one field must not disturb the others (catches shift/mask bugs).
+	base := Attributes{Deadline: 0xAAAA, LossNum: 0xBB, LossDen: 0xCC, Arrival: 0xDDDD, Slot: 21, Valid: true}
+	mut := base
+	mut.LossNum = 0x11
+	wb, err := EncodeWord(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm, err := EncodeWord(mut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, dm := DecodeWord(wb), DecodeWord(wm)
+	if db.Deadline != dm.Deadline || db.LossDen != dm.LossDen || db.Arrival != dm.Arrival || db.Slot != dm.Slot || db.Valid != dm.Valid {
+		t.Errorf("mutating LossNum disturbed other fields: %+v vs %+v", db, dm)
+	}
+	if dm.LossNum != 0x11 {
+		t.Errorf("LossNum = %#x, want 0x11", dm.LossNum)
+	}
+}
+
+func TestConstraintCmpBasic(t *testing.T) {
+	cases := []struct {
+		c, d Constraint
+		want int
+	}{
+		{Constraint{1, 2}, Constraint{1, 2}, 0},
+		{Constraint{1, 4}, Constraint{1, 2}, -1}, // 0.25 < 0.5
+		{Constraint{1, 2}, Constraint{1, 4}, 1},
+		{Constraint{2, 4}, Constraint{1, 2}, 0}, // equal ratios
+		{Constraint{0, 5}, Constraint{1, 100}, -1},
+		{Constraint{0, 5}, Constraint{0, 9}, 0},     // both zero tolerance: equal by value
+		{Constraint{1, 0}, Constraint{200, 201}, 1}, // undefined orders last
+		{Constraint{3, 0}, Constraint{7, 0}, 0},
+		{Constraint{255, 255}, Constraint{1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := c.c.Cmp(c.d); got != c.want {
+			t.Errorf("Cmp(%v, %v) = %d, want %d", c.c, c.d, got, c.want)
+		}
+	}
+}
+
+func TestConstraintCmpAntisymmetric(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		x, y := Constraint{a, b}, Constraint{c, d}
+		return x.Cmp(y) == -y.Cmp(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstraintCmpMatchesFloat(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		x, y := Constraint{a, b}, Constraint{c, d}
+		if b == 0 || d == 0 {
+			return true // undefined handled by dedicated cases above
+		}
+		fx, fy := float64(a)/float64(b), float64(c)/float64(d)
+		want := 0
+		if fx < fy {
+			want = -1
+		} else if fx > fy {
+			want = 1
+		}
+		return x.Cmp(y) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstraintZero(t *testing.T) {
+	if !(Constraint{0, 10}).Zero() {
+		t.Error("0/10 should be zero tolerance")
+	}
+	if (Constraint{1, 10}).Zero() {
+		t.Error("1/10 should not be zero tolerance")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		ok   bool
+	}{
+		{"wc ok", Spec{Class: WindowConstrained, Period: 4, Constraint: Constraint{1, 4}}, true},
+		{"wc zero period", Spec{Class: WindowConstrained, Constraint: Constraint{1, 4}}, false},
+		{"wc num>den", Spec{Class: WindowConstrained, Period: 4, Constraint: Constraint{5, 4}}, false},
+		{"wc undefined den ok", Spec{Class: WindowConstrained, Period: 4, Constraint: Constraint{5, 0}}, true},
+		{"edf ok", Spec{Class: EDF, Period: 1}, true},
+		{"edf zero period", Spec{Class: EDF}, false},
+		{"static ok", Spec{Class: StaticPriority, Priority: 9}, true},
+		{"fair ok", Spec{Class: FairTag, Weight: 2}, true},
+		{"fair zero weight", Spec{Class: FairTag}, false},
+		{"bad class", Spec{Class: Class(99)}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.spec.Validate()
+			if (err == nil) != c.ok {
+				t.Errorf("Validate() err = %v, want ok=%v", err, c.ok)
+			}
+		})
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{
+		WindowConstrained: "window-constrained",
+		EDF:               "edf",
+		StaticPriority:    "static-priority",
+		FairTag:           "fair-tag",
+		Class(42):         "class(42)",
+	} {
+		if got := c.String(); got != want {
+			t.Errorf("Class(%d).String() = %q, want %q", c, got, want)
+		}
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	cases := map[string]Spec{
+		"dwcs(T=4, W=1/4)": {Class: WindowConstrained, Period: 4, Constraint: Constraint{1, 4}},
+		"edf(T=2)":         {Class: EDF, Period: 2},
+		"static(p=9)":      {Class: StaticPriority, Priority: 9},
+		"fair(w=3)":        {Class: FairTag, Weight: 3},
+		"spec(class=77)":   {Class: Class(77)},
+	}
+	for want, spec := range cases {
+		if got := spec.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestAttributesString(t *testing.T) {
+	a := Attributes{Deadline: 5, LossNum: 1, LossDen: 4, Arrival: 3, Slot: 2, Valid: true}
+	if got := a.String(); got != "slot2{d=5 w=1/4 a=3}" {
+		t.Errorf("String() = %q", got)
+	}
+	a.Valid = false
+	if got := a.String(); got != "slot2<empty>" {
+		t.Errorf("invalid String() = %q", got)
+	}
+}

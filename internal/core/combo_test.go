@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/traffic"
+)
+
+// TestOptionCombosFunctionallyEquivalent checks that the §6 options
+// (compute-ahead, exact sort) change timing and block interiors but never
+// the circulated winner sequence or the miss accounting on the Table 3
+// workload, across both circulation modes.
+func TestOptionCombosFunctionallyEquivalent(t *testing.T) {
+	type combo struct {
+		name string
+		cfg  Config
+	}
+	for _, circ := range []Circulate{MaxFirst, MinFirst} {
+		base := runCombo(t, Config{Slots: 8, Routing: BlockRouting, Circulate: circ})
+		combos := []combo{
+			{"compute-ahead", Config{Slots: 8, Routing: BlockRouting, Circulate: circ, ComputeAhead: true}},
+			{"exact-sort", Config{Slots: 8, Routing: BlockRouting, Circulate: circ, ExactSort: true}},
+			{"both", Config{Slots: 8, Routing: BlockRouting, Circulate: circ, ComputeAhead: true, ExactSort: true}},
+		}
+		for _, c := range combos {
+			got := runCombo(t, c.cfg)
+			if len(got.winners) != len(base.winners) {
+				t.Fatalf("%v/%s: cycle counts differ", circ, c.name)
+			}
+			for i := range base.winners {
+				if got.winners[i] != base.winners[i] {
+					t.Fatalf("%v/%s: winner diverged at cycle %d: %d vs %d",
+						circ, c.name, i, got.winners[i], base.winners[i])
+				}
+			}
+			if got.missed != base.missed {
+				t.Errorf("%v/%s: missed %d vs baseline %d", circ, c.name, got.missed, base.missed)
+			}
+			if got.services != base.services {
+				t.Errorf("%v/%s: services %d vs baseline %d", circ, c.name, got.services, base.services)
+			}
+		}
+	}
+}
+
+type comboResult struct {
+	winners  []attr.SlotID
+	missed   uint64
+	services uint64
+}
+
+func runCombo(t *testing.T, cfg Config) comboResult {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.Slots; i++ {
+		src := &traffic.Periodic{Gap: 1, Phase: uint64(i), Backlogged: true}
+		if err := s.Admit(i, attr.Spec{Class: attr.EDF, Period: 1}, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var res comboResult
+	for c := 0; c < 2000; c++ {
+		cr := s.RunCycle()
+		res.winners = append(res.winners, cr.Winner)
+	}
+	tot := s.Totals()
+	res.missed, res.services = tot.Missed, tot.Services
+	return res
+}
+
+// TestExactSortMinFirstStillViolates pins that the exact-block extension
+// does not change the min-first conclusion: transmitting tail-first still
+// violates the earliest-deadline stream.
+func TestExactSortMinFirstStillViolates(t *testing.T) {
+	s, err := New(Config{Slots: 4, Routing: BlockRouting, Circulate: MinFirst, ExactSort: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		src := &traffic.Periodic{Gap: 1, Phase: uint64(i), Backlogged: true}
+		if err := s.Admit(i, attr.Spec{Class: attr.EDF, Period: 1}, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(1000)
+	if got := s.SlotCounters(0).Missed; got != 1000 {
+		t.Fatalf("slot 0 missed %d, want 1000 (one per cycle)", got)
+	}
+	for i := 1; i < 4; i++ {
+		if got := s.SlotCounters(i).Missed; got != 0 {
+			t.Errorf("slot %d missed %d, want 0", i, got)
+		}
+	}
+}

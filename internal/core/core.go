@@ -1,0 +1,567 @@
+// Package core implements the ShareStreams unified canonical scheduler: the
+// paper's primary contribution. It glues N Register Base blocks
+// (stream-slots) to the recirculating shuffle-exchange network of Decision
+// blocks under a Control & Steering FSM, and realizes priority-class,
+// fair-queuing, EDF and window-constrained scheduling on the single
+// datapath.
+//
+// # FSM timeline (Figure 6)
+//
+// The control unit begins in LOAD — every slot's first head and service
+// attributes are ingested — then alternates SCHEDULE and PRIORITY_UPDATE:
+//
+//	SCHEDULE        log₂N network passes (one clock each) order the slots;
+//	CIRCULATE       one clock returns the winning slot ID to every
+//	                Register Base block and the memory interface;
+//	PRIORITY_UPDATE one clock applies winner/loser attribute adjustments
+//	                concurrently in all slots (bypassed for fair-queuing
+//	                and priority-class mappings, and folded into CIRCULATE
+//	                by the compute-ahead extension);
+//	INGEST          N clocks exchange new arrival times and scheduled
+//	                stream IDs with the memory interface, one slot per
+//	                clock on the single SRAM port.
+//
+// # Block decisions vs max-finding (§4.3, §5.1)
+//
+// In the BA configuration (BlockRouting) each decision cycle yields the
+// whole ordered block, and the block is transmitted in a single transaction:
+// the member at transmission rank r goes out r packet-times into the cycle,
+// so it meets its deadline iff deadline ≥ now + r. In max-first mode the
+// block head (highest priority) is circulated and the block transmits
+// head-first; in min-first mode the block tail is circulated and the block
+// transmits tail-first — the configuration Table 3 shows violating
+// deadlines. In the WR configuration (WinnerOnly) only the winner is routed
+// and transmitted; losers whose deadlines expire drop their heads and charge
+// the missed-deadline counters.
+//
+// Time is virtual: one time unit per decision cycle, with a 64-bit virtual
+// clock wrapped to the 16-bit hardware fields exactly as the Stream
+// processor truncates arrival-time offsets. Hardware clock-cycle costs are
+// accounted per the timeline above so package fpga can convert cycle counts
+// into wall-clock rates for any modeled clock frequency.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/attr"
+	"repro/internal/decision"
+	"repro/internal/hwsim"
+	"repro/internal/regblock"
+	"repro/internal/shuffle"
+)
+
+// Routing selects block (BA) or winner-only (WR) routing through the
+// shuffle-exchange network.
+type Routing uint8
+
+const (
+	// BlockRouting (BA) routes winners and losers, producing the sorted
+	// block each decision cycle.
+	BlockRouting Routing = iota
+	// WinnerOnly (WR) routes winners only — the max-finding configuration.
+	WinnerOnly
+)
+
+// String returns the configuration name used in the paper's figures.
+func (r Routing) String() string {
+	switch r {
+	case BlockRouting:
+		return "BA"
+	case WinnerOnly:
+		return "WR"
+	default:
+		return fmt.Sprintf("routing(%d)", uint8(r))
+	}
+}
+
+// Circulate selects which end of the block is circulated during
+// PRIORITY_UPDATE (BA configuration only).
+type Circulate uint8
+
+const (
+	// MaxFirst circulates the highest-priority stream and transmits the
+	// block head-first (Table 3: all deadlines met).
+	MaxFirst Circulate = iota
+	// MinFirst circulates the lowest-priority stream and transmits the
+	// block tail-first (Table 3: deadlines violated).
+	MinFirst
+)
+
+// String returns the mode name.
+func (c Circulate) String() string {
+	switch c {
+	case MaxFirst:
+		return "max-first"
+	case MinFirst:
+		return "min-first"
+	default:
+		return fmt.Sprintf("circulate(%d)", uint8(c))
+	}
+}
+
+// Config parameterizes a scheduler instance.
+type Config struct {
+	// Slots is the stream-slot count N: a power of two, 2..MaxSlots. The
+	// Virtex-I prototype scales 4..32 on a single chip.
+	Slots int
+	// Mode selects the Decision-block datapath: decision.DWCS for the full
+	// multi-attribute rules, decision.TagOnly for the simple-comparator
+	// fair-queuing/priority-class mapping.
+	Mode decision.Mode
+	// Routing selects BA (block) or WR (winner-only/max-finding).
+	Routing Routing
+	// Circulate selects max-first or min-first circulation (BA only).
+	Circulate Circulate
+	// ExactSort uses the bitonic steering schedule instead of the paper's
+	// log₂N passes, guaranteeing a fully sorted block (BA extension).
+	ExactSort bool
+	// ComputeAhead enables the §6 compute-ahead Register Base blocks:
+	// next-state attribute words are predicated a cycle early, folding
+	// PRIORITY_UPDATE into the circulate clock.
+	ComputeAhead bool
+	// TraceDepth, when positive, keeps a bounded trace of control-unit
+	// events (state transitions, circulated winners, transmissions) for
+	// inspection via Trace().
+	TraceDepth int
+}
+
+// MaxSlots bounds synthetic designs; the 5-bit prototype ID field is
+// enforced only by attr.EncodeWord, not here, so large explorations work.
+const MaxSlots = 1024
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Slots < 2 || c.Slots > MaxSlots || bits.OnesCount(uint(c.Slots)) != 1 {
+		return fmt.Errorf("core: slot count %d must be a power of two in [2, %d]", c.Slots, MaxSlots)
+	}
+	if c.Routing == WinnerOnly && c.ExactSort {
+		return fmt.Errorf("core: exact sort requires block routing (WR routes winners only)")
+	}
+	if c.Routing > WinnerOnly {
+		return fmt.Errorf("core: unknown routing %d", c.Routing)
+	}
+	if c.Circulate > MinFirst {
+		return fmt.Errorf("core: unknown circulate mode %d", c.Circulate)
+	}
+	if c.Mode > decision.TagOnly {
+		return fmt.Errorf("core: unknown decision mode %d", c.Mode)
+	}
+	return nil
+}
+
+// TimedSource is an optional extension of regblock.HeadSource for
+// time-gated traffic: before each decision cycle the scheduler advances
+// every timed source to the current virtual time, releasing packets that
+// have "arrived".
+type TimedSource interface {
+	regblock.HeadSource
+	Advance(now uint64)
+}
+
+// Transmission records one frame leaving the scheduler in a decision cycle.
+type Transmission struct {
+	Slot attr.SlotID
+	// Rank is the frame's position in the outgoing block transaction
+	// (always 0 in the WR configuration).
+	Rank int
+	// Late reports a missed deadline: the frame went out at virtual time
+	// now+Rank, after its deadline.
+	Late bool
+	// Deadline is the frame's deadline at transmission (diagnostic).
+	Deadline attr.Time16
+	// Arrival is the frame's 16-bit datapath arrival time.
+	Arrival attr.Time16
+	// Arrival64 is the unwrapped virtual arrival time (for delay
+	// measurement; the 16-bit field wraps over long runs).
+	Arrival64 uint64
+}
+
+// CycleResult reports one decision cycle. Transmissions aliases an internal
+// buffer that is overwritten by the next RunCycle; callers that retain it
+// must copy.
+type CycleResult struct {
+	// Decision is the zero-based decision-cycle index.
+	Decision uint64
+	// Time is the virtual time at which the cycle ran.
+	Time uint64
+	// Winner is the circulated slot; valid only when Idle is false.
+	Winner attr.SlotID
+	// Idle reports a cycle in which no slot was backlogged.
+	Idle bool
+	// Transmissions lists the frames sent this cycle in transmission
+	// order: the single winner (WR) or the block transaction (BA).
+	Transmissions []Transmission
+	// HWCycles is the number of hardware clock cycles the decision cycle
+	// consumed under the FSM timeline.
+	HWCycles int
+}
+
+// Scheduler is a ShareStreams scheduler instance.
+type Scheduler struct {
+	cfg   Config
+	slots []*regblock.Block
+	srcs  []regblock.HeadSource
+	nw    *shuffle.Network
+
+	started bool
+	vnow    uint64 // virtual time, one unit per decision cycle
+
+	decisions uint64
+	hwCycles  uint64
+	idleCount uint64
+
+	trace *hwsim.Trace // nil unless Config.TraceDepth > 0
+
+	outs  []attr.Attributes // per-cycle network input buffer
+	txBuf []Transmission    // reused CycleResult buffer
+}
+
+// nullSource backs un-admitted slots: always empty.
+type nullSource struct{}
+
+func (nullSource) NextHead() (regblock.Head, bool) { return regblock.Head{}, false }
+
+// New builds a scheduler. Slots start un-admitted (permanently idle until
+// Admit).
+func New(cfg Config) (*Scheduler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	schedule := shuffle.PaperLogN
+	switch {
+	case cfg.Routing == WinnerOnly:
+		schedule = shuffle.Tournament
+	case cfg.ExactSort:
+		schedule = shuffle.Bitonic
+	}
+	nw, err := shuffle.New(cfg.Slots, cfg.Mode, schedule)
+	if err != nil {
+		return nil, err
+	}
+	s := &Scheduler{
+		cfg:   cfg,
+		slots: make([]*regblock.Block, cfg.Slots),
+		srcs:  make([]regblock.HeadSource, cfg.Slots),
+		nw:    nw,
+		outs:  make([]attr.Attributes, cfg.Slots),
+		txBuf: make([]Transmission, 0, cfg.Slots),
+	}
+	if cfg.TraceDepth > 0 {
+		s.trace = hwsim.NewTrace(cfg.TraceDepth)
+	}
+	for i := range s.slots {
+		b, err := regblock.New(attr.SlotID(i), attr.Spec{Class: attr.EDF, Period: 1}, nullSource{})
+		if err != nil {
+			return nil, err
+		}
+		s.slots[i] = b
+		s.srcs[i] = nullSource{}
+	}
+	return s, nil
+}
+
+// Config returns the scheduler's configuration.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// Admit binds a stream (or streamlet aggregate) to stream-slot i. It must
+// be called before Start.
+func (s *Scheduler) Admit(i int, spec attr.Spec, src regblock.HeadSource) error {
+	if s.started {
+		return fmt.Errorf("core: Admit after Start (dynamic admission goes through the Queue Manager)")
+	}
+	if i < 0 || i >= s.cfg.Slots {
+		return fmt.Errorf("core: slot %d out of range [0, %d)", i, s.cfg.Slots)
+	}
+	if s.cfg.Mode == decision.TagOnly && spec.Class == attr.WindowConstrained {
+		return fmt.Errorf("core: window-constrained streams need the DWCS decision datapath, not tag-only")
+	}
+	b, err := regblock.New(attr.SlotID(i), spec, src)
+	if err != nil {
+		return err
+	}
+	s.slots[i] = b
+	s.srcs[i] = src
+	return nil
+}
+
+// Start runs the LOAD state: every slot ingests its first head. It costs N
+// hardware cycles (one slot per clock on the memory interface).
+func (s *Scheduler) Start() error {
+	if s.started {
+		return fmt.Errorf("core: already started")
+	}
+	s.started = true
+	for _, src := range s.srcs {
+		if ts, ok := src.(TimedSource); ok {
+			ts.Advance(s.vnow)
+		}
+	}
+	for _, b := range s.slots {
+		b.Load(s.vnow)
+	}
+	s.hwCycles += uint64(s.cfg.Slots)
+	return nil
+}
+
+// cyclesPerDecision returns the hardware clock cost of one decision cycle
+// under the FSM timeline documented in the package comment.
+func (s *Scheduler) cyclesPerDecision() int {
+	passes := s.nw.PassesPerCycle()
+	circulate := 1
+	update := 1
+	if s.cfg.Mode == decision.TagOnly || s.cfg.ComputeAhead {
+		// Fair-queuing/priority-class mappings bypass PRIORITY_UPDATE
+		// ("the packet priority does not change after each packet is
+		// queued"); compute-ahead folds it into the circulate clock.
+		update = 0
+	}
+	ingest := s.cfg.Slots
+	return passes + circulate + update + ingest
+}
+
+// CyclesPerDecision exposes the FSM cost model (used by package fpga to
+// derive decision rates from clock frequencies).
+func (s *Scheduler) CyclesPerDecision() int { return s.cyclesPerDecision() }
+
+// PipelinedInitiationInterval returns the clocks between successive
+// decisions when the FSM stages overlap — Table 1's concurrency row made
+// concrete. Fair-queuing and priority-class mappings (TagOnly) have no
+// winner-to-priority feedback, so SCHEDULE of decision n+1 can overlap
+// INGEST of decision n and the initiation interval collapses to the
+// longest stage. Window-constrained disciplines serialize successive
+// decisions (the circulated winner must update priorities before the next
+// SCHEDULE), so the interval equals the full serialized cycle — exactly
+// why a pipelined Decision-block tree "wastes area" (§3).
+func (s *Scheduler) PipelinedInitiationInterval() int {
+	full := s.cyclesPerDecision()
+	if s.cfg.Mode != decision.TagOnly {
+		return full // successive decisions are serialized
+	}
+	passes := s.nw.PassesPerCycle()
+	ingest := s.cfg.Slots
+	ii := passes
+	if ingest > ii {
+		ii = ingest
+	}
+	// The circulate clock pipelines away; the bound is the slowest stage.
+	return ii
+}
+
+// RunCycle executes one decision cycle. It panics if Start was not called
+// (a harness wiring error).
+func (s *Scheduler) RunCycle() CycleResult {
+	if !s.started {
+		panic("core: RunCycle before Start")
+	}
+	t := s.vnow
+
+	// INGEST half 1: release newly arrived traffic and refill idle slots
+	// (the Streaming unit keeping card queues full).
+	for i, src := range s.srcs {
+		if ts, ok := src.(TimedSource); ok {
+			ts.Advance(t)
+		}
+		s.slots[i].Refill(t)
+	}
+
+	// SCHEDULE: drive the attribute words through the network.
+	for i, b := range s.slots {
+		s.outs[i] = b.Out()
+	}
+	res := s.nw.Run(s.outs)
+
+	cr := CycleResult{
+		Decision: s.decisions,
+		Time:     t,
+		HWCycles: s.cyclesPerDecision(),
+	}
+	s.txBuf = s.txBuf[:0]
+
+	switch s.cfg.Routing {
+	case WinnerOnly:
+		s.runWinnerOnly(t, res, &cr)
+	default:
+		s.runBlock(t, res, &cr)
+	}
+
+	s.decisions++
+	s.hwCycles += uint64(cr.HWCycles)
+	s.vnow++
+	if cr.Idle {
+		s.idleCount++
+	}
+	cr.Transmissions = s.txBuf
+	if s.trace != nil {
+		s.emitTrace(&cr)
+	}
+	return cr
+}
+
+// emitTrace records the cycle's control-unit events.
+func (s *Scheduler) emitTrace(cr *CycleResult) {
+	if cr.Idle {
+		s.trace.Add(hwsim.Event{Cycle: s.hwCycles, Signal: "ctl.state", Value: "IDLE"})
+		return
+	}
+	s.trace.Add(hwsim.Event{Cycle: s.hwCycles, Signal: "ctl.state", Value: "SCHEDULE"})
+	s.trace.Add(hwsim.Event{Cycle: s.hwCycles, Signal: "ctl.winner", Value: fmt.Sprint(cr.Winner)})
+	for _, tx := range cr.Transmissions {
+		val := fmt.Sprintf("slot=%d rank=%d late=%v", tx.Slot, tx.Rank, tx.Late)
+		s.trace.Add(hwsim.Event{Cycle: s.hwCycles, Signal: "tx", Value: val})
+	}
+	if s.cfg.Mode != decision.TagOnly {
+		s.trace.Add(hwsim.Event{Cycle: s.hwCycles, Signal: "ctl.state", Value: "PRIORITY_UPDATE"})
+	}
+}
+
+// Trace returns the control-unit trace buffer (nil unless Config.TraceDepth
+// was set).
+func (s *Scheduler) Trace() *hwsim.Trace { return s.trace }
+
+// AdmitDynamic binds a new stream to slot i while the scheduler is running
+// — the paper's operational model ("as streams arrive, their service
+// attributes are transferred to the FPGA PCI card"). The control unit
+// re-enters the LOAD state for that slot, which costs one hardware clock;
+// any stream previously bound to the slot departs, its counters discarded
+// with it.
+func (s *Scheduler) AdmitDynamic(i int, spec attr.Spec, src regblock.HeadSource) error {
+	if !s.started {
+		return fmt.Errorf("core: AdmitDynamic before Start (use Admit)")
+	}
+	if i < 0 || i >= s.cfg.Slots {
+		return fmt.Errorf("core: slot %d out of range [0, %d)", i, s.cfg.Slots)
+	}
+	if s.cfg.Mode == decision.TagOnly && spec.Class == attr.WindowConstrained {
+		return fmt.Errorf("core: window-constrained streams need the DWCS decision datapath, not tag-only")
+	}
+	b, err := regblock.New(attr.SlotID(i), spec, src)
+	if err != nil {
+		return err
+	}
+	s.slots[i] = b
+	s.srcs[i] = src
+	if ts, ok := src.(TimedSource); ok {
+		ts.Advance(s.vnow)
+	}
+	b.Load(s.vnow)
+	s.hwCycles++
+	if s.trace != nil {
+		s.trace.Add(hwsim.Event{Cycle: s.hwCycles, Signal: "ctl.state", Value: fmt.Sprintf("LOAD[slot %d]", i)})
+	}
+	return nil
+}
+
+// runWinnerOnly transmits the single winner and expire-checks the losers.
+func (s *Scheduler) runWinnerOnly(now uint64, res shuffle.Result, cr *CycleResult) {
+	if !res.Winner.Valid {
+		cr.Idle = true
+		return
+	}
+	w := res.Winner
+	cr.Winner = w.Slot
+	wb := s.slots[w.Slot]
+	late := wb.Deadline64() < now
+	s.txBuf = append(s.txBuf, Transmission{
+		Slot: w.Slot, Rank: 0, Late: late, Deadline: w.Deadline,
+		Arrival: w.Arrival, Arrival64: wb.Arrival64(),
+	})
+	wb.Service(late, true)
+	// PRIORITY_UPDATE, loser side: a head that can no longer be scheduled
+	// by its deadline (the next opportunity is now+1) charges the
+	// missed-deadline counter — per decision cycle, the paper's Table 3
+	// accounting — and, for window-constrained streams, is dropped.
+	for _, b := range s.slots {
+		if b.Slot() == w.Slot {
+			continue
+		}
+		b.ExpireCheck(now + 1)
+	}
+}
+
+// runBlock transmits the whole block as one transaction, in head-first
+// (max-first) or tail-first (min-first) order, circulating the
+// corresponding end of the block for PRIORITY_UPDATE.
+func (s *Scheduler) runBlock(now uint64, res shuffle.Result, cr *CycleResult) {
+	// Invalid slots sink to the block tail (Decision validity rule), so
+	// the valid prefix is the transaction.
+	valid := len(res.Block)
+	for valid > 0 && !res.Block[valid-1].Valid {
+		valid--
+	}
+	if valid == 0 {
+		cr.Idle = true
+		return
+	}
+	var circulated attr.SlotID
+	if s.cfg.Circulate == MaxFirst {
+		circulated = res.Block[0].Slot
+	} else {
+		circulated = res.Block[valid-1].Slot
+	}
+	cr.Winner = circulated
+	for r := 0; r < valid; r++ {
+		member := res.Block[r]
+		if s.cfg.Circulate == MinFirst {
+			member = res.Block[valid-1-r] // tail-first transaction
+		}
+		mb := s.slots[member.Slot]
+		late := mb.Deadline64() < now+uint64(r)
+		s.txBuf = append(s.txBuf, Transmission{
+			Slot: member.Slot, Rank: r, Late: late, Deadline: member.Deadline,
+			Arrival: member.Arrival, Arrival64: mb.Arrival64(),
+		})
+		s.slots[member.Slot].Service(late, member.Slot == circulated)
+	}
+}
+
+// RunFor executes n decision cycles, discarding per-cycle results (counters
+// keep accumulating). It is the bulk driver for the Table 3 and throughput
+// experiments.
+func (s *Scheduler) RunFor(n int) {
+	for i := 0; i < n; i++ {
+		s.RunCycle()
+	}
+}
+
+// Now returns the current virtual time (decision-cycle units).
+func (s *Scheduler) Now() uint64 { return s.vnow }
+
+// Decisions returns the number of completed decision cycles.
+func (s *Scheduler) Decisions() uint64 { return s.decisions }
+
+// HWCycles returns the cumulative hardware clock cycles consumed (LOAD plus
+// every decision cycle).
+func (s *Scheduler) HWCycles() uint64 { return s.hwCycles }
+
+// IdleCycles returns the number of decision cycles with no backlogged slot.
+func (s *Scheduler) IdleCycles() uint64 { return s.idleCount }
+
+// SlotCounters returns slot i's hardware performance counters.
+func (s *Scheduler) SlotCounters(i int) regblock.Counters { return s.slots[i].Counters }
+
+// SlotAttributes returns slot i's current attribute word (diagnostics).
+func (s *Scheduler) SlotAttributes(i int) attr.Attributes { return s.slots[i].Out() }
+
+// SlotSpec returns the stream specification admitted to slot i.
+func (s *Scheduler) SlotSpec(i int) attr.Spec { return s.slots[i].Spec() }
+
+// Network exposes the shuffle-exchange network (comparison counters,
+// schedule introspection).
+func (s *Scheduler) Network() *shuffle.Network { return s.nw }
+
+// Totals aggregates the per-slot counters.
+func (s *Scheduler) Totals() regblock.Counters {
+	var total regblock.Counters
+	for _, b := range s.slots {
+		c := b.Counters
+		total.Wins += c.Wins
+		total.Services += c.Services
+		total.Met += c.Met
+		total.Missed += c.Missed
+		total.Drops += c.Drops
+		total.Violations += c.Violations
+	}
+	return total
+}

@@ -1,0 +1,155 @@
+package decision
+
+// A structural model of the Decision block, matching Figure 5 more
+// literally than the behavioral Compare: every Table 2 rule is evaluated
+// as an independent combinational unit in the same cycle ("implementing
+// the rules by evaluating all possibilities concurrently"), a priority mux
+// selects the valid rule's output, and the verdict is latched in an output
+// register on the clock edge. The behavioral and structural models are
+// pinned against each other exhaustively in tests — the software analogue
+// of RTL-vs-reference verification.
+
+import (
+	"repro/internal/attr"
+	"repro/internal/hwsim"
+)
+
+// ruleOutput is one rule unit's combinational result: whether the rule
+// resolves this input pair, and if so whether port A wins.
+type ruleOutput struct {
+	applies bool
+	aFirst  bool
+}
+
+// RegisteredBlock is the clocked Decision block: inputs are driven on the
+// bus during a cycle, all rule units evaluate concurrently, and the muxed
+// verdict appears at the registered output after the clock edge.
+type RegisteredBlock struct {
+	Mode Mode
+
+	inA, inB attr.Attributes
+	driven   bool
+
+	out hwsim.Reg[Verdict]
+}
+
+var _ hwsim.Component = (*RegisteredBlock)(nil)
+
+// Drive places the two attribute words on the block's input bus for the
+// current cycle.
+func (b *RegisteredBlock) Drive(a, bb attr.Attributes) {
+	b.inA, b.inB = a, bb
+	b.driven = true
+}
+
+// Out returns the registered verdict — the comparison driven in the
+// previous cycle.
+func (b *RegisteredBlock) Out() Verdict { return b.out.Get() }
+
+// Evaluate implements hwsim.Component: all rule units run concurrently on
+// the driven inputs and the priority mux stages the selected verdict.
+func (b *RegisteredBlock) Evaluate() {
+	if !b.driven {
+		return
+	}
+	a, bb := b.inA, b.inB
+
+	// The concurrently-evaluated rule units (each sees only the raw
+	// attribute words, as in hardware).
+	units := [...]struct {
+		rule Rule
+		out  ruleOutput
+	}{
+		{RuleValidity, validityUnit(a, bb)},
+		{RuleEDF, edfUnit(a, bb)},
+		{RuleLowestConstraint, constraintUnit(b.Mode, a, bb)},
+		{RuleHighestDenominator, denominatorUnit(b.Mode, a, bb)},
+		{RuleLowestNumerator, numeratorUnit(b.Mode, a, bb)},
+		{RuleFCFS, fcfsUnit(a, bb)},
+		{RuleSlotID, slotUnit(a, bb)},
+	}
+
+	// Priority mux: first applicable rule wins (the slot-ID unit always
+	// applies, so the mux always selects something).
+	for _, u := range units {
+		if !u.out.applies {
+			continue
+		}
+		v := Verdict{Rule: u.rule}
+		if u.out.aFirst {
+			v.Winner, v.Loser = a, bb
+		} else {
+			v.Winner, v.Loser, v.Swapped = bb, a, true
+		}
+		b.out.Set(v)
+		return
+	}
+}
+
+// Commit implements hwsim.Component: the output register latches.
+func (b *RegisteredBlock) Commit() {
+	b.out.Commit()
+	b.driven = false
+}
+
+// --- rule units -----------------------------------------------------------
+
+func validityUnit(a, b attr.Attributes) ruleOutput {
+	return ruleOutput{applies: a.Valid != b.Valid, aFirst: a.Valid}
+}
+
+func edfUnit(a, b attr.Attributes) ruleOutput {
+	bothValid := a.Valid && b.Valid
+	return ruleOutput{
+		applies: bothValid && a.Deadline != b.Deadline,
+		aFirst:  a.Deadline.Before(b.Deadline),
+	}
+}
+
+func constraintUnit(mode Mode, a, b attr.Attributes) ruleOutput {
+	if mode != DWCS || !(a.Valid && b.Valid) || a.Deadline != b.Deadline {
+		return ruleOutput{}
+	}
+	cmp := a.Constraint().Cmp(b.Constraint())
+	return ruleOutput{applies: cmp != 0, aFirst: cmp < 0}
+}
+
+func denominatorUnit(mode Mode, a, b attr.Attributes) ruleOutput {
+	if mode != DWCS || !(a.Valid && b.Valid) || a.Deadline != b.Deadline {
+		return ruleOutput{}
+	}
+	if a.Constraint().Cmp(b.Constraint()) != 0 {
+		return ruleOutput{}
+	}
+	zero := a.Constraint().Zero() && b.Constraint().Zero()
+	return ruleOutput{
+		applies: zero && a.LossDen != b.LossDen,
+		aFirst:  a.LossDen > b.LossDen,
+	}
+}
+
+func numeratorUnit(mode Mode, a, b attr.Attributes) ruleOutput {
+	if mode != DWCS || !(a.Valid && b.Valid) || a.Deadline != b.Deadline {
+		return ruleOutput{}
+	}
+	if a.Constraint().Cmp(b.Constraint()) != 0 {
+		return ruleOutput{}
+	}
+	zero := a.Constraint().Zero() && b.Constraint().Zero()
+	return ruleOutput{
+		applies: !zero && a.LossNum != b.LossNum,
+		aFirst:  a.LossNum < b.LossNum,
+	}
+}
+
+func fcfsUnit(a, b attr.Attributes) ruleOutput {
+	bothValid := a.Valid && b.Valid
+	return ruleOutput{
+		applies: bothValid && a.Arrival != b.Arrival,
+		aFirst:  a.Arrival.Before(b.Arrival),
+	}
+}
+
+func slotUnit(a, b attr.Attributes) ruleOutput {
+	return ruleOutput{applies: true, aFirst: a.Slot < b.Slot}
+}

@@ -1,0 +1,395 @@
+// Package endsystem assembles the ShareStreams Endsystem/Host-router
+// realization (Figure 3): the Stream processor's Queue Manager and
+// Transmission Engine around the FPGA scheduler, with the PCI/SRAM transfer
+// substrate in between.
+//
+// Two drivers are provided:
+//
+//   - Throughput computes the §5.2 operating points: packets/second with
+//     transfers excluded (the paper's 469,483 pps), with PIO transfers
+//     (299,065 pps) and with DMA pulls (the peer-peer enhancement §5.2
+//     anticipates). RunPipeline additionally drives a real three-stage
+//     concurrent pipeline — producer → per-stream rings → scheduler → tx
+//     ring → transmission engine — to validate the synchronization-free
+//     structure end to end (frame conservation, no locks), while the
+//     timing itself comes from the calibrated cost model so results stay
+//     deterministic.
+//
+//   - RunAllocation drives the bandwidth-allocation experiments of Figures
+//     8–10: backlogged or bursty streams with rate ratios enforced by EDF
+//     request periods, an output link that serializes frames at a fixed
+//     rate, and per-stream bandwidth/delay measurement.
+package endsystem
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/pci"
+	"repro/internal/qm"
+	"repro/internal/regblock"
+	"repro/internal/ringbuf"
+	"repro/internal/traffic"
+	"repro/internal/txengine"
+)
+
+// HostCostNs is the calibrated per-packet Stream-processor cost (Queue
+// Manager dequeue + Transmission Engine DMA setup) on the paper's 500 MHz
+// Pentium III host: 2130 ns per packet yields the §5.2 operating point of
+// 469,483 packets/s when PCI transfer time is excluded.
+const HostCostNs = 2130.0
+
+// TransferBatch is the arrival-time/stream-ID batching factor used by the
+// §5.2 calibration (32 packets per PIO/DMA batch).
+const TransferBatch = 32
+
+// OperatingPoint is one §5.2 throughput row.
+type OperatingPoint struct {
+	Mode        pci.Mode
+	HostNs      float64 // per-packet host cost
+	TransferNs  float64 // per-packet transfer cost under Mode
+	PacketsPerS float64
+}
+
+// Throughput computes the endsystem operating point for a transfer mode.
+func Throughput(mode pci.Mode) (OperatingPoint, error) {
+	bus, err := pci.New(pci.DefaultConfig())
+	if err != nil {
+		return OperatingPoint{}, err
+	}
+	per, err := bus.PerPacketNs(mode, TransferBatch)
+	if err != nil {
+		return OperatingPoint{}, err
+	}
+	return OperatingPoint{
+		Mode:        mode,
+		HostNs:      HostCostNs,
+		TransferNs:  per,
+		PacketsPerS: 1e9 / (HostCostNs + per),
+	}, nil
+}
+
+// PipelineResult reports a functional pipelined run.
+type PipelineResult struct {
+	Frames      uint64 // frames delivered to the network
+	PerStream   []uint64
+	VirtualNs   float64 // modeled time for the run (host + metered transfers)
+	PacketsPerS float64
+	// Metered transfer accounting from the actual pci.Bus driven by the
+	// run's batch count (zero under ModeNone).
+	TransferNs   float64
+	BankSwitches uint64
+	Batches      uint64
+}
+
+// RunPipeline pushes framesPerStream frames per stream through the full
+// concurrent pipeline: a producer goroutine filling the Queue Manager's
+// per-stream rings, the scheduler loop draining them through head-source
+// adapters and pushing scheduled IDs into a tx ring, and a Transmission
+// Engine goroutine consuming that ring — all over synchronization-free
+// SPSC rings, no locks. Timing comes from the calibrated cost model.
+func RunPipeline(slots, framesPerStream int, mode pci.Mode) (PipelineResult, error) {
+	if slots < 2 || framesPerStream < 1 {
+		return PipelineResult{}, fmt.Errorf("endsystem: bad pipeline config (%d slots, %d frames)", slots, framesPerStream)
+	}
+	manager, err := qm.New(slots, 1024)
+	if err != nil {
+		return PipelineResult{}, err
+	}
+	sched, err := core.New(core.Config{Slots: slots, Routing: core.WinnerOnly})
+	if err != nil {
+		return PipelineResult{}, err
+	}
+	for i := 0; i < slots; i++ {
+		spec := attr.Spec{Class: attr.EDF, Period: uint16(slots)}
+		if err := manager.Describe(i, spec); err != nil {
+			return PipelineResult{}, err
+		}
+		if err := sched.Admit(i, spec, manager.Source(i)); err != nil {
+			return PipelineResult{}, err
+		}
+	}
+
+	txRing, err := ringbuf.New[core.Transmission](1024)
+	if err != nil {
+		return PipelineResult{}, err
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+
+	// Producer: the application filling per-stream queues.
+	go func() {
+		defer wg.Done()
+		for k := 0; k < framesPerStream; k++ {
+			for i := 0; i < slots; i++ {
+				f := qm.Frame{Size: 1500, Arrival: uint64(k)}
+				for !manager.Submit(i, f) {
+					runtime.Gosched() // ring full: wait for the consumer
+				}
+			}
+		}
+	}()
+
+	// Transmission engine: drains scheduled IDs.
+	perStream := make([]uint64, slots)
+	var delivered uint64
+	total := uint64(slots * framesPerStream)
+	go func() {
+		defer wg.Done()
+		for delivered < total {
+			tx, ok := txRing.Pop()
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			perStream[tx.Slot]++
+			delivered++
+		}
+	}()
+
+	// Scheduler loop (this goroutine): run decision cycles until every
+	// frame has been scheduled; idle cycles occur when the producer is
+	// momentarily behind and cost nothing in the model (the hardware
+	// spins while the host catches up). Every TransferBatch scheduled
+	// frames, the run drives the actual PCI bus model: a push of
+	// arrival-time words in, a read of stream-ID words back — so the
+	// transfer time below is metered from bank switches and word counts,
+	// not assumed.
+	if err := sched.Start(); err != nil {
+		return PipelineResult{}, err
+	}
+	bus, err := pci.New(pci.DefaultConfig())
+	if err != nil {
+		return PipelineResult{}, err
+	}
+	var scheduled, sinceBatch uint64
+	meterBatch := func(n int) error {
+		switch mode {
+		case pci.ModePIO:
+			if _, err := bus.PushPIO(0, n); err != nil {
+				return err
+			}
+			_, err := bus.ReadPIO(1, n)
+			return err
+		case pci.ModeDMA:
+			if _, err := bus.PullDMA(0, n*4); err != nil {
+				return err
+			}
+			_, err := bus.PullDMA(1, n*4)
+			return err
+		default:
+			return nil
+		}
+	}
+	for scheduled < total {
+		cr := sched.RunCycle()
+		if cr.Idle {
+			runtime.Gosched() // producer momentarily behind
+		}
+		for _, tx := range cr.Transmissions {
+			for !txRing.Push(tx) {
+				runtime.Gosched() // tx ring full: engine backpressure
+			}
+			scheduled++
+			sinceBatch++
+			if sinceBatch == TransferBatch {
+				if err := meterBatch(TransferBatch); err != nil {
+					return PipelineResult{}, err
+				}
+				sinceBatch = 0
+			}
+		}
+	}
+	if sinceBatch > 0 {
+		if err := meterBatch(int(sinceBatch)); err != nil {
+			return PipelineResult{}, err
+		}
+	}
+	wg.Wait()
+
+	virtual := float64(total)*HostCostNs + bus.BusyNs
+	res := PipelineResult{
+		Frames:       delivered,
+		PerStream:    perStream,
+		VirtualNs:    virtual,
+		PacketsPerS:  float64(total) / virtual * 1e9,
+		TransferNs:   bus.BusyNs,
+		BankSwitches: bus.BankSwitches,
+		Batches:      bus.Batches,
+	}
+	return res, nil
+}
+
+// AllocationConfig parameterizes a bandwidth-allocation run (Figures 8–10).
+type AllocationConfig struct {
+	// RatesMBps is the per-slot target allocation; its sum is the output
+	// link rate (the paper's Figure 8 uses 2:2:4:8 MB/s over a 16 MB/s
+	// budget).
+	RatesMBps []float64
+	// FrameBytes is the fixed frame size (default 1000).
+	FrameBytes int
+	// FramesPerSlot bounds each slot's traffic (the paper transfers 64000
+	// arrival-times per queue).
+	FramesPerSlot uint64
+	// Bursty switches the generators to the Figure 9 pattern: bursts of
+	// BurstFrames at the stream's nominal spacing, separated by
+	// InterBurstCycles of silence.
+	Bursty           bool
+	BurstFrames      uint64
+	InterBurstCycles uint64
+	// Sources, when non-nil, overrides the generated traffic for each slot
+	// (Figure 10 passes streamlet aggregators here). Overridden slots
+	// ignore Bursty/FramesPerSlot.
+	Sources []regblock.HeadSource
+	// MeterWindows is the number of measurement windows across the run
+	// (default 64).
+	MeterWindows int
+	// Observer, when non-nil, sees every transmission with its wire
+	// completion time (Figure 10 charges streamlets here).
+	Observer func(slot int, tx core.Transmission, completionNs float64)
+}
+
+// AllocationResult reports a bandwidth-allocation run.
+type AllocationResult struct {
+	TE      *txengine.Engine
+	Sched   *core.Scheduler
+	CycleNs float64 // virtual duration of one decision cycle (one frame time)
+	Cycles  uint64
+}
+
+// RunAllocation executes the run: an N-slot winner-only scheduler in EDF
+// mode with request periods inversely proportional to the target rates
+// (deadline synthesis then yields service frequencies proportional to the
+// rates), over an output link whose frame time equals one decision cycle.
+func RunAllocation(cfg AllocationConfig) (*AllocationResult, error) {
+	n := len(cfg.RatesMBps)
+	if n < 2 {
+		return nil, fmt.Errorf("endsystem: need ≥2 slots, got %d", n)
+	}
+	if cfg.FrameBytes == 0 {
+		cfg.FrameBytes = 1000
+	}
+	if cfg.FramesPerSlot == 0 {
+		cfg.FramesPerSlot = 64000
+	}
+	if cfg.MeterWindows == 0 {
+		cfg.MeterWindows = 64
+	}
+	slots := 1
+	for slots < n {
+		slots *= 2
+	}
+
+	var totalMBps float64
+	for i, r := range cfg.RatesMBps {
+		if r <= 0 {
+			return nil, fmt.Errorf("endsystem: slot %d rate %v", i, r)
+		}
+		totalMBps += r
+	}
+	linkBps := totalMBps * 8e6
+	cycleNs := float64(cfg.FrameBytes*8) / linkBps * 1e9
+
+	// Request periods: T_i = total/rate_i decision cycles (integer).
+	periods := make([]uint16, n)
+	for i, r := range cfg.RatesMBps {
+		p := totalMBps / r
+		rounded := math.Round(p)
+		if math.Abs(p-rounded) > 1e-9 || rounded < 1 || rounded > 65535 {
+			return nil, fmt.Errorf("endsystem: rate ratio for slot %d yields non-integer period %v", i, p)
+		}
+		periods[i] = uint16(rounded)
+	}
+
+	sched, err := core.New(core.Config{Slots: slots, Routing: core.WinnerOnly})
+	if err != nil {
+		return nil, err
+	}
+	expected := uint64(n) * cfg.FramesPerSlot
+	for i := 0; i < n; i++ {
+		src := cfg.source(i, periods[i])
+		if err := sched.Admit(i, attr.Spec{Class: attr.EDF, Period: periods[i]}, src); err != nil {
+			return nil, err
+		}
+	}
+	if err := sched.Start(); err != nil {
+		return nil, err
+	}
+
+	// Run length estimate: every frame takes one cycle, plus slack for
+	// gated arrivals (bursty gaps) — bounded by the last arrival.
+	runNs := float64(expected) * cycleNs * 1.05
+	windowNs := runNs / float64(cfg.MeterWindows)
+	te, err := txengine.New(slots, linkBps, windowNs)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &AllocationResult{TE: te, Sched: sched, CycleNs: cycleNs}
+	var sent uint64
+	idleStreak := 0
+	maxCycles := expected*4 + 1000
+	for sent < expected && res.Cycles < maxCycles {
+		cr := sched.RunCycle()
+		res.Cycles++
+		if cr.Idle {
+			idleStreak++
+			if uint64(idleStreak) > cfg.InterBurstCycles+1000 {
+				break // sources exhausted
+			}
+			continue
+		}
+		idleStreak = 0
+		for _, tx := range cr.Transmissions {
+			readyNs := float64(cr.Time) * cycleNs
+			arrivalNs := float64(tx.Arrival64) * cycleNs
+			end, err := te.Transmit(int(tx.Slot), cfg.FrameBytes, readyNs, arrivalNs)
+			if err != nil {
+				return nil, err
+			}
+			if cfg.Observer != nil {
+				cfg.Observer(int(tx.Slot), tx, end)
+			}
+			sent++
+		}
+	}
+	te.Finish()
+	return res, nil
+}
+
+// source builds slot i's generator.
+func (cfg AllocationConfig) source(i int, period uint16) regblock.HeadSource {
+	if cfg.Sources != nil && i < len(cfg.Sources) && cfg.Sources[i] != nil {
+		return cfg.Sources[i]
+	}
+	if cfg.Bursty {
+		// Within a burst, packets arrive ~33% faster than the stream's
+		// fair share drains them (gap = ceil(3T/4)), so backlog and
+		// queuing delay ramp across each burst and drain during the
+		// inter-burst silence — Figure 9's zig-zag. The highest-rate
+		// stream's gap rounds back to its period, which is why stream 4
+		// shows the flattest, lowest delay, consistent with the figure.
+		gap := (uint64(period)*3 + 3) / 4
+		if gap < 1 {
+			gap = 1
+		}
+		return &traffic.Bursty{
+			BurstLen:   cfg.BurstFrames,
+			Gap:        gap,
+			InterBurst: cfg.InterBurstCycles,
+			Phase:      uint64(i),
+			Limit:      cfg.FramesPerSlot,
+		}
+	}
+	return &traffic.Periodic{
+		Gap:        uint64(period),
+		Phase:      uint64(i),
+		Limit:      cfg.FramesPerSlot,
+		Backlogged: true,
+	}
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fpga"
+	"repro/internal/hwpq"
+)
+
+// AblationRow compares one queuing architecture at one capacity — the §3
+// argument quantified.
+type AblationRow struct {
+	Architecture string
+	Slots        int
+	// Comparators is the number of Decision-block-grade comparators the
+	// architecture replicates; Slices prices them at the paper's 190
+	// slices per Decision block.
+	Comparators int
+	Slices      int
+	// CyclesFair / CyclesWindow are clocks per decision without / with
+	// per-cycle priority updates.
+	CyclesFair   int
+	CyclesWindow int
+}
+
+// Ablation runs the priority-queue architecture comparison at the given
+// slot counts.
+func Ablation(slotCounts []int) ([]AblationRow, error) {
+	if len(slotCounts) == 0 {
+		slotCounts = []int{4, 8, 16, 32, 64}
+	}
+	var rows []AblationRow
+	for _, n := range slotCounts {
+		sh := hwpq.ShuffleCost(n)
+		rows = append(rows, AblationRow{
+			Architecture: sh.Name,
+			Slots:        n,
+			Comparators:  sh.Comparators,
+			Slices:       sh.Comparators * fpga.SlicesDecision,
+			CyclesFair:   sh.CyclesFair,
+			CyclesWindow: sh.CyclesWindow,
+		})
+		chain, err := hwpq.NewShiftChain(n)
+		if err != nil {
+			return nil, err
+		}
+		sys, err := hwpq.NewSystolic(n)
+		if err != nil {
+			return nil, err
+		}
+		heap, err := hwpq.NewPipelinedHeap(n)
+		if err != nil {
+			return nil, err
+		}
+		for _, q := range []hwpq.Queue{chain, sys, heap} {
+			row, err := hwpq.Cost(q, n)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AblationRow{
+				Architecture: row.Name,
+				Slots:        n,
+				Comparators:  row.Comparators,
+				Slices:       row.Comparators * fpga.SlicesDecision,
+				CyclesFair:   row.CyclesFair,
+				CyclesWindow: row.CyclesWindow,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatAblation renders the architecture comparison.
+func FormatAblation(rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %6s %12s %10s %12s %14s\n",
+		"Architecture", "Slots", "Comparators", "Slices", "Cycles(fair)", "Cycles(window)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %6d %12d %10d %12d %14d\n",
+			r.Architecture, r.Slots, r.Comparators, r.Slices, r.CyclesFair, r.CyclesWindow)
+	}
+	return b.String()
+}
+
+// Fig1Row is one point of Figure 1's architectural-solutions framework: the
+// scheduling rate a (streams, frame size, link rate) point demands, and
+// which realizations meet it.
+type Fig1Row struct {
+	Slots        int
+	FrameBytes   int
+	LinkGbps     float64
+	RequiredRate float64 // decisions/s for per-packet wire-speed scheduling
+	// Achievable rates.
+	LineCardWR float64 // WR decision rate at this slot count
+	LineCardBA float64 // BA block frame rate (block amortization)
+	MeetsWR    bool
+	MeetsBA    bool
+}
+
+// Fig1 sweeps the framework over slot counts, frame sizes and link rates.
+func Fig1(slotCounts []int, frameSizes []int, linkGbps []float64) ([]Fig1Row, error) {
+	if len(slotCounts) == 0 {
+		slotCounts = []int{4, 8, 16, 32}
+	}
+	if len(frameSizes) == 0 {
+		frameSizes = []int{64, 1500}
+	}
+	if len(linkGbps) == 0 {
+		linkGbps = []float64{1, 10}
+	}
+	var rows []Fig1Row
+	for _, n := range slotCounts {
+		k := 0
+		for 1<<k < n {
+			k++
+		}
+		cycles := k + 2 + n
+		wrMHz, err := fpga.ClockMHz(n, fpga.WR, fpga.VirtexI)
+		if err != nil {
+			return nil, err
+		}
+		baMHz, err := fpga.ClockMHz(n, fpga.BA, fpga.VirtexI)
+		if err != nil {
+			return nil, err
+		}
+		wrRate := fpga.DecisionRate(wrMHz, cycles)
+		baRate := fpga.PacketRate(baMHz, cycles, n)
+		for _, fb := range frameSizes {
+			for _, g := range linkGbps {
+				req := fpga.RequiredRate(fb, g*1e9)
+				rows = append(rows, Fig1Row{
+					Slots:        n,
+					FrameBytes:   fb,
+					LinkGbps:     g,
+					RequiredRate: req,
+					LineCardWR:   wrRate,
+					LineCardBA:   baRate,
+					MeetsWR:      wrRate >= req,
+					MeetsBA:      baRate >= req,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// FormatFig1 renders the framework sweep.
+func FormatFig1(rows []Fig1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %8s %6s %14s %14s %14s %8s %8s\n",
+		"Slots", "Frame B", "Gbps", "required/s", "WR rate/s", "BA frames/s", "WR ok", "BA ok")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6d %8d %6.0f %14.0f %14.0f %14.0f %8v %8v\n",
+			r.Slots, r.FrameBytes, r.LinkGbps, r.RequiredRate, r.LineCardWR, r.LineCardBA, r.MeetsWR, r.MeetsBA)
+	}
+	return b.String()
+}

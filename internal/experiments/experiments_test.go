@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/fpga"
+)
+
+func TestFig7DefaultsAndClaims(t *testing.T) {
+	rows, err := Fig7(nil, fpga.VirtexI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 { // BA and WR at 4/8/16/32
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	// Every synthesized design fits the prototype chip; decision time is
+	// logarithmic (2,3,4,5 cycles).
+	wantSort := map[int]int{4: 2, 8: 3, 16: 4, 32: 5}
+	byCfg := map[string]map[int]Fig7Row{}
+	for _, r := range rows {
+		if !r.FitsChip {
+			t.Errorf("%v N=%d does not fit", r.Routing, r.Slots)
+		}
+		if r.SortCycle != wantSort[r.Slots] {
+			t.Errorf("N=%d sort cycles = %d, want %d", r.Slots, r.SortCycle, wantSort[r.Slots])
+		}
+		if byCfg[r.Routing.String()] == nil {
+			byCfg[r.Routing.String()] = map[int]Fig7Row{}
+		}
+		byCfg[r.Routing.String()][r.Slots] = r
+	}
+	// BA ≈ WR area; BA clock ≈10% below WR at 32 slots.
+	ba32, wr32 := byCfg["BA"][32], byCfg["WR"][32]
+	if ratio := float64(ba32.Slices) / float64(wr32.Slices); ratio > 1.10 {
+		t.Errorf("BA/WR area ratio at 32 = %.3f", ratio)
+	}
+	if gap := (wr32.ClockMHz - ba32.ClockMHz) / wr32.ClockMHz; gap < 0.05 || gap > 0.15 {
+		t.Errorf("BA clock degradation at 32 = %.0f%%, paper says ≈10%%", gap*100)
+	}
+	out := FormatFig7(rows)
+	if !strings.Contains(out, "BA") || !strings.Contains(out, "WR") {
+		t.Error("formatted table incomplete")
+	}
+}
+
+func TestFig7VirtexIIExtension(t *testing.T) {
+	v1, _ := Fig7([]int{32}, fpga.VirtexI)
+	v2, _ := Fig7([]int{32}, fpga.VirtexII)
+	if v2[0].ClockMHz <= v1[0].ClockMHz {
+		t.Error("Virtex-II rows not faster")
+	}
+}
+
+func TestFig8Allocation(t *testing.T) {
+	res, err := Fig8(Fig8Config{FramesPerSlot: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.Format())
+	want := []float64{2, 2, 4, 8}
+	for i, w := range want {
+		if math.Abs(res.MeanActive[i]-w)/w > 0.1 {
+			t.Errorf("stream %d = %.2f MB/s, want ≈%.1f", i+1, res.MeanActive[i], w)
+		}
+	}
+	if len(res.Bandwidth) != 4 || len(res.Bandwidth[0]) == 0 {
+		t.Fatal("missing bandwidth series")
+	}
+}
+
+func TestFig9ZigZagAndStream4Lowest(t *testing.T) {
+	res, err := Fig9(Fig9Config{FramesPerSlot: 12000, BurstFrames: 2000, InterBurstCycles: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.Format())
+	// Zig-zag: stream 1's peak delay well above its mean.
+	if res.Peak[0] < 2*res.Mean[0] {
+		t.Errorf("stream 1 peak %.2f vs mean %.2f — no zig-zag", res.Peak[0], res.Mean[0])
+	}
+	// "the reduced delay for Stream 4 is consistent with Figure 8".
+	if res.Mean[3] >= res.Mean[0] {
+		t.Errorf("stream 4 mean delay %.2f not below stream 1's %.2f", res.Mean[3], res.Mean[0])
+	}
+	// Delay-jitter (the third QoS bound) follows the same ordering: the
+	// rate-matched stream 4 is the smoothest.
+	if res.Jitter[3] >= res.Jitter[0] {
+		t.Errorf("stream 4 jitter %.3f not below stream 1's %.3f", res.Jitter[3], res.Jitter[0])
+	}
+	for i, j := range res.Jitter {
+		if j < 0 {
+			t.Errorf("stream %d negative jitter %v", i+1, j)
+		}
+	}
+}
+
+func TestFig10Aggregation(t *testing.T) {
+	res, err := Fig10(Fig10Config{StreamletsPer: 20, FramesPerSlot: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.Format())
+	// Slot aggregates follow 2/2/4/8.
+	want := []float64{2, 2, 4, 8}
+	for i, w := range want {
+		if math.Abs(res.SlotMBps[i]-w)/w > 0.15 {
+			t.Errorf("slot %d = %.2f MB/s, want ≈%.1f", i+1, res.SlotMBps[i], w)
+		}
+	}
+	// Slots 1-3: single set; per-streamlet bandwidth = slot/20.
+	for i := 0; i < 3; i++ {
+		wantSl := want[i] / 20
+		if math.Abs(res.StreamletMBps[i][0]-wantSl)/wantSl > 0.15 {
+			t.Errorf("slot %d streamlet = %.4f MB/s, want ≈%.4f", i+1, res.StreamletMBps[i][0], wantSl)
+		}
+	}
+	// Slot 4: two sets, set 1 double share (2/3 vs 1/3 of the slot).
+	if len(res.SetShare[3]) != 2 {
+		t.Fatalf("slot 4 sets = %d", len(res.SetShare[3]))
+	}
+	if math.Abs(res.SetShare[3][0]-2.0/3) > 0.03 || math.Abs(res.SetShare[3][1]-1.0/3) > 0.03 {
+		t.Errorf("slot 4 set shares = %v, want ≈[0.67 0.33]", res.SetShare[3])
+	}
+	// Per-streamlet: set 1 streamlets get double set 2's.
+	r := res.StreamletMBps[3][0] / res.StreamletMBps[3][1]
+	if math.Abs(r-2.0) > 0.15 {
+		t.Errorf("slot 4 per-streamlet ratio = %.2f, want ≈2", r)
+	}
+}
+
+func TestSec52OperatingPoints(t *testing.T) {
+	rows, err := Sec52()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatThroughput(rows))
+	byName := func(substr string) ThroughputRow {
+		for _, r := range rows {
+			if strings.Contains(r.System, substr) {
+				return r
+			}
+		}
+		t.Fatalf("row %q missing", substr)
+		return ThroughputRow{}
+	}
+	// §5.2 headline numbers.
+	lc := byName("line-card")
+	if lc.PacketsPerS < 7.4e6 || lc.PacketsPerS > 7.8e6 {
+		t.Errorf("line-card = %.2fM pps, want ≈7.6M", lc.PacketsPerS/1e6)
+	}
+	if got := int(byName("none").PacketsPerS); got != 469483 {
+		t.Errorf("endsystem = %d pps, want 469483", got)
+	}
+	if got := int(byName("pio").PacketsPerS); got != 299065 {
+		t.Errorf("endsystem+PIO = %d pps, want 299065", got)
+	}
+	// Ordering claims: the hardware line-card beats every software
+	// router; the endsystem with PIO is comparable to Click (within 2x
+	// either way, per "this is comparable to the performance of the click
+	// router").
+	click := byName("Click modular")
+	if lc.PacketsPerS < 10*click.PacketsPerS {
+		t.Errorf("line-card %.0f not ≫ Click %.0f", lc.PacketsPerS, click.PacketsPerS)
+	}
+	pio := byName("pio")
+	if r := pio.PacketsPerS / click.PacketsPerS; r < 0.5 || r > 2 {
+		t.Errorf("endsystem+PIO/Click = %.2f, want comparable", r)
+	}
+}
+
+func TestLineCardRatesScale(t *testing.T) {
+	rows, err := LineCardRates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Block frame rate at N slots ≈ N × decision rate.
+	for i := 0; i < len(rows); i += 2 {
+		n := []int{4, 8, 16, 32}[i/2]
+		if math.Abs(rows[i+1].PacketsPerS/rows[i].PacketsPerS-float64(n)) > 1e-6 {
+			t.Errorf("N=%d: block/decision ratio = %v", n, rows[i+1].PacketsPerS/rows[i].PacketsPerS)
+		}
+	}
+}
+
+func TestSec41Latency(t *testing.T) {
+	rows, err := Sec41(32, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatLatency(rows))
+	var measured, reference int
+	for _, r := range rows {
+		if r.Reference {
+			reference++
+			continue
+		}
+		measured++
+		if r.PerDecisionNs <= 0 {
+			t.Errorf("%s: non-positive latency", r.Scheduler)
+		}
+		// A modern host runs these in well under the paper's 50µs.
+		if r.PerDecisionNs > 50000 {
+			t.Errorf("%s: %v ns per decision — implausibly slow", r.Scheduler, r.PerDecisionNs)
+		}
+	}
+	if measured < 6 || reference != 4 {
+		t.Fatalf("rows: %d measured, %d reference", measured, reference)
+	}
+	if _, err := Sec41(1, 10); err == nil {
+		t.Error("accepted 1 stream")
+	}
+}
+
+func TestAblationShuffleWinsUnderUpdates(t *testing.T) {
+	rows, err := Ablation([]int{32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatAblation(rows))
+	var shuffle AblationRow
+	others := []AblationRow{}
+	for _, r := range rows {
+		if r.Architecture == "recirculating-shuffle" {
+			shuffle = r
+		} else {
+			others = append(others, r)
+		}
+	}
+	if len(others) != 3 {
+		t.Fatalf("expected 3 competing architectures, got %d", len(others))
+	}
+	for _, o := range others {
+		if o.Comparators <= shuffle.Comparators {
+			t.Errorf("%s replicates %d comparators, not more than shuffle's %d",
+				o.Architecture, o.Comparators, shuffle.Comparators)
+		}
+		if o.CyclesWindow <= shuffle.CyclesWindow {
+			t.Errorf("%s window cycles %d not worse than shuffle's %d",
+				o.Architecture, o.CyclesWindow, shuffle.CyclesWindow)
+		}
+		if o.CyclesFair > shuffle.CyclesFair {
+			t.Errorf("%s fair cycles %d worse than shuffle's %d — the trade-off should favor them without updates",
+				o.Architecture, o.CyclesFair, shuffle.CyclesFair)
+		}
+	}
+}
+
+func TestFig1Framework(t *testing.T) {
+	rows, err := Fig1(nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatFig1(rows))
+	if len(rows) != 16 {
+		t.Fatalf("rows = %d, want 16", len(rows))
+	}
+	for _, r := range rows {
+		// The paper's feasibility claims, as a function of the sweep:
+		// 1500B at 1G and 10G always met with block amortization;
+		// 64B at 10G out of reach for WR.
+		if r.FrameBytes == 1500 && !r.MeetsBA {
+			t.Errorf("N=%d 1500B@%vG: BA should meet wire speed", r.Slots, r.LinkGbps)
+		}
+		if r.FrameBytes == 64 && r.LinkGbps == 10 && r.MeetsWR {
+			t.Errorf("N=%d 64B@10G: WR should NOT meet wire speed", r.Slots)
+		}
+		if r.FrameBytes == 64 && r.LinkGbps == 1 && !r.MeetsBA {
+			t.Errorf("N=%d 64B@1G: BA should meet wire speed", r.Slots)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtensionsAblation(t *testing.T) {
+	rows, err := Extensions([]int{4, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatExtensions(rows))
+	byLabel := func(n int, label string) ExtensionRow {
+		for _, r := range rows {
+			if r.Slots == n && r.Label == label {
+				return r
+			}
+		}
+		t.Fatalf("row %d/%s missing", n, label)
+		return ExtensionRow{}
+	}
+	for _, n := range []int{4, 32} {
+		base := byLabel(n, "baseline (Virtex-I)")
+		ahead := byLabel(n, "compute-ahead")
+		exact := byLabel(n, "exact-sort block")
+		v2 := byLabel(n, "Virtex-II")
+		both := byLabel(n, "Virtex-II + compute-ahead")
+
+		// Compute-ahead saves exactly the PRIORITY_UPDATE clock.
+		if ahead.CyclesPerDec != base.CyclesPerDec-1 {
+			t.Errorf("N=%d: compute-ahead clocks %d, want %d", n, ahead.CyclesPerDec, base.CyclesPerDec-1)
+		}
+		if ahead.DecisionsPerS <= base.DecisionsPerS {
+			t.Errorf("N=%d: compute-ahead not faster", n)
+		}
+		// Exact sort costs extra passes.
+		if exact.CyclesPerDec <= base.CyclesPerDec {
+			t.Errorf("N=%d: exact sort should cost extra clocks", n)
+		}
+		// Virtex-II raises the clock without changing the timeline.
+		if v2.CyclesPerDec != base.CyclesPerDec || v2.ClockMHz <= base.ClockMHz {
+			t.Errorf("N=%d: Virtex-II row inconsistent", n)
+		}
+		// Stacked extensions are the fastest.
+		if both.DecisionsPerS <= v2.DecisionsPerS || both.DecisionsPerS <= ahead.DecisionsPerS {
+			t.Errorf("N=%d: stacked extensions not fastest", n)
+		}
+		// Frame rate scales with the block.
+		if base.FramesPerS != base.DecisionsPerS*float64(n) {
+			t.Errorf("N=%d: frame rate not block-scaled", n)
+		}
+	}
+	if !strings.Contains(FormatExtensions(rows), "compute-ahead") {
+		t.Error("format incomplete")
+	}
+}
+
+func TestExtensionsValidation(t *testing.T) {
+	if _, err := Extensions([]int{3}); err == nil {
+		t.Error("accepted non-power-of-two slots")
+	}
+}
+
+func TestScaleHundredsOfStreams(t *testing.T) {
+	// §6: "construct, demonstrate and run a system with hundreds of
+	// streams" — 64 slots × 8 streamlets = 512 streams.
+	res, err := Scale(64, 8, 6400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AggregatedStreams != 512 {
+		t.Fatalf("streams = %d", res.AggregatedStreams)
+	}
+	if res.Services != 6400 {
+		t.Fatalf("services = %d, want one per WR cycle", res.Services)
+	}
+	// Equal periods: wins must be near-uniform across slots.
+	if res.PerSlotFairness == 0 || res.PerSlotFairness > 1.25 {
+		t.Fatalf("fairness ratio = %v, want ≈1", res.PerSlotFairness)
+	}
+}
+
+func TestScaleValidation(t *testing.T) {
+	if _, err := Scale(1, 1, 10); err == nil {
+		t.Error("accepted 1 slot")
+	}
+	if _, err := Scale(4, 0, 10); err == nil {
+		t.Error("accepted 0 streamlets")
+	}
+	if _, err := Scale(4, 1, 2); err == nil {
+		t.Error("accepted too few cycles")
+	}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fpga"
+)
+
+// Fig7Row is one point of Figure 7: area and clock rate of one design
+// variant at one stream-slot count.
+type Fig7Row struct {
+	Slots     int
+	Routing   fpga.Routing
+	Slices    int
+	CLBs      int
+	ClockMHz  float64
+	FitsChip  bool
+	Util      float64 // fraction of the Virtex-1000
+	SortCycle int     // network passes per decision (log2 N)
+}
+
+// Fig7 regenerates Figure 7's area/clock-rate characteristics for the BA
+// and WR configurations across the synthesized design space (4–32 slots on
+// the Virtex-I prototype; pass larger powers of two for the extrapolated
+// exploration).
+func Fig7(slotCounts []int, dev fpga.Device) ([]Fig7Row, error) {
+	if len(slotCounts) == 0 {
+		slotCounts = []int{4, 8, 16, 32}
+	}
+	var rows []Fig7Row
+	for _, routing := range []fpga.Routing{fpga.BA, fpga.WR} {
+		for _, n := range slotCounts {
+			area, err := fpga.EstimateArea(n, routing)
+			if err != nil {
+				return nil, err
+			}
+			mhz, err := fpga.ClockMHz(n, routing, dev)
+			if err != nil {
+				return nil, err
+			}
+			k := 0
+			for 1<<k < n {
+				k++
+			}
+			rows = append(rows, Fig7Row{
+				Slots:     n,
+				Routing:   routing,
+				Slices:    area.TotalSlices(),
+				CLBs:      area.CLBs(),
+				ClockMHz:  mhz,
+				FitsChip:  area.FitsVirtex1000(),
+				Util:      area.Utilization(),
+				SortCycle: k,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatFig7 renders the rows as the paper-style table.
+func FormatFig7(rows []Fig7Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-6s %8s %6s %10s %6s %10s %10s\n",
+		"Cfg", "Slots", "Slices", "CLBs", "Clock MHz", "Sort", "Fits V1000", "Util")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-4s %-6d %8d %6d %10.1f %6d %10v %9.1f%%\n",
+			r.Routing, r.Slots, r.Slices, r.CLBs, r.ClockMHz, r.SortCycle, r.FitsChip, r.Util*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/endsystem"
+	"repro/internal/regblock"
+	"repro/internal/stats"
+	"repro/internal/streamlet"
+	"repro/internal/traffic"
+)
+
+// Fig8Result holds the fair-bandwidth-allocation run of Figure 8: four
+// streams allocated 1:1:2:4 (2/2/4/8 MB/s of a 16 MB/s budget), 64000
+// frames per queue, no socket calls.
+type Fig8Result struct {
+	// Bandwidth is the per-stream MB/s series over the run.
+	Bandwidth [][]stats.Point
+	// MeanActive is the per-stream mean MB/s while all four streams were
+	// still backlogged (the figure's plateau).
+	MeanActive []float64
+	// Targets are the configured allocations.
+	Targets []float64
+	CycleNs float64
+	Cycles  uint64
+}
+
+// Fig8Config parameterizes the run; zero values take the paper's setup.
+type Fig8Config struct {
+	RatesMBps     []float64
+	FramesPerSlot uint64
+}
+
+// Fig8 runs the fair-bandwidth experiment.
+func Fig8(cfg Fig8Config) (*Fig8Result, error) {
+	if cfg.RatesMBps == nil {
+		cfg.RatesMBps = []float64{2, 2, 4, 8}
+	}
+	if cfg.FramesPerSlot == 0 {
+		cfg.FramesPerSlot = 64000
+	}
+	res, err := endsystem.RunAllocation(endsystem.AllocationConfig{
+		RatesMBps:     cfg.RatesMBps,
+		FramesPerSlot: cfg.FramesPerSlot,
+		MeterWindows:  128,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := len(cfg.RatesMBps)
+	out := &Fig8Result{
+		Targets: cfg.RatesMBps,
+		CycleNs: res.CycleNs,
+		Cycles:  res.Cycles,
+	}
+	for i := 0; i < n; i++ {
+		out.Bandwidth = append(out.Bandwidth, res.TE.Bandwidth(i))
+	}
+	// Plateau: the first fifth of the windows, before high-rate queues
+	// drain.
+	for i := 0; i < n; i++ {
+		pts := out.Bandwidth[i]
+		k := len(pts) / 5
+		if k == 0 {
+			k = len(pts)
+		}
+		var sum float64
+		for _, p := range pts[:k] {
+			sum += p.Y
+		}
+		out.MeanActive = append(out.MeanActive, sum/float64(k))
+	}
+	return out, nil
+}
+
+// Format renders the Figure 8 summary.
+func (r *Fig8Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %12s %14s\n", "Stream", "Target MB/s", "Measured MB/s")
+	for i := range r.Targets {
+		fmt.Fprintf(&b, "Stream %-2d %11.1f %14.2f\n", i+1, r.Targets[i], r.MeanActive[i])
+	}
+	fmt.Fprintf(&b, "(decision cycle %.1f µs, %d cycles)\n", r.CycleNs/1e3, r.Cycles)
+	return b.String()
+}
+
+// Fig9Result holds the queuing-delay run of Figure 9: the Figure 8 workload
+// driven by the bursty generator (multi-ms inter-burst delay after each
+// 4000-frame burst), producing the zig-zag delay curves.
+type Fig9Result struct {
+	// Delays is the per-stream (packet index, delay ms) series.
+	Delays [][]stats.Point
+	// Mean, Peak and Jitter are per-stream delay statistics (ms).
+	Mean, Peak, Jitter []float64
+	CycleNs            float64
+}
+
+// Fig9Config parameterizes the run; zero values take the paper's setup.
+type Fig9Config struct {
+	RatesMBps        []float64
+	FramesPerSlot    uint64
+	BurstFrames      uint64
+	InterBurstCycles uint64
+}
+
+// Fig9 runs the queuing-delay experiment.
+func Fig9(cfg Fig9Config) (*Fig9Result, error) {
+	if cfg.RatesMBps == nil {
+		cfg.RatesMBps = []float64{2, 2, 4, 8}
+	}
+	if cfg.FramesPerSlot == 0 {
+		cfg.FramesPerSlot = 64000
+	}
+	if cfg.BurstFrames == 0 {
+		cfg.BurstFrames = 4000
+	}
+	if cfg.InterBurstCycles == 0 {
+		cfg.InterBurstCycles = 8000
+	}
+	res, err := endsystem.RunAllocation(endsystem.AllocationConfig{
+		RatesMBps:        cfg.RatesMBps,
+		FramesPerSlot:    cfg.FramesPerSlot,
+		Bursty:           true,
+		BurstFrames:      cfg.BurstFrames,
+		InterBurstCycles: cfg.InterBurstCycles,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig9Result{CycleNs: res.CycleNs}
+	for i := range cfg.RatesMBps {
+		out.Delays = append(out.Delays, res.TE.Delays(i))
+		mean, peak := res.TE.DelayStats(i)
+		out.Mean = append(out.Mean, mean)
+		out.Peak = append(out.Peak, peak)
+		out.Jitter = append(out.Jitter, res.TE.Jitter(i))
+	}
+	return out, nil
+}
+
+// Format renders the Figure 9 summary.
+func (r *Fig9Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %14s %14s %12s %10s\n", "Stream", "Mean delay ms", "Peak delay ms", "Jitter ms", "Packets")
+	for i := range r.Mean {
+		fmt.Fprintf(&b, "Stream %-2d %13.2f %14.2f %12.3f %10d\n",
+			i+1, r.Mean[i], r.Peak[i], r.Jitter[i], len(r.Delays[i]))
+	}
+	return b.String()
+}
+
+// Fig10Result holds the streamlet-aggregation run of Figure 10: 100
+// streamlets bound to each stream-slot, slots allocated 2/2/4/8 MB/s,
+// slot 4 carrying two streamlet sets with set 1 at double set 2's
+// bandwidth.
+type Fig10Result struct {
+	// SlotMBps is each slot's aggregate bandwidth (plateau mean).
+	SlotMBps []float64
+	// StreamletMBps[slot][set] is the mean per-streamlet bandwidth of that
+	// set (every streamlet in a set receives an equal share).
+	StreamletMBps [][]float64
+	// SetShare[slot][set] is the fraction of the slot's bytes each set
+	// received.
+	SetShare [][]float64
+	CycleNs  float64
+}
+
+// Fig10Config parameterizes the run.
+type Fig10Config struct {
+	RatesMBps     []float64
+	StreamletsPer int    // streamlets per slot (paper: 100)
+	FramesPerSlot uint64 // frames transferred per slot
+}
+
+// Fig10 runs the aggregation experiment: slots 1–3 carry one 100-streamlet
+// set each; the last slot carries two sets (weight 2:1).
+func Fig10(cfg Fig10Config) (*Fig10Result, error) {
+	if cfg.RatesMBps == nil {
+		cfg.RatesMBps = []float64{2, 2, 4, 8}
+	}
+	if cfg.StreamletsPer == 0 {
+		cfg.StreamletsPer = 100
+	}
+	if cfg.FramesPerSlot == 0 {
+		cfg.FramesPerSlot = 16000
+	}
+	n := len(cfg.RatesMBps)
+
+	backlogged := func(count int) []regblock.HeadSource {
+		srcs := make([]regblock.HeadSource, count)
+		for i := range srcs {
+			srcs[i] = &traffic.Periodic{Gap: 1, Backlogged: true}
+		}
+		return srcs
+	}
+
+	aggs := make([]*streamlet.Aggregator, n)
+	sources := make([]regblock.HeadSource, n)
+	for i := 0; i < n; i++ {
+		var sets []*streamlet.Set
+		if i == n-1 {
+			// Slot 4: two sets, set 1 with double bandwidth.
+			s1, err := streamlet.NewSet(2, backlogged(cfg.StreamletsPer/2))
+			if err != nil {
+				return nil, err
+			}
+			s2, err := streamlet.NewSet(1, backlogged(cfg.StreamletsPer-cfg.StreamletsPer/2))
+			if err != nil {
+				return nil, err
+			}
+			sets = []*streamlet.Set{s1, s2}
+		} else {
+			s, err := streamlet.NewSet(1, backlogged(cfg.StreamletsPer))
+			if err != nil {
+				return nil, err
+			}
+			sets = []*streamlet.Set{s}
+		}
+		agg, err := streamlet.New(sets...)
+		if err != nil {
+			return nil, err
+		}
+		aggs[i] = agg
+		sources[i] = agg
+	}
+
+	frameBytes := 1000
+	res, err := endsystem.RunAllocation(endsystem.AllocationConfig{
+		RatesMBps:     cfg.RatesMBps,
+		FrameBytes:    frameBytes,
+		FramesPerSlot: cfg.FramesPerSlot,
+		Sources:       sources,
+		Observer: func(slot int, tx core.Transmission, _ float64) {
+			// Charge the transmitted bytes to the streamlet that
+			// supplied this head (FIFO within the aggregator).
+			if _, _, err := aggs[slot].OnTransmit(frameBytes); err != nil {
+				panic(err) // aggregator/scheduler head accounting desynchronized
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	runSeconds := float64(res.Cycles) * res.CycleNs / 1e9
+	out := &Fig10Result{CycleNs: res.CycleNs}
+	for i := 0; i < n; i++ {
+		out.SlotMBps = append(out.SlotMBps, res.TE.MeanMBps(i))
+		var perSet []float64
+		var shares []float64
+		var slotBytes float64
+		setBytes := make([]float64, aggs[i].Sets())
+		for s := 0; s < aggs[i].Sets(); s++ {
+			set := aggs[i].Set(s)
+			for k := 0; k < set.Size(); k++ {
+				setBytes[s] += float64(set.Streamlet(k).Bytes)
+			}
+			slotBytes += setBytes[s]
+		}
+		for s := 0; s < aggs[i].Sets(); s++ {
+			set := aggs[i].Set(s)
+			perStreamlet := setBytes[s] / float64(set.Size()) / runSeconds / 1e6
+			perSet = append(perSet, perStreamlet)
+			if slotBytes > 0 {
+				shares = append(shares, setBytes[s]/slotBytes)
+			} else {
+				shares = append(shares, 0)
+			}
+		}
+		out.StreamletMBps = append(out.StreamletMBps, perSet)
+		out.SetShare = append(out.SetShare, shares)
+	}
+	return out, nil
+}
+
+// Format renders the Figure 10 summary.
+func (r *Fig10Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %12s %22s %12s\n", "Slot", "Slot MB/s", "Streamlet MB/s (sets)", "Set shares")
+	for i := range r.SlotMBps {
+		var sl, sh []string
+		for s := range r.StreamletMBps[i] {
+			sl = append(sl, fmt.Sprintf("%.4f", r.StreamletMBps[i][s]))
+			sh = append(sh, fmt.Sprintf("%.2f", r.SetShare[i][s]))
+		}
+		fmt.Fprintf(&b, "Slot %-3d %12.2f %22s %12s\n",
+			i+1, r.SlotMBps[i], strings.Join(sl, " / "), strings.Join(sh, " / "))
+	}
+	return b.String()
+}

@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/fairqueue"
+	"repro/internal/regblock"
+)
+
+// GSRRow summarizes one line-card architecture's behaviour under the §5.2
+// comparison scenario: 32 flows with 1:…:4 weight spread, one flow
+// misbehaving at 8x its share, on a congested port.
+type GSRRow struct {
+	System string
+	// Queues is the per-port queue count the architecture provides.
+	Queues int
+	// HeavyShare is the service share the misbehaving flow captured
+	// (its fair share is its weight over the total).
+	HeavyShare float64
+	// FairShare is what the flow was entitled to.
+	FairShare float64
+	// VictimLossPct is the drop/miss rate suffered by the well-behaved
+	// flows that share a queue (or slot) with the misbehaving one.
+	VictimLossPct float64
+	Note          string
+}
+
+// GSRComparison reproduces §5.2's line-card contrast quantitatively:
+//
+//   - ShareStreams: 32 per-flow queues, every flow its own stream-slot
+//     with an EDF request period encoding its share — the misbehaving
+//     flow's excess stays in its own queue.
+//   - GSR-style: 8 DRR queues with RED, so 4 flows share each queue — the
+//     misbehaving flow's backlog inflicts RED drops on its queue-mates.
+//   - Teracross-style: 4 service classes, FCFS within a class, no per-flow
+//     queuing at all — 8 flows share each class queue.
+//
+// The scenario runs `cycles` decision cycles with every flow offering its
+// fair share except flow 0, which offers 8x.
+func GSRComparison(cycles int) ([]GSRRow, error) {
+	if cycles < 1000 {
+		return nil, fmt.Errorf("experiments: need ≥1000 cycles, got %d", cycles)
+	}
+	const flows = 32
+	weights := make([]float64, flows)
+	var totalW float64
+	for i := range weights {
+		weights[i] = float64(1 + i%4)
+		totalW += weights[i]
+	}
+	// Offered load per cycle per flow: fair share, except flow 0 at 8x.
+	offered := func(i int) float64 {
+		s := weights[i] / totalW
+		if i == 0 {
+			return 8 * s
+		}
+		return s
+	}
+
+	var rows []GSRRow
+
+	// --- ShareStreams: per-flow stream-slots, EDF periods ∝ 1/weight.
+	ss, err := runShareStreamsGSR(flows, weights, offered, cycles)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, ss)
+
+	// --- GSR-style: 8 DRR queues + RED, 4 flows per queue.
+	gsr, err := runDRRREDGSR(flows, 8, weights, offered, cycles)
+	if err != nil {
+		return nil, err
+	}
+	gsr.System = "GSR-style line-card (8 queues, DRR+RED)"
+	rows = append(rows, gsr)
+
+	// --- Teracross-style: 4 class queues, FCFS within class (DRR with
+	// one queue per class and equal quantum behaves as class-FCFS here).
+	tc, err := runDRRREDGSR(flows, 4, weights, offered, cycles)
+	if err != nil {
+		return nil, err
+	}
+	tc.System = "Teracross-style (4 service classes, no per-flow queuing)"
+	tc.Note = "class FCFS; victims share fate with the hog"
+	rows = append(rows, tc)
+
+	return rows, nil
+}
+
+// runShareStreamsGSR drives the cycle-accurate scheduler with per-flow
+// slots.
+func runShareStreamsGSR(flows int, weights []float64, offered func(int) float64, cycles int) (GSRRow, error) {
+	sched, err := core.New(core.Config{Slots: flows, Routing: core.WinnerOnly})
+	if err != nil {
+		return GSRRow{}, err
+	}
+	var totalW float64
+	for _, w := range weights {
+		totalW += w
+	}
+	srcs := make([]*paced, flows)
+	for i := 0; i < flows; i++ {
+		// Period encodes the fair share; the misbehaving flow's extra
+		// offered load backs up in its own queue.
+		period := uint16(totalW/weights[i] + 0.5)
+		srcs[i] = &paced{rate: offered(i)}
+		if err := sched.Admit(i, attr.Spec{Class: attr.EDF, Period: period}, srcs[i]); err != nil {
+			return GSRRow{}, err
+		}
+	}
+	if err := sched.Start(); err != nil {
+		return GSRRow{}, err
+	}
+	sched.RunFor(cycles)
+
+	heavy := float64(sched.SlotCounters(0).Services) / float64(cycles)
+	fair := weights[0] / totalW
+	// Victims: the other flows — they have their own queues, so their
+	// loss is only what EDF could not serve of their entitled share.
+	var victimOffered, victimServed float64
+	for i := 1; i < flows; i++ {
+		victimOffered += float64(srcs[i].generated)
+		victimServed += float64(sched.SlotCounters(i).Services)
+	}
+	loss := 0.0
+	if victimOffered > 0 {
+		loss = 100 * (1 - victimServed/victimOffered)
+		if loss < 0 {
+			loss = 0
+		}
+	}
+	return GSRRow{
+		System:        "ShareStreams (32 per-flow queues, DWCS/EDF)",
+		Queues:        flows,
+		HeavyShare:    heavy,
+		FairShare:     fair,
+		VictimLossPct: loss,
+		Note:          "hog isolated in its own stream-slot",
+	}, nil
+}
+
+// runDRRREDGSR drives a DRR scheduler with `queues` queues, flows hashed
+// onto queues round-robin, RED at each queue.
+func runDRRREDGSR(flows, queues int, weights []float64, offered func(int) float64, cycles int) (GSRRow, error) {
+	qWeights := make([]float64, queues)
+	for i := 0; i < flows; i++ {
+		qWeights[i%queues] += weights[i]
+	}
+	drr, err := fairqueue.NewDRR(qWeights, 1000)
+	if err != nil {
+		return GSRRow{}, err
+	}
+	reds := make([]*fairqueue.RED, queues)
+	for q := range reds {
+		r, err := fairqueue.NewRED(8, 24, 0.2, 0.2, int64(q+1))
+		if err != nil {
+			return GSRRow{}, err
+		}
+		reds[q] = r
+	}
+	qLen := make([]int, queues)
+
+	var totalW float64
+	for _, w := range weights {
+		totalW += w
+	}
+	acc := make([]float64, flows) // fractional offered-load accumulators
+	served := make([]float64, flows)
+	dropped := make([]float64, flows)
+	genCount := make([]float64, flows)
+	flowOfPacket := make([]map[uint64]int, queues)
+	for q := range flowOfPacket {
+		flowOfPacket[q] = map[uint64]int{}
+	}
+	var seq uint64
+
+	for c := 0; c < cycles; c++ {
+		// Arrivals.
+		for i := 0; i < flows; i++ {
+			acc[i] += offered(i)
+			for acc[i] >= 1 {
+				acc[i]--
+				genCount[i]++
+				q := i % queues
+				if reds[q].OnArrival(qLen[q]) {
+					dropped[i]++
+					continue
+				}
+				seq++
+				flowOfPacket[q][seq] = i
+				if err := drr.Enqueue(fairqueue.Packet{Stream: q, Size: 100, Arrival: seq}); err != nil {
+					return GSRRow{}, err
+				}
+				qLen[q]++
+			}
+		}
+		// One service per cycle.
+		if p, ok := drr.Dequeue(); ok {
+			q := p.Stream
+			qLen[q]--
+			i := flowOfPacket[q][p.Arrival]
+			delete(flowOfPacket[q], p.Arrival)
+			served[i]++
+		}
+	}
+
+	heavy := served[0] / float64(cycles)
+	fair := weights[0] / totalW
+	var victimGen, victimDrop float64
+	for i := 1; i < flows; i++ {
+		victimGen += genCount[i]
+		victimDrop += dropped[i]
+	}
+	loss := 0.0
+	if victimGen > 0 {
+		loss = 100 * victimDrop / victimGen
+	}
+	return GSRRow{
+		Queues:        queues,
+		HeavyShare:    heavy,
+		FairShare:     fair,
+		VictimLossPct: loss,
+		Note:          "hog's backlog RED-drops its queue-mates",
+	}, nil
+}
+
+// paced is an arrival-rate-driven source: `rate` packets per decision
+// cycle, fractional rates accumulated.
+type paced struct {
+	rate      float64
+	acc       float64
+	now       uint64
+	generated uint64
+	released  uint64
+}
+
+// Advance implements core.TimedSource.
+func (p *paced) Advance(now uint64) {
+	for p.now < now {
+		p.now++
+		p.acc += p.rate
+	}
+	if p.now == 0 && now == 0 && p.acc == 0 {
+		p.acc = p.rate // release the first packet at t=0
+	}
+}
+
+// NextHead implements regblock.HeadSource.
+func (p *paced) NextHead() (regblock.Head, bool) {
+	if p.acc < 1 {
+		return regblock.Head{}, false
+	}
+	p.acc--
+	p.generated++
+	p.released++
+	return regblock.Head{Arrival: p.now}, true
+}
+
+// FormatGSR renders the comparison.
+func FormatGSR(rows []GSRRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-52s %7s %12s %11s %12s  %s\n",
+		"System", "Queues", "Hog share", "Fair share", "Victim loss", "note")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-52s %7d %11.3f %11.3f %11.2f%%  %s\n",
+			r.System, r.Queues, r.HeavyShare, r.FairShare, r.VictimLossPct, r.Note)
+	}
+	return b.String()
+}

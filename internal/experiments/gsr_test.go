@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/fairqueue"
+)
+
+func TestGSRComparisonIsolation(t *testing.T) {
+	rows, err := GSRComparison(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatGSR(rows))
+	ss, gsr, tc := rows[0], rows[1], rows[2]
+	// Per-flow queuing pins the hog to its fair share…
+	if ss.HeavyShare > ss.FairShare*1.2 {
+		t.Errorf("ShareStreams hog captured %.3f of the link (fair %.3f)", ss.HeavyShare, ss.FairShare)
+	}
+	// …and the victims barely lose anything.
+	if ss.VictimLossPct > 1.0 {
+		t.Errorf("ShareStreams victims lost %.2f%%", ss.VictimLossPct)
+	}
+	// Coarser queuing lets the hog overshoot and hurts queue-mates.
+	for _, r := range []GSRRow{gsr, tc} {
+		if r.HeavyShare < 2*r.FairShare {
+			t.Errorf("%s: hog share %.3f did not overshoot fair %.3f", r.System, r.HeavyShare, r.FairShare)
+		}
+		if r.VictimLossPct < 2 {
+			t.Errorf("%s: victims lost only %.2f%%", r.System, r.VictimLossPct)
+		}
+	}
+	// Fewer queues, worse isolation.
+	if tc.VictimLossPct < gsr.VictimLossPct {
+		t.Errorf("4-class victims (%.2f%%) better off than 8-queue victims (%.2f%%)",
+			tc.VictimLossPct, gsr.VictimLossPct)
+	}
+}
+
+func TestGSRComparisonValidation(t *testing.T) {
+	if _, err := GSRComparison(10); err == nil {
+		t.Error("accepted tiny cycle count")
+	}
+}
+
+// TestFig8SharesMatchWFQReference cross-checks the Fig 8 EDF-period
+// allocation against package fairqueue's WFQ with equivalent weights: two
+// entirely different mechanisms (hardware deadline synthesis vs software
+// virtual finish times) must converge to the same 1:1:2:4 shares.
+func TestFig8SharesMatchWFQReference(t *testing.T) {
+	res, err := Fig8(Fig8Config{FramesPerSlot: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wfq, err := fairqueue.NewWFQ([]float64{2, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make([]float64, 4)
+	top := func() {
+		for i := 0; i < 4; i++ {
+			for k := 0; k < 4; k++ {
+				if err := wfq.Enqueue(fairqueue.Packet{Stream: i, Size: 1000}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	top()
+	const rounds = 16000
+	for r := 0; r < rounds; r++ {
+		p, ok := wfq.Dequeue()
+		if !ok {
+			t.Fatal("wfq idle")
+		}
+		served[p.Stream]++
+		if r%4 == 3 {
+			top()
+		}
+	}
+	var totalHW, totalWFQ float64
+	for i := 0; i < 4; i++ {
+		totalHW += res.MeanActive[i]
+		totalWFQ += served[i]
+	}
+	for i := 0; i < 4; i++ {
+		hw := res.MeanActive[i] / totalHW
+		sw := served[i] / totalWFQ
+		if d := hw - sw; d > 0.02 || d < -0.02 {
+			t.Errorf("stream %d: hardware share %.3f vs WFQ share %.3f", i+1, hw, sw)
+		}
+	}
+}

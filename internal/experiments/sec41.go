@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/attr"
+	"repro/internal/click"
+	"repro/internal/dwcs"
+	"repro/internal/fairqueue"
+	"repro/internal/fpga"
+	"repro/internal/hier"
+	"repro/internal/traffic"
+)
+
+// LatencyRow is one row of the §4.1 processor-resident scheduler latency
+// comparison.
+type LatencyRow struct {
+	Scheduler string
+	Streams   int
+	// PerDecisionNs is the measured (this host) or quoted (paper)
+	// per-decision latency.
+	PerDecisionNs float64
+	Reference     bool
+	Note          string
+}
+
+// PaperLatencyRows quotes the §4.1 published measurements.
+func PaperLatencyRows() []LatencyRow {
+	return []LatencyRow{
+		{Scheduler: "DWCS software (UltraSPARC 300MHz)", PerDecisionNs: 50000, Reference: true, Note: "West et al. [27]"},
+		{Scheduler: "DWCS software (i960RD 66MHz)", PerDecisionNs: 67000, Reference: true, Note: "Krishnamurthy et al. [12]"},
+		{Scheduler: "DRR (Pentium 233MHz, NetBSD)", PerDecisionNs: 35000, Reference: true, Note: "Decasper et al. [5]"},
+		{Scheduler: "H-FSC (Pentium 200MHz)", PerDecisionNs: 8500, Reference: true, Note: "Stoica et al. [23], 7–10µs"},
+	}
+}
+
+// Sec41 measures this host's software scheduler decision latencies (DWCS
+// scan, WFQ, SFQ, DRR) at the given stream count and appends the paper's
+// quoted numbers plus the packet-time budgets they must meet.
+func Sec41(streams, iterations int) ([]LatencyRow, error) {
+	if streams < 2 || iterations < 1 {
+		return nil, fmt.Errorf("experiments: bad sec41 config (%d streams, %d iterations)", streams, iterations)
+	}
+	var rows []LatencyRow
+
+	// DWCS software scan.
+	sw, err := dwcs.New(streams)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < streams; i++ {
+		spec := attr.Spec{Class: attr.WindowConstrained, Period: uint16(1 + i%7),
+			Constraint: attr.Constraint{Num: uint8(i % 3), Den: uint8(3 + i%5)}}
+		if err := sw.Admit(i, spec, &traffic.Periodic{Gap: 1, Phase: uint64(i), Backlogged: true}); err != nil {
+			return nil, err
+		}
+	}
+	sw.Start()
+	start := time.Now()
+	for i := 0; i < iterations; i++ {
+		sw.RunCycle()
+	}
+	rows = append(rows, LatencyRow{
+		Scheduler:     "DWCS software (this host, Go)",
+		Streams:       streams,
+		PerDecisionNs: float64(time.Since(start).Nanoseconds()) / float64(iterations),
+		Note:          "O(N) scan + window update",
+	})
+
+	// Fair-queuing baselines.
+	weights := make([]float64, streams)
+	for i := range weights {
+		weights[i] = float64(1 + i%4)
+	}
+	mkRows := []struct {
+		name string
+		s    fairqueue.Scheduler
+	}{}
+	if w, err := fairqueue.NewWFQ(weights); err == nil {
+		mkRows = append(mkRows, struct {
+			name string
+			s    fairqueue.Scheduler
+		}{"WFQ software (this host, Go)", w})
+	}
+	if s, err := fairqueue.NewSFQ(weights); err == nil {
+		mkRows = append(mkRows, struct {
+			name string
+			s    fairqueue.Scheduler
+		}{"SFQ software (this host, Go)", s})
+	}
+	if d, err := fairqueue.NewDRR(weights, 1500); err == nil {
+		mkRows = append(mkRows, struct {
+			name string
+			s    fairqueue.Scheduler
+		}{"DRR software (this host, Go)", d})
+	}
+	for _, mk := range mkRows {
+		for i := 0; i < 2*streams; i++ {
+			if err := mk.s.Enqueue(fairqueue.Packet{Stream: i % streams, Size: 1000}); err != nil {
+				return nil, err
+			}
+		}
+		start := time.Now()
+		for i := 0; i < iterations; i++ {
+			p, ok := mk.s.Dequeue()
+			if !ok {
+				return nil, fmt.Errorf("experiments: %s went idle", mk.s.Name())
+			}
+			if err := mk.s.Enqueue(p); err != nil {
+				return nil, err
+			}
+		}
+		rows = append(rows, LatencyRow{
+			Scheduler:     mk.name,
+			Streams:       streams,
+			PerDecisionNs: float64(time.Since(start).Nanoseconds()) / float64(iterations),
+			Note:          "dequeue+enqueue",
+		})
+	}
+
+	// Hierarchical link sharing (the H-FSC comparator class): a two-tier
+	// tree with the streams as leaves under weighted org classes.
+	tree := hier.New()
+	orgs := 4
+	for o := 0; o < orgs; o++ {
+		org := fmt.Sprintf("org%d", o)
+		if _, err := tree.AddClass("root", org, float64(o+1)); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < streams; i++ {
+		leaf := fmt.Sprintf("leaf%d", i)
+		if _, err := tree.AddClass(fmt.Sprintf("org%d", i%orgs), leaf, 1); err != nil {
+			return nil, err
+		}
+		for k := 0; k < 2; k++ {
+			if err := tree.Enqueue(leaf, 1000, uint64(k)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	start = time.Now()
+	for i := 0; i < iterations; i++ {
+		p, ok := tree.Dequeue()
+		if !ok {
+			return nil, fmt.Errorf("experiments: hierarchy went idle")
+		}
+		if err := tree.Enqueue(p.Class.Name(), p.Size, p.Arrival); err != nil {
+			return nil, err
+		}
+	}
+	rows = append(rows, LatencyRow{
+		Scheduler:     "hierarchical WFQ, H-FSC-style (this host, Go)",
+		Streams:       streams,
+		PerDecisionNs: float64(time.Since(start).Nanoseconds()) / float64(iterations),
+		Note:          fmt.Sprintf("%d-level tree walk", tree.Walks()),
+	})
+
+	// Click-style element graph (classifier -> queues -> SFQ -> sink): the
+	// modular-router forwarding path per packet.
+	router, err := click.NewRouter(8, true)
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	for i := 0; i < iterations; i++ {
+		router.In.Push(click.Packet{Flow: i % streams, Size: 64, Arrival: uint64(i)})
+		router.Out.Run(1)
+	}
+	rows = append(rows, LatencyRow{
+		Scheduler:     "Click-style element graph + SFQ (this host, Go)",
+		Streams:       streams,
+		PerDecisionNs: float64(time.Since(start).Nanoseconds()) / float64(iterations),
+		Note:          "push/pull through 8-bucket SFQ",
+	})
+
+	rows = append(rows, PaperLatencyRows()...)
+	return rows, nil
+}
+
+// FormatLatency renders the §4.1 comparison with the packet-time budgets.
+func FormatLatency(rows []LatencyRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-42s %14s %-6s %s\n", "Scheduler", "ns/decision", "src", "note")
+	for _, r := range rows {
+		src := "model"
+		if r.Reference {
+			src = "paper"
+		}
+		fmt.Fprintf(&b, "%-42s %14.0f %-6s %s\n", r.Scheduler, r.PerDecisionNs, src, r.Note)
+	}
+	fmt.Fprintf(&b, "\nPacket-time budgets: 64B@1G %.0fns, 1500B@1G %.0fns, 64B@10G %.0fns, 1500B@10G %.0fns\n",
+		fpga.PacketTimeSeconds(64, fpga.Gigabit)*1e9,
+		fpga.PacketTimeSeconds(1500, fpga.Gigabit)*1e9,
+		fpga.PacketTimeSeconds(64, fpga.TenGigabit)*1e9,
+		fpga.PacketTimeSeconds(1500, fpga.TenGigabit)*1e9)
+	return b.String()
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/attr"
+	"repro/internal/decision"
+	"repro/internal/shuffle"
+)
+
+// SortQualityRow quantifies how sorted the paper's log₂N-pass block really
+// is, against the exact bitonic schedule — an honest look at §4.3's "a
+// sorted list of streams is obtained after log₂(N) cycles".
+type SortQualityRow struct {
+	Slots    int
+	Schedule shuffle.Schedule
+	Passes   int
+	// FullySorted is the fraction of random inputs whose block came out
+	// perfectly sorted.
+	FullySorted float64
+	// MeanInversions is the average number of out-of-order adjacent-rank
+	// pairs per block (0 for a perfect sort).
+	MeanInversions float64
+	// ExtremesExact is the fraction with both the head (winner) and tail
+	// (min-first circulation target) correct — provably 1.0 for every
+	// schedule (see package shuffle tests).
+	ExtremesExact float64
+}
+
+// SortQuality measures block orderedness over `trials` random inputs per
+// design point, deterministic under the given seed.
+func SortQuality(slotCounts []int, trials int, seed int64) ([]SortQualityRow, error) {
+	if len(slotCounts) == 0 {
+		slotCounts = []int{4, 8, 16, 32}
+	}
+	if trials < 1 {
+		return nil, fmt.Errorf("experiments: %d trials", trials)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var rows []SortQualityRow
+	for _, n := range slotCounts {
+		for _, schedule := range []shuffle.Schedule{shuffle.PaperLogN, shuffle.Bitonic} {
+			nw, err := shuffle.New(n, decision.DWCS, schedule)
+			if err != nil {
+				return nil, err
+			}
+			var sorted, extremes int
+			var inversions int
+			for tr := 0; tr < trials; tr++ {
+				in := make([]attr.Attributes, n)
+				for i := range in {
+					in[i] = attr.Attributes{
+						Deadline: attr.Time16(rng.Intn(1 << 14)),
+						Arrival:  attr.Time16(rng.Intn(1 << 14)),
+						Slot:     attr.SlotID(i),
+						Valid:    true,
+					}
+				}
+				res := nw.Run(in)
+				inv := 0
+				for i := 1; i < n; i++ {
+					if decision.Less(decision.DWCS, res.Block[i], res.Block[i-1]) {
+						inv++
+					}
+				}
+				inversions += inv
+				if inv == 0 {
+					sorted++
+				}
+				// Reference extremes.
+				min, max := in[0], in[0]
+				for _, x := range in[1:] {
+					if decision.Less(decision.DWCS, x, min) {
+						min = x
+					}
+					if decision.Less(decision.DWCS, max, x) {
+						max = x
+					}
+				}
+				if res.Block[0].Slot == min.Slot && res.Block[n-1].Slot == max.Slot {
+					extremes++
+				}
+			}
+			rows = append(rows, SortQualityRow{
+				Slots:          n,
+				Schedule:       schedule,
+				Passes:         nw.PassesPerCycle(),
+				FullySorted:    float64(sorted) / float64(trials),
+				MeanInversions: float64(inversions) / float64(trials),
+				ExtremesExact:  float64(extremes) / float64(trials),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatSortQuality renders the ablation.
+func FormatSortQuality(rows []SortQualityRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %6s %7s %13s %16s %15s\n",
+		"Schedule", "Slots", "Passes", "Fully sorted", "Mean inversions", "Extremes exact")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %6d %7d %12.1f%% %16.2f %14.1f%%\n",
+			r.Schedule, r.Slots, r.Passes, r.FullySorted*100, r.MeanInversions, r.ExtremesExact*100)
+	}
+	return b.String()
+}

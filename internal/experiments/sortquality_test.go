@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/shuffle"
+)
+
+func TestSortQuality(t *testing.T) {
+	rows, err := SortQuality(nil, 2000, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatSortQuality(rows))
+	for _, r := range rows {
+		// The winner and the tail are always exact under every schedule —
+		// that's what Table 3's max-first/min-first circulation rests on.
+		if r.ExtremesExact != 1.0 {
+			t.Errorf("%v N=%d: extremes exact %.3f, want 1.0", r.Schedule, r.Slots, r.ExtremesExact)
+		}
+		switch r.Schedule {
+		case shuffle.Bitonic:
+			if r.FullySorted != 1.0 || r.MeanInversions != 0 {
+				t.Errorf("bitonic N=%d not exact: %+v", r.Slots, r)
+			}
+		case shuffle.PaperLogN:
+			// The paper's log₂N schedule does NOT fully sort arbitrary
+			// inputs beyond the extremes…
+			if r.Slots >= 8 && r.FullySorted > 0.9 {
+				t.Errorf("paper schedule N=%d suspiciously exact: %.3f", r.Slots, r.FullySorted)
+			}
+			// …but it is far from random: inversions stay well below
+			// the worst case of N-1 adjacent inversions.
+			if r.MeanInversions > float64(r.Slots-1)/2 {
+				t.Errorf("paper schedule N=%d too unsorted: %.2f mean inversions", r.Slots, r.MeanInversions)
+			}
+		}
+	}
+}
+
+func TestSortQualityDeterministic(t *testing.T) {
+	a, err := SortQuality([]int{8}, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SortQuality([]int{8}, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("sort quality not reproducible under fixed seed")
+		}
+	}
+}
+
+func TestSortQualityValidation(t *testing.T) {
+	if _, err := SortQuality(nil, 0, 1); err == nil {
+		t.Error("accepted zero trials")
+	}
+	if _, err := SortQuality([]int{5}, 10, 1); err == nil {
+		t.Error("accepted non-power-of-two slots")
+	}
+}

@@ -1,0 +1,172 @@
+// Package fabric models the switch fabric a ShareStreams line card sits
+// behind (Figure 2): input ports with virtual output queues (VOQs) and a
+// crossbar scheduled by round-robin arbitration, delivering packets into
+// the line cards' dual-ported SRAM queues.
+//
+// The fabric is environment, not contribution — the paper takes it as given
+// ("packets arriving from the switch fabric [are] placed in per-stream SRAM
+// queues") — but modeling it closes the line-card realization end to end:
+// ingress port → VOQ → crossbar grant → output line card → stream-slot →
+// scheduler → transceiver.
+//
+// The arbiter is single-iteration round-robin matching (iSLIP with one
+// iteration): each output grants the first requesting input after its
+// grant pointer; each input accepts the first grant after its accept
+// pointer; matched pointers advance. One arbitration round runs per fabric
+// cycle, moving at most one packet per input and per output.
+package fabric
+
+import (
+	"fmt"
+)
+
+// Packet is one fabric packet: destination output port and the stream index
+// within that output's line card, plus the ingress timestamp.
+type Packet struct {
+	Output  int
+	Stream  int
+	Arrival uint64
+}
+
+// Output is the fabric's delivery target — a line card ingress (the
+// dual-ported SRAM's fabric port).
+type Output interface {
+	// FabricArrival deposits one packet's arrival time into the stream's
+	// queue; false means the card dropped it (queue full).
+	FabricArrival(stream int, arrival uint64) bool
+}
+
+// Fabric is one crossbar instance.
+type Fabric struct {
+	inputs  int
+	outputs []Output
+
+	// voq[i][o] is input i's queue toward output o.
+	voq [][][]Packet
+
+	// round-robin pointers.
+	grantPtr  []int // per output
+	acceptPtr []int // per input
+
+	// Totals.
+	Ingress   uint64
+	Delivered uint64
+	CardDrops uint64 // delivered to a full card queue
+	cycles    uint64
+}
+
+// New builds a fabric with the given input port count and output line
+// cards.
+func New(inputs int, outputs []Output) (*Fabric, error) {
+	if inputs < 1 {
+		return nil, fmt.Errorf("fabric: %d inputs", inputs)
+	}
+	if len(outputs) < 1 {
+		return nil, fmt.Errorf("fabric: no outputs")
+	}
+	for i, o := range outputs {
+		if o == nil {
+			return nil, fmt.Errorf("fabric: nil output %d", i)
+		}
+	}
+	f := &Fabric{
+		inputs:    inputs,
+		outputs:   outputs,
+		voq:       make([][][]Packet, inputs),
+		grantPtr:  make([]int, len(outputs)),
+		acceptPtr: make([]int, inputs),
+	}
+	for i := range f.voq {
+		f.voq[i] = make([][]Packet, len(outputs))
+	}
+	return f, nil
+}
+
+// Inputs returns the input port count.
+func (f *Fabric) Inputs() int { return f.inputs }
+
+// Outputs returns the output port count.
+func (f *Fabric) Outputs() int { return len(f.outputs) }
+
+// Cycles returns the arbitration rounds run.
+func (f *Fabric) Cycles() uint64 { return f.cycles }
+
+// Ingest places a packet in its input port's VOQ.
+func (f *Fabric) Ingest(input int, p Packet) error {
+	if input < 0 || input >= f.inputs {
+		return fmt.Errorf("fabric: input %d out of range", input)
+	}
+	if p.Output < 0 || p.Output >= len(f.outputs) {
+		return fmt.Errorf("fabric: output %d out of range", p.Output)
+	}
+	f.voq[input][p.Output] = append(f.voq[input][p.Output], p)
+	f.Ingress++
+	return nil
+}
+
+// Backlog returns input i's total VOQ occupancy.
+func (f *Fabric) Backlog(input int) int {
+	n := 0
+	for _, q := range f.voq[input] {
+		n += len(q)
+	}
+	return n
+}
+
+// Step runs one arbitration round: grant, accept, transfer. It returns the
+// number of packets moved (≤ min(inputs, outputs)).
+func (f *Fabric) Step() int {
+	nOut := len(f.outputs)
+	grantTo := make([]int, nOut) // output -> granted input (-1 none)
+	for o := range grantTo {
+		grantTo[o] = -1
+	}
+	// Grant phase: each output picks the first requesting input at/after
+	// its pointer.
+	for o := 0; o < nOut; o++ {
+		for k := 0; k < f.inputs; k++ {
+			i := (f.grantPtr[o] + k) % f.inputs
+			if len(f.voq[i][o]) > 0 {
+				grantTo[o] = i
+				break
+			}
+		}
+	}
+	// Accept phase: each input takes the first grant at/after its pointer.
+	acceptOf := make([]int, f.inputs) // input -> accepted output (-1 none)
+	for i := range acceptOf {
+		acceptOf[i] = -1
+	}
+	for i := 0; i < f.inputs; i++ {
+		for k := 0; k < nOut; k++ {
+			o := (f.acceptPtr[i] + k) % nOut
+			if grantTo[o] == i {
+				acceptOf[i] = o
+				break
+			}
+		}
+	}
+	// Transfer phase.
+	moved := 0
+	for i := 0; i < f.inputs; i++ {
+		o := acceptOf[i]
+		if o < 0 {
+			continue
+		}
+		q := f.voq[i][o]
+		p := q[0]
+		f.voq[i][o] = q[1:]
+		if f.outputs[o].FabricArrival(p.Stream, p.Arrival) {
+			f.Delivered++
+		} else {
+			f.CardDrops++
+		}
+		moved++
+		// Matched pointers advance past the partner (desynchronizing the
+		// round robins, the iSLIP property).
+		f.grantPtr[o] = (i + 1) % f.inputs
+		f.acceptPtr[i] = (o + 1) % nOut
+	}
+	f.cycles++
+	return moved
+}

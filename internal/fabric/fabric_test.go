@@ -1,0 +1,190 @@
+package fabric
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/linecard"
+)
+
+// sink is a trivial output that accepts everything.
+type sink struct {
+	got   [][]uint64 // per stream
+	limit int
+}
+
+func newSink(streams, limit int) *sink {
+	return &sink{got: make([][]uint64, streams), limit: limit}
+}
+
+func (s *sink) FabricArrival(stream int, arrival uint64) bool {
+	if stream < 0 || stream >= len(s.got) {
+		return false
+	}
+	if s.limit > 0 && len(s.got[stream]) >= s.limit {
+		return false
+	}
+	s.got[stream] = append(s.got[stream], arrival)
+	return true
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, []Output{newSink(1, 0)}); err == nil {
+		t.Error("accepted zero inputs")
+	}
+	if _, err := New(2, nil); err == nil {
+		t.Error("accepted no outputs")
+	}
+	if _, err := New(2, []Output{nil}); err == nil {
+		t.Error("accepted nil output")
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	f, _ := New(2, []Output{newSink(4, 0)})
+	if err := f.Ingest(-1, Packet{}); err == nil {
+		t.Error("accepted bad input")
+	}
+	if err := f.Ingest(0, Packet{Output: 5}); err == nil {
+		t.Error("accepted bad output")
+	}
+	if err := f.Ingest(0, Packet{Output: 0, Stream: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Backlog(0) != 1 {
+		t.Fatalf("backlog = %d", f.Backlog(0))
+	}
+}
+
+func TestSinglePacketFlows(t *testing.T) {
+	out := newSink(4, 0)
+	f, _ := New(2, []Output{out})
+	f.Ingest(0, Packet{Output: 0, Stream: 2, Arrival: 7})
+	if moved := f.Step(); moved != 1 {
+		t.Fatalf("moved = %d", moved)
+	}
+	if len(out.got[2]) != 1 || out.got[2][0] != 7 {
+		t.Fatalf("delivery = %v", out.got[2])
+	}
+	if f.Delivered != 1 || f.Backlog(0) != 0 {
+		t.Fatalf("counters: delivered %d backlog %d", f.Delivered, f.Backlog(0))
+	}
+}
+
+func TestParallelTransfersAcrossOutputs(t *testing.T) {
+	// Two inputs to two distinct outputs must both move in ONE round — a
+	// crossbar, not a bus.
+	o1, o2 := newSink(1, 0), newSink(1, 0)
+	f, _ := New(2, []Output{o1, o2})
+	f.Ingest(0, Packet{Output: 0})
+	f.Ingest(1, Packet{Output: 1})
+	if moved := f.Step(); moved != 2 {
+		t.Fatalf("moved = %d, want 2 (parallel crossbar transfers)", moved)
+	}
+}
+
+func TestOutputContentionSerializes(t *testing.T) {
+	// Two inputs to the same output: one per round, no packet lost.
+	out := newSink(1, 0)
+	f, _ := New(2, []Output{out})
+	f.Ingest(0, Packet{Output: 0, Arrival: 1})
+	f.Ingest(1, Packet{Output: 0, Arrival: 2})
+	if moved := f.Step(); moved != 1 {
+		t.Fatalf("round 1 moved %d", moved)
+	}
+	if moved := f.Step(); moved != 1 {
+		t.Fatalf("round 2 moved %d", moved)
+	}
+	if len(out.got[0]) != 2 {
+		t.Fatalf("delivered %d", len(out.got[0]))
+	}
+}
+
+func TestRoundRobinFairnessUnderSaturation(t *testing.T) {
+	// Four inputs saturating one output: each must get ~1/4 of the grants.
+	out := newSink(1, 0)
+	f, _ := New(4, []Output{out})
+	served := make([]int, 4)
+	for c := 0; c < 4000; c++ {
+		for i := 0; i < 4; i++ {
+			if f.Backlog(i) < 4 {
+				f.Ingest(i, Packet{Output: 0, Arrival: uint64(i)})
+			}
+		}
+		before := f.Delivered
+		f.Step()
+		if f.Delivered > before {
+			// Attribute the grant via the arrival tag (stream 0 holds
+			// the input index in Arrival for this test).
+			last := out.got[0][len(out.got[0])-1]
+			served[last]++
+		}
+	}
+	for i, n := range served {
+		if n < 900 || n > 1100 {
+			t.Errorf("input %d served %d of ~1000", i, n)
+		}
+	}
+}
+
+func TestCardDropCounted(t *testing.T) {
+	out := newSink(1, 1) // card queue holds one
+	f, _ := New(1, []Output{out})
+	f.Ingest(0, Packet{Output: 0})
+	f.Ingest(0, Packet{Output: 0})
+	f.Step()
+	f.Step()
+	if f.Delivered != 1 || f.CardDrops != 1 {
+		t.Fatalf("delivered %d drops %d", f.Delivered, f.CardDrops)
+	}
+}
+
+// TestFabricFeedsLineCardEndToEnd closes the Figure 2 loop: ingress ports →
+// VOQ crossbar → line card SRAM → scheduler → transceiver, with packet
+// conservation.
+func TestFabricFeedsLineCardEndToEnd(t *testing.T) {
+	card, err := linecard.New(linecard.Config{Slots: 4, Routing: core.WinnerOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := card.Admit(i, attr.Spec{Class: attr.EDF, Period: 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := card.Start(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(2, []Output{card.SRAM()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	const total = 2000
+	injected := 0
+	for c := 0; injected < total || card.Scheduler().Totals().Services < total; c++ {
+		if injected < total {
+			in := rng.Intn(2)
+			if err := f.Ingest(in, Packet{Output: 0, Stream: rng.Intn(4), Arrival: uint64(c)}); err != nil {
+				t.Fatal(err)
+			}
+			injected++
+		}
+		f.Step()
+		card.RunCycle()
+		if c > 100*total {
+			t.Fatal("end-to-end flow wedged")
+		}
+	}
+	card.DrainTransceiver()
+	var drained uint64
+	for i := 0; i < 4; i++ {
+		drained += card.Drained(i)
+	}
+	if drained != total || f.Delivered != total || f.CardDrops != 0 {
+		t.Fatalf("conservation: drained %d delivered %d drops %d, want %d",
+			drained, f.Delivered, f.CardDrops, total)
+	}
+}

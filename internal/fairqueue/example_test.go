@@ -1,0 +1,23 @@
+package fairqueue_test
+
+import (
+	"fmt"
+
+	"repro/internal/fairqueue"
+)
+
+// Example shares a link 1:3 between two backlogged streams under WFQ.
+func Example() {
+	wfq, _ := fairqueue.NewWFQ([]float64{1, 3})
+	for k := 0; k < 8; k++ {
+		_ = wfq.Enqueue(fairqueue.Packet{Stream: 0, Size: 100, Arrival: uint64(k)})
+		_ = wfq.Enqueue(fairqueue.Packet{Stream: 1, Size: 100, Arrival: uint64(k)})
+	}
+	counts := [2]int{}
+	for i := 0; i < 8; i++ {
+		p, _ := wfq.Dequeue()
+		counts[p.Stream]++
+	}
+	fmt.Printf("stream 0: %d, stream 1: %d\n", counts[0], counts[1])
+	// Output: stream 0: 2, stream 1: 6
+}

@@ -1,0 +1,349 @@
+package fairqueue
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func schedulers(t *testing.T, weights []float64) []Scheduler {
+	t.Helper()
+	w, err := NewWFQ(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSFQ(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDRR(weights, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Scheduler{w, s, d}
+}
+
+func TestConstructorsValidate(t *testing.T) {
+	if _, err := NewWFQ(nil); err == nil {
+		t.Error("WFQ accepted no streams")
+	}
+	if _, err := NewSFQ([]float64{1, 0}); err == nil {
+		t.Error("SFQ accepted zero weight")
+	}
+	if _, err := NewDRR([]float64{1, -2}, 1500); err == nil {
+		t.Error("DRR accepted negative weight")
+	}
+	if _, err := NewDRR([]float64{1}, 0); err == nil {
+		t.Error("DRR accepted zero quantum")
+	}
+}
+
+func TestEnqueueValidation(t *testing.T) {
+	for _, s := range schedulers(t, []float64{1, 1}) {
+		if err := s.Enqueue(Packet{Stream: 5, Size: 100}); err == nil {
+			t.Errorf("%s accepted out-of-range stream", s.Name())
+		}
+		if err := s.Enqueue(Packet{Stream: 0, Size: 0}); err == nil {
+			t.Errorf("%s accepted zero-size packet", s.Name())
+		}
+	}
+}
+
+func TestEmptyDequeue(t *testing.T) {
+	for _, s := range schedulers(t, []float64{1, 1}) {
+		if _, ok := s.Dequeue(); ok {
+			t.Errorf("%s dequeued from empty scheduler", s.Name())
+		}
+		if s.Backlogged() != 0 {
+			t.Errorf("%s backlog nonzero", s.Name())
+		}
+	}
+}
+
+func TestFIFOWithinStream(t *testing.T) {
+	// Packets of one stream must leave in arrival order under every
+	// discipline.
+	for _, s := range schedulers(t, []float64{1, 2}) {
+		for k := 0; k < 10; k++ {
+			if err := s.Enqueue(Packet{Stream: 0, Size: 100, Arrival: uint64(k)}); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Enqueue(Packet{Stream: 1, Size: 100, Arrival: uint64(k)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		last := map[int]uint64{}
+		for {
+			p, ok := s.Dequeue()
+			if !ok {
+				break
+			}
+			if prev, seen := last[p.Stream]; seen && p.Arrival <= prev {
+				t.Fatalf("%s: stream %d out of order (%d after %d)", s.Name(), p.Stream, p.Arrival, prev)
+			}
+			last[p.Stream] = p.Arrival
+		}
+	}
+}
+
+// serveRatio keeps all streams backlogged and measures the byte share each
+// receives over many dequeues.
+func serveRatio(t *testing.T, s Scheduler, weights []float64, size func(stream int) int, rounds int) []float64 {
+	t.Helper()
+	n := len(weights)
+	bytes := make([]float64, n)
+	queued := make([]int, n)
+	top := func() {
+		for i := 0; i < n; i++ {
+			for queued[i] < 4 {
+				if err := s.Enqueue(Packet{Stream: i, Size: size(i)}); err != nil {
+					t.Fatal(err)
+				}
+				queued[i]++
+			}
+		}
+	}
+	top()
+	var total float64
+	for r := 0; r < rounds; r++ {
+		p, ok := s.Dequeue()
+		if !ok {
+			t.Fatalf("%s went idle while backlogged", s.Name())
+		}
+		bytes[p.Stream] += float64(p.Size)
+		total += float64(p.Size)
+		queued[p.Stream]--
+		top()
+	}
+	for i := range bytes {
+		bytes[i] /= total
+	}
+	return bytes
+}
+
+func TestWeightedShares1124(t *testing.T) {
+	// The paper's 1:1:2:4 allocation (Figure 8) must emerge from every
+	// discipline under persistent backlog, equal packet sizes.
+	weights := []float64{1, 1, 2, 4}
+	wantShare := []float64{1.0 / 8, 1.0 / 8, 2.0 / 8, 4.0 / 8}
+	for _, s := range schedulers(t, weights) {
+		got := serveRatio(t, s, weights, func(int) int { return 1000 }, 8000)
+		for i, w := range wantShare {
+			if math.Abs(got[i]-w) > 0.02 {
+				t.Errorf("%s: stream %d share = %.3f, want %.3f", s.Name(), i, got[i], w)
+			}
+		}
+	}
+}
+
+func TestSharesWithMixedPacketSizes(t *testing.T) {
+	// Byte shares (not packet counts) must follow the weights even when
+	// streams use different packet sizes — the property DRR was invented
+	// for.
+	weights := []float64{1, 1}
+	sizes := []int{1500, 300}
+	for _, s := range schedulers(t, weights) {
+		got := serveRatio(t, s, weights, func(i int) int { return sizes[i] }, 9000)
+		if math.Abs(got[0]-0.5) > 0.03 {
+			t.Errorf("%s: stream 0 byte share = %.3f, want 0.5 despite 5x packet size", s.Name(), got[0])
+		}
+	}
+}
+
+func TestWorkConservation(t *testing.T) {
+	// With only one stream backlogged it receives everything.
+	for _, s := range schedulers(t, []float64{1, 100}) {
+		for k := 0; k < 50; k++ {
+			if err := s.Enqueue(Packet{Stream: 0, Size: 500}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for k := 0; k < 50; k++ {
+			p, ok := s.Dequeue()
+			if !ok || p.Stream != 0 {
+				t.Fatalf("%s: not work conserving (ok=%v stream=%d)", s.Name(), ok, p.Stream)
+			}
+		}
+	}
+}
+
+func TestBacklogAccounting(t *testing.T) {
+	for _, s := range schedulers(t, []float64{1, 1}) {
+		for k := 0; k < 6; k++ {
+			if err := s.Enqueue(Packet{Stream: k % 2, Size: 100}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if s.Backlogged() != 6 {
+			t.Fatalf("%s backlog = %d, want 6", s.Name(), s.Backlogged())
+		}
+		s.Dequeue()
+		s.Dequeue()
+		if s.Backlogged() != 4 {
+			t.Fatalf("%s backlog = %d, want 4", s.Name(), s.Backlogged())
+		}
+		for {
+			if _, ok := s.Dequeue(); !ok {
+				break
+			}
+		}
+		if s.Backlogged() != 0 {
+			t.Fatalf("%s backlog = %d, want 0", s.Name(), s.Backlogged())
+		}
+	}
+}
+
+func TestWFQTagsMonotonePerStream(t *testing.T) {
+	w, _ := NewWFQ([]float64{1, 2})
+	var prev [2]float64
+	for k := 0; k < 20; k++ {
+		for i := 0; i < 2; i++ {
+			if err := w.Enqueue(Packet{Stream: i, Size: 100}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for {
+		p, ok := w.Dequeue()
+		if !ok {
+			break
+		}
+		if p.Tag <= prev[p.Stream] {
+			t.Fatalf("stream %d finish tags not increasing: %v after %v", p.Stream, p.Tag, prev[p.Stream])
+		}
+		prev[p.Stream] = p.Tag
+	}
+}
+
+func TestSFQVirtualTimeFollowsService(t *testing.T) {
+	s, _ := NewSFQ([]float64{1})
+	if err := s.Enqueue(Packet{Stream: 0, Size: 100}); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := s.Dequeue()
+	if p.Tag != 0 {
+		t.Fatalf("first start tag = %v, want 0", p.Tag)
+	}
+	// After an idle period, a new arrival's start tag continues from the
+	// served packet's start tag (v = tag in service), not from zero.
+	if err := s.Enqueue(Packet{Stream: 0, Size: 100}); err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := s.Dequeue()
+	if p2.Tag <= p.Tag {
+		t.Fatalf("second start tag %v not after first %v", p2.Tag, p.Tag)
+	}
+}
+
+func TestDRRQuantumRespectsLargePackets(t *testing.T) {
+	// A packet larger than one quantum must still be served after enough
+	// rounds (deficit accumulation), without starving the other stream.
+	d, _ := NewDRR([]float64{1, 1}, 500)
+	if err := d.Enqueue(Packet{Stream: 0, Size: 1400}); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		if err := d.Enqueue(Packet{Stream: 1, Size: 400}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var order []int
+	for {
+		p, ok := d.Dequeue()
+		if !ok {
+			break
+		}
+		order = append(order, p.Stream)
+	}
+	if len(order) != 4 {
+		t.Fatalf("served %d packets, want 4", len(order))
+	}
+	served0 := false
+	for _, s := range order {
+		if s == 0 {
+			served0 = true
+		}
+	}
+	if !served0 {
+		t.Fatal("large packet never served")
+	}
+	// Stream 1 must get service before stream 0's jumbo accumulates 3
+	// quanta.
+	if order[0] == 0 {
+		t.Fatalf("jumbo served first despite 1-quantum deficit: order %v", order)
+	}
+}
+
+func TestRandomizedInvariants(t *testing.T) {
+	// Fuzz all disciplines: conservation of packets, FIFO per stream.
+	rng := rand.New(rand.NewSource(13))
+	for _, s := range schedulers(t, []float64{1, 2, 3}) {
+		in := make([]int, 3)
+		out := make([]int, 3)
+		seq := make([]uint64, 3)
+		last := make([]uint64, 3)
+		for step := 0; step < 5000; step++ {
+			if rng.Intn(2) == 0 {
+				i := rng.Intn(3)
+				seq[i]++
+				if err := s.Enqueue(Packet{Stream: i, Size: 64 + rng.Intn(1400), Arrival: seq[i]}); err != nil {
+					t.Fatal(err)
+				}
+				in[i]++
+			} else if p, ok := s.Dequeue(); ok {
+				out[p.Stream]++
+				if p.Arrival <= last[p.Stream] {
+					t.Fatalf("%s: stream %d out of order", s.Name(), p.Stream)
+				}
+				last[p.Stream] = p.Arrival
+			}
+		}
+		for {
+			p, ok := s.Dequeue()
+			if !ok {
+				break
+			}
+			out[p.Stream]++
+		}
+		for i := 0; i < 3; i++ {
+			if in[i] != out[i] {
+				t.Fatalf("%s: stream %d lost packets (%d in, %d out)", s.Name(), i, in[i], out[i])
+			}
+		}
+		if s.Backlogged() != 0 {
+			t.Fatalf("%s: residual backlog %d", s.Name(), s.Backlogged())
+		}
+	}
+}
+
+// BenchmarkDequeue measures software fair-queuing decision cost (the §5.2
+// Click/SFQ comparison point runs ≈300k packets/s on a 700 MHz PIII).
+func BenchmarkDequeue(b *testing.B) {
+	weights := make([]float64, 32)
+	for i := range weights {
+		weights[i] = float64(1 + i%4)
+	}
+	mk := map[string]func() Scheduler{
+		"WFQ32": func() Scheduler { s, _ := NewWFQ(weights); return s },
+		"SFQ32": func() Scheduler { s, _ := NewSFQ(weights); return s },
+		"DRR32": func() Scheduler { s, _ := NewDRR(weights, 1500); return s },
+	}
+	for name, ctor := range mk {
+		b.Run(name, func(b *testing.B) {
+			s := ctor()
+			for i := 0; i < 64; i++ {
+				if err := s.Enqueue(Packet{Stream: i % 32, Size: 1000}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p, _ := s.Dequeue()
+				p.Arrival = uint64(i)
+				if err := s.Enqueue(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

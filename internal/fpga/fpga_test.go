@@ -1,0 +1,323 @@
+package fpga
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEstimateAreaValidation(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 12} {
+		if _, err := EstimateArea(n, BA); err == nil {
+			t.Errorf("EstimateArea accepted %d slots", n)
+		}
+	}
+}
+
+func TestAreaComponents(t *testing.T) {
+	a, err := EstimateArea(4, BA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ControlSlices != 22 {
+		t.Errorf("control = %d, want 22", a.ControlSlices)
+	}
+	if a.DecisionSlices != 2*190 {
+		t.Errorf("decision = %d, want %d (N/2 blocks)", a.DecisionSlices, 2*190)
+	}
+	if a.RegBaseSlices != 4*150 {
+		t.Errorf("regbase = %d, want %d", a.RegBaseSlices, 4*150)
+	}
+	if a.TotalSlices() != 22+380+600+4*WiringSlicesPerSlotBA {
+		t.Errorf("total = %d", a.TotalSlices())
+	}
+}
+
+func TestAreaGrowsLinearly(t *testing.T) {
+	// §5.1: "Our architecture grows linearly, in terms of area" — the
+	// per-slot increment must be constant across doublings.
+	for _, r := range []Routing{BA, WR} {
+		prev, _ := EstimateArea(4, r)
+		prevPerSlot := float64(prev.TotalSlices()-SlicesControl) / 4
+		for _, n := range []int{8, 16, 32} {
+			a, _ := EstimateArea(n, r)
+			perSlot := float64(a.TotalSlices()-SlicesControl) / float64(n)
+			if math.Abs(perSlot-prevPerSlot) > 1e-9 {
+				t.Errorf("%v: per-slot slices changed %v -> %v at N=%d", r, prevPerSlot, perSlot, n)
+			}
+		}
+	}
+}
+
+func TestBAandWRAreaClose(t *testing.T) {
+	// §5.1: "The BA architecture maintains almost the same area with its
+	// WR counterpart for all stream-slot sizes" — within a few percent.
+	for _, n := range []int{4, 8, 16, 32} {
+		ba, _ := EstimateArea(n, BA)
+		wr, _ := EstimateArea(n, WR)
+		ratio := float64(ba.TotalSlices()) / float64(wr.TotalSlices())
+		if ratio < 1.0 || ratio > 1.10 {
+			t.Errorf("N=%d: BA/WR area ratio = %.3f, want (1.0, 1.10]", n, ratio)
+		}
+	}
+}
+
+func TestAllPaperDesignsFitVirtex1000(t *testing.T) {
+	// The prototype "easily scales from 4 to 32 stream-slots on a single
+	// chip".
+	for _, r := range []Routing{BA, WR} {
+		for _, n := range []int{4, 8, 16, 32} {
+			a, _ := EstimateArea(n, r)
+			if !a.FitsVirtex1000() {
+				t.Errorf("%v N=%d does not fit Virtex-1000: %d slices", r, n, a.TotalSlices())
+			}
+		}
+	}
+	// And the fit must be meaningful: 32-slot BA should consume a
+	// substantial fraction of the chip.
+	a, _ := EstimateArea(32, BA)
+	if u := a.Utilization(); u < 0.5 || u > 1.0 {
+		t.Errorf("32-slot BA utilization = %.2f, want a substantial fraction", u)
+	}
+	if a.CLBs() != (a.TotalSlices()+1)/2 {
+		t.Errorf("CLBs = %d inconsistent with %d slices", a.CLBs(), a.TotalSlices())
+	}
+}
+
+func TestClockClaims(t *testing.T) {
+	// Every §5.1 textual claim about Figure 7's clock rates.
+	for _, n := range []int{4, 8, 16, 32} {
+		ba, err := ClockMHz(n, BA, VirtexI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wr, err := ClockMHz(n, WR, VirtexI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ba > 100 || wr > 100 {
+			t.Errorf("N=%d exceeds the RC1000's 100 MHz ceiling (BA %.0f, WR %.0f)", n, ba, wr)
+		}
+		if wr < ba {
+			t.Errorf("N=%d: WR (%.0f) slower than BA (%.0f)", n, wr, ba)
+		}
+		gap := (wr - ba) / wr
+		switch n {
+		case 8, 16:
+			if gap < 0.15 || gap > 0.25 {
+				t.Errorf("N=%d: BA degradation %.0f%%, paper says ≈20%%", n, gap*100)
+			}
+		case 32:
+			if gap < 0.05 || gap > 0.15 {
+				t.Errorf("N=32: BA degradation %.0f%%, paper says ≈10%%", gap*100)
+			}
+		}
+	}
+	// WR shows less clock-rate variation 4..32 than BA.
+	baVar := variation(BA)
+	wrVar := variation(WR)
+	if wrVar >= baVar {
+		t.Errorf("WR variation %.3f not less than BA %.3f", wrVar, baVar)
+	}
+}
+
+func variation(r Routing) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, n := range []int{4, 8, 16, 32} {
+		c, _ := ClockMHz(n, r, VirtexI)
+		lo = math.Min(lo, c)
+		hi = math.Max(hi, c)
+	}
+	return (hi - lo) / hi
+}
+
+func TestClockValidationAndExtrapolation(t *testing.T) {
+	if _, err := ClockMHz(5, BA, VirtexI); err == nil {
+		t.Error("accepted non-power-of-two slots")
+	}
+	c64, err := ClockMHz(64, BA, VirtexI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c32, _ := ClockMHz(32, BA, VirtexI)
+	if c64 >= c32 || c64 <= 0 {
+		t.Errorf("extrapolated 64-slot clock %.1f not below 32-slot %.1f", c64, c32)
+	}
+	c2, _ := ClockMHz(2, BA, VirtexI)
+	c4, _ := ClockMHz(4, BA, VirtexI)
+	if c2 <= c4 {
+		t.Errorf("extrapolated 2-slot clock %.1f not above 4-slot %.1f", c2, c4)
+	}
+}
+
+func TestVirtexIIFaster(t *testing.T) {
+	v1, _ := ClockMHz(32, BA, VirtexI)
+	v2, _ := ClockMHz(32, BA, VirtexII)
+	if v2 <= v1 {
+		t.Errorf("Virtex-II (%.0f) not faster than Virtex-I (%.0f)", v2, v1)
+	}
+}
+
+func TestLineCardDecisionRate(t *testing.T) {
+	// §5.2: "the scheduler throughput with four stream-slots is 7.6
+	// million packets/second in the switch line-card realization". The
+	// 4-slot BA FSM costs 8 clocks per decision (log2(4)+1+1+4).
+	mhz, _ := ClockMHz(4, BA, VirtexI)
+	rate := DecisionRate(mhz, 8)
+	if rate < 7.4e6 || rate > 7.8e6 {
+		t.Errorf("4-slot line-card rate = %.2fM, want ≈7.6M", rate/1e6)
+	}
+}
+
+func TestPacketTimes(t *testing.T) {
+	// §1: Ethernet frame time on a 10 Gbps link ranges from ≈0.05 µs
+	// (64 B) to 1.2 µs (1500 B).
+	if got := PacketTimeSeconds(64, TenGigabit); math.Abs(got-51.2e-9) > 1e-12 {
+		t.Errorf("64B@10G = %v, want 51.2ns", got)
+	}
+	if got := PacketTimeSeconds(1500, TenGigabit); math.Abs(got-1.2e-6) > 1e-9 {
+		t.Errorf("1500B@10G = %v, want 1.2µs", got)
+	}
+	// §4.1: 1500-byte frames on 1 Gbps take 12 µs; 64-byte take ≈500 ns.
+	if got := PacketTimeSeconds(1500, Gigabit); math.Abs(got-12e-6) > 1e-9 {
+		t.Errorf("1500B@1G = %v, want 12µs", got)
+	}
+	if got := PacketTimeSeconds(64, Gigabit); math.Abs(got-512e-9) > 1e-12 {
+		t.Errorf("64B@1G = %v, want 512ns", got)
+	}
+}
+
+func TestFeasibilityClaims(t *testing.T) {
+	// §5.1: "Our Virtex I implementation can easily meet the packet-time
+	// requirements of all frame sizes (64-byte and 1500-byte) on gigabit
+	// links, and 1500-byte frames on 10Gbps links" — checked across the
+	// synthesized design space, block transmission amortizing the BA
+	// decision across N frames.
+	for _, n := range []int{4, 8, 16, 32} {
+		cycles := intLog2(n) + 2 + n
+		mhz, _ := ClockMHz(n, BA, VirtexI)
+		if !MeetsPacketTime(mhz, cycles, n, MinFrameBytes, Gigabit) {
+			t.Errorf("N=%d BA misses 64B@1G", n)
+		}
+		if !MeetsPacketTime(mhz, cycles, n, MTUFrameBytes, Gigabit) {
+			t.Errorf("N=%d BA misses 1500B@1G", n)
+		}
+		if !MeetsPacketTime(mhz, cycles, n, MTUFrameBytes, TenGigabit) {
+			t.Errorf("N=%d BA misses 1500B@10G", n)
+		}
+	}
+	// And the counter-claim: 64-byte frames at 10 Gbps are out of reach
+	// for the 32-slot design even with block amortization at these
+	// clock rates... winner-only certainly misses it.
+	mhz, _ := ClockMHz(32, WR, VirtexI)
+	if MeetsPacketTime(mhz, intLog2(32)+2+32, 1, MinFrameBytes, TenGigabit) {
+		t.Error("32-slot WR claims 64B@10G; the paper does not")
+	}
+}
+
+func intLog2(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
+}
+
+func TestRequiredRate(t *testing.T) {
+	// Figure 1 framework: wire-speed 64B@10G needs ≈19.5M decisions/s.
+	got := RequiredRate(64, TenGigabit)
+	if math.Abs(got-1.953125e7) > 1 {
+		t.Errorf("RequiredRate(64B, 10G) = %v, want 19.53M", got)
+	}
+	if r := RequiredRate(1500, Gigabit); math.Abs(r-1/12e-6) > 1 {
+		t.Errorf("RequiredRate(1500B, 1G) = %v, want 83.3k", r)
+	}
+}
+
+func TestRateHelpers(t *testing.T) {
+	if DecisionRate(61, 0) != 0 {
+		t.Error("zero cycles must yield zero rate")
+	}
+	if PacketRate(61, 8, 4) != 4*DecisionRate(61, 8) {
+		t.Error("PacketRate must scale by block size")
+	}
+	if PacketRate(61, 8, 0) != DecisionRate(61, 8) {
+		t.Error("PacketRate must clamp block to 1")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if BA.String() != "BA" || WR.String() != "WR" {
+		t.Error("Routing.String misbehaved")
+	}
+	if VirtexI.String() != "Virtex-I" || VirtexII.String() != "Virtex-II" {
+		t.Error("Device.String misbehaved")
+	}
+}
+
+func TestFloorplanGroundsClockCalibration(t *testing.T) {
+	if _, err := PlanFloor(3, BA); err == nil {
+		t.Error("accepted non-power-of-two")
+	}
+	for _, n := range []int{4, 8, 16, 32} {
+		ba, err := PlanFloor(n, BA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wr, err := PlanFloor(n, WR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// BA routes winners AND losers: twice the buses.
+		if ba.BusesRouted != 2*wr.BusesRouted {
+			t.Errorf("N=%d: BA %d buses vs WR %d", n, ba.BusesRouted, wr.BusesRouted)
+		}
+		// WR's compacted spread shortens the critical wire.
+		if wr.CriticalWireCLBs > ba.CriticalWireCLBs {
+			t.Errorf("N=%d: WR wire %d longer than BA %d", n, wr.CriticalWireCLBs, ba.CriticalWireCLBs)
+		}
+		if ba.CriticalWireCLBs < 1 || ba.ColumnCLBs < 1 {
+			t.Errorf("N=%d: degenerate floorplan %+v", n, ba)
+		}
+	}
+	// Wire length grows with N (monotone) — the mechanism behind the
+	// falling clock table.
+	prev := 0
+	for _, n := range []int{4, 8, 16, 32} {
+		fp, _ := PlanFloor(n, BA)
+		if fp.CriticalWireCLBs <= prev {
+			t.Errorf("critical wire not growing at N=%d", n)
+		}
+		prev = fp.CriticalWireCLBs
+	}
+}
+
+func TestMultiPortFit(t *testing.T) {
+	if _, _, err := MultiPortFit(0, 4, BA); err == nil {
+		t.Error("accepted zero ports")
+	}
+	if _, _, err := MultiPortFit(2, 5, BA); err == nil {
+		t.Error("accepted bad slot count")
+	}
+	// The GSR comparison point: 8 ports of 8-slot per-flow schedulers do
+	// NOT fit one Virtex-1000 (8 x 2174 slices), but 8 ports of 4-slot
+	// (matching the GSR's 8 queues across... ) — check concrete budgets.
+	ok8x8, total8x8, err := MultiPortFit(8, 8, BA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok8x8 {
+		t.Errorf("8x8-slot schedulers claimed to fit: %d slices on %d", total8x8, Virtex1000Slices)
+	}
+	ok8x4, _, err := MultiPortFit(8, 4, BA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok8x4 {
+		t.Error("8 ports of 4-slot schedulers should fit a Virtex-1000")
+	}
+	// Single 32-slot port fits (the paper's single-port claim).
+	ok1x32, _, _ := MultiPortFit(1, 32, BA)
+	if !ok1x32 {
+		t.Error("1x32 should fit")
+	}
+}

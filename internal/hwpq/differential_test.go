@@ -1,0 +1,89 @@
+package hwpq
+
+import (
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/traffic"
+)
+
+// TestChainSchedulerMatchesShuffleSchedule is the §3 functional tie-in: an
+// EDF scheduler built on the shift-register chain (re-sorted every decision
+// cycle, as window-constrained updates force) produces exactly the same
+// winner sequence as the ShareStreams recirculating shuffle — the
+// architectures differ in area and cycles, not in the schedule. The cost
+// model difference (Ω(N) re-sort vs log₂N recirculation) is what
+// TestCostRowsMatchPaperArgument and the ablation bench price.
+func TestChainSchedulerMatchesShuffleSchedule(t *testing.T) {
+	const n, cycles = 4, 4000
+
+	// Reference: the cycle-accurate ShareStreams scheduler.
+	ref, err := core.New(core.Config{Slots: n, Routing: core.WinnerOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		src := &traffic.Periodic{Gap: 1, Phase: uint64(i), Backlogged: true}
+		if err := ref.Admit(i, attr.Spec{Class: attr.EDF, Period: 1}, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ref.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Chain-based scheduler: per-stream head deadlines maintained in
+	// software, re-inserted into the chain every cycle (the forced
+	// re-sort), winner = extract-min. Keys combine deadline and arrival
+	// to mirror the Decision block's EDF + FCFS + slot-ID cascade.
+	chain, err := NewShiftChain(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := make([]uint64, n)
+	arrival := make([]uint64, n)
+	served := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		arrival[i] = uint64(i)
+		deadline[i] = uint64(i) + 1
+	}
+	var resortCycles uint64
+	key := func(i int) uint64 {
+		// deadline ≫ arrival ≫ slot, matching the rule cascade.
+		return deadline[i]<<24 | arrival[i]<<4 | uint64(i)
+	}
+
+	for c := 0; c < cycles; c++ {
+		rc := ref.RunCycle()
+
+		// Re-sort: rebuild the chain from the current heads (the per-
+		// decision-cycle penalty §3 charges these structures).
+		for chain.Len() > 0 {
+			chain.ExtractMin()
+		}
+		for i := 0; i < n; i++ {
+			cy, err := chain.Insert(Entry{Key: key(i), ID: i})
+			if err != nil {
+				t.Fatal(err)
+			}
+			resortCycles += uint64(cy)
+		}
+		e, ok, _ := chain.ExtractMin()
+		if !ok {
+			t.Fatal("chain empty")
+		}
+		if attr.SlotID(e.ID) != rc.Winner {
+			t.Fatalf("cycle %d: chain winner %d vs shuffle winner %d", c, e.ID, rc.Winner)
+		}
+		// Advance the winner's head (EDF service).
+		served[e.ID]++
+		deadline[e.ID]++
+		arrival[e.ID]++
+	}
+	// The price: N inserts per cycle just for the re-sort, vs the
+	// shuffle's log₂N recirculations built into its decision cycle.
+	if resortCycles != uint64(cycles*n) {
+		t.Fatalf("re-sort cycles = %d, want %d", resortCycles, cycles*n)
+	}
+}

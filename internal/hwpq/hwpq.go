@@ -1,0 +1,376 @@
+// Package hwpq implements the hardware priority-queue architectures §3
+// contrasts with the ShareStreams recirculating shuffle — a shift-register
+// chain, a systolic array queue (Moon, Rexford & Shin), and a pipelined
+// binary heap (Ioannou & Katevenis) — as functional models with cycle and
+// area cost accounting.
+//
+// The paper's argument, which the ablation bench quantifies:
+//
+//  1. These structures need a comparator (for ShareStreams, a full
+//     multi-attribute Decision block) replicated in *every* element, where
+//     the recirculating shuffle needs only N/2 (one tree level).
+//  2. Window-constrained disciplines update stream priorities every decision
+//     cycle, forcing a re-sort of the heap / systolic queue / shift-register
+//     chain each cycle, while the shuffle re-sorts natively — that is its
+//     decision cycle.
+//
+// Cycle costs model single-cycle element operations, as these structures are
+// designed to achieve: a shift-register chain inserts in one cycle because
+// every element compares in parallel; the systolic array takes one cycle at
+// the head with the ripple proceeding in later cycles; the pipelined heap
+// sustains one operation per cycle with log₂N latency. A global priority
+// update invalidates the stored order, and the model charges the structure's
+// bulk-reload cost.
+package hwpq
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Entry is one queued element: a priority key (lower = served first) and an
+// opaque stream/packet ID.
+type Entry struct {
+	Key uint64
+	ID  int
+}
+
+// Queue is a hardware priority-queue model. Operations return the modeled
+// hardware cycle cost alongside their results.
+type Queue interface {
+	// Name returns the architecture name.
+	Name() string
+	// Capacity returns the structure's element capacity.
+	Capacity() int
+	// Len returns the stored element count.
+	Len() int
+	// Insert adds an entry; it returns the cycle cost, or an error when
+	// full.
+	Insert(e Entry) (cycles int, err error)
+	// ExtractMin removes and returns the least-key entry with its cycle
+	// cost.
+	ExtractMin() (e Entry, ok bool, cycles int)
+	// GlobalUpdate applies f to every stored key (the per-decision-cycle
+	// priority update of a window-constrained discipline) and returns the
+	// cycle cost of restoring sorted order.
+	GlobalUpdate(f func(Entry) uint64) (cycles int)
+	// ComparatorBlocks returns how many comparator/Decision blocks the
+	// architecture instantiates at this capacity — the §3 area argument.
+	ComparatorBlocks() int
+}
+
+// ---------------------------------------------------------------------------
+// Shift-register chain
+
+// ShiftChain is the shift-register chain: a linear array of registers each
+// holding one entry in sorted order. On insert, every element compares the
+// new entry with its neighbour concurrently and shifts right where needed —
+// one cycle, at the price of a comparator per element and global broadcast
+// of the inserted entry.
+type ShiftChain struct {
+	cap     int
+	entries []Entry // sorted ascending by key
+}
+
+// NewShiftChain builds a chain of the given capacity.
+func NewShiftChain(capacity int) (*ShiftChain, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("hwpq: capacity %d", capacity)
+	}
+	return &ShiftChain{cap: capacity}, nil
+}
+
+// Name implements Queue.
+func (c *ShiftChain) Name() string { return "shift-register-chain" }
+
+// Capacity implements Queue.
+func (c *ShiftChain) Capacity() int { return c.cap }
+
+// Len implements Queue.
+func (c *ShiftChain) Len() int { return len(c.entries) }
+
+// Insert implements Queue: one cycle (parallel compare + shift).
+func (c *ShiftChain) Insert(e Entry) (int, error) {
+	if len(c.entries) == c.cap {
+		return 0, fmt.Errorf("hwpq: %s full", c.Name())
+	}
+	i := sort.Search(len(c.entries), func(j int) bool { return c.entries[j].Key > e.Key })
+	c.entries = append(c.entries, Entry{})
+	copy(c.entries[i+1:], c.entries[i:])
+	c.entries[i] = e
+	return 1, nil
+}
+
+// ExtractMin implements Queue: one cycle (pop head, shift left).
+func (c *ShiftChain) ExtractMin() (Entry, bool, int) {
+	if len(c.entries) == 0 {
+		return Entry{}, false, 1
+	}
+	e := c.entries[0]
+	c.entries = c.entries[1:]
+	return e, true, 1
+}
+
+// GlobalUpdate implements Queue: every key changes, so the chain re-inserts
+// all N entries — N cycles of its single-cycle insert.
+func (c *ShiftChain) GlobalUpdate(f func(Entry) uint64) int {
+	n := len(c.entries)
+	for i := range c.entries {
+		c.entries[i].Key = f(c.entries[i])
+	}
+	sort.SliceStable(c.entries, func(i, j int) bool { return c.entries[i].Key < c.entries[j].Key })
+	return n
+}
+
+// ComparatorBlocks implements Queue: one comparator per element.
+func (c *ShiftChain) ComparatorBlocks() int { return c.cap }
+
+// ---------------------------------------------------------------------------
+// Systolic array
+
+// Systolic is the systolic array priority queue: like the chain it keeps
+// sorted order in a register array, but elements exchange only with
+// neighbours (no global broadcast), so the head responds in one cycle while
+// the insertion ripple completes in the background over subsequent cycles.
+type Systolic struct {
+	cap     int
+	entries []Entry
+	ripple  int // background ripple cycles still outstanding
+}
+
+// NewSystolic builds a systolic queue of the given capacity.
+func NewSystolic(capacity int) (*Systolic, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("hwpq: capacity %d", capacity)
+	}
+	return &Systolic{cap: capacity}, nil
+}
+
+// Name implements Queue.
+func (s *Systolic) Name() string { return "systolic-array" }
+
+// Capacity implements Queue.
+func (s *Systolic) Capacity() int { return s.cap }
+
+// Len implements Queue.
+func (s *Systolic) Len() int { return len(s.entries) }
+
+// Insert implements Queue: one cycle at the head; the displacement ripple
+// (depth of the insertion point) proceeds concurrently with later
+// operations, modeled as outstanding background cycles.
+func (s *Systolic) Insert(e Entry) (int, error) {
+	if len(s.entries) == s.cap {
+		return 0, fmt.Errorf("hwpq: %s full", s.Name())
+	}
+	i := sort.Search(len(s.entries), func(j int) bool { return s.entries[j].Key > e.Key })
+	s.entries = append(s.entries, Entry{})
+	copy(s.entries[i+1:], s.entries[i:])
+	s.entries[i] = e
+	s.ripple = max(s.ripple-1, len(s.entries)-i-1)
+	return 1, nil
+}
+
+// ExtractMin implements Queue: one cycle at the head.
+func (s *Systolic) ExtractMin() (Entry, bool, int) {
+	if len(s.entries) == 0 {
+		return Entry{}, false, 1
+	}
+	e := s.entries[0]
+	s.entries = s.entries[1:]
+	if s.ripple > 0 {
+		s.ripple--
+	}
+	return e, true, 1
+}
+
+// GlobalUpdate implements Queue: the array drains and refills — 2N cycles
+// (N extracts + N neighbour-only inserts at the head).
+func (s *Systolic) GlobalUpdate(f func(Entry) uint64) int {
+	n := len(s.entries)
+	for i := range s.entries {
+		s.entries[i].Key = f(s.entries[i])
+	}
+	sort.SliceStable(s.entries, func(i, j int) bool { return s.entries[i].Key < s.entries[j].Key })
+	s.ripple = 0
+	return 2 * n
+}
+
+// ComparatorBlocks implements Queue: two comparators per element (one per
+// neighbour link) is the common systolic design; the model charges one per
+// element plus one per link ≈ 2N-1.
+func (s *Systolic) ComparatorBlocks() int { return 2*s.cap - 1 }
+
+// ---------------------------------------------------------------------------
+// Pipelined heap
+
+// PipelinedHeap is the Ioannou–Katevenis pipelined binary heap: log₂N
+// levels, each with its own comparator stage, sustaining one operation per
+// cycle of throughput with log₂N-cycle latency.
+type PipelinedHeap struct {
+	cap     int
+	entries []Entry // binary min-heap
+}
+
+// NewPipelinedHeap builds a heap of the given capacity (rounded up to a
+// power of two internally for level accounting).
+func NewPipelinedHeap(capacity int) (*PipelinedHeap, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("hwpq: capacity %d", capacity)
+	}
+	return &PipelinedHeap{cap: capacity}, nil
+}
+
+// Name implements Queue.
+func (h *PipelinedHeap) Name() string { return "pipelined-heap" }
+
+// Capacity implements Queue.
+func (h *PipelinedHeap) Capacity() int { return h.cap }
+
+// Len implements Queue.
+func (h *PipelinedHeap) Len() int { return len(h.entries) }
+
+// levels returns the heap's level count.
+func (h *PipelinedHeap) levels() int {
+	return bits.Len(uint(h.cap))
+}
+
+// Insert implements Queue: one cycle of issue (pipelined).
+func (h *PipelinedHeap) Insert(e Entry) (int, error) {
+	if len(h.entries) == h.cap {
+		return 0, fmt.Errorf("hwpq: %s full", h.Name())
+	}
+	h.entries = append(h.entries, e)
+	h.siftUp(len(h.entries) - 1)
+	return 1, nil
+}
+
+// ExtractMin implements Queue: one cycle of issue (pipelined).
+func (h *PipelinedHeap) ExtractMin() (Entry, bool, int) {
+	if len(h.entries) == 0 {
+		return Entry{}, false, 1
+	}
+	e := h.entries[0]
+	last := len(h.entries) - 1
+	h.entries[0] = h.entries[last]
+	h.entries = h.entries[:last]
+	if len(h.entries) > 0 {
+		h.siftDown(0)
+	}
+	return e, true, 1
+}
+
+// GlobalUpdate implements Queue: every key changes, so the heap property is
+// void; the hardware reloads and re-heapifies — N cycles of pipelined
+// inserts.
+func (h *PipelinedHeap) GlobalUpdate(f func(Entry) uint64) int {
+	n := len(h.entries)
+	for i := range h.entries {
+		h.entries[i].Key = f(h.entries[i])
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+	return n
+}
+
+// ComparatorBlocks implements Queue: one comparator stage per level plus the
+// per-element storage compare-swap — the Ioannou–Katevenis design charges a
+// comparator per level per pipeline stage; the dominant replication is per
+// element for the swap network, modeled as N + log₂N.
+func (h *PipelinedHeap) ComparatorBlocks() int { return h.cap + h.levels() }
+
+func (h *PipelinedHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.entries[parent].Key <= h.entries[i].Key {
+			return
+		}
+		h.entries[parent], h.entries[i] = h.entries[i], h.entries[parent]
+		i = parent
+	}
+}
+
+func (h *PipelinedHeap) siftDown(i int) {
+	n := len(h.entries)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.entries[l].Key < h.entries[small].Key {
+			small = l
+		}
+		if r < n && h.entries[r].Key < h.entries[small].Key {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.entries[i], h.entries[small] = h.entries[small], h.entries[i]
+		i = small
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Cost comparison
+
+// CostRow summarizes one architecture's per-decision-cycle cost for the §3
+// ablation.
+type CostRow struct {
+	Name string
+	// Comparators is the Decision-block count the architecture replicates.
+	Comparators int
+	// CyclesFair is the per-decision cycle cost when priorities do not
+	// change after enqueue (fair-queuing / priority-class disciplines).
+	CyclesFair int
+	// CyclesWindow is the per-decision cycle cost when every stream's
+	// priority updates each decision cycle (window-constrained), including
+	// the re-sort.
+	CyclesWindow int
+}
+
+// ShuffleCost returns the ShareStreams recirculating shuffle's row for an
+// N-slot design: N/2 Decision blocks, log₂N cycles per decision with the
+// priority update folded into the decision cycle (one extra cycle).
+func ShuffleCost(n int) CostRow {
+	k := bits.Len(uint(n - 1)) // ceil(log2 n)
+	return CostRow{
+		Name:         "recirculating-shuffle",
+		Comparators:  n / 2,
+		CyclesFair:   k,
+		CyclesWindow: k + 1,
+	}
+}
+
+// Cost measures a queue architecture's row at capacity n by driving the
+// functional model: a decision is one ExtractMin plus one Insert
+// (steady-state), and the window-constrained variant adds a GlobalUpdate of
+// all n entries.
+func Cost(q Queue, n int) (CostRow, error) {
+	for i := 0; i < n; i++ {
+		if _, err := q.Insert(Entry{Key: uint64(i), ID: i}); err != nil {
+			return CostRow{}, err
+		}
+	}
+	e, ok, cx := q.ExtractMin()
+	if !ok {
+		return CostRow{}, fmt.Errorf("hwpq: %s empty after fill", q.Name())
+	}
+	ci, err := q.Insert(e)
+	if err != nil {
+		return CostRow{}, err
+	}
+	cu := q.GlobalUpdate(func(e Entry) uint64 { return e.Key + 1 })
+	return CostRow{
+		Name:         q.Name(),
+		Comparators:  q.ComparatorBlocks(),
+		CyclesFair:   cx + ci,
+		CyclesWindow: cx + ci + cu,
+	}, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

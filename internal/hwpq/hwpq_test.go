@@ -1,0 +1,227 @@
+package hwpq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func queues(t *testing.T, capacity int) []Queue {
+	t.Helper()
+	c, err := NewShiftChain(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSystolic(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewPipelinedHeap(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Queue{c, s, h}
+}
+
+func TestConstructorsValidate(t *testing.T) {
+	if _, err := NewShiftChain(0); err == nil {
+		t.Error("chain accepted zero capacity")
+	}
+	if _, err := NewSystolic(-1); err == nil {
+		t.Error("systolic accepted negative capacity")
+	}
+	if _, err := NewPipelinedHeap(0); err == nil {
+		t.Error("heap accepted zero capacity")
+	}
+}
+
+func TestExtractsSortedOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, q := range queues(t, 64) {
+		keys := make([]uint64, 64)
+		for i := range keys {
+			keys[i] = uint64(rng.Intn(1000))
+			if _, err := q.Insert(Entry{Key: keys[i], ID: i}); err != nil {
+				t.Fatalf("%s: %v", q.Name(), err)
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for i, want := range keys {
+			e, ok, _ := q.ExtractMin()
+			if !ok {
+				t.Fatalf("%s: empty at %d", q.Name(), i)
+			}
+			if e.Key != want {
+				t.Fatalf("%s: extract %d = key %d, want %d", q.Name(), i, e.Key, want)
+			}
+		}
+		if _, ok, _ := q.ExtractMin(); ok {
+			t.Fatalf("%s: extract from empty succeeded", q.Name())
+		}
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	for _, q := range queues(t, 4) {
+		for i := 0; i < 4; i++ {
+			if _, err := q.Insert(Entry{Key: uint64(i)}); err != nil {
+				t.Fatalf("%s: %v", q.Name(), err)
+			}
+		}
+		if _, err := q.Insert(Entry{Key: 9}); err == nil {
+			t.Errorf("%s accepted an entry beyond capacity", q.Name())
+		}
+		if q.Len() != 4 || q.Capacity() != 4 {
+			t.Errorf("%s: len/cap = %d/%d", q.Name(), q.Len(), q.Capacity())
+		}
+	}
+}
+
+func TestGlobalUpdatePreservesOrderUnderNewKeys(t *testing.T) {
+	// After a global priority update (e.g. DWCS adjusting every stream),
+	// extraction must follow the *new* keys.
+	for _, q := range queues(t, 8) {
+		for i := 0; i < 8; i++ {
+			if _, err := q.Insert(Entry{Key: uint64(i), ID: i}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Reverse the order: new key = 100 - old.
+		q.GlobalUpdate(func(e Entry) uint64 { return 100 - e.Key })
+		prev := uint64(0)
+		for i := 0; i < 8; i++ {
+			e, ok, _ := q.ExtractMin()
+			if !ok {
+				t.Fatalf("%s: empty at %d", q.Name(), i)
+			}
+			if i > 0 && e.Key < prev {
+				t.Fatalf("%s: order violated after update", q.Name())
+			}
+			prev = e.Key
+		}
+	}
+}
+
+func TestSingleCycleOperations(t *testing.T) {
+	// The headline property of these structures: constant-cycle insert and
+	// extract regardless of occupancy.
+	for _, q := range queues(t, 256) {
+		for i := 0; i < 200; i++ {
+			cy, err := q.Insert(Entry{Key: uint64(i * 7 % 101)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cy != 1 {
+				t.Fatalf("%s: insert cost %d cycles at occupancy %d", q.Name(), cy, i)
+			}
+		}
+		_, _, cy := q.ExtractMin()
+		if cy != 1 {
+			t.Fatalf("%s: extract cost %d cycles", q.Name(), cy)
+		}
+	}
+}
+
+func TestCostRowsMatchPaperArgument(t *testing.T) {
+	// §3: the recirculating shuffle needs N/2 Decision blocks; the
+	// alternatives replicate comparators per element and pay a re-sort
+	// every decision cycle under window-constrained updates.
+	const n = 32
+	shuffle := ShuffleCost(n)
+	if shuffle.Comparators != n/2 {
+		t.Fatalf("shuffle comparators = %d, want %d", shuffle.Comparators, n/2)
+	}
+	if shuffle.CyclesFair != 5 || shuffle.CyclesWindow != 6 {
+		t.Fatalf("shuffle cycles = %d/%d, want 5/6", shuffle.CyclesFair, shuffle.CyclesWindow)
+	}
+	for _, q := range queues(t, n) {
+		row, err := Cost(q, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.Comparators < n {
+			t.Errorf("%s: %d comparators — the §3 argument expects ≥N (per element)", row.Name, row.Comparators)
+		}
+		if row.Comparators <= shuffle.Comparators {
+			t.Errorf("%s: %d comparators not more than shuffle's %d", row.Name, row.Comparators, shuffle.Comparators)
+		}
+		// Without updates these structures win (constant cycles vs log N)…
+		if row.CyclesFair > shuffle.CyclesFair {
+			t.Errorf("%s: fair-queuing cycles %d worse than shuffle %d — unexpected", row.Name, row.CyclesFair, shuffle.CyclesFair)
+		}
+		// …but per-cycle updates cost them ≥N cycles of re-sort, far
+		// beyond the shuffle's log₂N+1.
+		if row.CyclesWindow < n {
+			t.Errorf("%s: window cycles %d — expected ≥N re-sort penalty", row.Name, row.CyclesWindow)
+		}
+		if row.CyclesWindow <= shuffle.CyclesWindow {
+			t.Errorf("%s: window cycles %d not worse than shuffle %d", row.Name, row.CyclesWindow, shuffle.CyclesWindow)
+		}
+	}
+}
+
+func TestRandomizedHeapEquivalence(t *testing.T) {
+	// Fuzz the three structures against a reference sorted multiset.
+	f := func(ops []uint16, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, q := range queues(t, 64) {
+			var ref []uint64
+			for _, op := range ops {
+				if rng.Intn(3) > 0 && len(ref) < 64 {
+					k := uint64(op)
+					if _, err := q.Insert(Entry{Key: k}); err != nil {
+						return false
+					}
+					ref = append(ref, k)
+					sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+				} else {
+					e, ok, _ := q.ExtractMin()
+					if ok != (len(ref) > 0) {
+						return false
+					}
+					if ok {
+						if e.Key != ref[0] {
+							return false
+						}
+						ref = ref[1:]
+					}
+				}
+			}
+			if q.Len() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSystolicRippleDrains(t *testing.T) {
+	s, _ := NewSystolic(16)
+	for i := 15; i >= 0; i-- { // worst case: every insert lands at the head
+		if _, err := s.Insert(Entry{Key: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Ripple must never go negative or block extraction correctness.
+	for i := 0; i < 16; i++ {
+		e, ok, _ := s.ExtractMin()
+		if !ok || e.Key != uint64(i) {
+			t.Fatalf("extract %d: key %d ok %v", i, e.Key, ok)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, q := range queues(t, 2) {
+		if q.Name() == "" {
+			t.Error("empty name")
+		}
+	}
+	if ShuffleCost(8).Name == "" {
+		t.Error("empty shuffle name")
+	}
+}

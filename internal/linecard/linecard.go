@@ -1,0 +1,252 @@
+// Package linecard implements the ShareStreams switch line-card realization
+// (Figure 2): the configuration for backbone switches and routers where
+// meeting per-packet times at 10 Gbps is critical and no host processor
+// sits in the scheduling loop.
+//
+// Structure, as in the figure:
+//
+//   - packets arriving from the switch fabric land in per-stream queues in
+//     dual-ported SRAM; their arrival times are read by the SRAM interface
+//     concurrently (dual porting — no bank-ownership switching, unlike the
+//     endsystem's Celoxica card);
+//   - the Scheduler control unit (package core) orders the stream-slots and
+//     produces winner Stream IDs;
+//   - winner Stream IDs are written into the SRAM partition for the network
+//     transceiver, which drains the corresponding frames onto the wire.
+//
+// The model runs the cycle-accurate scheduler against fabric-fed queues and
+// converts hardware clock counts into wall-clock rates with the package
+// fpga clock model, reproducing §5.2's "7.6 million packets/second with
+// four stream-slots … packet arrival-times are supplied in dual-ported
+// memory by action of the switch fabric".
+package linecard
+
+import (
+	"fmt"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/fpga"
+	"repro/internal/regblock"
+	"repro/internal/ringbuf"
+)
+
+// Config parameterizes a line card.
+type Config struct {
+	// Slots is the stream-slot count (power of two; the paper's prototype
+	// supports up to 32 per-flow queues on a Virtex-1000, against the
+	// Cisco GSR line-card's 8 queues per port).
+	Slots int
+	// Routing selects BA (block) or WR (winner-only).
+	Routing core.Routing
+	// Circulate selects the block circulation mode (BA only).
+	Circulate core.Circulate
+	// Device selects the clock model (Virtex-I prototype or the §6
+	// Virtex-II extension).
+	Device fpga.Device
+	// QueueDepth is the per-stream SRAM queue capacity in frames
+	// (power of two; default 256).
+	QueueDepth int
+}
+
+// Card is one line card instance.
+type Card struct {
+	cfg   Config
+	sched *core.Scheduler
+	sram  *DualPortSRAM
+	out   *ringbuf.Ring[attr.SlotID] // winner Stream IDs to the transceiver
+
+	clockMHz float64
+	drained  []uint64 // frames taken by the transceiver, per stream
+}
+
+// DualPortSRAM models the card's dual-ported per-stream queues: the switch
+// fabric writes arrival times on one port while the SRAM interface reads
+// them on the other, concurrently and without ownership arbitration.
+type DualPortSRAM struct {
+	queues []*ringbuf.Ring[uint64] // arrival times per stream
+
+	// FabricWrites and InterfaceReads count the port operations;
+	// FabricDrops counts fabric arrivals that found a full queue.
+	FabricWrites   uint64
+	InterfaceReads uint64
+	FabricDrops    uint64
+}
+
+// newSRAM builds per-stream queues.
+func newSRAM(streams, depth int) (*DualPortSRAM, error) {
+	s := &DualPortSRAM{queues: make([]*ringbuf.Ring[uint64], streams)}
+	for i := range s.queues {
+		r, err := ringbuf.New[uint64](depth)
+		if err != nil {
+			return nil, err
+		}
+		s.queues[i] = r
+	}
+	return s, nil
+}
+
+// FabricArrival deposits a frame's arrival time into stream i's queue (the
+// switch-fabric port). It reports false — and counts a drop — when the
+// queue is full.
+func (s *DualPortSRAM) FabricArrival(i int, arrival uint64) bool {
+	if i < 0 || i >= len(s.queues) {
+		return false
+	}
+	if !s.queues[i].Push(arrival) {
+		s.FabricDrops++
+		return false
+	}
+	s.FabricWrites++
+	return true
+}
+
+// Backlog returns stream i's queued frame count.
+func (s *DualPortSRAM) Backlog(i int) int { return s.queues[i].Len() }
+
+// source adapts one SRAM queue to the Register Base block head interface
+// (the SRAM-interface port).
+type source struct {
+	s *DualPortSRAM
+	i int
+}
+
+// NextHead implements regblock.HeadSource.
+func (src *source) NextHead() (regblock.Head, bool) {
+	arrival, ok := src.s.queues[src.i].Pop()
+	if !ok {
+		return regblock.Head{}, false
+	}
+	src.s.InterfaceReads++
+	return regblock.Head{Arrival: arrival}, true
+}
+
+// New builds a line card; admit streams with Admit, then Start.
+func New(cfg Config) (*Card, error) {
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 256
+	}
+	sched, err := core.New(core.Config{
+		Slots:     cfg.Slots,
+		Routing:   cfg.Routing,
+		Circulate: cfg.Circulate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sram, err := newSRAM(cfg.Slots, cfg.QueueDepth)
+	if err != nil {
+		return nil, err
+	}
+	out, err := ringbuf.New[attr.SlotID](4096)
+	if err != nil {
+		return nil, err
+	}
+	routing := fpga.BA
+	if cfg.Routing == core.WinnerOnly {
+		routing = fpga.WR
+	}
+	mhz, err := fpga.ClockMHz(cfg.Slots, routing, cfg.Device)
+	if err != nil {
+		return nil, err
+	}
+	return &Card{
+		cfg:      cfg,
+		sched:    sched,
+		sram:     sram,
+		out:      out,
+		clockMHz: mhz,
+		drained:  make([]uint64, cfg.Slots),
+	}, nil
+}
+
+// Admit binds a stream specification to slot i; the head source is the
+// slot's SRAM queue.
+func (c *Card) Admit(i int, spec attr.Spec) error {
+	return c.sched.Admit(i, spec, &source{s: c.sram, i: i})
+}
+
+// Start runs the scheduler's LOAD state.
+func (c *Card) Start() error { return c.sched.Start() }
+
+// SRAM exposes the dual-ported queue array (the fabric writes through it).
+func (c *Card) SRAM() *DualPortSRAM { return c.sram }
+
+// Scheduler exposes the underlying scheduler (counters, diagnostics).
+func (c *Card) Scheduler() *core.Scheduler { return c.sched }
+
+// RunCycle executes one decision cycle: the scheduler orders the slots and
+// each transmitted frame's Stream ID is written to the transceiver
+// partition. It returns the cycle result.
+func (c *Card) RunCycle() core.CycleResult {
+	cr := c.sched.RunCycle()
+	for _, tx := range cr.Transmissions {
+		if !c.out.Push(tx.Slot) {
+			// Transceiver partition full: drain synchronously (the
+			// transceiver runs at wire speed and cannot actually fall
+			// behind a correctly provisioned card; this keeps the
+			// model robust to tiny partitions in tests).
+			c.DrainTransceiver()
+			c.out.Push(tx.Slot)
+		}
+	}
+	return cr
+}
+
+// DrainTransceiver consumes all pending Stream IDs as the network
+// transceiver would, returning how many frames left the card.
+func (c *Card) DrainTransceiver() int {
+	n := 0
+	for {
+		id, ok := c.out.Pop()
+		if !ok {
+			return n
+		}
+		c.drained[id]++
+		n++
+	}
+}
+
+// Drained returns the frames the transceiver took from stream i.
+func (c *Card) Drained(i int) uint64 { return c.drained[i] }
+
+// Rates converts the card's hardware cycle accounting into wall-clock
+// scheduling rates under the modeled clock.
+type Rates struct {
+	ClockMHz      float64
+	CyclesPerDec  int
+	DecisionsPerS float64
+	FramesPerS    float64 // block transactions amortize the decision in BA
+}
+
+// Rates returns the card's modeled rates.
+func (c *Card) Rates() Rates {
+	cycles := c.sched.CyclesPerDecision()
+	block := 1
+	if c.cfg.Routing == core.BlockRouting {
+		block = c.cfg.Slots
+	}
+	return Rates{
+		ClockMHz:      c.clockMHz,
+		CyclesPerDec:  cycles,
+		DecisionsPerS: fpga.DecisionRate(c.clockMHz, cycles),
+		FramesPerS:    fpga.PacketRate(c.clockMHz, cycles, block),
+	}
+}
+
+// MeetsWireSpeed reports whether the card keeps up with back-to-back frames
+// of the given size on a link of the given rate.
+func (c *Card) MeetsWireSpeed(frameBytes int, linkBps float64) bool {
+	block := 1
+	if c.cfg.Routing == core.BlockRouting {
+		block = c.cfg.Slots
+	}
+	return fpga.MeetsPacketTime(c.clockMHz, c.sched.CyclesPerDecision(), block, frameBytes, linkBps)
+}
+
+// String summarizes the card.
+func (c *Card) String() string {
+	r := c.Rates()
+	return fmt.Sprintf("linecard[%s %d slots, %s @ %.0f MHz, %.2fM dec/s, %.2fM frames/s]",
+		c.cfg.Routing, c.cfg.Slots, c.cfg.Device, r.ClockMHz, r.DecisionsPerS/1e6, r.FramesPerS/1e6)
+}

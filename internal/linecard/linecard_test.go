@@ -1,0 +1,191 @@
+package linecard
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/fpga"
+)
+
+func mkCard(t *testing.T, cfg Config) *Card {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.Slots; i++ {
+		if err := c.Admit(i, attr.Spec{Class: attr.EDF, Period: uint16(cfg.Slots)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFabricToTransceiverConservation(t *testing.T) {
+	c := mkCard(t, Config{Slots: 4, Routing: core.WinnerOnly})
+	// Fabric deposits 100 frames per stream.
+	for k := 0; k < 100; k++ {
+		for i := 0; i < 4; i++ {
+			if !c.SRAM().FabricArrival(i, uint64(k)) {
+				t.Fatalf("fabric drop at backlog %d", k)
+			}
+		}
+	}
+	// 400 WR decision cycles drain everything.
+	for n := 0; n < 400; n++ {
+		c.RunCycle()
+	}
+	drained := c.DrainTransceiver()
+	if drained != 400 {
+		t.Fatalf("transceiver took %d frames, want 400", drained)
+	}
+	for i := 0; i < 4; i++ {
+		if c.Drained(i) != 100 {
+			t.Errorf("stream %d drained %d, want 100", i, c.Drained(i))
+		}
+		if c.SRAM().Backlog(i) != 0 {
+			t.Errorf("stream %d residual backlog %d", i, c.SRAM().Backlog(i))
+		}
+	}
+	if c.SRAM().FabricWrites != 400 || c.SRAM().InterfaceReads != 400 {
+		t.Errorf("port counters: %d writes, %d reads", c.SRAM().FabricWrites, c.SRAM().InterfaceReads)
+	}
+}
+
+func TestFabricDropOnFullQueue(t *testing.T) {
+	c := mkCard(t, Config{Slots: 2, Routing: core.WinnerOnly, QueueDepth: 4})
+	for k := 0; k < 4; k++ {
+		if !c.SRAM().FabricArrival(0, uint64(k)) {
+			t.Fatalf("premature drop at %d", k)
+		}
+	}
+	if c.SRAM().FabricArrival(0, 99) {
+		t.Fatal("full queue accepted a frame")
+	}
+	if c.SRAM().FabricDrops != 1 {
+		t.Fatalf("drops = %d", c.SRAM().FabricDrops)
+	}
+	if c.SRAM().FabricArrival(-1, 0) || c.SRAM().FabricArrival(5, 0) {
+		t.Fatal("out-of-range stream accepted")
+	}
+}
+
+func TestBlockConfigurationTransmitsBlocks(t *testing.T) {
+	c := mkCard(t, Config{Slots: 4, Routing: core.BlockRouting})
+	for k := 0; k < 10; k++ {
+		for i := 0; i < 4; i++ {
+			c.SRAM().FabricArrival(i, uint64(k))
+		}
+	}
+	cr := c.RunCycle()
+	if len(cr.Transmissions) != 4 {
+		t.Fatalf("block transaction carried %d frames, want 4", len(cr.Transmissions))
+	}
+	if got := c.DrainTransceiver(); got != 4 {
+		t.Fatalf("transceiver got %d stream IDs", got)
+	}
+}
+
+func TestPaperLineCardRate(t *testing.T) {
+	// §5.2: 7.6 M packets/second with four stream-slots.
+	c := mkCard(t, Config{Slots: 4, Routing: core.BlockRouting})
+	r := c.Rates()
+	if r.DecisionsPerS < 7.4e6 || r.DecisionsPerS > 7.8e6 {
+		t.Fatalf("4-slot decision rate = %.2fM/s, want ≈7.6M", r.DecisionsPerS/1e6)
+	}
+	if r.FramesPerS != 4*r.DecisionsPerS {
+		t.Fatalf("BA frame rate %v != 4x decision rate %v", r.FramesPerS, r.DecisionsPerS)
+	}
+	if !strings.Contains(c.String(), "7.62M dec/s") {
+		t.Errorf("String() = %s", c.String())
+	}
+}
+
+func TestWireSpeedClaims(t *testing.T) {
+	// The paper's §5.1 feasibility statements, on the functional card.
+	for _, n := range []int{4, 8, 16, 32} {
+		c := mkCard(t, Config{Slots: n, Routing: core.BlockRouting})
+		if !c.MeetsWireSpeed(64, fpga.Gigabit) {
+			t.Errorf("N=%d misses 64B@1G", n)
+		}
+		if !c.MeetsWireSpeed(1500, fpga.TenGigabit) {
+			t.Errorf("N=%d misses 1500B@10G", n)
+		}
+	}
+	wr := mkCard(t, Config{Slots: 32, Routing: core.WinnerOnly})
+	if wr.MeetsWireSpeed(64, fpga.TenGigabit) {
+		t.Error("32-slot WR claims 64B@10G")
+	}
+}
+
+func TestVirtexIICardFaster(t *testing.T) {
+	v1 := mkCard(t, Config{Slots: 32, Routing: core.BlockRouting, Device: fpga.VirtexI})
+	v2 := mkCard(t, Config{Slots: 32, Routing: core.BlockRouting, Device: fpga.VirtexII})
+	if v2.Rates().DecisionsPerS <= v1.Rates().DecisionsPerS {
+		t.Error("Virtex-II card not faster")
+	}
+}
+
+func TestPerFlowQoSOnCard(t *testing.T) {
+	// Per-flow queuing with differentiated periods: service frequencies
+	// follow 1/T under sustained fabric load.
+	cfg := Config{Slots: 4, Routing: core.WinnerOnly}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	periods := []uint16{8, 8, 4, 2}
+	for i, p := range periods {
+		if err := c.Admit(i, attr.Spec{Class: attr.EDF, Period: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const cycles = 8000
+	for n := 0; n < cycles; n++ {
+		for i := 0; i < 4; i++ {
+			c.SRAM().FabricArrival(i, uint64(n)) // keep all queues hot
+		}
+		c.RunCycle()
+	}
+	c.DrainTransceiver()
+	// Shares 1/8 : 1/8 : 1/4 : 1/2.
+	want := []float64{0.125, 0.125, 0.25, 0.5}
+	for i, w := range want {
+		got := float64(c.Drained(i)) / cycles
+		if got < w*0.9 || got > w*1.1 {
+			t.Errorf("stream %d share = %.3f, want ≈%.3f", i, got, w)
+		}
+	}
+}
+
+func TestTinyTransceiverPartitionDoesNotWedge(t *testing.T) {
+	// Force the synchronous-drain path by never draining manually; the
+	// out ring fills and RunCycle must self-drain rather than deadlock.
+	// Fabric arrivals are interleaved with cycles so the depth-bounded
+	// SRAM queues never overflow.
+	c := mkCard(t, Config{Slots: 4, Routing: core.BlockRouting})
+	for n := 0; n < 3000; n++ {
+		for i := 0; i < 4; i++ {
+			if !c.SRAM().FabricArrival(i, uint64(n)) {
+				t.Fatalf("fabric drop at cycle %d", n)
+			}
+		}
+		c.RunCycle()
+	}
+	c.DrainTransceiver()
+	var total uint64
+	for i := 0; i < 4; i++ {
+		total += c.Drained(i)
+	}
+	if total != 12000 {
+		t.Fatalf("drained %d frames, want 12000", total)
+	}
+}

@@ -1,0 +1,78 @@
+package link
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("accepted zero rate")
+	}
+	l, err := New(1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Bps() != 1e9 {
+		t.Errorf("Bps = %v", l.Bps())
+	}
+}
+
+func TestFrameNs(t *testing.T) {
+	l, _ := New(1e9)
+	if got := l.FrameNs(1500); math.Abs(got-12000) > 1e-9 {
+		t.Fatalf("1500B@1G = %v ns, want 12000", got)
+	}
+	l10, _ := New(1e10)
+	if got := l10.FrameNs(64); math.Abs(got-51.2) > 1e-9 {
+		t.Fatalf("64B@10G = %v ns, want 51.2", got)
+	}
+}
+
+func TestTransmitSerializes(t *testing.T) {
+	l, _ := New(1e9)
+	s1, e1, err := l.Transmit(1500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != 0 || math.Abs(e1-12000) > 1e-9 {
+		t.Fatalf("first frame [%v, %v]", s1, e1)
+	}
+	// Second frame ready at 1000 must wait for the wire.
+	s2, e2, _ := l.Transmit(1500, 1000)
+	if s2 != e1 {
+		t.Fatalf("second frame started at %v, want %v (wire busy)", s2, e1)
+	}
+	if math.Abs(e2-24000) > 1e-9 {
+		t.Fatalf("second frame end %v", e2)
+	}
+	// A frame ready after an idle gap starts immediately.
+	s3, _, _ := l.Transmit(64, 100000)
+	if s3 != 100000 {
+		t.Fatalf("third frame start %v, want 100000", s3)
+	}
+	if l.Frames() != 3 || l.Bytes() != 3064 {
+		t.Fatalf("counters: %d frames %d bytes", l.Frames(), l.Bytes())
+	}
+}
+
+func TestTransmitValidation(t *testing.T) {
+	l, _ := New(1e9)
+	if _, _, err := l.Transmit(0, 0); err == nil {
+		t.Error("accepted zero-size frame")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	l, _ := New(1e9)
+	l.Transmit(1500, 0) // 12 µs busy
+	if got := l.Utilization(24000); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("utilization = %v, want 0.5", got)
+	}
+	if got := l.Utilization(0); got != 0 {
+		t.Fatalf("zero horizon utilization = %v", got)
+	}
+	if got := l.Utilization(6000); got != 1 {
+		t.Fatalf("clamped utilization = %v, want 1", got)
+	}
+}

@@ -1,0 +1,152 @@
+// Package netio models the Network Interface of the endsystem (Figure 3):
+// a descriptor-ring DMA engine. The Transmission Engine sets DMA registers
+// on the NI to enable DMA pulls — each scheduled frame becomes a transmit
+// descriptor; the NI pulls the payload from processor memory by DMA and
+// serializes it onto the wire, posting a completion the TE reaps.
+//
+// The model is virtual-time based like the rest of the substrate: each pull
+// costs a per-descriptor setup plus payload/bandwidth, and wire
+// serialization queues behind the link. It exposes the occupancy/completion
+// dynamics real TE threads contend with (ring full ⇒ backpressure), which
+// the concurrency-focused §4.2 design discussion is about.
+package netio
+
+import (
+	"fmt"
+
+	"repro/internal/link"
+)
+
+// Descriptor is one transmit descriptor.
+type Descriptor struct {
+	Stream  int
+	Bytes   int
+	PostNs  float64 // when the TE posted it
+	doneNs  float64 // wire completion
+	pulled  bool
+	addrLen int // payload fragments (model detail, 1 for contiguous frames)
+}
+
+// Config parameterizes the NI.
+type Config struct {
+	// RingSize is the descriptor ring capacity (power of two not
+	// required here; hardware rings vary).
+	RingSize int
+	// DMASetupNs is the per-descriptor engine cost.
+	DMASetupNs float64
+	// DMABytesPerSec is the host-memory pull bandwidth.
+	DMABytesPerSec float64
+	// LinkBps is the wire rate.
+	LinkBps float64
+}
+
+// DefaultConfig models a gigabit NI of the paper's era.
+func DefaultConfig() Config {
+	return Config{
+		RingSize:       64,
+		DMASetupNs:     500,
+		DMABytesPerSec: 200e6,
+		LinkBps:        1e9,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.RingSize < 1 {
+		return fmt.Errorf("netio: ring size %d", c.RingSize)
+	}
+	if c.DMASetupNs < 0 || c.DMABytesPerSec <= 0 || c.LinkBps <= 0 {
+		return fmt.Errorf("netio: bad rates %+v", c)
+	}
+	return nil
+}
+
+// NI is one network interface instance.
+type NI struct {
+	cfg  Config
+	ring []Descriptor
+	head int // next descriptor to complete (reap point)
+	tail int // next free slot (post point)
+	used int
+
+	wire       *link.Link
+	engineBusy float64 // DMA engine frees at this virtual time
+
+	// Totals.
+	Posted    uint64
+	Completed uint64
+	Rejected  uint64 // posts refused because the ring was full
+}
+
+// New builds an NI.
+func New(cfg Config) (*NI, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	l, err := link.New(cfg.LinkBps)
+	if err != nil {
+		return nil, err
+	}
+	return &NI{cfg: cfg, ring: make([]Descriptor, cfg.RingSize), wire: l}, nil
+}
+
+// Free returns the number of free descriptor slots.
+func (n *NI) Free() int { return n.cfg.RingSize - n.used }
+
+// Post places a transmit descriptor on the ring at virtual time nowNs (the
+// TE writing the NI's DMA registers). It reports false when the ring is
+// full (TE backpressure).
+func (n *NI) Post(stream, bytes int, nowNs float64) bool {
+	if bytes <= 0 {
+		return false
+	}
+	if n.used == n.cfg.RingSize {
+		n.Rejected++
+		return false
+	}
+	// DMA pull: engine serializes descriptor setups and payload pulls;
+	// the wire serializes frames after the pull completes.
+	start := nowNs
+	if n.engineBusy > start {
+		start = n.engineBusy
+	}
+	pullDone := start + n.cfg.DMASetupNs + float64(bytes)/n.cfg.DMABytesPerSec*1e9
+	n.engineBusy = pullDone
+	_, end, err := n.wire.Transmit(bytes, pullDone)
+	if err != nil {
+		return false
+	}
+	n.ring[n.tail] = Descriptor{
+		Stream: stream, Bytes: bytes, PostNs: nowNs, doneNs: end, pulled: true, addrLen: 1,
+	}
+	n.tail = (n.tail + 1) % n.cfg.RingSize
+	n.used++
+	n.Posted++
+	return true
+}
+
+// Reap completes descriptors whose frames have left the wire by nowNs, in
+// ring order, returning them (the TE's completion processing).
+func (n *NI) Reap(nowNs float64) []Descriptor {
+	var done []Descriptor
+	for n.used > 0 {
+		d := n.ring[n.head]
+		if d.doneNs > nowNs {
+			break
+		}
+		done = append(done, d)
+		n.head = (n.head + 1) % n.cfg.RingSize
+		n.used--
+		n.Completed++
+	}
+	return done
+}
+
+// Wire exposes the output link (utilization, totals).
+func (n *NI) Wire() *link.Link { return n.wire }
+
+// Latency returns a descriptor's post-to-wire-completion latency in ns.
+func (d Descriptor) Latency() float64 { return d.doneNs - d.PostNs }
+
+// CompletionNs returns the descriptor's wire completion time.
+func (d Descriptor) CompletionNs() float64 { return d.doneNs }

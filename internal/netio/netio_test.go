@@ -1,0 +1,108 @@
+package netio
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{RingSize: 0, DMASetupNs: 1, DMABytesPerSec: 1, LinkBps: 1},
+		{RingSize: 4, DMASetupNs: -1, DMABytesPerSec: 1, LinkBps: 1},
+		{RingSize: 4, DMASetupNs: 1, DMABytesPerSec: 0, LinkBps: 1},
+		{RingSize: 4, DMASetupNs: 1, DMABytesPerSec: 1, LinkBps: 0},
+	}
+	for _, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("accepted %+v", c)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPostReapLifecycle(t *testing.T) {
+	ni, err := New(Config{RingSize: 4, DMASetupNs: 100, DMABytesPerSec: 1e9, LinkBps: 8e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ni.Post(0, 1000, 0) {
+		t.Fatal("post failed")
+	}
+	// pull: 100 + 1000ns = 1100; wire: 1000B@8Gbps = 1µs -> done 2100ns.
+	if got := ni.Reap(2000); len(got) != 0 {
+		t.Fatalf("reaped before completion: %v", got)
+	}
+	done := ni.Reap(2200)
+	if len(done) != 1 {
+		t.Fatalf("reaped %d", len(done))
+	}
+	if math.Abs(done[0].Latency()-2100) > 1e-9 {
+		t.Fatalf("latency = %v, want 2100", done[0].Latency())
+	}
+	if ni.Free() != 4 || ni.Completed != 1 {
+		t.Fatalf("ring state: free %d completed %d", ni.Free(), ni.Completed)
+	}
+}
+
+func TestRingBackpressure(t *testing.T) {
+	ni, _ := New(Config{RingSize: 2, DMASetupNs: 10, DMABytesPerSec: 1e9, LinkBps: 1e9})
+	if !ni.Post(0, 100, 0) || !ni.Post(1, 100, 0) {
+		t.Fatal("posts failed")
+	}
+	if ni.Post(2, 100, 0) {
+		t.Fatal("post into a full ring succeeded")
+	}
+	if ni.Rejected != 1 || ni.Free() != 0 {
+		t.Fatalf("rejected %d free %d", ni.Rejected, ni.Free())
+	}
+	// Drain and post again.
+	ni.Reap(1e12)
+	if !ni.Post(2, 100, 1e12) {
+		t.Fatal("post after drain failed")
+	}
+}
+
+func TestEngineAndWireSerialize(t *testing.T) {
+	// Two frames posted at the same instant: the second's pull starts
+	// after the first's; the wire also serializes.
+	ni, _ := New(Config{RingSize: 8, DMASetupNs: 0, DMABytesPerSec: 1e9, LinkBps: 8e9})
+	ni.Post(0, 1000, 0) // pull 1µs, wire 1µs -> done 2µs
+	ni.Post(1, 1000, 0) // pull 1..2µs, wire 2..3µs
+	done := ni.Reap(1e7)
+	if len(done) != 2 {
+		t.Fatalf("reaped %d", len(done))
+	}
+	if math.Abs(done[0].CompletionNs()-2000) > 1e-9 {
+		t.Fatalf("first completion %v", done[0].CompletionNs())
+	}
+	if math.Abs(done[1].CompletionNs()-3000) > 1e-9 {
+		t.Fatalf("second completion %v", done[1].CompletionNs())
+	}
+	if ni.Wire().Frames() != 2 {
+		t.Fatalf("wire frames %d", ni.Wire().Frames())
+	}
+}
+
+func TestReapInOrder(t *testing.T) {
+	ni, _ := New(DefaultConfig())
+	for i := 0; i < 10; i++ {
+		if !ni.Post(i, 500, float64(i)*100) {
+			t.Fatalf("post %d failed", i)
+		}
+	}
+	done := ni.Reap(1e12)
+	for i, d := range done {
+		if d.Stream != i {
+			t.Fatalf("completion %d out of order: stream %d", i, d.Stream)
+		}
+	}
+}
+
+func TestInvalidPost(t *testing.T) {
+	ni, _ := New(DefaultConfig())
+	if ni.Post(0, 0, 0) {
+		t.Fatal("zero-size post succeeded")
+	}
+}

@@ -1,0 +1,240 @@
+// Package pci models the transfer substrate between the Stream processor
+// and the FPGA PCI card in the ShareStreams endsystem: the Celoxica RC1000's
+// 32-bit/33 MHz PCI interface, its 8 MB of banked SRAM shared between the
+// host and the FPGA with exclusive bank ownership, and the two transfer
+// styles the paper uses — *push* PIO writes for small transfers and *pull*
+// DMA for bulk transfers (§4.3, §5.1).
+//
+// Two things matter to the evaluation and are modeled carefully:
+//
+//   - Bank-ownership switching. "The Celoxica card has a SRAM bank which
+//     needs to switch ownership between FPGA and Stream processor each time
+//     a transfer is made, which is generally the bottleneck for
+//     high-performance PCI transfers" (§5.2). Every batch pays two ownership
+//     switches (host acquires, FPGA re-acquires), so small batches are
+//     dominated by switching.
+//   - Cost per word. ShareStreams exchanges 16-bit arrival-time offsets and
+//     5-bit stream IDs, "much less than the size of a packet with header and
+//     payload" — the reason a host-based router can afford the round trip.
+//
+// Costs are virtual nanoseconds; the calibration lands the endsystem
+// pipeline on the paper's measured operating points (§5.2): 469,483
+// packets/s with transfers excluded and 299,065 packets/s including PIO
+// transfers. All constants are per-instance fields so ablations can sweep
+// them.
+package pci
+
+import "fmt"
+
+// DefaultConfig holds the calibrated RC1000-era constants.
+func DefaultConfig() Config {
+	return Config{
+		PIOWordNs:      400,  // one 32-bit programmed-I/O transaction
+		DMASetupNs:     2000, // descriptor + doorbell per DMA burst
+		DMABytesPerSec: 80e6, // sustained PCI burst bandwidth (of 133 MB/s theoretical)
+		BankSwitchNs:   3310, // SRAM bank ownership arbitration, per switch
+		BankBytes:      2 << 20,
+		Banks:          4, // 8 MB in four banks
+	}
+}
+
+// Config parameterizes the transfer cost model.
+type Config struct {
+	PIOWordNs      float64 // cost of one 32-bit PIO word (ns)
+	DMASetupNs     float64 // fixed cost of initiating one DMA burst (ns)
+	DMABytesPerSec float64 // DMA burst bandwidth (bytes/s)
+	BankSwitchNs   float64 // one SRAM bank ownership switch (ns)
+	BankBytes      int     // bytes per SRAM bank
+	Banks          int     // bank count
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.PIOWordNs <= 0 || c.DMASetupNs < 0 || c.DMABytesPerSec <= 0 || c.BankSwitchNs < 0 {
+		return fmt.Errorf("pci: non-positive cost constants: %+v", c)
+	}
+	if c.BankBytes <= 0 || c.Banks <= 0 {
+		return fmt.Errorf("pci: bad SRAM geometry: %+v", c)
+	}
+	return nil
+}
+
+// Owner identifies which side currently owns an SRAM bank.
+type Owner uint8
+
+const (
+	// OwnerFPGA: the scheduler hardware may access the bank.
+	OwnerFPGA Owner = iota
+	// OwnerHost: the Stream processor (PCI peer) may access the bank.
+	OwnerHost
+)
+
+// String returns the owner name.
+func (o Owner) String() string {
+	if o == OwnerHost {
+		return "host"
+	}
+	return "fpga"
+}
+
+// Bus is one card's transfer engine and SRAM arbitration state. It
+// accumulates the virtual time spent on transfers and counts the traffic,
+// so the endsystem can convert per-packet overheads into throughput.
+type Bus struct {
+	cfg    Config
+	owners []Owner
+
+	// Totals (virtual).
+	BusyNs       float64 // cumulative transfer + arbitration time
+	PIOWords     uint64
+	DMABytes     uint64
+	BankSwitches uint64
+	Batches      uint64
+}
+
+// New builds a bus; banks start owned by the FPGA, as after configuration.
+func New(cfg Config) (*Bus, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Bus{cfg: cfg, owners: make([]Owner, cfg.Banks)}, nil
+}
+
+// Config returns the bus configuration.
+func (b *Bus) Config() Config { return b.cfg }
+
+// Owner returns bank i's current owner.
+func (b *Bus) Owner(bank int) Owner { return b.owners[bank] }
+
+// acquire switches bank ownership if needed and returns the arbitration
+// cost.
+func (b *Bus) acquire(bank int, who Owner) (float64, error) {
+	if bank < 0 || bank >= len(b.owners) {
+		return 0, fmt.Errorf("pci: bank %d out of range [0,%d)", bank, len(b.owners))
+	}
+	if b.owners[bank] == who {
+		return 0, nil
+	}
+	b.owners[bank] = who
+	b.BankSwitches++
+	return b.cfg.BankSwitchNs, nil
+}
+
+// PushPIO models the host push-writing words 32-bit values into an SRAM
+// bank (small transfers: arrival-time offsets) and handing the bank back to
+// the FPGA. It returns the virtual nanoseconds consumed.
+func (b *Bus) PushPIO(bank, words int) (float64, error) {
+	if words < 0 {
+		return 0, fmt.Errorf("pci: negative word count %d", words)
+	}
+	ns, err := b.acquire(bank, OwnerHost)
+	if err != nil {
+		return 0, err
+	}
+	ns += float64(words) * b.cfg.PIOWordNs
+	back, err := b.acquire(bank, OwnerFPGA)
+	if err != nil {
+		return 0, err
+	}
+	ns += back
+	b.PIOWords += uint64(words)
+	b.Batches++
+	b.BusyNs += ns
+	return ns, nil
+}
+
+// ReadPIO models the host reading words 32-bit values (scheduled stream
+// IDs) out of a bank and handing it back.
+func (b *Bus) ReadPIO(bank, words int) (float64, error) {
+	return b.PushPIO(bank, words) // symmetric cost
+}
+
+// PullDMA models a bulk transfer: the host sets the card's DMA engine
+// registers and asserts pull-start; the card bursts bytes across PCI. Bank
+// ownership switches around the burst as with PIO.
+func (b *Bus) PullDMA(bank, bytes int) (float64, error) {
+	if bytes < 0 {
+		return 0, fmt.Errorf("pci: negative byte count %d", bytes)
+	}
+	if bytes > b.cfg.BankBytes {
+		return 0, fmt.Errorf("pci: %d bytes exceeds the %d-byte bank", bytes, b.cfg.BankBytes)
+	}
+	ns, err := b.acquire(bank, OwnerHost)
+	if err != nil {
+		return 0, err
+	}
+	ns += b.cfg.DMASetupNs + float64(bytes)/b.cfg.DMABytesPerSec*1e9
+	back, err := b.acquire(bank, OwnerFPGA)
+	if err != nil {
+		return 0, err
+	}
+	ns += back
+	b.DMABytes += uint64(bytes)
+	b.Batches++
+	b.BusyNs += ns
+	return ns, nil
+}
+
+// Mode selects how the endsystem exchanges arrival-times and stream IDs
+// with the card.
+type Mode uint8
+
+const (
+	// ModeNone excludes transfer costs (the paper's 469,483 pps
+	// operating point: "We do not include the PCI transfer time").
+	ModeNone Mode = iota
+	// ModePIO uses push/read programmed I/O ("using PCI PIO transfers
+	// rather than DMAs" — the 299,065 pps operating point).
+	ModePIO
+	// ModeDMA uses pull DMA bursts — the peer-peer enhancement §5.2
+	// expects to improve performance.
+	ModeDMA
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModePIO:
+		return "pio"
+	case ModeDMA:
+		return "dma"
+	default:
+		return "none"
+	}
+}
+
+// PerPacketNs returns the modeled transfer cost per scheduled packet under
+// the given mode with the given batching factor: each batch carries one
+// 32-bit arrival-time word per packet in and one stream-ID word per packet
+// out (PIO), or the equivalent bytes by DMA.
+func (b *Bus) PerPacketNs(mode Mode, batch int) (float64, error) {
+	if batch < 1 {
+		return 0, fmt.Errorf("pci: batch %d", batch)
+	}
+	switch mode {
+	case ModeNone:
+		return 0, nil
+	case ModePIO:
+		in, err := b.PushPIO(0, batch)
+		if err != nil {
+			return 0, err
+		}
+		out, err := b.ReadPIO(1, batch)
+		if err != nil {
+			return 0, err
+		}
+		return (in + out) / float64(batch), nil
+	case ModeDMA:
+		in, err := b.PullDMA(0, batch*4)
+		if err != nil {
+			return 0, err
+		}
+		out, err := b.PullDMA(1, batch*4)
+		if err != nil {
+			return 0, err
+		}
+		return (in + out) / float64(batch), nil
+	default:
+		return 0, fmt.Errorf("pci: unknown mode %d", mode)
+	}
+}

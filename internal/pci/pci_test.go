@@ -1,0 +1,175 @@
+package pci
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.PIOWordNs = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted zero PIO cost")
+	}
+	bad = good
+	bad.Banks = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted zero banks")
+	}
+	if _, err := New(bad); err == nil {
+		t.Error("New accepted bad config")
+	}
+}
+
+func TestBankOwnershipSwitching(t *testing.T) {
+	b, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Owner(0) != OwnerFPGA {
+		t.Fatal("banks must start FPGA-owned")
+	}
+	ns, err := b.PushPIO(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// host acquire + 10 words + FPGA re-acquire.
+	want := 2*b.Config().BankSwitchNs + 10*b.Config().PIOWordNs
+	if math.Abs(ns-want) > 1e-9 {
+		t.Fatalf("PushPIO = %v ns, want %v", ns, want)
+	}
+	if b.BankSwitches != 2 {
+		t.Fatalf("switches = %d, want 2", b.BankSwitches)
+	}
+	if b.Owner(0) != OwnerFPGA {
+		t.Fatal("bank not returned to FPGA after push")
+	}
+	if b.PIOWords != 10 || b.Batches != 1 {
+		t.Fatalf("counters: %d words %d batches", b.PIOWords, b.Batches)
+	}
+}
+
+func TestPushPIOValidation(t *testing.T) {
+	b, _ := New(DefaultConfig())
+	if _, err := b.PushPIO(0, -1); err == nil {
+		t.Error("accepted negative word count")
+	}
+	if _, err := b.PushPIO(99, 1); err == nil {
+		t.Error("accepted out-of-range bank")
+	}
+}
+
+func TestPullDMACost(t *testing.T) {
+	b, _ := New(DefaultConfig())
+	cfg := b.Config()
+	ns, err := b.PullDMA(2, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2*cfg.BankSwitchNs + cfg.DMASetupNs + 1e6/cfg.DMABytesPerSec*1e9
+	if math.Abs(ns-want) > 1e-6 {
+		t.Fatalf("PullDMA = %v, want %v", ns, want)
+	}
+	if _, err := b.PullDMA(0, cfg.BankBytes+1); err == nil {
+		t.Error("accepted a transfer larger than a bank")
+	}
+	if _, err := b.PullDMA(0, -1); err == nil {
+		t.Error("accepted negative bytes")
+	}
+}
+
+func TestDMABeatsPIOForBulk(t *testing.T) {
+	// The paper's rule: push for small transfers, pull DMA for bulk.
+	b, _ := New(DefaultConfig())
+	const words = 4096
+	pio, _ := b.PushPIO(0, words)
+	dma, _ := b.PullDMA(1, words*4)
+	if dma >= pio {
+		t.Fatalf("bulk DMA (%v ns) not faster than PIO (%v ns)", dma, pio)
+	}
+	// And for tiny transfers PIO wins (no setup).
+	b2, _ := New(DefaultConfig())
+	pio1, _ := b2.PushPIO(0, 1)
+	dma1, _ := b2.PullDMA(1, 4)
+	if pio1 >= dma1 {
+		t.Fatalf("tiny PIO (%v) not cheaper than DMA (%v)", pio1, dma1)
+	}
+}
+
+func TestBatchingAmortizesBankSwitch(t *testing.T) {
+	// §5.1: arrival-times are batched to exploit burst bandwidth; the
+	// per-packet cost must fall as the batch grows.
+	b, _ := New(DefaultConfig())
+	small, err := b.PerPacketNs(ModePIO, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := b.PerPacketNs(ModePIO, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large >= small {
+		t.Fatalf("batch 128 per-packet %v not below batch 2 %v", large, small)
+	}
+}
+
+func TestPerPacketCalibration(t *testing.T) {
+	// The §5.2 operating point: with 32-packet batches the PIO round trip
+	// costs ≈1213.75 ns per packet, which together with the 2130 ns host
+	// cost yields the paper's 299,065 pps.
+	b, _ := New(DefaultConfig())
+	got, err := b.PerPacketNs(ModePIO, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1213.75) > 0.01 {
+		t.Fatalf("PIO per-packet = %v ns, want 1213.75", got)
+	}
+	pps := 1e9 / (2130 + got)
+	if int(pps) != 299065 {
+		t.Fatalf("modeled endsystem+PIO = %d pps, want 299065", int(pps))
+	}
+	none, _ := b.PerPacketNs(ModeNone, 32)
+	if none != 0 {
+		t.Fatalf("ModeNone cost = %v", none)
+	}
+	dma, err := b.PerPacketNs(ModeDMA, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dma >= got {
+		t.Fatalf("DMA per-packet %v not below PIO %v", dma, got)
+	}
+}
+
+func TestPerPacketValidation(t *testing.T) {
+	b, _ := New(DefaultConfig())
+	if _, err := b.PerPacketNs(ModePIO, 0); err == nil {
+		t.Error("accepted zero batch")
+	}
+	if _, err := b.PerPacketNs(Mode(9), 4); err == nil {
+		t.Error("accepted unknown mode")
+	}
+}
+
+func TestBusyAccounting(t *testing.T) {
+	b, _ := New(DefaultConfig())
+	a, _ := b.PushPIO(0, 4)
+	c, _ := b.PullDMA(1, 64)
+	if math.Abs(b.BusyNs-(a+c)) > 1e-9 {
+		t.Fatalf("BusyNs = %v, want %v", b.BusyNs, a+c)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if OwnerFPGA.String() != "fpga" || OwnerHost.String() != "host" {
+		t.Error("Owner.String misbehaved")
+	}
+	if ModeNone.String() != "none" || ModePIO.String() != "pio" || ModeDMA.String() != "dma" {
+		t.Error("Mode.String misbehaved")
+	}
+}

@@ -1,0 +1,189 @@
+// Package qm implements the Queue Manager of the ShareStreams endsystem
+// (Figure 3): per-stream queues on the Stream processor built from
+// synchronization-free circular buffers, stream descriptors holding service
+// attributes, service-tag computation for fair-queuing streams, and the
+// batched exchange of arrival-time offsets and scheduled stream IDs with
+// the FPGA card.
+//
+// Producers Submit frames into per-stream rings; the card side drains each
+// ring through a regblock.HeadSource adapter (the Streaming unit keeping
+// per-stream card queues full). For fair-tag streams the QM stamps each
+// frame's virtual start/finish tag at dequeue, using a shared self-clocked
+// virtual clock across the fair streams — this is how fair-queuing maps
+// onto the hardware ("per-packet service-tags do not change once they are
+// computed").
+package qm
+
+import (
+	"fmt"
+
+	"repro/internal/attr"
+	"repro/internal/regblock"
+	"repro/internal/ringbuf"
+)
+
+// Frame is one queued frame descriptor. The payload itself stays in
+// processor memory; only arrival-time offsets cross the PCI bus.
+type Frame struct {
+	Size    int
+	Arrival uint64
+
+	// fair-queuing tags, stamped by Submit for FairTag streams ("a
+	// service-tag is assigned to every incoming packet").
+	tagStart  float64
+	tagFinish float64
+}
+
+// Manager is the Queue Manager.
+type Manager struct {
+	queues []*ringbuf.Ring[Frame]
+	specs  []attr.Spec
+
+	// fair-queuing state (shared across FairTag streams)
+	vtime  float64
+	finish []float64
+
+	// transfer accounting (for the PCI cost model)
+	Submitted uint64
+	Dequeued  uint64
+	Dropped   uint64
+
+	// per-stream accounting
+	perSubmitted []uint64
+	perDequeued  []uint64
+	perDropped   []uint64
+	perBytes     []uint64
+}
+
+// StreamStats is one stream's Queue-Manager accounting.
+type StreamStats struct {
+	Submitted uint64
+	Dequeued  uint64
+	Dropped   uint64
+	Bytes     uint64 // bytes submitted
+}
+
+// New builds a manager with n per-stream queues of the given capacity
+// (a power of two).
+func New(n, capacity int) (*Manager, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("qm: %d streams", n)
+	}
+	m := &Manager{
+		queues:       make([]*ringbuf.Ring[Frame], n),
+		specs:        make([]attr.Spec, n),
+		finish:       make([]float64, n),
+		perSubmitted: make([]uint64, n),
+		perDequeued:  make([]uint64, n),
+		perDropped:   make([]uint64, n),
+		perBytes:     make([]uint64, n),
+	}
+	for i := range m.queues {
+		r, err := ringbuf.New[Frame](capacity)
+		if err != nil {
+			return nil, err
+		}
+		m.queues[i] = r
+	}
+	return m, nil
+}
+
+// Describe installs stream i's service attributes (its descriptor fields).
+func (m *Manager) Describe(i int, spec attr.Spec) error {
+	if i < 0 || i >= len(m.queues) {
+		return fmt.Errorf("qm: stream %d out of range", i)
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	m.specs[i] = spec
+	return nil
+}
+
+// Spec returns stream i's descriptor.
+func (m *Manager) Spec(i int) attr.Spec { return m.specs[i] }
+
+// Streams returns the stream count.
+func (m *Manager) Streams() int { return len(m.queues) }
+
+// Submit queues a frame for stream i (producer side), stamping fair-queuing
+// tags on arrival for FairTag streams. It reports false — and counts a drop
+// — when the ring is full.
+func (m *Manager) Submit(i int, f Frame) bool {
+	if i < 0 || i >= len(m.queues) {
+		return false
+	}
+	if m.specs[i].Class == attr.FairTag {
+		// F = max(F_prev, V) + size/weight at arrival; V itself only
+		// advances as packets enter service (see NextHead).
+		start := m.finish[i]
+		if m.vtime > start {
+			start = m.vtime
+		}
+		w := float64(m.specs[i].Weight)
+		m.finish[i] = start + float64(f.Size)/w
+		f.tagStart = start
+		f.tagFinish = m.finish[i]
+	}
+	if !m.queues[i].Push(f) {
+		m.Dropped++
+		m.perDropped[i]++
+		return false
+	}
+	m.Submitted++
+	m.perSubmitted[i]++
+	m.perBytes[i] += uint64(f.Size)
+	return true
+}
+
+// Stats returns stream i's accounting.
+func (m *Manager) Stats(i int) StreamStats {
+	return StreamStats{
+		Submitted: m.perSubmitted[i],
+		Dequeued:  m.perDequeued[i],
+		Dropped:   m.perDropped[i],
+		Bytes:     m.perBytes[i],
+	}
+}
+
+// Backlog returns stream i's queued frame count.
+func (m *Manager) Backlog(i int) int { return m.queues[i].Len() }
+
+// Source returns the card-side head source for stream i: each NextHead
+// dequeues one frame, stamping fair-queuing tags when the descriptor class
+// is FairTag. The returned adapter is the model counterpart of the
+// Streaming unit's per-stream card queue.
+func (m *Manager) Source(i int) regblock.HeadSource {
+	return &source{m: m, stream: i}
+}
+
+type source struct {
+	m      *Manager
+	stream int
+}
+
+// NextHead implements regblock.HeadSource. Dequeuing a fair-tag frame to
+// the card advances the shared virtual clock to the frame's start tag
+// (self-clocked: V follows packets as they enter service), which re-anchors
+// streams that return from idle.
+func (s *source) NextHead() (regblock.Head, bool) {
+	m := s.m
+	f, ok := m.queues[s.stream].Pop()
+	if !ok {
+		return regblock.Head{}, false
+	}
+	m.Dequeued++
+	m.perDequeued[s.stream]++
+	h := regblock.Head{Arrival: f.Arrival}
+	if m.specs[s.stream].Class == attr.FairTag {
+		h.Tag = uint64(f.tagFinish)
+		if f.tagStart > m.vtime {
+			m.vtime = f.tagStart
+		}
+	}
+	return h, true
+}
+
+// BatchWords returns how many 32-bit words a batch of n arrival-time
+// offsets occupies on the bus (one 16-bit offset per frame, two per word).
+func BatchWords(n int) int { return (n + 1) / 2 }

@@ -1,0 +1,150 @@
+package qm
+
+import (
+	"testing"
+
+	"repro/internal/attr"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 16); err == nil {
+		t.Error("accepted zero streams")
+	}
+	if _, err := New(2, 3); err == nil {
+		t.Error("accepted non-power-of-two capacity")
+	}
+}
+
+func TestDescribeValidation(t *testing.T) {
+	m, err := New(2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Describe(5, attr.Spec{Class: attr.EDF, Period: 1}); err == nil {
+		t.Error("accepted out-of-range stream")
+	}
+	if err := m.Describe(0, attr.Spec{Class: attr.EDF}); err == nil {
+		t.Error("accepted invalid spec")
+	}
+	spec := attr.Spec{Class: attr.EDF, Period: 3}
+	if err := m.Describe(0, spec); err != nil {
+		t.Fatal(err)
+	}
+	if m.Spec(0) != spec {
+		t.Error("Spec accessor broken")
+	}
+	if m.Streams() != 2 {
+		t.Error("Streams accessor broken")
+	}
+}
+
+func TestSubmitAndSource(t *testing.T) {
+	m, _ := New(2, 4)
+	if err := m.Describe(0, attr.Spec{Class: attr.EDF, Period: 1}); err != nil {
+		t.Fatal(err)
+	}
+	src := m.Source(0)
+	if _, ok := src.NextHead(); ok {
+		t.Fatal("empty queue yielded a head")
+	}
+	for k := 0; k < 4; k++ {
+		if !m.Submit(0, Frame{Size: 100, Arrival: uint64(k)}) {
+			t.Fatalf("submit %d failed", k)
+		}
+	}
+	if m.Submit(0, Frame{Size: 100}) {
+		t.Fatal("submit into full ring succeeded")
+	}
+	if m.Dropped != 1 || m.Submitted != 4 {
+		t.Fatalf("counters: %d dropped %d submitted", m.Dropped, m.Submitted)
+	}
+	if m.Backlog(0) != 4 {
+		t.Fatalf("backlog = %d", m.Backlog(0))
+	}
+	for k := 0; k < 4; k++ {
+		h, ok := src.NextHead()
+		if !ok || h.Arrival != uint64(k) {
+			t.Fatalf("head %d: ok=%v arrival=%d", k, ok, h.Arrival)
+		}
+	}
+	if m.Dequeued != 4 {
+		t.Fatalf("dequeued = %d", m.Dequeued)
+	}
+	if m.Submit(-1, Frame{Size: 1}) {
+		t.Fatal("submit to negative stream succeeded")
+	}
+}
+
+func TestFairTagStamping(t *testing.T) {
+	m, _ := New(2, 16)
+	if err := m.Describe(0, attr.Spec{Class: attr.FairTag, Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Describe(1, attr.Spec{Class: attr.FairTag, Weight: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		m.Submit(0, Frame{Size: 100, Arrival: uint64(k)})
+		m.Submit(1, Frame{Size: 100, Arrival: uint64(k)})
+	}
+	s0, s1 := m.Source(0), m.Source(1)
+	h0a, _ := s0.NextHead()
+	h1a, _ := s1.NextHead()
+	// Weight-1 stream: finish = 100; weight-2: finish = 50.
+	if h0a.Tag != 100 || h1a.Tag != 50 {
+		t.Fatalf("first tags = %d/%d, want 100/50", h0a.Tag, h1a.Tag)
+	}
+	// Tags advance per stream: next finishes 200 and 100.
+	h0b, _ := s0.NextHead()
+	h1b, _ := s1.NextHead()
+	if h0b.Tag != 200 || h1b.Tag != 100 {
+		t.Fatalf("second tags = %d/%d, want 200/100", h0b.Tag, h1b.Tag)
+	}
+	// The weight-2 stream accrues tags at half the rate: after equal
+	// packet counts its finish tag trails the weight-1 stream's.
+	h0c, _ := s0.NextHead()
+	h1c, _ := s1.NextHead()
+	if h1c.Tag >= h0c.Tag {
+		t.Fatalf("weight-2 tag %d not behind weight-1 tag %d", h1c.Tag, h0c.Tag)
+	}
+}
+
+func TestNonFairStreamsGetNoTag(t *testing.T) {
+	m, _ := New(1, 16)
+	m.Describe(0, attr.Spec{Class: attr.EDF, Period: 2})
+	m.Submit(0, Frame{Size: 500, Arrival: 7})
+	h, ok := m.Source(0).NextHead()
+	if !ok || h.Tag != 0 || h.Arrival != 7 {
+		t.Fatalf("head = %+v ok=%v", h, ok)
+	}
+}
+
+func TestBatchWords(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 2: 1, 3: 2, 32: 16, 33: 17}
+	for n, want := range cases {
+		if got := BatchWords(n); got != want {
+			t.Errorf("BatchWords(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestPerStreamStats(t *testing.T) {
+	m, _ := New(2, 4)
+	m.Describe(0, attr.Spec{Class: attr.EDF, Period: 1})
+	m.Describe(1, attr.Spec{Class: attr.EDF, Period: 1})
+	for k := 0; k < 4; k++ {
+		m.Submit(0, Frame{Size: 100, Arrival: uint64(k)})
+	}
+	m.Submit(0, Frame{Size: 100}) // drop
+	m.Submit(1, Frame{Size: 250})
+	src := m.Source(0)
+	src.NextHead()
+	src.NextHead()
+	s0, s1 := m.Stats(0), m.Stats(1)
+	if s0.Submitted != 4 || s0.Dropped != 1 || s0.Dequeued != 2 || s0.Bytes != 400 {
+		t.Fatalf("stream 0 stats = %+v", s0)
+	}
+	if s1.Submitted != 1 || s1.Bytes != 250 || s1.Dequeued != 0 {
+		t.Fatalf("stream 1 stats = %+v", s1)
+	}
+}

@@ -1,0 +1,44 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateContainsEverySection(t *testing.T) {
+	var sb strings.Builder
+	if err := Generate(&sb, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, section := range []string{
+		"# ShareStreams reproduction report",
+		"## Table 3 — block decisions vs max-finding",
+		"## Table 3 variant",
+		"## Figure 7",
+		"## Figure 8",
+		"## Figure 9",
+		"## Figure 10",
+		"## §5.2 — performance comparison",
+		"## §5.2 — line-card isolation",
+		"## §4.1",
+		"## §3",
+		"## §6",
+		"## Block orderedness",
+		"## Figure 1",
+	} {
+		if !strings.Contains(out, section) {
+			t.Errorf("report missing section %q", section)
+		}
+	}
+	// A few signature numbers must appear.
+	for _, needle := range []string{"469484", "299065", "Stream 1"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("report missing %q", needle)
+		}
+	}
+	// Balanced code fences.
+	if n := strings.Count(out, "```"); n%2 != 0 {
+		t.Errorf("unbalanced code fences: %d", n)
+	}
+}

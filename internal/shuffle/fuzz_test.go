@@ -1,0 +1,50 @@
+package shuffle
+
+import (
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/decision"
+)
+
+// FuzzWinnerCorrect feeds arbitrary 8-slot attribute sets through every
+// network schedule and checks the winner against the reference minimum —
+// the property the whole architecture rests on.
+func FuzzWinnerCorrect(f *testing.F) {
+	f.Add(uint64(0x0102030405060708), uint64(0x1111222233334444), uint8(0xFF))
+	f.Add(uint64(0), uint64(0), uint8(0))
+	f.Add(uint64(0xFFFFFFFFFFFFFFFF), uint64(0x8000800080008000), uint8(0x55))
+	f.Fuzz(func(t *testing.T, deadlines, arrivals uint64, validMask uint8) {
+		const n = 8
+		in := make([]attr.Attributes, n)
+		anyValid := false
+		for i := 0; i < n; i++ {
+			// Constrain times to a quarter wrap window so the order is
+			// total (the hardware's operating assumption).
+			d := attr.Time16((deadlines >> (8 * i)) & 0xFF)
+			a := attr.Time16((arrivals >> (8 * i)) & 0xFF)
+			valid := validMask>>i&1 == 1
+			anyValid = anyValid || valid
+			in[i] = attr.Attributes{Deadline: d, Arrival: a, Slot: attr.SlotID(i), Valid: valid}
+		}
+		want := in[0]
+		for _, x := range in[1:] {
+			if decision.Less(decision.DWCS, x, want) {
+				want = x
+			}
+		}
+		for _, schedule := range []Schedule{PaperLogN, Bitonic, Tournament} {
+			nw, err := New(n, decision.DWCS, schedule)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := nw.Run(in).Winner
+			if got.Slot != want.Slot {
+				t.Fatalf("%v: winner slot %d, want %d (in=%v)", schedule, got.Slot, want.Slot, in)
+			}
+			if anyValid && !got.Valid {
+				t.Fatalf("%v: invalid winner despite backlogged slots", schedule)
+			}
+		}
+	})
+}

@@ -1,0 +1,243 @@
+// Package shuffle implements the ShareStreams single-stage recirculating
+// shuffle-exchange network: N/2 Decision blocks behind steering muxes,
+// through which the N stream-slot attribute words recirculate to be ordered
+// (Figure 4 of the paper).
+//
+// The recirculating arrangement is the paper's key area trade-off (§3, §4.3):
+// a Decision-block *tree* needs N-1 blocks and cannot be pipelined under
+// window-constrained disciplines (the winner must circulate back before the
+// next decision), so ShareStreams keeps only the lowermost tree level — N/2
+// blocks — and recirculates log₂N times per decision cycle.
+//
+// Three pass schedules are modeled:
+//
+//   - PaperLogN — the paper's schedule: log₂N shuffle-exchange passes,
+//     routing winners and losers (the BA configuration). Provably places the
+//     highest-priority stream at the front and the lowest-priority stream at
+//     the back of the block (see package tests); the interior of the block is
+//     ordered well but not guaranteed fully sorted for adversarial inputs.
+//   - Bitonic — an exact-sort extension: a Batcher bitonic schedule executed
+//     on the same N/2 blocks by the steering muxes, log₂N·(log₂N+1)/2
+//     passes. Used by the ablation benches to price exact blocks.
+//   - Tournament — the WR (winner-only routing) configuration: only winners
+//     are routed onward, halving the live candidates each pass; after log₂N
+//     passes a single winner remains. This eases physical interconnect at
+//     the cost of the block.
+package shuffle
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/attr"
+	"repro/internal/decision"
+)
+
+// Schedule selects the steering-mux program for a decision cycle.
+type Schedule uint8
+
+const (
+	// PaperLogN routes winners and losers through log₂N shuffle-exchange
+	// passes, yielding the paper's "block" (BA configuration).
+	PaperLogN Schedule = iota
+	// Bitonic fully sorts in log₂N·(log₂N+1)/2 passes (exact-block
+	// extension).
+	Bitonic
+	// Tournament routes winners only (WR / max-finding configuration).
+	Tournament
+)
+
+// String returns the schedule name.
+func (s Schedule) String() string {
+	switch s {
+	case PaperLogN:
+		return "paper-logn"
+	case Bitonic:
+		return "bitonic"
+	case Tournament:
+		return "tournament"
+	default:
+		return fmt.Sprintf("schedule(%d)", uint8(s))
+	}
+}
+
+// Result is the outcome of one decision cycle through the network.
+type Result struct {
+	// Winner is the highest-priority attribute word.
+	Winner attr.Attributes
+	// Block is the ordered list of all N words, front = highest priority
+	// (BA schedules only; nil under Tournament, which routes winners only).
+	Block []attr.Attributes
+	// Passes is the number of network passes the cycle consumed — each
+	// pass is one hardware clock cycle in the SCHEDULE state.
+	Passes int
+}
+
+// Network is one recirculating shuffle-exchange network instance.
+type Network struct {
+	n        int
+	schedule Schedule
+	blocks   []decision.Block // the N/2 physical Decision blocks
+
+	// scratch buffers reused across cycles to keep the hot path
+	// allocation-free (the decision loop runs hundreds of thousands of
+	// times in the Table 3 and throughput experiments).
+	cur, nxt []attr.Attributes
+
+	// Cycles counts decision cycles run; TotalPasses the cumulative
+	// SCHEDULE-state clock cycles.
+	Cycles      uint64
+	TotalPasses uint64
+}
+
+// New builds a network for n stream-slots (n must be a power of two, ≥ 2)
+// with Decision blocks in the given mode.
+func New(n int, mode decision.Mode, schedule Schedule) (*Network, error) {
+	if n < 2 || bits.OnesCount(uint(n)) != 1 {
+		return nil, fmt.Errorf("shuffle: slot count %d is not a power of two ≥ 2", n)
+	}
+	if schedule > Tournament {
+		return nil, fmt.Errorf("shuffle: unknown schedule %d", schedule)
+	}
+	nw := &Network{
+		n:        n,
+		schedule: schedule,
+		blocks:   make([]decision.Block, n/2),
+		cur:      make([]attr.Attributes, n),
+		nxt:      make([]attr.Attributes, n),
+	}
+	for i := range nw.blocks {
+		nw.blocks[i].Mode = mode
+	}
+	return nw, nil
+}
+
+// Slots returns the network's slot count N.
+func (nw *Network) Slots() int { return nw.n }
+
+// Schedule returns the configured pass schedule.
+func (nw *Network) Schedule() Schedule { return nw.schedule }
+
+// DecisionBlocks exposes the N/2 physical Decision blocks (for rule-hit and
+// comparison counters).
+func (nw *Network) DecisionBlocks() []decision.Block { return nw.blocks }
+
+// Compares returns the cumulative comparison count across all blocks.
+func (nw *Network) Compares() uint64 {
+	var total uint64
+	for i := range nw.blocks {
+		total += nw.blocks[i].Compares
+	}
+	return total
+}
+
+// PassesPerCycle returns the number of network passes (SCHEDULE-state clock
+// cycles) one decision cycle takes under the configured schedule.
+func (nw *Network) PassesPerCycle() int {
+	k := bits.TrailingZeros(uint(nw.n)) // log2 n
+	switch nw.schedule {
+	case Bitonic:
+		return k * (k + 1) / 2
+	default:
+		return k
+	}
+}
+
+// Run performs one decision cycle over the N attribute words in slot order.
+// It panics if len(in) != N (a wiring error, not a runtime condition).
+func (nw *Network) Run(in []attr.Attributes) Result {
+	if len(in) != nw.n {
+		panic(fmt.Sprintf("shuffle: %d inputs wired to a %d-slot network", len(in), nw.n))
+	}
+	nw.Cycles++
+	var r Result
+	switch nw.schedule {
+	case Tournament:
+		r = nw.runTournament(in)
+	case Bitonic:
+		r = nw.runBitonic(in)
+	default:
+		r = nw.runPaperLogN(in)
+	}
+	nw.TotalPasses += uint64(r.Passes)
+	return r
+}
+
+// runPaperLogN executes log₂N shuffle-exchange passes routing winners and
+// losers: each pass applies the perfect shuffle, then each Decision block
+// compare-exchanges its pair (winner to the even output).
+func (nw *Network) runPaperLogN(in []attr.Attributes) Result {
+	cur, nxt := nw.cur, nw.nxt
+	copy(cur, in)
+	k := bits.TrailingZeros(uint(nw.n))
+	for p := 0; p < k; p++ {
+		perfectShuffle(nxt, cur)
+		for b := 0; b < nw.n/2; b++ {
+			v := nw.blocks[b].Compare(nxt[2*b], nxt[2*b+1])
+			cur[2*b], cur[2*b+1] = v.Winner, v.Loser
+		}
+	}
+	block := make([]attr.Attributes, nw.n)
+	copy(block, cur)
+	return Result{Winner: block[0], Block: block, Passes: k}
+}
+
+// runBitonic executes a Batcher bitonic sorting schedule on the N/2 blocks:
+// for each (k, j) stage the steering muxes pair element i with i^j and the
+// block compare-exchanges in the direction given by bit k of i. Every stage
+// engages exactly N/2 blocks, one pass each.
+func (nw *Network) runBitonic(in []attr.Attributes) Result {
+	cur := nw.cur
+	copy(cur, in)
+	passes := 0
+	for k := 2; k <= nw.n; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			b := 0
+			for i := 0; i < nw.n; i++ {
+				l := i ^ j
+				if l <= i {
+					continue
+				}
+				ascending := i&k == 0
+				v := nw.blocks[b].Compare(cur[i], cur[l])
+				b++
+				if ascending {
+					cur[i], cur[l] = v.Winner, v.Loser
+				} else {
+					cur[i], cur[l] = v.Loser, v.Winner
+				}
+			}
+			passes++
+		}
+	}
+	block := make([]attr.Attributes, nw.n)
+	copy(block, cur)
+	return Result{Winner: block[0], Block: block, Passes: passes}
+}
+
+// runTournament executes the WR max-finding schedule: each pass compares the
+// surviving candidates pairwise and routes only winners onward.
+func (nw *Network) runTournament(in []attr.Attributes) Result {
+	cur := nw.cur
+	copy(cur, in)
+	passes := 0
+	for m := nw.n; m > 1; m /= 2 {
+		for b := 0; b < m/2; b++ {
+			v := nw.blocks[b].Compare(cur[2*b], cur[2*b+1])
+			cur[b] = v.Winner
+		}
+		passes++
+	}
+	return Result{Winner: cur[0], Passes: passes}
+}
+
+// perfectShuffle writes the perfect shuffle of src into dst:
+// dst[2i] = src[i], dst[2i+1] = src[i + N/2]. This is the fixed wiring
+// between recirculation register outputs and Decision-block inputs.
+func perfectShuffle(dst, src []attr.Attributes) {
+	n := len(src)
+	for i := 0; i < n/2; i++ {
+		dst[2*i] = src[i]
+		dst[2*i+1] = src[i+n/2]
+	}
+}

@@ -1,0 +1,303 @@
+package shuffle
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/attr"
+	"repro/internal/decision"
+)
+
+// mkInputs builds n valid attribute words with the given deadlines (slot i
+// gets deadlines[i]); arrivals are zero so ties resolve by slot ID.
+func mkInputs(deadlines []uint16) []attr.Attributes {
+	in := make([]attr.Attributes, len(deadlines))
+	for i, d := range deadlines {
+		in[i] = attr.Attributes{Deadline: attr.Time16(d), Slot: attr.SlotID(i), Valid: true}
+	}
+	return in
+}
+
+// refSorted returns the inputs sorted by the Decision-block ordering.
+func refSorted(in []attr.Attributes, mode decision.Mode) []attr.Attributes {
+	out := make([]attr.Attributes, len(in))
+	copy(out, in)
+	sort.SliceStable(out, func(i, j int) bool { return decision.Less(mode, out[i], out[j]) })
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 6, 12} {
+		if _, err := New(n, decision.DWCS, PaperLogN); err == nil {
+			t.Errorf("New accepted non-power-of-two slot count %d", n)
+		}
+	}
+	if _, err := New(4, decision.DWCS, Schedule(9)); err == nil {
+		t.Error("New accepted an unknown schedule")
+	}
+	nw, err := New(8, decision.TagOnly, Bitonic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Slots() != 8 || nw.Schedule() != Bitonic {
+		t.Errorf("Slots/Schedule = %d/%v", nw.Slots(), nw.Schedule())
+	}
+	if len(nw.DecisionBlocks()) != 4 {
+		t.Errorf("a %d-slot network must have %d decision blocks, got %d", 8, 4, len(nw.DecisionBlocks()))
+	}
+}
+
+func TestPassesPerCycle(t *testing.T) {
+	cases := []struct {
+		n        int
+		schedule Schedule
+		want     int
+	}{
+		{4, PaperLogN, 2}, {8, PaperLogN, 3}, {16, PaperLogN, 4}, {32, PaperLogN, 5},
+		{4, Tournament, 2}, {32, Tournament, 5},
+		{4, Bitonic, 3}, {8, Bitonic, 6}, {16, Bitonic, 10},
+	}
+	for _, c := range cases {
+		nw, err := New(c.n, decision.DWCS, c.schedule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := nw.PassesPerCycle(); got != c.want {
+			t.Errorf("N=%d %v: PassesPerCycle = %d, want %d", c.n, c.schedule, got, c.want)
+		}
+		// Run must report the same count.
+		in := mkInputs(make([]uint16, c.n))
+		if r := nw.Run(in); r.Passes != c.want {
+			t.Errorf("N=%d %v: Run passes = %d, want %d", c.n, c.schedule, r.Passes, c.want)
+		}
+	}
+}
+
+// TestPaperDecisionTimeClaim pins the paper's §5.1 sentence: "2, 3, 4, 5
+// cycles required to sort 4, 8, 16 and 32 stream-slots".
+func TestPaperDecisionTimeClaim(t *testing.T) {
+	want := map[int]int{4: 2, 8: 3, 16: 4, 32: 5}
+	for n, cycles := range want {
+		nw, _ := New(n, decision.DWCS, PaperLogN)
+		if got := nw.PassesPerCycle(); got != cycles {
+			t.Errorf("N=%d: %d cycles, paper says %d", n, got, cycles)
+		}
+	}
+}
+
+func TestWinnerSimple(t *testing.T) {
+	nw, _ := New(4, decision.DWCS, PaperLogN)
+	r := nw.Run(mkInputs([]uint16{7, 3, 9, 5}))
+	if r.Winner.Slot != 1 {
+		t.Fatalf("winner slot = %d, want 1 (deadline 3)", r.Winner.Slot)
+	}
+	if len(r.Block) != 4 {
+		t.Fatalf("block length = %d, want 4", len(r.Block))
+	}
+	if r.Block[3].Slot != 2 {
+		t.Fatalf("block tail slot = %d, want 2 (deadline 9, global max)", r.Block[3].Slot)
+	}
+}
+
+func TestWinnerCorrectAllSchedules(t *testing.T) {
+	// Property: for every schedule the winner equals the reference
+	// minimum under the Decision ordering.
+	rng := rand.New(rand.NewSource(1))
+	for _, schedule := range []Schedule{PaperLogN, Bitonic, Tournament} {
+		for _, n := range []int{2, 4, 8, 16, 32, 64} {
+			nw, err := New(n, decision.DWCS, schedule)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 200; trial++ {
+				in := make([]attr.Attributes, n)
+				for i := range in {
+					in[i] = attr.Attributes{
+						Deadline: attr.Time16(rng.Intn(1 << 14)),
+						LossNum:  uint8(rng.Intn(8)),
+						LossDen:  uint8(rng.Intn(8)),
+						Arrival:  attr.Time16(rng.Intn(1 << 14)),
+						Slot:     attr.SlotID(i),
+						Valid:    rng.Intn(8) != 0, // occasional empty slots
+					}
+				}
+				want := refSorted(in, decision.DWCS)[0]
+				got := nw.Run(in).Winner
+				if got.Slot != want.Slot {
+					t.Fatalf("%v N=%d trial %d: winner slot %d, want %d\nin=%v",
+						schedule, n, trial, got.Slot, want.Slot, in)
+				}
+			}
+		}
+	}
+}
+
+func TestPaperLogNExtremesCorrect(t *testing.T) {
+	// The paper schedule provably places the global max at the block tail
+	// (needed for min-first circulation) in addition to the min at the head.
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{4, 8, 16, 32} {
+		nw, _ := New(n, decision.DWCS, PaperLogN)
+		for trial := 0; trial < 300; trial++ {
+			deadlines := make([]uint16, n)
+			for i := range deadlines {
+				deadlines[i] = uint16(rng.Intn(1 << 14))
+			}
+			in := mkInputs(deadlines)
+			ref := refSorted(in, decision.DWCS)
+			r := nw.Run(in)
+			if r.Block[0].Slot != ref[0].Slot {
+				t.Fatalf("N=%d: head slot %d, want %d", n, r.Block[0].Slot, ref[0].Slot)
+			}
+			if r.Block[n-1].Slot != ref[n-1].Slot {
+				t.Fatalf("N=%d: tail slot %d, want %d", n, r.Block[n-1].Slot, ref[n-1].Slot)
+			}
+		}
+	}
+}
+
+func TestBitonicFullySorts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{2, 4, 8, 16, 32, 64} {
+		nw, _ := New(n, decision.DWCS, Bitonic)
+		for trial := 0; trial < 200; trial++ {
+			in := make([]attr.Attributes, n)
+			for i := range in {
+				in[i] = attr.Attributes{
+					Deadline: attr.Time16(rng.Intn(1 << 14)),
+					LossNum:  uint8(rng.Intn(4)),
+					LossDen:  uint8(rng.Intn(4)),
+					Arrival:  attr.Time16(rng.Intn(1 << 14)),
+					Slot:     attr.SlotID(i),
+					Valid:    true,
+				}
+			}
+			r := nw.Run(in)
+			for i := 1; i < n; i++ {
+				if decision.Less(decision.DWCS, r.Block[i], r.Block[i-1]) {
+					t.Fatalf("N=%d trial %d: bitonic block not sorted at %d: %v before %v",
+						n, trial, i, r.Block[i], r.Block[i-1])
+				}
+			}
+		}
+	}
+}
+
+func TestBlockIsPermutationOfInputs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8
+		for _, schedule := range []Schedule{PaperLogN, Bitonic} {
+			nw, _ := New(n, decision.DWCS, schedule)
+			deadlines := make([]uint16, n)
+			for i := range deadlines {
+				deadlines[i] = uint16(rng.Intn(100))
+			}
+			r := nw.Run(mkInputs(deadlines))
+			seen := make(map[attr.SlotID]bool, n)
+			for _, a := range r.Block {
+				if seen[a.Slot] {
+					return false // duplicated a slot: attributes were cloned
+				}
+				seen[a.Slot] = true
+			}
+			if len(seen) != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTournamentProducesNoBlock(t *testing.T) {
+	nw, _ := New(4, decision.DWCS, Tournament)
+	r := nw.Run(mkInputs([]uint16{4, 2, 3, 1}))
+	if r.Block != nil {
+		t.Fatal("winner-only routing must not produce a block")
+	}
+	if r.Winner.Slot != 3 {
+		t.Fatalf("winner slot = %d, want 3", r.Winner.Slot)
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	nw, _ := New(4, decision.DWCS, PaperLogN)
+	in := mkInputs([]uint16{1, 2, 3, 4})
+	nw.Run(in)
+	nw.Run(in)
+	if nw.Cycles != 2 {
+		t.Errorf("Cycles = %d, want 2", nw.Cycles)
+	}
+	if nw.TotalPasses != 4 {
+		t.Errorf("TotalPasses = %d, want 4", nw.TotalPasses)
+	}
+	// Each PaperLogN pass engages all N/2 blocks: 2 cycles * 2 passes * 2
+	// blocks = 8 compares.
+	if got := nw.Compares(); got != 8 {
+		t.Errorf("Compares = %d, want 8", got)
+	}
+}
+
+func TestRunPanicsOnWidthMismatch(t *testing.T) {
+	nw, _ := New(4, decision.DWCS, PaperLogN)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run accepted a mis-wired input width")
+		}
+	}()
+	nw.Run(make([]attr.Attributes, 3))
+}
+
+func TestRunReusesBuffersSafely(t *testing.T) {
+	// The returned block must not alias the internal scratch: a second Run
+	// must not mutate the first result.
+	nw, _ := New(4, decision.DWCS, PaperLogN)
+	r1 := nw.Run(mkInputs([]uint16{4, 3, 2, 1}))
+	head := r1.Block[0].Slot
+	nw.Run(mkInputs([]uint16{1, 2, 3, 4}))
+	if r1.Block[0].Slot != head {
+		t.Fatal("second Run mutated the first result's block")
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	if PaperLogN.String() != "paper-logn" || Bitonic.String() != "bitonic" ||
+		Tournament.String() != "tournament" || Schedule(9).String() != "schedule(9)" {
+		t.Error("Schedule.String misbehaved")
+	}
+}
+
+func BenchmarkPaperLogN32(b *testing.B) {
+	nw, _ := New(32, decision.DWCS, PaperLogN)
+	rng := rand.New(rand.NewSource(4))
+	deadlines := make([]uint16, 32)
+	for i := range deadlines {
+		deadlines[i] = uint16(rng.Intn(1 << 14))
+	}
+	in := mkInputs(deadlines)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Run(in)
+	}
+}
+
+func BenchmarkTournament32(b *testing.B) {
+	nw, _ := New(32, decision.DWCS, Tournament)
+	rng := rand.New(rand.NewSource(5))
+	deadlines := make([]uint16, 32)
+	for i := range deadlines {
+		deadlines[i] = uint16(rng.Intn(1 << 14))
+	}
+	in := mkInputs(deadlines)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Run(in)
+	}
+}

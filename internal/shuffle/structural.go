@@ -1,0 +1,107 @@
+package shuffle
+
+// Structural network model: the recirculating shuffle-exchange built from
+// clocked RegisteredBlocks on the hwsim kernel, one hardware clock per
+// recirculation, with the steering muxes applying the perfect shuffle
+// between the recirculation registers and the Decision-block inputs — the
+// closest this reproduction gets to the RTL of Figure 4. The behavioral
+// Network (which computes a pass combinationally) is pinned against this
+// model in tests.
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/attr"
+	"repro/internal/decision"
+	"repro/internal/hwsim"
+)
+
+// Structural is the clocked realization of the paper's log₂N-pass schedule.
+type Structural struct {
+	n      int
+	blocks []*decision.RegisteredBlock
+	clk    *hwsim.Clock
+
+	// recirculation registers: the sorted-so-far attribute words.
+	regs []hwsim.Reg[attr.Attributes]
+}
+
+// NewStructural builds an n-slot clocked network (n a power of two ≥ 2) in
+// the given Decision-block mode.
+func NewStructural(n int, mode decision.Mode) (*Structural, error) {
+	if n < 2 || bits.OnesCount(uint(n)) != 1 {
+		return nil, fmt.Errorf("shuffle: slot count %d is not a power of two ≥ 2", n)
+	}
+	s := &Structural{
+		n:      n,
+		blocks: make([]*decision.RegisteredBlock, n/2),
+		clk:    hwsim.NewClock(),
+		regs:   make([]hwsim.Reg[attr.Attributes], n),
+	}
+	for i := range s.blocks {
+		s.blocks[i] = &decision.RegisteredBlock{Mode: mode}
+		// The blocks are stepped explicitly inside each pass (their
+		// output registers latch on the same edge as the recirculation
+		// registers), so only the recirculation registers attach to the
+		// clock.
+	}
+	for i := range s.regs {
+		s.clk.Attach(&s.regs[i])
+	}
+	return s, nil
+}
+
+// Clock exposes the underlying clock (cycle counts, tracing).
+func (s *Structural) Clock() *hwsim.Clock { return s.clk }
+
+// Run performs one decision cycle: the attribute words load into the
+// recirculation registers, then log₂N clocked passes shuffle-exchange them;
+// the sorted block is read from the registers. It returns the block and the
+// clock cycles consumed.
+func (s *Structural) Run(in []attr.Attributes) ([]attr.Attributes, int, error) {
+	if len(in) != s.n {
+		return nil, 0, fmt.Errorf("shuffle: %d inputs wired to a %d-slot structural network", len(in), s.n)
+	}
+	for i := range s.regs {
+		s.regs[i].Reset(in[i])
+	}
+	k := bits.TrailingZeros(uint(s.n))
+	start := s.clk.Cycle()
+	for p := 0; p < k; p++ {
+		// Steering muxes: drive block b with the shuffled register pair.
+		for b := 0; b < s.n/2; b++ {
+			s.blocks[b].Drive(s.regs[shuffleIndex(s.n, 2*b)].Get(), s.regs[shuffleIndex(s.n, 2*b+1)].Get())
+		}
+		// The blocks' comparators settle combinationally within the
+		// pass and their output registers latch on the same edge as the
+		// recirculation registers; step the blocks explicitly, then
+		// stage the recirculation registers from the latched verdicts
+		// and take the clock edge.
+		for b := 0; b < s.n/2; b++ {
+			s.blocks[b].Evaluate()
+			s.blocks[b].Commit()
+		}
+		for b := 0; b < s.n/2; b++ {
+			v := s.blocks[b].Out()
+			s.regs[2*b].Set(v.Winner)
+			s.regs[2*b+1].Set(v.Loser)
+		}
+		s.clk.Step() // recirculation registers latch; one clock per pass
+	}
+	out := make([]attr.Attributes, s.n)
+	for i := range s.regs {
+		out[i] = s.regs[i].Get()
+	}
+	return out, int(s.clk.Cycle() - start), nil
+}
+
+// shuffleIndex returns which recirculation register feeds Decision input
+// position pos under the perfect-shuffle wiring: position 2i reads register
+// i, position 2i+1 reads register i + N/2.
+func shuffleIndex(n, pos int) int {
+	if pos%2 == 0 {
+		return pos / 2
+	}
+	return pos/2 + n/2
+}

@@ -1,0 +1,87 @@
+package shuffle
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/decision"
+)
+
+func TestStructuralValidation(t *testing.T) {
+	if _, err := NewStructural(3, decision.DWCS); err == nil {
+		t.Error("accepted non-power-of-two")
+	}
+	s, err := NewStructural(4, decision.DWCS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Run(make([]attr.Attributes, 3)); err == nil {
+		t.Error("accepted mis-wired input width")
+	}
+}
+
+// TestStructuralMatchesBehavioral pins the clocked RTL-style network
+// against the behavioral per-pass model: identical blocks, cycle for cycle.
+func TestStructuralMatchesBehavioral(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		structural, err := NewStructural(n, decision.DWCS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		behavioral, err := New(n, decision.DWCS, PaperLogN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 300; trial++ {
+			in := make([]attr.Attributes, n)
+			for i := range in {
+				in[i] = attr.Attributes{
+					Deadline: attr.Time16(rng.Intn(1 << 14)),
+					LossNum:  uint8(rng.Intn(4)),
+					LossDen:  uint8(rng.Intn(4)),
+					Arrival:  attr.Time16(rng.Intn(1 << 14)),
+					Slot:     attr.SlotID(i),
+					Valid:    rng.Intn(6) != 0,
+				}
+			}
+			gotBlock, cycles, err := structural.Run(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := behavioral.Run(in)
+			if cycles != want.Passes {
+				t.Fatalf("N=%d: structural %d clocks vs behavioral %d passes", n, cycles, want.Passes)
+			}
+			for i := range gotBlock {
+				if gotBlock[i].Slot != want.Block[i].Slot {
+					t.Fatalf("N=%d trial %d: position %d structural slot %d vs behavioral %d",
+						n, trial, i, gotBlock[i].Slot, want.Block[i].Slot)
+				}
+			}
+		}
+	}
+}
+
+// TestStructuralClockAdvances checks that repeated decision cycles keep the
+// hardware clock monotonic (log₂N clocks each).
+func TestStructuralClockAdvances(t *testing.T) {
+	s, _ := NewStructural(8, decision.DWCS)
+	in := make([]attr.Attributes, 8)
+	for i := range in {
+		in[i] = attr.Attributes{Deadline: attr.Time16(i), Slot: attr.SlotID(i), Valid: true}
+	}
+	for r := 1; r <= 5; r++ {
+		_, cycles, err := s.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cycles != 3 {
+			t.Fatalf("run %d took %d clocks, want 3", r, cycles)
+		}
+		if s.Clock().Cycle() != uint64(3*r) {
+			t.Fatalf("clock at %d after %d runs", s.Clock().Cycle(), r)
+		}
+	}
+}

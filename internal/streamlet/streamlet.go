@@ -1,0 +1,176 @@
+// Package streamlet implements stream aggregation (§4.3, §5.1, Figure 10):
+// binding many *streamlets* to a single Register Base block when only
+// aggregate QoS is required, trading per-stream FPGA state for cheap
+// processor memory.
+//
+// The Stream processor services streamlets with the round-robin policy the
+// paper uses ("we simply used a round-robin service policy on the Stream
+// processor between streamlets … by cycling through active queues"), and
+// supports multiple weighted *sets* of streamlets within one stream-slot
+// ("we were even able to support multiple sets of streamlets within a
+// stream-slot" — Figure 10's slot 4 carries two sets, set 1 with double the
+// bandwidth of set 2) via weighted round robin across sets.
+//
+// An Aggregator implements regblock.HeadSource, so a stream-slot drains it
+// exactly like a single stream; the slot's QoS (deadlines, window
+// constraints) applies to the aggregate.
+package streamlet
+
+import (
+	"fmt"
+
+	"repro/internal/regblock"
+)
+
+// Streamlet is one aggregated sub-stream: its own packet source plus
+// service accounting.
+type Streamlet struct {
+	src regblock.HeadSource
+
+	// Served counts packets handed to the stream-slot; Bytes counts
+	// transmitted bytes (charged by OnTransmit).
+	Served uint64
+	Bytes  uint64
+}
+
+// Set is a weighted group of streamlets within one stream-slot. During each
+// weighted-round-robin turn the set hands out Weight packets (across its
+// streamlets, plain round robin) before the next set's turn.
+type Set struct {
+	weight     int
+	streamlets []*Streamlet
+	cursor     int
+}
+
+// NewSet builds a set with the given weight over the given sources.
+func NewSet(weight int, sources []regblock.HeadSource) (*Set, error) {
+	if weight < 1 {
+		return nil, fmt.Errorf("streamlet: set weight %d", weight)
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("streamlet: empty set")
+	}
+	s := &Set{weight: weight}
+	for _, src := range sources {
+		if src == nil {
+			return nil, fmt.Errorf("streamlet: nil source")
+		}
+		s.streamlets = append(s.streamlets, &Streamlet{src: src})
+	}
+	return s, nil
+}
+
+// Weight returns the set's WRR weight.
+func (s *Set) Weight() int { return s.weight }
+
+// Size returns the number of streamlets in the set.
+func (s *Set) Size() int { return len(s.streamlets) }
+
+// Streamlet returns streamlet i's accounting.
+func (s *Set) Streamlet(i int) *Streamlet { return s.streamlets[i] }
+
+// next round-robins within the set, returning the index of the first
+// streamlet (starting at the cursor) with a packet available.
+func (s *Set) next() (int, regblock.Head, bool) {
+	for k := 0; k < len(s.streamlets); k++ {
+		i := (s.cursor + k) % len(s.streamlets)
+		if h, ok := s.streamlets[i].src.NextHead(); ok {
+			s.cursor = (i + 1) % len(s.streamlets)
+			s.streamlets[i].Served++
+			return i, h, true
+		}
+	}
+	return 0, regblock.Head{}, false
+}
+
+// provider identifies which streamlet supplied a head, for transmit-time
+// byte accounting.
+type provider struct {
+	set, streamlet int
+}
+
+// Aggregator merges streamlet sets into a single head stream for one
+// stream-slot.
+type Aggregator struct {
+	sets []*Set
+
+	// WRR state: current set and remaining credit in its turn.
+	setCursor int
+	credit    int
+
+	// pending maps dequeued heads (in order) to their providers so
+	// OnTransmit charges the right streamlet.
+	pending []provider
+
+	// Served counts packets handed to the slot across all sets.
+	Served uint64
+}
+
+// New builds an aggregator over one or more weighted sets.
+func New(sets ...*Set) (*Aggregator, error) {
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("streamlet: no sets")
+	}
+	for _, s := range sets {
+		if s == nil {
+			return nil, fmt.Errorf("streamlet: nil set")
+		}
+	}
+	a := &Aggregator{sets: sets}
+	a.credit = sets[0].weight
+	return a, nil
+}
+
+// Sets returns the aggregator's set count.
+func (a *Aggregator) Sets() int { return len(a.sets) }
+
+// Set returns set i.
+func (a *Aggregator) Set(i int) *Set { return a.sets[i] }
+
+// NextHead implements regblock.HeadSource: weighted round robin across
+// sets, plain round robin within the chosen set. A set's turn ends when its
+// credit is spent or it has nothing to send; after a full rotation with no
+// head the aggregate is empty.
+func (a *Aggregator) NextHead() (regblock.Head, bool) {
+	for tried := 0; tried <= len(a.sets); tried++ {
+		set := a.sets[a.setCursor]
+		if a.credit > 0 {
+			if i, h, ok := set.next(); ok {
+				a.credit--
+				a.pending = append(a.pending, provider{set: a.setCursor, streamlet: i})
+				a.Served++
+				return h, true
+			}
+		}
+		// Turn over: move to the next set with fresh credit.
+		a.setCursor = (a.setCursor + 1) % len(a.sets)
+		a.credit = a.sets[a.setCursor].weight
+	}
+	return regblock.Head{}, false
+}
+
+// Advance implements core.TimedSource by forwarding the clock to every
+// streamlet source that is time-gated.
+func (a *Aggregator) Advance(now uint64) {
+	type timed interface{ Advance(uint64) }
+	for _, s := range a.sets {
+		for _, sl := range s.streamlets {
+			if ts, ok := sl.src.(timed); ok {
+				ts.Advance(now)
+			}
+		}
+	}
+}
+
+// OnTransmit charges bytes transmitted from this slot to the streamlet that
+// supplied the oldest outstanding head (heads are consumed by the slot in
+// FIFO order). It returns the (set, streamlet) charged.
+func (a *Aggregator) OnTransmit(bytes int) (set, sl int, err error) {
+	if len(a.pending) == 0 {
+		return 0, 0, fmt.Errorf("streamlet: transmit with no outstanding head")
+	}
+	p := a.pending[0]
+	a.pending = a.pending[1:]
+	a.sets[p.set].streamlets[p.streamlet].Bytes += uint64(bytes)
+	return p.set, p.streamlet, nil
+}

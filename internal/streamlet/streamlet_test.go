@@ -1,0 +1,165 @@
+package streamlet
+
+import (
+	"testing"
+
+	"repro/internal/regblock"
+	"repro/internal/traffic"
+)
+
+func backlogged(n int) []regblock.HeadSource {
+	srcs := make([]regblock.HeadSource, n)
+	for i := range srcs {
+		srcs[i] = &traffic.Periodic{Gap: 1, Backlogged: true}
+	}
+	return srcs
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewSet(0, backlogged(1)); err == nil {
+		t.Error("accepted zero weight")
+	}
+	if _, err := NewSet(1, nil); err == nil {
+		t.Error("accepted empty set")
+	}
+	if _, err := NewSet(1, []regblock.HeadSource{nil}); err == nil {
+		t.Error("accepted nil source")
+	}
+	if _, err := New(); err == nil {
+		t.Error("accepted no sets")
+	}
+	if _, err := New(nil); err == nil {
+		t.Error("accepted nil set")
+	}
+}
+
+func TestRoundRobinWithinSet(t *testing.T) {
+	set, err := NewSet(1, backlogged(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := New(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 dequeues must hit each streamlet exactly 3 times, in rotation.
+	for k := 0; k < 9; k++ {
+		if _, ok := agg.NextHead(); !ok {
+			t.Fatalf("dequeue %d failed", k)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if got := set.Streamlet(i).Served; got != 3 {
+			t.Errorf("streamlet %d served %d, want 3", i, got)
+		}
+	}
+	if agg.Served != 9 {
+		t.Errorf("aggregate served %d", agg.Served)
+	}
+}
+
+func TestWeightedSets(t *testing.T) {
+	// Two sets with weights 2:1 — Figure 10's slot 4. Over many turns,
+	// set 1 gets two packets for each of set 2's.
+	s1, _ := NewSet(2, backlogged(2))
+	s2, _ := NewSet(1, backlogged(2))
+	agg, err := New(s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3000; k++ {
+		if _, ok := agg.NextHead(); !ok {
+			t.Fatalf("dequeue %d failed", k)
+		}
+	}
+	set1 := s1.Streamlet(0).Served + s1.Streamlet(1).Served
+	set2 := s2.Streamlet(0).Served + s2.Streamlet(1).Served
+	if set1 != 2000 || set2 != 1000 {
+		t.Fatalf("set service = %d/%d, want 2000/1000", set1, set2)
+	}
+	// Equal split within each set.
+	if s1.Streamlet(0).Served != s1.Streamlet(1).Served {
+		t.Error("unequal split within set 1")
+	}
+}
+
+func TestSkipsIdleStreamlets(t *testing.T) {
+	// Only streamlet 1 has traffic: round robin must skip the empty ones
+	// without stalling ("cycling through active queues").
+	srcs := []regblock.HeadSource{
+		&traffic.Periodic{Gap: 1, Limit: 1, Backlogged: true},
+		&traffic.Periodic{Gap: 1, Backlogged: true},
+		&traffic.Periodic{Gap: 1, Limit: 1, Backlogged: true},
+	}
+	set, _ := NewSet(1, srcs)
+	agg, _ := New(set)
+	for k := 0; k < 50; k++ {
+		if _, ok := agg.NextHead(); !ok {
+			t.Fatalf("dequeue %d failed", k)
+		}
+	}
+	if set.Streamlet(1).Served < 48 {
+		t.Errorf("active streamlet served %d of 50", set.Streamlet(1).Served)
+	}
+}
+
+func TestExhaustionAndIdleSets(t *testing.T) {
+	s1, _ := NewSet(3, []regblock.HeadSource{&traffic.Periodic{Gap: 1, Limit: 2, Backlogged: true}})
+	s2, _ := NewSet(1, []regblock.HeadSource{&traffic.Periodic{Gap: 1, Limit: 1, Backlogged: true}})
+	agg, _ := New(s1, s2)
+	served := 0
+	for {
+		if _, ok := agg.NextHead(); !ok {
+			break
+		}
+		served++
+	}
+	if served != 3 {
+		t.Fatalf("served %d, want 3 (all packets, no wedge)", served)
+	}
+	if _, ok := agg.NextHead(); ok {
+		t.Fatal("exhausted aggregator yielded a head")
+	}
+}
+
+func TestOnTransmitChargesFIFOProvider(t *testing.T) {
+	s1, _ := NewSet(1, backlogged(2))
+	agg, _ := New(s1)
+	agg.NextHead() // streamlet 0
+	agg.NextHead() // streamlet 1
+	set, sl, err := agg.OnTransmit(100)
+	if err != nil || set != 0 || sl != 0 {
+		t.Fatalf("first transmit charged %d/%d (%v), want 0/0", set, sl, err)
+	}
+	_, sl, _ = agg.OnTransmit(200)
+	if sl != 1 {
+		t.Fatalf("second transmit charged streamlet %d, want 1", sl)
+	}
+	if s1.Streamlet(0).Bytes != 100 || s1.Streamlet(1).Bytes != 200 {
+		t.Fatalf("bytes = %d/%d", s1.Streamlet(0).Bytes, s1.Streamlet(1).Bytes)
+	}
+	if _, _, err := agg.OnTransmit(1); err == nil {
+		t.Fatal("transmit with no outstanding head accepted")
+	}
+}
+
+func TestAdvanceForwardsClock(t *testing.T) {
+	gated := &traffic.Periodic{Gap: 1, Phase: 5}
+	set, _ := NewSet(1, []regblock.HeadSource{gated})
+	agg, _ := New(set)
+	if _, ok := agg.NextHead(); ok {
+		t.Fatal("head released before arrival")
+	}
+	agg.Advance(5)
+	if _, ok := agg.NextHead(); !ok {
+		t.Fatal("head not released after Advance")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s1, _ := NewSet(2, backlogged(3))
+	agg, _ := New(s1)
+	if agg.Sets() != 1 || agg.Set(0) != s1 || s1.Weight() != 2 || s1.Size() != 3 {
+		t.Fatal("accessors broken")
+	}
+}

@@ -1,0 +1,305 @@
+package traffic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPeriodicGatedRelease(t *testing.T) {
+	p := &Periodic{Gap: 3, Phase: 2}
+	p.Advance(0)
+	if _, ok := p.NextHead(); ok {
+		t.Fatal("packet released before its arrival time")
+	}
+	p.Advance(2)
+	h, ok := p.NextHead()
+	if !ok || h.Arrival != 2 {
+		t.Fatalf("packet 0: ok=%v arrival=%d, want arrival 2", ok, h.Arrival)
+	}
+	if _, ok := p.NextHead(); ok {
+		t.Fatal("packet 1 released early (arrives at 5)")
+	}
+	p.Advance(5)
+	h, ok = p.NextHead()
+	if !ok || h.Arrival != 5 {
+		t.Fatalf("packet 1: ok=%v arrival=%d, want arrival 5", ok, h.Arrival)
+	}
+}
+
+func TestPeriodicBackloggedIgnoresClock(t *testing.T) {
+	p := &Periodic{Gap: 1, Backlogged: true, Limit: 3}
+	for k := 0; k < 3; k++ {
+		h, ok := p.NextHead()
+		if !ok || h.Arrival != uint64(k) {
+			t.Fatalf("packet %d: ok=%v arrival=%d", k, ok, h.Arrival)
+		}
+	}
+	if _, ok := p.NextHead(); ok {
+		t.Fatal("limit not enforced")
+	}
+	if p.Consumed() != 3 {
+		t.Fatalf("Consumed = %d, want 3", p.Consumed())
+	}
+}
+
+func TestPeriodicGenerated(t *testing.T) {
+	p := &Periodic{Gap: 2, Phase: 1, Limit: 5}
+	p.Advance(0)
+	if got := p.Generated(); got != 0 {
+		t.Fatalf("Generated at t=0: %d, want 0", got)
+	}
+	p.Advance(1)
+	if got := p.Generated(); got != 1 {
+		t.Fatalf("Generated at t=1: %d, want 1", got)
+	}
+	p.Advance(7) // arrivals 1,3,5,7
+	if got := p.Generated(); got != 4 {
+		t.Fatalf("Generated at t=7: %d, want 4", got)
+	}
+	p.Advance(1000)
+	if got := p.Generated(); got != 5 {
+		t.Fatalf("Generated capped: %d, want 5", got)
+	}
+}
+
+func TestPeriodicZeroGapDefaults(t *testing.T) {
+	p := &Periodic{Backlogged: true}
+	h1, _ := p.NextHead()
+	h2, _ := p.NextHead()
+	if h2.Arrival != h1.Arrival+1 {
+		t.Fatalf("zero Gap should default to 1: %d then %d", h1.Arrival, h2.Arrival)
+	}
+}
+
+func TestPeriodicArrivalStays64Bit(t *testing.T) {
+	// Sources speak 64-bit virtual time; the Register Base block, not the
+	// generator, truncates onto the 16-bit datapath fields.
+	p := &Periodic{Gap: 1, Phase: 0x10000 + 5, Backlogged: true}
+	h, _ := p.NextHead()
+	if h.Arrival != 0x10005 {
+		t.Fatalf("arrival = %#x, want 0x10005 unwrapped", h.Arrival)
+	}
+}
+
+func TestBurstyArrivals(t *testing.T) {
+	// Bursts of 3, gap 1, inter-burst 10:
+	// packets 0,1,2 at 0,1,2; packet 3 at 12 (2+10), 4 at 13, 5 at 14;
+	// packet 6 at 24.
+	b := &Bursty{BurstLen: 3, Gap: 1, InterBurst: 10}
+	want := []uint64{0, 1, 2, 12, 13, 14, 24}
+	for k, w := range want {
+		if got := b.ArrivalOf(uint64(k)); got != w {
+			t.Errorf("ArrivalOf(%d) = %d, want %d", k, got, w)
+		}
+	}
+}
+
+func TestBurstyGatedRelease(t *testing.T) {
+	b := &Bursty{BurstLen: 2, Gap: 1, InterBurst: 5, Limit: 4}
+	b.Advance(1)
+	var got []uint64
+	for {
+		h, ok := b.NextHead()
+		if !ok {
+			break
+		}
+		got = append(got, h.Arrival)
+	}
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("burst 1 arrivals = %v, want [0 1]", got)
+	}
+	if _, ok := b.NextHead(); ok {
+		t.Fatal("burst 2 released during the inter-burst gap")
+	}
+	b.Advance(6) // packet 2 arrives at 1+5 = 6
+	h, ok := b.NextHead()
+	if !ok || h.Arrival != 6 {
+		t.Fatalf("burst 2 first packet: ok=%v arrival=%d, want 6", ok, h.Arrival)
+	}
+	b.Advance(100)
+	if _, ok := b.NextHead(); !ok {
+		t.Fatal("packet 3 should be available")
+	}
+	if _, ok := b.NextHead(); ok {
+		t.Fatal("limit 4 not enforced")
+	}
+	if b.Consumed() != 4 {
+		t.Fatalf("Consumed = %d, want 4", b.Consumed())
+	}
+}
+
+func TestBurstyArrivalsMonotonic(t *testing.T) {
+	f := func(burstLen, gap, inter uint8) bool {
+		b := &Bursty{BurstLen: uint64(burstLen%8) + 1, Gap: uint64(gap%4) + 1, InterBurst: uint64(inter)}
+		prev := b.ArrivalOf(0)
+		for k := uint64(1); k < 50; k++ {
+			cur := b.ArrivalOf(k)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTaggedValidation(t *testing.T) {
+	if _, err := NewTagged([]uint64{1, 2}, []uint64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewTagged([]uint64{2, 1}, []uint64{0, 0}); err == nil {
+		t.Error("non-monotonic arrivals accepted")
+	}
+}
+
+func TestTaggedReleaseAndTags(t *testing.T) {
+	src, err := NewTagged([]uint64{0, 0, 4}, []uint64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Advance(0)
+	h, ok := src.NextHead()
+	if !ok || h.Tag != 10 {
+		t.Fatalf("head 0: ok=%v tag=%d", ok, h.Tag)
+	}
+	h, ok = src.NextHead()
+	if !ok || h.Tag != 20 {
+		t.Fatalf("head 1: ok=%v tag=%d", ok, h.Tag)
+	}
+	if _, ok := src.NextHead(); ok {
+		t.Fatal("head 2 released before arrival 4")
+	}
+	src.Advance(4)
+	h, ok = src.NextHead()
+	if !ok || h.Tag != 30 {
+		t.Fatalf("head 2: ok=%v tag=%d", ok, h.Tag)
+	}
+	if _, ok := src.NextHead(); ok {
+		t.Fatal("exhausted source yielded a head")
+	}
+	if src.Consumed() != 3 {
+		t.Fatalf("Consumed = %d, want 3", src.Consumed())
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	if _, err := NewReplay(nil, false); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := NewReplay([]uint64{3, 1}, false); err == nil {
+		t.Error("non-monotonic trace accepted")
+	}
+}
+
+func TestReplayOnce(t *testing.T) {
+	r, err := NewReplay([]uint64{0, 2, 2, 5}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Advance(2)
+	var got []uint64
+	for {
+		h, ok := r.NextHead()
+		if !ok {
+			break
+		}
+		got = append(got, h.Arrival)
+	}
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("released %v, want [0 2 2]", got)
+	}
+	r.Advance(5)
+	if h, ok := r.NextHead(); !ok || h.Arrival != 5 {
+		t.Fatalf("last packet: %v %v", h, ok)
+	}
+	if _, ok := r.NextHead(); ok {
+		t.Fatal("non-looping replay did not end")
+	}
+	if r.Consumed() != 4 {
+		t.Fatalf("consumed = %d", r.Consumed())
+	}
+}
+
+func TestReplayLoopShiftsArrivals(t *testing.T) {
+	r, err := NewReplay([]uint64{0, 3}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Advance(100)
+	want := []uint64{0, 3, 4, 7, 8, 11}
+	for i, w := range want {
+		h, ok := r.NextHead()
+		if !ok || h.Arrival != w {
+			t.Fatalf("packet %d: arrival %d ok=%v, want %d", i, h.Arrival, ok, w)
+		}
+	}
+}
+
+func TestOnOffDeterministicAndAlternating(t *testing.T) {
+	run := func() []uint64 {
+		o := &OnOff{Gap: 2, MeanOn: 20, MeanOff: 10, Seed: 5}
+		o.Advance(500)
+		var got []uint64
+		for {
+			h, ok := o.NextHead()
+			if !ok {
+				break
+			}
+			got = append(got, h.Arrival)
+		}
+		return got
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no packets generated")
+	}
+	if len(a) != len(b) {
+		t.Fatal("not deterministic")
+	}
+	var gaps bool
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("arrival sequences diverge")
+		}
+		if i > 0 {
+			if a[i] <= a[i-1] {
+				t.Fatal("arrivals not strictly increasing")
+			}
+			if a[i]-a[i-1] > 2 {
+				gaps = true // an OFF period showed up
+			}
+		}
+	}
+	if !gaps {
+		t.Error("no OFF periods over 500 time units (mean off 10)")
+	}
+	// Long-run ON fraction ≈ MeanOn/(MeanOn+MeanOff) = 2/3, so packets ≈
+	// 500 * (2/3) / 2 ≈ 167; accept a broad band.
+	if len(a) < 80 || len(a) > 250 {
+		t.Errorf("generated %d packets over 500 units, expected ≈167", len(a))
+	}
+}
+
+func TestOnOffLimitAndGating(t *testing.T) {
+	o := &OnOff{Gap: 1, MeanOn: 1000, MeanOff: 1, Seed: 1, Limit: 5}
+	if _, ok := o.NextHead(); ok {
+		t.Fatal("packet before Advance")
+	}
+	o.Advance(100)
+	n := 0
+	for {
+		if _, ok := o.NextHead(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("limit: generated %d, want 5", n)
+	}
+	if o.Emitted() != 5 || o.Consumed() != 5 {
+		t.Fatalf("counters: %d/%d", o.Emitted(), o.Consumed())
+	}
+}

@@ -1,0 +1,100 @@
+// Package txengine implements the Transmission Engine of the ShareStreams
+// endsystem (Figure 3): the component that takes scheduled Stream IDs from
+// the card, enables the NI DMA pulls that move the corresponding frames
+// from processor memory to the network, and accounts the per-stream output
+// bandwidth and queuing delay the evaluation reports (Figures 8 and 9).
+package txengine
+
+import (
+	"fmt"
+
+	"repro/internal/link"
+	"repro/internal/stats"
+)
+
+// Engine is one transmission engine bound to an outgoing link.
+type Engine struct {
+	link   *link.Link
+	meter  *stats.BandwidthMeter
+	delays *stats.DelayRecorder
+
+	frames []uint64 // per-stream frame counters
+	bytes  []uint64
+}
+
+// New builds an engine for streams streams over a link at linkBps, with
+// bandwidth averaged over meterWindowNs.
+func New(streams int, linkBps, meterWindowNs float64) (*Engine, error) {
+	l, err := link.New(linkBps)
+	if err != nil {
+		return nil, err
+	}
+	m, err := stats.NewBandwidthMeter(streams, meterWindowNs)
+	if err != nil {
+		return nil, err
+	}
+	d, err := stats.NewDelayRecorder(streams)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		link:   l,
+		meter:  m,
+		delays: d,
+		frames: make([]uint64, streams),
+		bytes:  make([]uint64, streams),
+	}, nil
+}
+
+// Transmit sends one scheduled frame: stream's frame of size bytes, made
+// ready (scheduled) at readyNs, having arrived at arrivalNs. The frame
+// serializes on the link; queuing delay is measured arrival → wire
+// completion. It returns the wire completion time.
+func (e *Engine) Transmit(stream, size int, readyNs, arrivalNs float64) (float64, error) {
+	if stream < 0 || stream >= len(e.frames) {
+		return 0, fmt.Errorf("txengine: stream %d out of range", stream)
+	}
+	_, end, err := e.link.Transmit(size, readyNs)
+	if err != nil {
+		return 0, err
+	}
+	if err := e.meter.Record(stream, size, end); err != nil {
+		return 0, err
+	}
+	if err := e.delays.Record(stream, e.frames[stream], end-arrivalNs); err != nil {
+		return 0, err
+	}
+	e.frames[stream]++
+	e.bytes[stream] += uint64(size)
+	return end, nil
+}
+
+// Finish closes the measurement windows.
+func (e *Engine) Finish() { e.meter.Finish() }
+
+// Bandwidth returns stream i's MB/s series.
+func (e *Engine) Bandwidth(i int) []stats.Point { return e.meter.Series(i) }
+
+// MeanMBps returns stream i's mean output bandwidth.
+func (e *Engine) MeanMBps(i int) float64 { return e.meter.MeanMBps(i) }
+
+// Delays returns stream i's (packet index, delay ms) series.
+func (e *Engine) Delays(i int) []stats.Point { return e.delays.Series(i) }
+
+// DelayStats returns stream i's mean and maximum queuing delay (ms).
+func (e *Engine) DelayStats(i int) (mean, max float64) {
+	return e.delays.Mean(i), e.delays.Max(i)
+}
+
+// Jitter returns stream i's delay jitter (ms): the mean absolute difference
+// between consecutive packets' delays.
+func (e *Engine) Jitter(i int) float64 { return e.delays.Jitter(i) }
+
+// Frames returns stream i's transmitted frame count.
+func (e *Engine) Frames(i int) uint64 { return e.frames[i] }
+
+// Bytes returns stream i's transmitted byte count.
+func (e *Engine) Bytes(i int) uint64 { return e.bytes[i] }
+
+// Link exposes the output link (utilization, totals).
+func (e *Engine) Link() *link.Link { return e.link }

@@ -1,0 +1,83 @@
+package txengine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1e9, 1e6); err == nil {
+		t.Error("accepted zero streams")
+	}
+	if _, err := New(2, 0, 1e6); err == nil {
+		t.Error("accepted zero link rate")
+	}
+	if _, err := New(2, 1e9, 0); err == nil {
+		t.Error("accepted zero meter window")
+	}
+}
+
+func TestTransmitAccounting(t *testing.T) {
+	e, err := New(2, 8e6, 1e9) // 1 MB/s link, 1 s windows
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1000-byte frame takes 1 ms on the wire.
+	end, err := e.Transmit(0, 1000, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(end-1e6) > 1e-6 {
+		t.Fatalf("completion = %v ns, want 1e6", end)
+	}
+	if e.Frames(0) != 1 || e.Bytes(0) != 1000 || e.Frames(1) != 0 {
+		t.Fatalf("counters: %d/%d frames, %d bytes", e.Frames(0), e.Frames(1), e.Bytes(0))
+	}
+	if _, err := e.Transmit(9, 1, 0, 0); err == nil {
+		t.Error("accepted out-of-range stream")
+	}
+}
+
+func TestBandwidthAndDelaySeries(t *testing.T) {
+	e, _ := New(2, 80e6, 1e8) // 10 MB/s link, 100 ms windows
+	// Stream 0 sends 10 frames of 10 kB back to back: 1 ms each.
+	for k := 0; k < 10; k++ {
+		arrival := float64(k) * 1e6
+		if _, err := e.Transmit(0, 10000, arrival, arrival); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Finish()
+	if mean := e.MeanMBps(0); mean <= 0 {
+		t.Fatalf("mean bandwidth = %v", mean)
+	}
+	if len(e.Bandwidth(0)) == 0 {
+		t.Fatal("no bandwidth points")
+	}
+	if len(e.Delays(0)) != 10 {
+		t.Fatalf("delay points = %d", len(e.Delays(0)))
+	}
+	mean, max := e.DelayStats(0)
+	// Each frame completes 1 ms after it arrives (no queuing).
+	if math.Abs(mean-1.0) > 1e-9 || math.Abs(max-1.0) > 1e-9 {
+		t.Fatalf("delay mean/max = %v/%v ms, want 1/1", mean, max)
+	}
+}
+
+func TestQueuingDelayGrowsUnderContention(t *testing.T) {
+	e, _ := New(1, 8e6, 1e9) // 1 MB/s: 1000-byte frame = 1 ms
+	// Ten frames all arrive at t=0: the k-th completes at (k+1) ms.
+	for k := 0; k < 10; k++ {
+		if _, err := e.Transmit(0, 1000, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Finish()
+	_, max := e.DelayStats(0)
+	if math.Abs(max-10.0) > 1e-9 {
+		t.Fatalf("max delay = %v ms, want 10", max)
+	}
+	if e.Link().Frames() != 10 {
+		t.Fatalf("link frames = %d", e.Link().Frames())
+	}
+}

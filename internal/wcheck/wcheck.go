@@ -1,0 +1,121 @@
+// Package wcheck verifies window-constraint satisfaction: given the
+// per-packet service/loss outcome sequence of a stream, it checks the DWCS
+// guarantee that no more than x packets are lost in any window of y
+// consecutive packets (the (m,k)-firm / W = x/y semantics of §2).
+//
+// The checker is the empirical complement to package admission's analytic
+// feasibility test: admission proves a stream set schedulable; wcheck
+// audits an actual schedule (from the cycle-accurate model or any trace)
+// against each stream's contracted tolerance. Tests use it to pin that the
+// scheduler honors window constraints whenever the admitted set is
+// feasible.
+package wcheck
+
+import "fmt"
+
+// Outcome is one packet's fate.
+type Outcome uint8
+
+const (
+	// Met: the packet was transmitted by its deadline.
+	Met Outcome = iota
+	// Lost: the packet was dropped or transmitted late.
+	Lost
+)
+
+// Violation records one window that exceeded its loss tolerance.
+type Violation struct {
+	// Start is the index of the window's first packet.
+	Start int
+	// Losses in the window (> Num).
+	Losses int
+}
+
+// Check audits a stream's outcome sequence against tolerance x-of-y: at
+// most x losses in every window of y consecutive packets. It returns all
+// violating windows (by their starting packet index). A zero y never
+// violates (no window).
+func Check(outcomes []Outcome, x, y int) ([]Violation, error) {
+	if x < 0 || y < 0 || (y > 0 && x > y) {
+		return nil, fmt.Errorf("wcheck: bad tolerance %d/%d", x, y)
+	}
+	if y == 0 || len(outcomes) < y {
+		return nil, nil
+	}
+	var violations []Violation
+	losses := 0
+	for i, o := range outcomes {
+		if o == Lost {
+			losses++
+		}
+		if i >= y && outcomes[i-y] == Lost {
+			losses--
+		}
+		if i >= y-1 && losses > x {
+			violations = append(violations, Violation{Start: i - y + 1, Losses: losses})
+		}
+	}
+	return violations, nil
+}
+
+// Stats summarizes a stream's outcome sequence.
+type Stats struct {
+	Packets    int
+	Losses     int
+	LossRate   float64
+	Violations int // violating windows under the given tolerance
+	WorstLoss  int // maximum losses observed in any window
+}
+
+// Audit computes Stats for outcomes under tolerance x-of-y.
+func Audit(outcomes []Outcome, x, y int) (Stats, error) {
+	v, err := Check(outcomes, x, y)
+	if err != nil {
+		return Stats{}, err
+	}
+	s := Stats{Packets: len(outcomes), Violations: len(v)}
+	for _, o := range outcomes {
+		if o == Lost {
+			s.Losses++
+		}
+	}
+	if s.Packets > 0 {
+		s.LossRate = float64(s.Losses) / float64(s.Packets)
+	}
+	// Worst window.
+	if y > 0 && len(outcomes) >= y {
+		losses := 0
+		for i, o := range outcomes {
+			if o == Lost {
+				losses++
+			}
+			if i >= y && outcomes[i-y] == Lost {
+				losses--
+			}
+			if i >= y-1 && losses > s.WorstLoss {
+				s.WorstLoss = losses
+			}
+		}
+	}
+	return s, nil
+}
+
+// Recorder accumulates a stream's outcomes as the schedule unfolds.
+type Recorder struct {
+	outcomes []Outcome
+}
+
+// Record appends one packet's fate.
+func (r *Recorder) Record(lost bool) {
+	o := Met
+	if lost {
+		o = Lost
+	}
+	r.outcomes = append(r.outcomes, o)
+}
+
+// Outcomes returns the accumulated sequence.
+func (r *Recorder) Outcomes() []Outcome { return r.outcomes }
+
+// Len returns the packet count.
+func (r *Recorder) Len() int { return len(r.outcomes) }

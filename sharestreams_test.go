@@ -1,0 +1,153 @@
+package sharestreams
+
+import (
+	"testing"
+)
+
+// TestQuickStart exercises the README/package-doc quick-start path.
+func TestQuickStart(t *testing.T) {
+	sched, err := NewScheduler(Config{Slots: 4, Routing: BlockRouting})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		src := &PeriodicTraffic{Gap: 1, Phase: uint64(i), Backlogged: true}
+		if err := sched.Admit(i, EDFStream(1), src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sched.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cr := sched.RunCycle()
+	if cr.Idle || len(cr.Transmissions) != 4 {
+		t.Fatalf("first block cycle: %+v", cr)
+	}
+}
+
+func TestSpecConstructors(t *testing.T) {
+	if err := EDFStream(3).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := WindowConstrainedStream(4, 1, 4).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := WindowConstrainedStream(4, 5, 4).Validate(); err == nil {
+		t.Error("invalid constraint accepted")
+	}
+	if err := StaticPriorityStream(9).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := FairShareStream(2).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := FairShareStream(0).Validate(); err == nil {
+		t.Error("zero weight accepted")
+	}
+}
+
+func TestMixedDisciplineScheduler(t *testing.T) {
+	// The headline capability: EDF + fair-share + static-priority +
+	// window-constrained on one datapath.
+	sched, err := NewScheduler(Config{Slots: 4, Routing: WinnerOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Admit(0, EDFStream(4), &PeriodicTraffic{Gap: 4, Backlogged: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Admit(1, WindowConstrainedStream(4, 1, 2), &PeriodicTraffic{Gap: 4, Backlogged: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Admit(2, StaticPriorityStream(20000), &PeriodicTraffic{Gap: 1, Backlogged: true}); err != nil {
+		t.Fatal(err)
+	}
+	arr := make([]uint64, 64)
+	tags := make([]uint64, 64)
+	for i := range arr {
+		arr[i] = uint64(i)
+		tags[i] = uint64(10000 + 10*i)
+	}
+	tagged, err := NewTaggedTraffic(arr, tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Admit(3, FairShareStream(1), tagged); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunFor(200)
+	if sched.Totals().Services != 200 {
+		t.Fatalf("services = %d", sched.Totals().Services)
+	}
+	for i := 0; i < 2; i++ {
+		if sched.SlotCounters(i).Services == 0 {
+			t.Errorf("real-time slot %d starved", i)
+		}
+	}
+}
+
+func TestAggregateFacade(t *testing.T) {
+	srcs := make([]HeadSource, 10)
+	for i := range srcs {
+		srcs[i] = &PeriodicTraffic{Gap: 1, Backlogged: true}
+	}
+	set, err := NewStreamletSet(1, srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := Aggregate(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, _ := NewScheduler(Config{Slots: 2, Routing: WinnerOnly})
+	if err := sched.Admit(0, EDFStream(1), agg); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunFor(100)
+	// 100 transmitted plus the head currently resident in the slot.
+	if agg.Served != 101 {
+		t.Fatalf("aggregate served %d, want 101", agg.Served)
+	}
+}
+
+func TestOperatingPointFacade(t *testing.T) {
+	op, err := EndsystemThroughput(TransferPIO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(op.PacketsPerS) != 299065 {
+		t.Fatalf("PIO point = %d", int(op.PacketsPerS))
+	}
+}
+
+func TestAreaFacade(t *testing.T) {
+	a, err := EstimateArea(32, 0) // BA
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.FitsVirtex1000() {
+		t.Fatal("32-slot BA should fit")
+	}
+}
+
+func TestExperimentFacades(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full paper-scale experiment sweep")
+	}
+	if _, err := Fig7(); err != nil {
+		t.Error(err)
+	}
+	res, err := Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MeanActive) != 4 {
+		t.Fatal("fig8 incomplete")
+	}
+}
