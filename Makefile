@@ -1,8 +1,8 @@
 # ShareStreams-Go convenience targets (plain `go` commands work too).
 
-.PHONY: all build test race bench report experiments cover fuzz
+.PHONY: all build test race race-full bench report experiments cover fuzz
 
-all: build test
+all: build test race
 
 build:
 	go build ./...
@@ -11,7 +11,13 @@ build:
 test:
 	go test ./...
 
+# The concurrent packages (SPSC rings, pipeline goroutines, sharded router)
+# plus the facade benchmarks under the race detector — fast enough to run on
+# every verify.
 race:
+	go test -race ./internal/ringbuf/ ./internal/endsystem/ ./internal/shard/ .
+
+race-full:
 	go test -race ./...
 
 bench:

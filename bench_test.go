@@ -309,6 +309,36 @@ func BenchmarkTable3_Sweep(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedThroughput measures the sharded endsystem's aggregate
+// decision rate as the shard count grows, holding total streams fixed (16
+// streams spread over k pipelines). Wall-clock decisions/s should scale
+// roughly monotonically 1 → NumCPU shards on a multi-core runner; on a
+// single core the shards time-slice and the curve flattens.
+func BenchmarkShardedThroughput(b *testing.B) {
+	const (
+		totalStreams    = 16
+		framesPerStream = 2000
+	)
+	for _, k := range []int{1, 2, 4, 8} {
+		slotsPerShard := totalStreams / k
+		b.Run(fmt.Sprintf("shards%d", k), func(b *testing.B) {
+			var modeled, wall float64
+			for i := 0; i < b.N; i++ {
+				res, err := RunSharded(k, slotsPerShard, framesPerStream, TransferNone)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Frames != totalStreams*framesPerStream {
+					b.Fatalf("frames = %d", res.Frames)
+				}
+				modeled, wall = res.PacketsPerS, res.WallPacketsPerS
+			}
+			b.ReportMetric(modeled, "modeled-pps")
+			b.ReportMetric(wall, "decisions/s")
+		})
+	}
+}
+
 // BenchmarkDecisionCycle measures the simulator's own hot path: one full
 // decision cycle of the hardware model.
 func BenchmarkDecisionCycle(b *testing.B) {

@@ -10,23 +10,29 @@
 //	ssbench throughput   §5.2 — line-card & endsystem vs software routers
 //	ssbench latency      §4.1 — processor-resident scheduler latencies
 //	ssbench ablation     §3   — shuffle vs heap/systolic/shift-register
+//	ssbench sharded      sharded endsystem: K scheduler pipelines in parallel
 //	ssbench all          everything above
 //
-// Flags: -csv FILE writes the active figure's series as CSV.
+// Flags: -csv FILE writes the active figure's series as CSV; -shards K sets
+// the shard count for the sharded command (default: host cores).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
+	"repro/internal/endsystem"
 	"repro/internal/experiments"
 	"repro/internal/fpga"
+	"repro/internal/pci"
 	"repro/internal/stats"
 )
 
 func main() {
-	csvPath := flag.String("csv", "", "write the figure's series to this CSV file (fig8/fig9/fig10)")
+	csvPath := flag.String("csv", "", "write the figure's series to this CSV file (fig8/fig9/fig10/sharded)")
+	shards := flag.Int("shards", runtime.NumCPU(), "scheduler shard count for the sharded command")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -34,17 +40,17 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
-	if err := run(cmd, *csvPath); err != nil {
+	if err := run(cmd, *csvPath, *shards); err != nil {
 		fmt.Fprintf(os.Stderr, "ssbench %s: %v\n", cmd, err)
 		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ssbench [-csv file] {table3|fig1|fig7|fig8|fig9|fig10|throughput|latency|ablation|extensions|scale|gsr|sortquality|all}")
+	fmt.Fprintln(os.Stderr, "usage: ssbench [-csv file] [-shards K] {table3|fig1|fig7|fig8|fig9|fig10|throughput|latency|ablation|extensions|scale|gsr|sortquality|sharded|all}")
 }
 
-func run(cmd, csvPath string) error {
+func run(cmd, csvPath string, shards int) error {
 	switch cmd {
 	case "table3":
 		return table3()
@@ -72,10 +78,12 @@ func run(cmd, csvPath string) error {
 		return gsr()
 	case "sortquality":
 		return sortQuality()
+	case "sharded":
+		return sharded(csvPath, shards)
 	case "all":
-		for _, c := range []string{"table3", "fig1", "fig7", "fig8", "fig9", "fig10", "throughput", "latency", "ablation", "extensions", "scale", "gsr", "sortquality"} {
+		for _, c := range []string{"table3", "fig1", "fig7", "fig8", "fig9", "fig10", "throughput", "latency", "ablation", "extensions", "scale", "gsr", "sortquality", "sharded"} {
 			fmt.Printf("════ %s ════\n", c)
-			if err := run(c, ""); err != nil {
+			if err := run(c, "", shards); err != nil {
 				return err
 			}
 			fmt.Println()
@@ -266,6 +274,50 @@ func scale() error {
 	}
 	fmt.Printf("streams: %d across %d stream-slots; %d decision cycles, %d services, win fairness (max/min) %.3f\n",
 		res.AggregatedStreams, res.DirectSlots, res.Cycles, res.Services, res.PerSlotFairness)
+	return nil
+}
+
+func sharded(csvPath string, shards int) error {
+	if shards < 1 {
+		return fmt.Errorf("-shards %d", shards)
+	}
+	const (
+		slotsPerShard   = 4
+		framesPerStream = 5000
+	)
+	fmt.Printf("Sharded endsystem — %d scheduler pipelines × %d streams, %d frames/stream, PIO batching\n",
+		shards, slotsPerShard, framesPerStream)
+	res, err := endsystem.RunSharded(shards, slotsPerShard, framesPerStream, pci.ModePIO)
+	if err != nil {
+		return err
+	}
+	fmt.Println("shard  streams  frames    decisions  transfer_ms  virtual_ms")
+	for _, sr := range res.PerShard {
+		fmt.Printf("%5d  %7d  %8d  %9d  %11.2f  %10.2f\n",
+			sr.Shard, sr.Streams, sr.Frames, sr.Decisions, sr.TransferNs/1e6, sr.VirtualNs/1e6)
+	}
+	fmt.Printf("aggregate: %d frames, counters %+v\n", res.Frames, res.Counters)
+	fmt.Printf("modeled:    %10.0f packets/s (completion = max over shards, §5.2-comparable)\n", res.PacketsPerS)
+	fmt.Printf("wall-clock: %10.0f packets/s (simulation itself, %.1f ms on %d cores)\n",
+		res.WallPacketsPerS, res.WallNs/1e6, runtime.NumCPU())
+
+	fmt.Println("\nScaling sweep (ModeNone):")
+	fmt.Println("shards  modeled_pps  wall_pps")
+	var modeled, wall []stats.Point
+	for k := 1; k <= shards; k *= 2 {
+		r, err := endsystem.RunSharded(k, slotsPerShard, framesPerStream, pci.ModeNone)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%6d  %11.0f  %8.0f\n", k, r.PacketsPerS, r.WallPacketsPerS)
+		modeled = append(modeled, stats.Point{X: float64(k), Y: r.PacketsPerS})
+		wall = append(wall, stats.Point{X: float64(k), Y: r.WallPacketsPerS})
+	}
+	if csvPath != "" {
+		return writeCSV(csvPath, "shards",
+			[]string{"modeled_pps", "wall_pps"},
+			[][]stats.Point{modeled, wall}, 1)
+	}
 	return nil
 }
 

@@ -538,14 +538,33 @@ func (s *Scheduler) HWCycles() uint64 { return s.hwCycles }
 // IdleCycles returns the number of decision cycles with no backlogged slot.
 func (s *Scheduler) IdleCycles() uint64 { return s.idleCount }
 
-// SlotCounters returns slot i's hardware performance counters.
-func (s *Scheduler) SlotCounters(i int) regblock.Counters { return s.slots[i].Counters }
+// SlotCounters returns slot i's hardware performance counters. An
+// out-of-range index (validated like Admit's) returns the zero value — the
+// hardware returns nothing for a register address that doesn't exist.
+func (s *Scheduler) SlotCounters(i int) regblock.Counters {
+	if i < 0 || i >= len(s.slots) {
+		return regblock.Counters{}
+	}
+	return s.slots[i].Counters
+}
 
-// SlotAttributes returns slot i's current attribute word (diagnostics).
-func (s *Scheduler) SlotAttributes(i int) attr.Attributes { return s.slots[i].Out() }
+// SlotAttributes returns slot i's current attribute word (diagnostics), or
+// the zero word when i is out of range.
+func (s *Scheduler) SlotAttributes(i int) attr.Attributes {
+	if i < 0 || i >= len(s.slots) {
+		return attr.Attributes{}
+	}
+	return s.slots[i].Out()
+}
 
-// SlotSpec returns the stream specification admitted to slot i.
-func (s *Scheduler) SlotSpec(i int) attr.Spec { return s.slots[i].Spec() }
+// SlotSpec returns the stream specification admitted to slot i, or the zero
+// spec when i is out of range.
+func (s *Scheduler) SlotSpec(i int) attr.Spec {
+	if i < 0 || i >= len(s.slots) {
+		return attr.Spec{}
+	}
+	return s.slots[i].Spec()
+}
 
 // Network exposes the shuffle-exchange network (comparison counters,
 // schedule introspection).

@@ -447,3 +447,32 @@ func TestSlotAttributesExposed(t *testing.T) {
 		t.Fatal("Config accessor broken")
 	}
 }
+
+// TestSlotAccessorsOutOfRange: the diagnostic accessors validate their slot
+// index like Admit does, returning zero values instead of panicking on bad
+// input.
+func TestSlotAccessorsOutOfRange(t *testing.T) {
+	s, err := New(Config{Slots: 4, Routing: WinnerOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Admit(0, attr.Spec{Class: attr.EDF, Period: 2},
+		&traffic.Periodic{Gap: 1, Backlogged: true}); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{-1, 4, 1000} {
+		if c := s.SlotCounters(i); c != (regblock.Counters{}) {
+			t.Errorf("SlotCounters(%d) = %+v, want zero", i, c)
+		}
+		if a := s.SlotAttributes(i); a != (attr.Attributes{}) {
+			t.Errorf("SlotAttributes(%d) = %+v, want zero", i, a)
+		}
+		if sp := s.SlotSpec(i); sp != (attr.Spec{}) {
+			t.Errorf("SlotSpec(%d) = %+v, want zero", i, sp)
+		}
+	}
+	// In-range accessors still report the admitted stream.
+	if sp := s.SlotSpec(0); sp.Class != attr.EDF || sp.Period != 2 {
+		t.Errorf("SlotSpec(0) = %+v", sp)
+	}
+}

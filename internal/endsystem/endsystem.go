@@ -93,6 +93,16 @@ type PipelineResult struct {
 // Engine goroutine consuming that ring — all over synchronization-free
 // SPSC rings, no locks. Timing comes from the calibrated cost model.
 func RunPipeline(slots, framesPerStream int, mode pci.Mode) (PipelineResult, error) {
+	bus, err := pci.New(pci.DefaultConfig())
+	if err != nil {
+		return PipelineResult{}, err
+	}
+	return runPipeline(slots, framesPerStream, bus, bus.BatchMeter(mode))
+}
+
+// runPipeline is RunPipeline with the transfer meter injected, so tests can
+// force metering failures and assert the goroutine lifecycle.
+func runPipeline(slots, framesPerStream int, bus *pci.Bus, meterBatch func(int) error) (PipelineResult, error) {
 	if slots < 2 || framesPerStream < 1 {
 		return PipelineResult{}, fmt.Errorf("endsystem: bad pipeline config (%d slots, %d frames)", slots, framesPerStream)
 	}
@@ -119,8 +129,28 @@ func RunPipeline(slots, framesPerStream int, mode pci.Mode) (PipelineResult, err
 		return PipelineResult{}, err
 	}
 
+	// Cancellation: every spin loop below checks stop so an error on any
+	// exit path unblocks the producer and transmission-engine goroutines
+	// instead of leaving them spinning on Gosched forever.
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	cancel := func() { stopOnce.Do(func() { close(stop) }) }
+	stopped := func() bool {
+		select {
+		case <-stop:
+			return true
+		default:
+			return false
+		}
+	}
+
 	var wg sync.WaitGroup
 	wg.Add(2)
+	fail := func(err error) (PipelineResult, error) {
+		cancel()
+		wg.Wait()
+		return PipelineResult{}, err
+	}
 
 	// Producer: the application filling per-stream queues.
 	go func() {
@@ -129,6 +159,9 @@ func RunPipeline(slots, framesPerStream int, mode pci.Mode) (PipelineResult, err
 			for i := 0; i < slots; i++ {
 				f := qm.Frame{Size: 1500, Arrival: uint64(k)}
 				for !manager.Submit(i, f) {
+					if stopped() {
+						return
+					}
 					runtime.Gosched() // ring full: wait for the consumer
 				}
 			}
@@ -144,6 +177,9 @@ func RunPipeline(slots, framesPerStream int, mode pci.Mode) (PipelineResult, err
 		for delivered < total {
 			tx, ok := txRing.Pop()
 			if !ok {
+				if stopped() {
+					return
+				}
 				runtime.Gosched()
 				continue
 			}
@@ -161,31 +197,9 @@ func RunPipeline(slots, framesPerStream int, mode pci.Mode) (PipelineResult, err
 	// transfer time below is metered from bank switches and word counts,
 	// not assumed.
 	if err := sched.Start(); err != nil {
-		return PipelineResult{}, err
-	}
-	bus, err := pci.New(pci.DefaultConfig())
-	if err != nil {
-		return PipelineResult{}, err
+		return fail(err)
 	}
 	var scheduled, sinceBatch uint64
-	meterBatch := func(n int) error {
-		switch mode {
-		case pci.ModePIO:
-			if _, err := bus.PushPIO(0, n); err != nil {
-				return err
-			}
-			_, err := bus.ReadPIO(1, n)
-			return err
-		case pci.ModeDMA:
-			if _, err := bus.PullDMA(0, n*4); err != nil {
-				return err
-			}
-			_, err := bus.PullDMA(1, n*4)
-			return err
-		default:
-			return nil
-		}
-	}
 	for scheduled < total {
 		cr := sched.RunCycle()
 		if cr.Idle {
@@ -199,7 +213,7 @@ func RunPipeline(slots, framesPerStream int, mode pci.Mode) (PipelineResult, err
 			sinceBatch++
 			if sinceBatch == TransferBatch {
 				if err := meterBatch(TransferBatch); err != nil {
-					return PipelineResult{}, err
+					return fail(err)
 				}
 				sinceBatch = 0
 			}
@@ -207,7 +221,7 @@ func RunPipeline(slots, framesPerStream int, mode pci.Mode) (PipelineResult, err
 	}
 	if sinceBatch > 0 {
 		if err := meterBatch(int(sinceBatch)); err != nil {
-			return PipelineResult{}, err
+			return fail(err)
 		}
 	}
 	wg.Wait()
@@ -260,6 +274,14 @@ type AllocationResult struct {
 	Sched   *core.Scheduler
 	CycleNs float64 // virtual duration of one decision cycle (one frame time)
 	Cycles  uint64
+	// Sent is the number of frames actually transmitted; Expected is the
+	// number the configuration promised (slots × FramesPerSlot).
+	Sent     uint64
+	Expected uint64
+	// Truncated reports that the runaway-cycle guard tripped before Sent
+	// reached Expected — the results cover only part of the configured
+	// run and must not be read as a complete figure.
+	Truncated bool
 }
 
 // RunAllocation executes the run: an N-slot winner-only scheduler in EDF
@@ -330,7 +352,7 @@ func RunAllocation(cfg AllocationConfig) (*AllocationResult, error) {
 		return nil, err
 	}
 
-	res := &AllocationResult{TE: te, Sched: sched, CycleNs: cycleNs}
+	res := &AllocationResult{TE: te, Sched: sched, CycleNs: cycleNs, Expected: expected}
 	var sent uint64
 	idleStreak := 0
 	maxCycles := expected*4 + 1000
@@ -359,6 +381,11 @@ func RunAllocation(cfg AllocationConfig) (*AllocationResult, error) {
 		}
 	}
 	te.Finish()
+	res.Sent = sent
+	// The guard tripping with frames outstanding means the sources kept
+	// trickling without ever draining — partial results that would
+	// otherwise look complete.
+	res.Truncated = sent < expected && res.Cycles >= maxCycles
 	return res, nil
 }
 

@@ -1,11 +1,15 @@
 package endsystem
 
 import (
+	"errors"
 	"math"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/pci"
+	"repro/internal/regblock"
 )
 
 func TestOperatingPoints(t *testing.T) {
@@ -212,5 +216,133 @@ func TestRunPipelineDMABetweenPIOAndNone(t *testing.T) {
 	}
 	if none.TransferNs != 0 || none.Batches != 0 {
 		t.Fatalf("ModeNone metered transfers: %+v", none)
+	}
+}
+
+// TestRunPipelineMeterErrorUnblocksPipeline forces a transfer-metering
+// failure mid-run and asserts the error path cancels the producer and
+// transmission-engine goroutines instead of leaving them spinning on
+// Gosched forever (a goroutine + CPU leak).
+func TestRunPipelineMeterErrorUnblocksPipeline(t *testing.T) {
+	before := runtime.NumGoroutine()
+	bus, err := pci.New(pci.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("transfer meter failure")
+	if _, err := runPipeline(4, 8000, bus, func(int) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want %v", err, boom)
+	}
+	// The error return waits for the pipeline goroutines; allow a moment
+	// for unrelated runtime goroutines to settle.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("pipeline goroutines leaked: %d running, %d before", g, before)
+	}
+}
+
+// trickle releases one head every gap decision cycles, forever — slow
+// enough that an allocation run never completes, frequent enough that the
+// idle-streak exhaustion exit never fires. It drives RunAllocation into its
+// runaway-cycle guard.
+type trickle struct {
+	gap      uint64
+	now      uint64
+	released uint64
+}
+
+func (s *trickle) Advance(now uint64) { s.now = now }
+
+func (s *trickle) NextHead() (regblock.Head, bool) {
+	due := s.released * s.gap
+	if s.now < due {
+		return regblock.Head{}, false
+	}
+	s.released++
+	return regblock.Head{Arrival: due}, true
+}
+
+func TestRunAllocationSurfacesTruncation(t *testing.T) {
+	res, err := RunAllocation(AllocationConfig{
+		RatesMBps:     []float64{8, 8},
+		FramesPerSlot: 100,
+		Sources:       []regblock.HeadSource{&trickle{gap: 600}, &trickle{gap: 600}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatalf("truncated run not flagged: sent %d of %d in %d cycles",
+			res.Sent, res.Expected, res.Cycles)
+	}
+	if res.Expected != 200 {
+		t.Fatalf("Expected = %d, want 200", res.Expected)
+	}
+	if res.Sent >= res.Expected {
+		t.Fatalf("guard should have tripped with frames outstanding: sent %d of %d",
+			res.Sent, res.Expected)
+	}
+}
+
+func TestRunAllocationCompletenessAccounting(t *testing.T) {
+	res, err := RunAllocation(AllocationConfig{
+		RatesMBps:     []float64{2, 2, 4, 8},
+		FramesPerSlot: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatalf("complete run flagged truncated: %d of %d", res.Sent, res.Expected)
+	}
+	if res.Sent != res.Expected || res.Expected != 4000 {
+		t.Fatalf("sent %d of expected %d, want 4000/4000", res.Sent, res.Expected)
+	}
+}
+
+func TestRunShardedReproducesOperatingPoint(t *testing.T) {
+	// One shard must land exactly on the §5.2 ModeNone operating point.
+	res1, err := RunSharded(1, 4, 500, pci.ModeNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1e9 / HostCostNs // 469,483 pps
+	if math.Abs(res1.PacketsPerS-want) > 1 {
+		t.Fatalf("1-shard pps = %v, want ≈%v", res1.PacketsPerS, want)
+	}
+	if res1.Frames != 4*500 {
+		t.Fatalf("1-shard delivered %d frames, want %d", res1.Frames, 4*500)
+	}
+
+	// K evenly loaded shards complete in the same modeled time, so the
+	// aggregate modeled throughput is K× the single-pipeline rate.
+	res4, err := RunSharded(4, 4, 500, pci.ModeNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res4.PacketsPerS-4*want) > 4 {
+		t.Fatalf("4-shard pps = %v, want ≈%v", res4.PacketsPerS, 4*want)
+	}
+	if res4.VirtualNs != res1.VirtualNs {
+		t.Fatalf("evenly loaded shards changed modeled completion: %v vs %v",
+			res4.VirtualNs, res1.VirtualNs)
+	}
+}
+
+func TestRunShardedPIOSlowerThanModeNone(t *testing.T) {
+	none, err := RunSharded(2, 4, 320, pci.ModeNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pio, err := RunSharded(2, 4, 320, pci.ModePIO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pio.PacketsPerS >= none.PacketsPerS {
+		t.Fatalf("PIO (%v pps) not slower than ModeNone (%v pps)",
+			pio.PacketsPerS, none.PacketsPerS)
 	}
 }

@@ -1,0 +1,36 @@
+package endsystem
+
+import (
+	"fmt"
+
+	"repro/internal/attr"
+	"repro/internal/pci"
+	"repro/internal/shard"
+)
+
+// RunSharded drives the sharded endsystem: shards independent scheduler
+// pipelines, each sized slotsPerShard, evenly loaded with shards×slotsPerShard
+// streams via flow-hash-balanced admission, pushing framesPerStream frames
+// per stream under the §5.2 calibration (HostCostNs per packet, TransferBatch
+// frames per metered PCI batch). Modeled completion time is the maximum over
+// shards, so the aggregate PacketsPerS of a 1-shard run reproduces the
+// single-pipeline operating points (469,483 pps ModeNone) and K evenly
+// loaded shards report ≈K× that.
+func RunSharded(shards, slotsPerShard, framesPerStream int, mode pci.Mode) (*shard.Result, error) {
+	router, err := shard.New(shard.Config{
+		Shards:        shards,
+		SlotsPerShard: slotsPerShard,
+		HostNs:        HostCostNs,
+		Mode:          mode,
+		TransferBatch: TransferBatch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	streams := shards * slotsPerShard
+	spec := attr.Spec{Class: attr.EDF, Period: uint16(slotsPerShard)}
+	if _, err := router.AdmitBalanced(streams, spec); err != nil {
+		return nil, fmt.Errorf("endsystem: sharded admission: %w", err)
+	}
+	return router.Run(framesPerStream)
+}

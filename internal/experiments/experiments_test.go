@@ -69,6 +69,9 @@ func TestFig8Allocation(t *testing.T) {
 	if len(res.Bandwidth) != 4 || len(res.Bandwidth[0]) == 0 {
 		t.Fatal("missing bandwidth series")
 	}
+	if res.Sent != res.Expected || res.Expected != 4*8000 {
+		t.Errorf("incomplete run: sent %d of expected %d", res.Sent, res.Expected)
+	}
 }
 
 func TestFig9ZigZagAndStream4Lowest(t *testing.T) {
@@ -94,6 +97,9 @@ func TestFig9ZigZagAndStream4Lowest(t *testing.T) {
 		if j < 0 {
 			t.Errorf("stream %d negative jitter %v", i+1, j)
 		}
+	}
+	if res.Sent != res.Expected || res.Expected != 4*12000 {
+		t.Errorf("incomplete run: sent %d of expected %d", res.Sent, res.Expected)
 	}
 }
 
@@ -128,6 +134,9 @@ func TestFig10Aggregation(t *testing.T) {
 	r := res.StreamletMBps[3][0] / res.StreamletMBps[3][1]
 	if math.Abs(r-2.0) > 0.15 {
 		t.Errorf("slot 4 per-streamlet ratio = %.2f, want ≈2", r)
+	}
+	if res.Sent != res.Expected || res.Expected != 4*6000 {
+		t.Errorf("incomplete run: sent %d of expected %d", res.Sent, res.Expected)
 	}
 }
 

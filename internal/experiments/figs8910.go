@@ -25,6 +25,10 @@ type Fig8Result struct {
 	Targets []float64
 	CycleNs float64
 	Cycles  uint64
+	// Sent/Expected account for every configured frame; RunAllocation's
+	// truncation guard turns into an error before a partial figure can be
+	// mistaken for the real one.
+	Sent, Expected uint64
 }
 
 // Fig8Config parameterizes the run; zero values take the paper's setup.
@@ -49,11 +53,17 @@ func Fig8(cfg Fig8Config) (*Fig8Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if res.Truncated {
+		return nil, fmt.Errorf("experiments: Fig8 truncated: sent %d of %d frames in %d cycles",
+			res.Sent, res.Expected, res.Cycles)
+	}
 	n := len(cfg.RatesMBps)
 	out := &Fig8Result{
-		Targets: cfg.RatesMBps,
-		CycleNs: res.CycleNs,
-		Cycles:  res.Cycles,
+		Targets:  cfg.RatesMBps,
+		CycleNs:  res.CycleNs,
+		Cycles:   res.Cycles,
+		Sent:     res.Sent,
+		Expected: res.Expected,
 	}
 	for i := 0; i < n; i++ {
 		out.Bandwidth = append(out.Bandwidth, res.TE.Bandwidth(i))
@@ -95,6 +105,8 @@ type Fig9Result struct {
 	// Mean, Peak and Jitter are per-stream delay statistics (ms).
 	Mean, Peak, Jitter []float64
 	CycleNs            float64
+	// Sent/Expected account for every configured frame (see Fig8Result).
+	Sent, Expected uint64
 }
 
 // Fig9Config parameterizes the run; zero values take the paper's setup.
@@ -129,7 +141,11 @@ func Fig9(cfg Fig9Config) (*Fig9Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Fig9Result{CycleNs: res.CycleNs}
+	if res.Truncated {
+		return nil, fmt.Errorf("experiments: Fig9 truncated: sent %d of %d frames in %d cycles",
+			res.Sent, res.Expected, res.Cycles)
+	}
+	out := &Fig9Result{CycleNs: res.CycleNs, Sent: res.Sent, Expected: res.Expected}
 	for i := range cfg.RatesMBps {
 		out.Delays = append(out.Delays, res.TE.Delays(i))
 		mean, peak := res.TE.DelayStats(i)
@@ -165,6 +181,8 @@ type Fig10Result struct {
 	// received.
 	SetShare [][]float64
 	CycleNs  float64
+	// Sent/Expected account for every configured frame (see Fig8Result).
+	Sent, Expected uint64
 }
 
 // Fig10Config parameterizes the run.
@@ -244,8 +262,12 @@ func Fig10(cfg Fig10Config) (*Fig10Result, error) {
 		return nil, err
 	}
 
+	if res.Truncated {
+		return nil, fmt.Errorf("experiments: Fig10 truncated: sent %d of %d frames in %d cycles",
+			res.Sent, res.Expected, res.Cycles)
+	}
 	runSeconds := float64(res.Cycles) * res.CycleNs / 1e9
-	out := &Fig10Result{CycleNs: res.CycleNs}
+	out := &Fig10Result{CycleNs: res.CycleNs, Sent: res.Sent, Expected: res.Expected}
 	for i := 0; i < n; i++ {
 		out.SlotMBps = append(out.SlotMBps, res.TE.MeanMBps(i))
 		var perSet []float64

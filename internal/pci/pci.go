@@ -238,3 +238,29 @@ func (b *Bus) PerPacketNs(mode Mode, batch int) (float64, error) {
 		return 0, fmt.Errorf("pci: unknown mode %d", mode)
 	}
 }
+
+// BatchMeter returns the per-batch metering function an endsystem pipeline
+// drives every transfer batch: a push of n arrival-time words into bank 0
+// and a read of n stream-ID words back from bank 1 (PIO), the equivalent
+// pull-DMA bursts (DMA), or nothing (ModeNone). Sharded runs hold one bus —
+// and so one meter — per shard, the model counterpart of per-shard cards.
+func (b *Bus) BatchMeter(mode Mode) func(n int) error {
+	return func(n int) error {
+		switch mode {
+		case ModePIO:
+			if _, err := b.PushPIO(0, n); err != nil {
+				return err
+			}
+			_, err := b.ReadPIO(1, n)
+			return err
+		case ModeDMA:
+			if _, err := b.PullDMA(0, n*4); err != nil {
+				return err
+			}
+			_, err := b.PullDMA(1, n*4)
+			return err
+		default:
+			return nil
+		}
+	}
+}

@@ -136,8 +136,12 @@ func (m *Manager) Submit(i int, f Frame) bool {
 	return true
 }
 
-// Stats returns stream i's accounting.
+// Stats returns stream i's accounting; an out-of-range index returns the
+// zero value, mirroring Submit's tolerance of bad stream indices.
 func (m *Manager) Stats(i int) StreamStats {
+	if i < 0 || i >= len(m.queues) {
+		return StreamStats{}
+	}
 	return StreamStats{
 		Submitted: m.perSubmitted[i],
 		Dequeued:  m.perDequeued[i],
@@ -146,8 +150,26 @@ func (m *Manager) Stats(i int) StreamStats {
 	}
 }
 
-// Backlog returns stream i's queued frame count.
-func (m *Manager) Backlog(i int) int { return m.queues[i].Len() }
+// Totals returns the accounting summed across every stream — the per-shard
+// Queue-Manager view the sharded endsystem aggregator merges.
+func (m *Manager) Totals() StreamStats {
+	var t StreamStats
+	for i := range m.queues {
+		t.Submitted += m.perSubmitted[i]
+		t.Dequeued += m.perDequeued[i]
+		t.Dropped += m.perDropped[i]
+		t.Bytes += m.perBytes[i]
+	}
+	return t
+}
+
+// Backlog returns stream i's queued frame count (0 when i is out of range).
+func (m *Manager) Backlog(i int) int {
+	if i < 0 || i >= len(m.queues) {
+		return 0
+	}
+	return m.queues[i].Len()
+}
 
 // Source returns the card-side head source for stream i: each NextHead
 // dequeues one frame, stamping fair-queuing tags when the descriptor class

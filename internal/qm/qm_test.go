@@ -148,3 +148,31 @@ func TestPerStreamStats(t *testing.T) {
 		t.Fatalf("stream 1 stats = %+v", s1)
 	}
 }
+
+func TestStatsBacklogOutOfRangeAndTotals(t *testing.T) {
+	m, err := New(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Describe(0, attr.Spec{Class: attr.EDF, Period: 2}); err != nil {
+		t.Fatal(err)
+	}
+	m.Submit(0, Frame{Size: 100, Arrival: 0})
+	m.Submit(0, Frame{Size: 200, Arrival: 1})
+	m.Submit(1, Frame{Size: 50, Arrival: 0})
+	for _, i := range []int{-1, 2, 99} {
+		if s := m.Stats(i); s != (StreamStats{}) {
+			t.Errorf("Stats(%d) = %+v, want zero", i, s)
+		}
+		if b := m.Backlog(i); b != 0 {
+			t.Errorf("Backlog(%d) = %d, want 0", i, b)
+		}
+	}
+	tot := m.Totals()
+	if tot.Submitted != 3 || tot.Bytes != 350 || tot.Dropped != 0 {
+		t.Errorf("Totals = %+v", tot)
+	}
+	if m.Backlog(0) != 2 || m.Backlog(1) != 1 {
+		t.Errorf("backlogs = %d, %d", m.Backlog(0), m.Backlog(1))
+	}
+}

@@ -45,12 +45,20 @@ func New[T any](capacity int) (*Ring[T], error) {
 // Cap returns the ring's capacity.
 func (r *Ring[T]) Cap() int { return len(r.buf) }
 
-// Len returns the current element count (approximate under concurrency).
+// Len returns the current element count (approximate under concurrency,
+// never negative). head must be loaded before tail: head only grows, and
+// head ≤ tail holds at every instant, so a tail loaded after the head is
+// always ≥ it and the unsigned subtraction cannot wrap. With the loads the
+// other way around, a consumer popping between the two loads can advance
+// head past the stale tail and the difference wraps to a huge count.
 func (r *Ring[T]) Len() int {
-	return int(r.tail.Load() - r.head.Load())
+	head := r.head.Load()
+	tail := r.tail.Load()
+	return int(tail - head)
 }
 
-// Empty reports whether the ring is empty (approximate under concurrency).
+// Empty reports whether the ring is empty (approximate under concurrency;
+// inherits Len's conservative head-before-tail load ordering).
 func (r *Ring[T]) Empty() bool { return r.Len() == 0 }
 
 // Push appends v; it reports false when the ring is full. Producer-side

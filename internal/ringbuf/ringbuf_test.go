@@ -138,3 +138,65 @@ func TestConcurrentSPSC(t *testing.T) {
 		t.Fatalf("residual elements: %d", r.Len())
 	}
 }
+
+// TestLenObserverNeverNegative stresses Len from a third goroutine while a
+// producer and consumer run flat out — the shard aggregator reading queue
+// backlogs while a pipeline drains. Under the old tail-before-head load
+// ordering, the consumer advancing head between the two loads makes the
+// uint64 subtraction wrap and Len report a huge negative count; the
+// head-before-tail ordering keeps the result a conservative non-negative
+// length. Run under -race.
+func TestLenObserverNeverNegative(t *testing.T) {
+	const total = 200000
+	r, _ := New[int](64)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	stop := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; {
+			if r.Push(i) {
+				i++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for n := 0; n < total; {
+			if _, ok := r.Pop(); ok {
+				n++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	var bad int
+	var badVal int
+	observerDone := make(chan struct{})
+	go func() {
+		defer close(observerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if n := r.Len(); n < 0 {
+				bad++
+				badVal = n
+			}
+			if r.Empty() && r.Len() < 0 { // exercise Empty's audit too
+				bad++
+			}
+			runtime.Gosched() // don't starve the pipeline on small GOMAXPROCS
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-observerDone
+	if bad > 0 {
+		t.Fatalf("observer saw %d negative Len results (last %d)", bad, badVal)
+	}
+}

@@ -225,6 +225,36 @@ func WriteCSV(w io.Writer, xLabel string, labels []string, series [][]Point) err
 	return err
 }
 
+// SumSeries merges several window-aligned series into one by summing the
+// Y values at each window index — the aggregator that folds per-shard
+// bandwidth series into a single endsystem view. The X coordinates are
+// taken from the first series that has the row; shorter series contribute
+// zero beyond their end. Series produced by BandwidthMeters with the same
+// window size align by construction.
+func SumSeries(series ...[]Point) []Point {
+	maxLen := 0
+	for _, s := range series {
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+	}
+	out := make([]Point, maxLen)
+	for row := 0; row < maxLen; row++ {
+		haveX := false
+		for _, s := range series {
+			if row >= len(s) {
+				continue
+			}
+			if !haveX {
+				out[row].X = s[row].X
+				haveX = true
+			}
+			out[row].Y += s[row].Y
+		}
+	}
+	return out
+}
+
 // Downsample keeps every k-th point of a series (k ≥ 1), for readable CSV
 // dumps of 64000-packet runs.
 func Downsample(pts []Point, k int) []Point {

@@ -173,3 +173,24 @@ func TestJitter(t *testing.T) {
 		t.Fatal("single-packet jitter nonzero")
 	}
 }
+
+func TestSumSeries(t *testing.T) {
+	a := []Point{{X: 1, Y: 2}, {X: 3, Y: 4}, {X: 5, Y: 6}}
+	b := []Point{{X: 1, Y: 10}, {X: 3, Y: 20}}
+	got := SumSeries(a, b)
+	want := []Point{{X: 1, Y: 12}, {X: 3, Y: 24}, {X: 5, Y: 6}}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if out := SumSeries(); len(out) != 0 {
+		t.Errorf("empty merge = %v", out)
+	}
+	if out := SumSeries(nil, a); len(out) != 3 || out[0] != a[0] {
+		t.Errorf("nil + a = %v", out)
+	}
+}

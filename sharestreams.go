@@ -56,6 +56,7 @@ import (
 	"repro/internal/linecard"
 	"repro/internal/pci"
 	"repro/internal/regblock"
+	"repro/internal/shard"
 	"repro/internal/streamlet"
 	"repro/internal/traffic"
 )
@@ -196,6 +197,37 @@ func EndsystemThroughput(mode TransferMode) (OperatingPoint, error) {
 // RunAllocation executes a Figure 8/9/10-style bandwidth-allocation run.
 func RunAllocation(cfg AllocationConfig) (*AllocationResult, error) {
 	return endsystem.RunAllocation(cfg)
+}
+
+// Sharded endsystem: K independent scheduler pipelines behind a flow-hash
+// dispatcher, with per-shard counters and bandwidth series merged into one
+// view (internal/shard).
+type (
+	// ShardedConfig parameterizes a sharded router.
+	ShardedConfig = shard.Config
+	// ShardedRouter dispatches streams to K scheduler pipelines by flow
+	// hash and aggregates their results.
+	ShardedRouter = shard.Router
+	// ShardedResult is the merged view of a sharded run.
+	ShardedResult = shard.Result
+	// ShardResult is one shard's slice of a sharded run.
+	ShardResult = shard.ShardResult
+	// StreamID identifies a stream across the sharded endsystem.
+	StreamID = shard.StreamID
+)
+
+// NewShardedRouter builds a sharded endsystem router; Admit (or
+// AdmitBalanced) streams, then Run.
+func NewShardedRouter(cfg ShardedConfig) (*ShardedRouter, error) {
+	return shard.New(cfg)
+}
+
+// RunSharded drives K evenly loaded scheduler pipelines under the §5.2
+// calibration and returns the aggregated result: one shard reproduces the
+// single-pipeline operating points, K shards report ≈K× the modeled
+// throughput (and wall-clock throughput that scales with host cores).
+func RunSharded(shards, slotsPerShard, framesPerStream int, mode TransferMode) (*ShardedResult, error) {
+	return endsystem.RunSharded(shards, slotsPerShard, framesPerStream, mode)
 }
 
 // Line-card realization (Figure 2): the no-host configuration for backbone
