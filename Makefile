@@ -1,6 +1,6 @@
 # ShareStreams-Go convenience targets (plain `go` commands work too).
 
-.PHONY: all build test race race-full bench report experiments cover fuzz
+.PHONY: all build test race race-full bench bench-check perf report experiments cover fuzz
 
 all: build test race
 
@@ -12,16 +12,31 @@ test:
 	go test ./...
 
 # The concurrent packages (SPSC rings, pipeline goroutines, sharded router)
-# plus the facade benchmarks under the race detector — fast enough to run on
-# every verify.
+# plus shuffle/core (whose buffer-aliasing contracts the batch drivers lean
+# on) and the facade benchmarks, all under the race detector — fast enough
+# to run on every verify.
 race:
-	go test -race ./internal/ringbuf/ ./internal/endsystem/ ./internal/shard/ .
+	go test -race ./internal/ringbuf/ ./internal/endsystem/ ./internal/shard/ ./internal/shuffle/ ./internal/core/ .
 
 race-full:
 	go test -race ./...
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Quick perf-regression gate: the zero-allocation and accounting guards, the
+# fast-path-equals-cascade differential tests, and one pass of the headline
+# benchmarks with allocation reporting. Cheap enough for every PR.
+bench-check:
+	go test -run 'TestZeroAllocSteadyState|TestHWCyclesAccounting' ./internal/core/
+	go test -run 'TestFastOrderDifferential|TestLessStrictWeakOrdering' ./internal/decision/
+	go test -run 'TestBlockAliasingContract' ./internal/shuffle/
+	go test -run xxx -bench 'BenchmarkDecisionCycle' -benchtime 100x -benchmem .
+
+# Full perf harness: sweeps N=4..1024 × {DWCS,TagOnly} × {WR,BA} and writes
+# BENCH_PR2.json (see EXPERIMENTS.md "Performance trajectory").
+perf:
+	go run ./cmd/ssbench perf
 
 report:
 	go run ./cmd/ssreport -full > report.md

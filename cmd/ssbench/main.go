@@ -11,10 +11,13 @@
 //	ssbench latency      §4.1 — processor-resident scheduler latencies
 //	ssbench ablation     §3   — shuffle vs heap/systolic/shift-register
 //	ssbench sharded      sharded endsystem: K scheduler pipelines in parallel
-//	ssbench all          everything above
+//	ssbench perf         PR-2 perf-regression harness (writes BENCH_PR2.json)
+//	ssbench all          everything above (perf excluded; run it explicitly)
 //
 // Flags: -csv FILE writes the active figure's series as CSV; -shards K sets
-// the shard count for the sharded command (default: host cores).
+// the shard count for the sharded command (default: host cores); -json FILE
+// sets the perf command's report path; -cpuprofile/-memprofile FILE write
+// pprof profiles of whichever command ran.
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/endsystem"
 	"repro/internal/experiments"
@@ -33,6 +37,9 @@ import (
 func main() {
 	csvPath := flag.String("csv", "", "write the figure's series to this CSV file (fig8/fig9/fig10/sharded)")
 	shards := flag.Int("shards", runtime.NumCPU(), "scheduler shard count for the sharded command")
+	jsonPath := flag.String("json", "BENCH_PR2.json", "perf command: write the machine-readable report here (empty to skip)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -40,17 +47,49 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
-	if err := run(cmd, *csvPath, *shards); err != nil {
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ssbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ssbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	err := run(cmd, *csvPath, *shards, *jsonPath)
+
+	if *memProfile != "" {
+		f, ferr := os.Create(*memProfile)
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "ssbench: -memprofile: %v\n", ferr)
+			os.Exit(1)
+		}
+		runtime.GC() // materialize the live heap before snapshotting
+		if werr := pprof.WriteHeapProfile(f); werr != nil {
+			fmt.Fprintf(os.Stderr, "ssbench: -memprofile: %v\n", werr)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "ssbench %s: %v\n", cmd, err)
+		pprof.StopCPUProfile() // deferred exit path: flush any open profile
 		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ssbench [-csv file] [-shards K] {table3|fig1|fig7|fig8|fig9|fig10|throughput|latency|ablation|extensions|scale|gsr|sortquality|sharded|all}")
+	fmt.Fprintln(os.Stderr, "usage: ssbench [-csv file] [-shards K] [-json file] [-cpuprofile file] [-memprofile file] {table3|fig1|fig7|fig8|fig9|fig10|throughput|latency|ablation|extensions|scale|gsr|sortquality|sharded|perf|all}")
 }
 
-func run(cmd, csvPath string, shards int) error {
+func run(cmd, csvPath string, shards int, jsonPath string) error {
 	switch cmd {
 	case "table3":
 		return table3()
@@ -80,10 +119,12 @@ func run(cmd, csvPath string, shards int) error {
 		return sortQuality()
 	case "sharded":
 		return sharded(csvPath, shards)
+	case "perf":
+		return perf(jsonPath)
 	case "all":
 		for _, c := range []string{"table3", "fig1", "fig7", "fig8", "fig9", "fig10", "throughput", "latency", "ablation", "extensions", "scale", "gsr", "sortquality", "sharded"} {
 			fmt.Printf("════ %s ════\n", c)
-			if err := run(c, "", shards); err != nil {
+			if err := run(c, "", shards, jsonPath); err != nil {
 				return err
 			}
 			fmt.Println()

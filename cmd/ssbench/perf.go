@@ -1,0 +1,165 @@
+package main
+
+// The perf command is the PR-2 perf-regression harness: it measures the
+// decision hot path (steady-state backlogged EDF streams, every cycle a
+// decision) across slot counts, decision modes, and routing disciplines,
+// and emits the results both as a human-readable table and as
+// machine-readable JSON (BENCH_PR2.json by default) so successive PRs can
+// diff decisions/sec, ns/decision, and allocs/cycle against a recorded
+// baseline. testing.AllocsPerRun is usable outside `go test`, which is what
+// makes the allocation column available from a plain binary.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/decision"
+	"repro/internal/traffic"
+)
+
+// perfSlots is the N sweep: every power of four from the paper's prototype
+// size (4) to core.MaxSlots.
+var perfSlots = []int{4, 16, 64, 256, 1024}
+
+// PerfRow is one (N, mode, routing) measurement.
+type PerfRow struct {
+	Slots           int     `json:"slots"`
+	Mode            string  `json:"mode"`    // "DWCS" or "TagOnly"
+	Routing         string  `json:"routing"` // "WR" or "BA"
+	Cycles          int     `json:"cycles"`
+	NsPerDecision   float64 `json:"ns_per_decision"`
+	DecisionsPerSec float64 `json:"decisions_per_sec"`
+	AllocsPerCycle  float64 `json:"allocs_per_cycle"`
+}
+
+// PerfReport is the BENCH_PR2.json document.
+type PerfReport struct {
+	GoVersion string    `json:"go_version"`
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	NumCPU    int       `json:"num_cpu"`
+	Rows      []PerfRow `json:"rows"`
+}
+
+func perf(jsonPath string) error {
+	fmt.Println("PR-2 perf harness — steady-state decision hot path")
+	fmt.Println("(backlogged EDF streams, one decision per cycle; allocs via testing.AllocsPerRun)")
+	fmt.Println()
+	fmt.Println("slots  mode     routing  cycles   ns/decision  decisions/s  allocs/cycle")
+
+	rep := PerfReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, n := range perfSlots {
+		for _, mode := range []decision.Mode{decision.DWCS, decision.TagOnly} {
+			for _, routing := range []core.Routing{core.WinnerOnly, core.BlockRouting} {
+				row, err := perfOne(n, mode, routing)
+				if err != nil {
+					return err
+				}
+				rep.Rows = append(rep.Rows, row)
+				fmt.Printf("%5d  %-7s  %-7s  %7d  %11.1f  %11.0f  %12.2f\n",
+					row.Slots, row.Mode, row.Routing, row.Cycles,
+					row.NsPerDecision, row.DecisionsPerSec, row.AllocsPerCycle)
+			}
+		}
+	}
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+		fmt.Printf("\n(report written to %s)\n", jsonPath)
+	}
+	return nil
+}
+
+// perfOne builds a backlogged scheduler and measures its steady state.
+func perfOne(n int, mode decision.Mode, routing core.Routing) (PerfRow, error) {
+	sched, err := perfScheduler(n, mode, routing)
+	if err != nil {
+		return PerfRow{}, err
+	}
+
+	// Cycle budget: roughly constant total comparator work across N, with a
+	// floor so small configurations still average over a long run.
+	cycles := 4_000_000 / n
+	if cycles < 4000 {
+		cycles = 4000
+	}
+
+	// Warm up past the first key-refresh epoch so the timed region is pure
+	// steady state.
+	sched.RunCycles(cycles/4+16, nil)
+
+	start := time.Now()
+	sched.RunCycles(cycles, nil)
+	elapsed := time.Since(start)
+
+	// Allocation accounting on a fresh scheduler: AllocsPerRun pins
+	// GOMAXPROCS to 1, and a short batch per run keeps the probe cheap.
+	sched2, err := perfScheduler(n, mode, routing)
+	if err != nil {
+		return PerfRow{}, err
+	}
+	const probeBatch = 64
+	sched2.RunCycles(probeBatch, nil) // settle startup allocations
+	allocs := testing.AllocsPerRun(32, func() {
+		sched2.RunCycles(probeBatch, nil)
+	}) / probeBatch
+
+	ns := float64(elapsed.Nanoseconds()) / float64(cycles)
+	row := PerfRow{
+		Slots:           n,
+		Mode:            "DWCS",
+		Routing:         "WR",
+		Cycles:          cycles,
+		NsPerDecision:   ns,
+		DecisionsPerSec: 1e9 / ns,
+		AllocsPerCycle:  allocs,
+	}
+	if mode == decision.TagOnly {
+		row.Mode = "TagOnly"
+	}
+	if routing == core.BlockRouting {
+		row.Routing = "BA"
+	}
+	return row, nil
+}
+
+// perfScheduler builds an N-slot scheduler with every slot backlogged: EDF
+// periods staggered 1..16 so deadlines keep interleaving, arrivals released
+// immediately, so every cycle resolves a full block decision.
+func perfScheduler(n int, mode decision.Mode, routing core.Routing) (*core.Scheduler, error) {
+	sched, err := core.New(core.Config{Slots: n, Mode: mode, Routing: routing})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		src := &traffic.Periodic{Gap: 1, Phase: uint64(i % 7), Backlogged: true}
+		spec := attr.Spec{Class: attr.EDF, Period: uint16(1 + i%16)}
+		if err := sched.Admit(i, spec, src); err != nil {
+			return nil, err
+		}
+	}
+	if err := sched.Start(); err != nil {
+		return nil, err
+	}
+	return sched, nil
+}

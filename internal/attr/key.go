@@ -1,0 +1,154 @@
+// Packed sortable rank keys.
+//
+// A Decision block resolves most pairwise orders on the first one or two
+// rules of Table 2, yet the software cascade in package decision evaluates
+// a branchy rule chain for every comparison. Following the rank-based view
+// of hardware schedulers (compute a rank once, compare ranks cheaply — the
+// PIFO insight), this file packs a stream's entire Table-2 ordering state
+// into one uint64 whose *unsigned integer order equals the cascade order*
+// whenever the wrapped time fields are serial-comparable. The key is
+// recomputed only when the attribute word changes (PRIORITY_UPDATE /
+// INGEST), so a decision cycle's log₂N network passes reduce to single
+// integer compares.
+//
+// Layout (MSB first; smaller key = higher priority = earlier in the block):
+//
+//	[63]    invalid flag (empty slots sort after every backlogged one)
+//	[62:47] deadline, normalized: uint16(Deadline - ref)        (rule 1)
+//	[46:31] window-constraint ratio rank (see below)            (rule 2)
+//	[30:23] rule-3/4 tie-break: ^LossDen if W = 0, else LossNum (rules 3, 4)
+//	[22:7]  arrival time, normalized: uint16(Arrival - ref)     (rule 5)
+//	[6:0]   slot ID, saturating at 127                          (final tie)
+//
+// Every field above the slot is exact: two keys tie in a field if and only
+// if the cascade ties at the corresponding rule. The slot field saturates,
+// so two slots ≥ 127 compare equal here and fall back to the cascade —
+// which is always the last word (decision.FastOrder declines to decide on
+// equal keys or window-straddling time fields). The reference time ref is
+// therefore purely a performance hint: a well-chosen ref (near the current
+// virtual time) makes the normalized fields agree with serial-number order
+// for all live heads; a badly chosen one only increases fallbacks, never
+// changes an ordering.
+//
+// The window-constraint ratio W = x/y orders by value via the cross
+// multiplier, with equal values (1/2 vs 2/4) comparing equal and undefined
+// x/0 after everything. A 16-bit dense rank of all 2^16 (x, y) encodings —
+// precomputed once at package init — gives exactly that: equal ratios share
+// a rank, order follows the ratio, and y = 0 maps to the maximum rank.
+package attr
+
+import "sort"
+
+// Key is a packed sortable rank key: the Table-2 ordering state of one
+// attribute word, encoded so that smaller unsigned values order first.
+type Key uint64
+
+// Key field layout constants, exported for the decision package's fast-path
+// comparator (guards and mode masks need field positions).
+const (
+	KeySlotBits      = 7  // saturating slot field width
+	KeyArrivalShift  = 7  // 16-bit normalized arrival
+	KeyTieShift      = 23 // 8-bit rule-3/4 tie-break
+	KeyRankShift     = 31 // 16-bit constraint ratio rank
+	KeyDeadlineShift = 47 // 16-bit normalized deadline
+	KeyInvalidBit    = 63 // empty-slot flag
+
+	// KeyConstraintMask covers the fields only the DWCS datapath compares
+	// (ratio rank and rule-3/4 tie-break); the TagOnly fast path masks
+	// them out, mirroring the simple comparator's deadline/FCFS/slot order.
+	KeyConstraintMask Key = ((1<<16-1)<<KeyRankShift | (1<<8-1)<<KeyTieShift)
+
+	keySlotMax = 1<<KeySlotBits - 1
+)
+
+// ratioRank maps the 16-bit encoding x<<8|y of a window-constraint W = x/y
+// to its dense rank among all distinct ratio values: equal ratios share a
+// rank, lower ratios rank lower, and the undefined y = 0 encodings all take
+// rank 0xFFFF (the hardware treats x/0 as the loosest constraint). Built
+// once at package init.
+var ratioRank [1 << 16]uint16
+
+func init() {
+	// Sort the 255·256 defined (x, y) encodings by ratio value using the
+	// same cross-multiplication the Decision block's comparator performs,
+	// then assign dense ranks so exact-equal ratios collide.
+	idx := make([]int, 0, 255*256)
+	for x := 0; x < 256; x++ {
+		for y := 1; y < 256; y++ {
+			idx = append(idx, x<<8|y)
+		}
+	}
+	cross := func(i, j int) (uint32, uint32) {
+		xi, yi := uint32(i>>8), uint32(i&0xFF)
+		xj, yj := uint32(j>>8), uint32(j&0xFF)
+		return xi * yj, xj * yi
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		l, r := cross(idx[a], idx[b])
+		return l < r
+	})
+	rank := uint16(0)
+	for k, enc := range idx {
+		if k > 0 {
+			if l, r := cross(idx[k-1], enc); l != r {
+				rank++
+			}
+		}
+		ratioRank[enc] = rank
+	}
+	for x := 0; x < 256; x++ {
+		ratioRank[x<<8] = 0xFFFF // y = 0: undefined, after everything
+	}
+}
+
+// Key packs a into its sortable rank key. ref is the normalization base for
+// the wrapped time fields — callers hold it near (current virtual time −
+// 2^15) so live deadlines and arrivals land mid-window; see the file
+// comment for why any ref is correct.
+func (a Attributes) Key(ref Time16) Key {
+	return a.KeyWith(KeyConstraint(a.LossNum, a.LossDen), ref)
+}
+
+// KeyConstraint packs just the window-constraint fields of a key (ratio rank
+// plus the rule-3/4 tie-break) for numerator x over denominator y. These
+// fields change only on window adjustments — far rarer than head advances —
+// so stateful callers cache this part and repack the rest with KeyWith,
+// keeping the dense-rank table lookup off the per-head path.
+func KeyConstraint(x, y uint8) Key {
+	var tie uint64
+	switch {
+	case y == 0:
+		// Undefined constraints compare equal (max rank) and then order by
+		// lowest numerator (rule 4's branch — note Constraint.Zero is
+		// false for x/0 with x > 0, and the 0/0-vs-x/0 pair also resolves
+		// through the numerator compare).
+		tie = uint64(x)
+	case x == 0:
+		// W = 0: rule 3 orders the highest denominator first.
+		tie = uint64(^y)
+	default:
+		// Equal non-zero constraints: rule 4 orders the lowest numerator
+		// first.
+		tie = uint64(x)
+	}
+	return Key(ratioRank[uint16(x)<<8|uint16(y)])<<KeyRankShift | Key(tie)<<KeyTieShift
+}
+
+// KeyWith packs a's key around a precomputed constraint part, which must be
+// KeyConstraint(a.LossNum, a.LossDen). Key == KeyWith∘KeyConstraint; the
+// split exists so the hot rekey after every head advance is pure shifts.
+func (a Attributes) KeyWith(constraint Key, ref Time16) Key {
+	slot := uint64(a.Slot)
+	if slot > keySlotMax {
+		slot = keySlotMax
+	}
+	if !a.Valid {
+		// The cascade ignores an empty slot's attributes entirely: only
+		// the invalid flag and the slot tie-break may influence the order.
+		return 1<<KeyInvalidBit | Key(slot)
+	}
+	return Key(uint16(a.Deadline-ref))<<KeyDeadlineShift |
+		constraint |
+		Key(uint16(a.Arrival-ref))<<KeyArrivalShift |
+		Key(slot)
+}

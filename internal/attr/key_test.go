@@ -1,0 +1,136 @@
+package attr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRatioRankMatchesCmp checks the precomputed dense rank against the
+// cross-multiplying comparator: rank order must equal Constraint.Cmp order
+// for every pair, including equal-value fractions and undefined x/0.
+func TestRatioRankMatchesCmp(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 500000; trial++ {
+		c := Constraint{Num: uint8(rng.Intn(256)), Den: uint8(rng.Intn(256))}
+		d := Constraint{Num: uint8(rng.Intn(256)), Den: uint8(rng.Intn(256))}
+		rc := ratioRank[uint16(c.Num)<<8|uint16(c.Den)]
+		rd := ratioRank[uint16(d.Num)<<8|uint16(d.Den)]
+		var got int
+		switch {
+		case rc < rd:
+			got = -1
+		case rc > rd:
+			got = 1
+		}
+		if want := c.Cmp(d); got != want {
+			t.Fatalf("rank order of %v vs %v = %d, Cmp = %d (ranks %d, %d)", c, d, got, want, rc, rd)
+		}
+	}
+}
+
+// TestRatioRankEqualFractions pins the collision property directly: scaled
+// representations of the same ratio share a rank.
+func TestRatioRankEqualFractions(t *testing.T) {
+	for _, pair := range [][4]uint8{{1, 2, 2, 4}, {1, 2, 100, 200}, {3, 9, 1, 3}, {2, 3, 84, 126}, {0, 1, 0, 255}} {
+		ra := ratioRank[uint16(pair[0])<<8|uint16(pair[1])]
+		rb := ratioRank[uint16(pair[2])<<8|uint16(pair[3])]
+		if ra != rb {
+			t.Errorf("%d/%d rank %d != %d/%d rank %d", pair[0], pair[1], ra, pair[2], pair[3], rb)
+		}
+	}
+	if got := ratioRank[uint16(7)<<8|0]; got != 0xFFFF {
+		t.Errorf("undefined 7/0 rank = %d, want 0xFFFF", got)
+	}
+	// The defined ranks must stay strictly below the undefined sentinel.
+	max := uint16(0)
+	for x := 0; x < 256; x++ {
+		for y := 1; y < 256; y++ {
+			if r := ratioRank[x<<8|y]; r > max {
+				max = r
+			}
+		}
+	}
+	if max >= 0xFFFF {
+		t.Fatalf("defined rank %d collides with the undefined sentinel", max)
+	}
+}
+
+// TestKeyFieldExactness checks that every key field above the slot ties if
+// and only if the corresponding cascade rule ties — the property that makes
+// a lower field safe to consult.
+func TestKeyFieldExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const ref = Time16(0x1234)
+	for trial := 0; trial < 200000; trial++ {
+		a := Attributes{
+			Deadline: Time16(rng.Intn(1 << 16)), LossNum: uint8(rng.Intn(256)), LossDen: uint8(rng.Intn(256)),
+			Arrival: Time16(rng.Intn(1 << 16)), Slot: SlotID(rng.Intn(1024)), Valid: true,
+		}
+		b := a
+		if rng.Intn(2) == 0 { // force frequent field ties
+			b.Deadline = Time16(rng.Intn(1 << 16))
+			b.LossNum, b.LossDen = uint8(rng.Intn(4)), uint8(rng.Intn(4))
+			b.Arrival = Time16(rng.Intn(1 << 16))
+		}
+		b.Slot = SlotID(rng.Intn(1024))
+		ka, kb := a.Key(ref), b.Key(ref)
+		field := func(k Key, shift, width uint) uint64 { return uint64(k>>Key(shift)) & (1<<width - 1) }
+
+		if tie := field(ka, KeyDeadlineShift, 16) == field(kb, KeyDeadlineShift, 16); tie != (a.Deadline == b.Deadline) {
+			t.Fatalf("deadline field tie=%v for %v vs %v", tie, a, b)
+		}
+		if tie := field(ka, KeyRankShift, 16) == field(kb, KeyRankShift, 16); tie != (a.Constraint().Cmp(b.Constraint()) == 0) {
+			t.Fatalf("rank field tie=%v for %v vs %v", tie, a, b)
+		}
+		if tie := field(ka, KeyArrivalShift, 16) == field(kb, KeyArrivalShift, 16); tie != (a.Arrival == b.Arrival) {
+			t.Fatalf("arrival field tie=%v for %v vs %v", tie, a, b)
+		}
+	}
+}
+
+// TestKeyInvalid checks the empty-slot encoding: the invalid bit dominates
+// every valid key, attributes are ignored, and empty slots order by slot ID.
+func TestKeyInvalid(t *testing.T) {
+	empty := Attributes{Deadline: 0xFFFF, LossNum: 9, LossDen: 3, Arrival: 0xFFFF, Slot: 5}
+	valid := Attributes{Deadline: 0xFFFF, Arrival: 0xFFFF, Slot: 31, Valid: true}
+	const ref = Time16(7)
+	if !(valid.Key(ref) < empty.Key(ref)) {
+		t.Fatal("valid key does not order before an empty slot's key")
+	}
+	other := Attributes{Slot: 6}
+	if !(empty.Key(ref) < other.Key(ref)) {
+		t.Fatal("empty slots must order by slot ID")
+	}
+	if empty.Key(ref) != empty.Key(ref+999) {
+		t.Fatal("empty-slot key must not depend on the normalization reference")
+	}
+}
+
+// TestKeySlotSaturation: slots ≥ 127 share the saturated field (forcing the
+// cascade fallback on full ties) but still order correctly against smaller
+// slots.
+func TestKeySlotSaturation(t *testing.T) {
+	mk := func(slot SlotID) Key { return Attributes{Slot: slot, Valid: true}.Key(0) }
+	if mk(130) != mk(900) {
+		t.Fatal("saturated slots must encode equal")
+	}
+	if !(mk(5) < mk(130)) {
+		t.Fatal("unsaturated slot must order before a saturated one")
+	}
+}
+
+// TestKeySplitComposition pins Key == KeyWith ∘ KeyConstraint — the split
+// the Register Base block's cached-constraint rekey relies on.
+func TestKeySplitComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 100000; trial++ {
+		a := Attributes{
+			Deadline: Time16(rng.Intn(1 << 16)), LossNum: uint8(rng.Intn(256)), LossDen: uint8(rng.Intn(256)),
+			Arrival: Time16(rng.Intn(1 << 16)), Slot: SlotID(rng.Intn(1024)), Valid: rng.Intn(4) != 0,
+		}
+		ref := Time16(rng.Intn(1 << 16))
+		if got, want := a.KeyWith(KeyConstraint(a.LossNum, a.LossDen), ref), a.Key(ref); got != want {
+			t.Fatalf("split key %#x != direct key %#x for %+v ref %d", got, want, a, ref)
+		}
+	}
+}

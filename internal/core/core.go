@@ -203,6 +203,7 @@ type Scheduler struct {
 	cfg   Config
 	slots []*regblock.Block
 	srcs  []regblock.HeadSource
+	timed []TimedSource // srcs[i].(TimedSource) cached at Admit/Start; nil if untimed
 	nw    *shuffle.Network
 
 	started bool
@@ -212,11 +213,29 @@ type Scheduler struct {
 	hwCycles  uint64
 	idleCount uint64
 
+	cpd       int         // hardware clocks per decision cycle, fixed at New
+	keyRef    attr.Time16 // current key-normalization reference
+	nextRekey uint64      // vnow at which to refresh keyRef next
+
 	trace *hwsim.Trace // nil unless Config.TraceDepth > 0
 
-	outs  []attr.Attributes // per-cycle network input buffer
-	txBuf []Transmission    // reused CycleResult buffer
+	// gens[i] is slots[i].Gen() as of its last latch onto the network bus;
+	// genReload forces a relatch (fresh scheduler, dynamic admission).
+	gens  []uint64
+	txBuf []Transmission // reused CycleResult buffer
+	crBuf CycleResult    // RunCycles' reused result (avoids a per-batch escape)
 }
+
+// genReload never equals uint64(regblock.Block.Gen()), so a gens entry set
+// to it guarantees the slot is relatched on the next cycle.
+const genReload = ^uint64(0)
+
+// keyRefreshPeriod is how often (in decision cycles) the scheduler re-centers
+// the key-normalization reference on the virtual clock. Any period is
+// correct — stale references only increase decision.FastOrder's cascade
+// fallbacks, never change an ordering — so the refresh is sized to be
+// amortized noise: one N-slot repack every 8192 cycles.
+const keyRefreshPeriod = 8192
 
 // nullSource backs un-admitted slots: always empty.
 type nullSource struct{}
@@ -244,10 +263,15 @@ func New(cfg Config) (*Scheduler, error) {
 		cfg:   cfg,
 		slots: make([]*regblock.Block, cfg.Slots),
 		srcs:  make([]regblock.HeadSource, cfg.Slots),
+		timed: make([]TimedSource, cfg.Slots),
 		nw:    nw,
-		outs:  make([]attr.Attributes, cfg.Slots),
+		gens:  make([]uint64, cfg.Slots),
 		txBuf: make([]Transmission, 0, cfg.Slots),
 	}
+	for i := range s.gens {
+		s.gens[i] = genReload
+	}
+	s.cpd = s.computeCyclesPerDecision()
 	if cfg.TraceDepth > 0 {
 		s.trace = hwsim.NewTrace(cfg.TraceDepth)
 	}
@@ -283,6 +307,7 @@ func (s *Scheduler) Admit(i int, spec attr.Spec, src regblock.HeadSource) error 
 	}
 	s.slots[i] = b
 	s.srcs[i] = src
+	s.timed[i], _ = src.(TimedSource)
 	return nil
 }
 
@@ -293,8 +318,8 @@ func (s *Scheduler) Start() error {
 		return fmt.Errorf("core: already started")
 	}
 	s.started = true
-	for _, src := range s.srcs {
-		if ts, ok := src.(TimedSource); ok {
+	for _, ts := range s.timed {
+		if ts != nil {
 			ts.Advance(s.vnow)
 		}
 	}
@@ -305,9 +330,11 @@ func (s *Scheduler) Start() error {
 	return nil
 }
 
-// cyclesPerDecision returns the hardware clock cost of one decision cycle
-// under the FSM timeline documented in the package comment.
-func (s *Scheduler) cyclesPerDecision() int {
+// computeCyclesPerDecision derives the hardware clock cost of one decision
+// cycle under the FSM timeline documented in the package comment. Every
+// input is fixed by Config, so New computes it once and the hot path reads
+// the cached value.
+func (s *Scheduler) computeCyclesPerDecision() int {
 	passes := s.nw.PassesPerCycle()
 	circulate := 1
 	update := 1
@@ -323,7 +350,7 @@ func (s *Scheduler) cyclesPerDecision() int {
 
 // CyclesPerDecision exposes the FSM cost model (used by package fpga to
 // derive decision rates from clock frequencies).
-func (s *Scheduler) CyclesPerDecision() int { return s.cyclesPerDecision() }
+func (s *Scheduler) CyclesPerDecision() int { return s.cpd }
 
 // PipelinedInitiationInterval returns the clocks between successive
 // decisions when the FSM stages overlap — Table 1's concurrency row made
@@ -335,7 +362,7 @@ func (s *Scheduler) CyclesPerDecision() int { return s.cyclesPerDecision() }
 // SCHEDULE), so the interval equals the full serialized cycle — exactly
 // why a pipelined Decision-block tree "wastes area" (§3).
 func (s *Scheduler) PipelinedInitiationInterval() int {
-	full := s.cyclesPerDecision()
+	full := s.cpd
 	if s.cfg.Mode != decision.TagOnly {
 		return full // successive decisions are serialized
 	}
@@ -350,40 +377,89 @@ func (s *Scheduler) PipelinedInitiationInterval() int {
 }
 
 // RunCycle executes one decision cycle. It panics if Start was not called
-// (a harness wiring error).
+// (a harness wiring error). Bulk drivers use RunCycles, which reuses one
+// CycleResult across the batch instead of returning a fresh value per cycle.
 func (s *Scheduler) RunCycle() CycleResult {
 	if !s.started {
 		panic("core: RunCycle before Start")
 	}
+	var cr CycleResult
+	s.runCycle(&cr)
+	return cr
+}
+
+// RunCycles executes up to n decision cycles, invoking visit (when non-nil)
+// after each with a pointer to a CycleResult reused across the whole batch —
+// the result, like its Transmissions slice, is valid only until the next
+// cycle runs; callers that retain either must copy. visit returning false
+// stops the batch early. RunCycles reports the number of cycles executed.
+//
+// This is the bulk decision driver: the per-cycle work is exactly RunCycle's,
+// but the result value is not copied out per cycle and the endsystem/shard
+// pipelines and RunFor all feed through here.
+func (s *Scheduler) RunCycles(n int, visit func(*CycleResult) bool) int {
+	if !s.started {
+		panic("core: RunCycles before Start")
+	}
+	// The batch result lives in the scheduler, not the stack: &cr handed to
+	// the visit closure would force a heap allocation per RunCycles call,
+	// which the zero-alloc guarantee (and its AllocsPerRun guards) forbid.
+	cr := &s.crBuf
+	for i := 0; i < n; i++ {
+		s.runCycle(cr)
+		if visit != nil && !visit(cr) {
+			return i + 1
+		}
+	}
+	return n
+}
+
+// runCycle executes one decision cycle into cr (overwriting it entirely).
+func (s *Scheduler) runCycle(cr *CycleResult) {
 	t := s.vnow
 
-	// INGEST half 1: release newly arrived traffic and refill idle slots
-	// (the Streaming unit keeping card queues full).
-	for i, src := range s.srcs {
-		if ts, ok := src.(TimedSource); ok {
+	// Epochal key-reference refresh: re-center the packed-key normalization
+	// window on the virtual clock so live deadlines keep resolving on the
+	// fast path (see keyRefreshPeriod).
+	if t >= s.nextRekey {
+		s.keyRef = attr.WrapTime(t) - 0x8000
+		for _, b := range s.slots {
+			b.SetKeyRef(s.keyRef)
+		}
+		s.nextRekey = t + keyRefreshPeriod
+	}
+
+	// INGEST half 1 fused with the SCHEDULE latch: release newly arrived
+	// traffic, refill idle slots (the Streaming unit keeping card queues
+	// full), and drive each slot's attribute word and cached rank key onto
+	// the network's input registers — one pass over the slots, slots being
+	// mutually independent until the network runs. A slot whose mutation
+	// generation is unchanged since its last latch is already on the bus
+	// and is skipped.
+	for i, b := range s.slots {
+		if ts := s.timed[i]; ts != nil {
 			ts.Advance(t)
 		}
-		s.slots[i].Refill(t)
+		b.Refill(t)
+		if g := uint64(b.Gen()); g != s.gens[i] {
+			s.gens[i] = g
+			s.nw.SetInput(i, b.Out(), b.Key())
+		}
 	}
+	res := s.nw.RunLoaded()
 
-	// SCHEDULE: drive the attribute words through the network.
-	for i, b := range s.slots {
-		s.outs[i] = b.Out()
-	}
-	res := s.nw.Run(s.outs)
-
-	cr := CycleResult{
+	*cr = CycleResult{
 		Decision: s.decisions,
 		Time:     t,
-		HWCycles: s.cyclesPerDecision(),
+		HWCycles: s.cpd,
 	}
 	s.txBuf = s.txBuf[:0]
 
 	switch s.cfg.Routing {
 	case WinnerOnly:
-		s.runWinnerOnly(t, res, &cr)
+		s.runWinnerOnly(t, res, cr)
 	default:
-		s.runBlock(t, res, &cr)
+		s.runBlock(t, res, cr)
 	}
 
 	s.decisions++
@@ -394,9 +470,8 @@ func (s *Scheduler) RunCycle() CycleResult {
 	}
 	cr.Transmissions = s.txBuf
 	if s.trace != nil {
-		s.emitTrace(&cr)
+		s.emitTrace(cr)
 	}
-	return cr
 }
 
 // emitTrace records the cycle's control-unit events.
@@ -442,7 +517,10 @@ func (s *Scheduler) AdmitDynamic(i int, spec attr.Spec, src regblock.HeadSource)
 	}
 	s.slots[i] = b
 	s.srcs[i] = src
-	if ts, ok := src.(TimedSource); ok {
+	s.timed[i], _ = src.(TimedSource)
+	s.gens[i] = genReload // new block: its generation counter starts over
+	b.SetKeyRef(s.keyRef)
+	if ts := s.timed[i]; ts != nil {
 		ts.Advance(s.vnow)
 	}
 	b.Load(s.vnow)
@@ -520,9 +598,7 @@ func (s *Scheduler) runBlock(now uint64, res shuffle.Result, cr *CycleResult) {
 // keep accumulating). It is the bulk driver for the Table 3 and throughput
 // experiments.
 func (s *Scheduler) RunFor(n int) {
-	for i := 0; i < n; i++ {
-		s.RunCycle()
-	}
+	s.RunCycles(n, nil)
 }
 
 // Now returns the current virtual time (decision-cycle units).

@@ -135,6 +135,23 @@ func Compare(mode Mode, a, b attr.Attributes) Verdict {
 	return compare(mode, a, b)
 }
 
+// CompareKeyed orders a against b using their packed rank keys: one
+// unsigned integer compare when FastOrder can prove the order, the full
+// Table-2 cascade otherwise — exactly equivalent to Compare in every case
+// (see the differential tests). It reports whether a orders first.
+//
+// Compares counts every invocation either way; RuleHits attributes a rule
+// only on the cascade fallback, since the single-compare path — like the
+// hardware's flattened comparator — does not know which rule would have
+// fired. Callers that need full rule traces use Compare.
+func (bl *Block) CompareKeyed(a, b attr.Attributes, ka, kb attr.Key) (aFirst bool) {
+	if first, decided := FastOrder(bl.Mode, ka, kb); decided {
+		bl.Compares++
+		return first
+	}
+	return !bl.Compare(a, b).Swapped
+}
+
 func compare(mode Mode, a, b attr.Attributes) Verdict {
 	if first, rule, decided := order(mode, a, b); decided {
 		if first {

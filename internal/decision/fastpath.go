@@ -1,0 +1,59 @@
+package decision
+
+// The fast-path comparator: most pairwise orders resolve on a single
+// unsigned compare of two packed rank keys (attr.Key). The Table-2 cascade
+// in order() remains the source of truth — FastOrder either agrees with it
+// exactly or declines, and the differential fuzz test pins the equivalence.
+
+import (
+	"math/bits"
+
+	"repro/internal/attr"
+)
+
+// keyTagMask keeps the fields the TagOnly datapath compares: validity,
+// deadline, arrival and slot — the simple comparator of §3.
+const keyTagMask = ^attr.KeyConstraintMask
+
+// FastOrder orders two attribute words by their packed rank keys in one
+// unsigned integer compare. It reports (aFirst, decided); decided is false
+// when the keys cannot prove the order, and the caller must fall back to
+// the full Table-2 cascade (Compare/order). That happens in exactly two
+// situations:
+//
+//   - the keys are equal after mode masking (all compared fields tie, or
+//     both slots saturate the 7-bit slot field), or
+//   - the deciding field is a wrapped time (deadline or arrival) whose two
+//     operands straddle the serial-number window, so the normalized field
+//     order and the hardware subtract-and-test-sign order disagree.
+//
+// Both checks make FastOrder + cascade-fallback *exactly* equivalent to the
+// cascade alone, for every input and every normalization reference — the
+// reference only shifts how often the second guard trips.
+func FastOrder(mode Mode, ka, kb attr.Key) (aFirst, decided bool) {
+	if mode == TagOnly {
+		ka &= keyTagMask
+		kb &= keyTagMask
+	}
+	d := ka ^ kb
+	if d == 0 {
+		return false, false
+	}
+	// The highest differing bit identifies the deciding field.
+	switch hb := bits.Len64(uint64(d)) - 1; {
+	case hb >= attr.KeyDeadlineShift && hb < attr.KeyInvalidBit:
+		// Rule 1 decides: trust the key only if the normalized order
+		// matches the wrap-aware (serial-number) order.
+		da, db := uint16(ka>>attr.KeyDeadlineShift), uint16(kb>>attr.KeyDeadlineShift)
+		if (da < db) != (int16(da-db) < 0) {
+			return false, false
+		}
+	case hb >= attr.KeyArrivalShift && hb < attr.KeyTieShift:
+		// Rule 5 (FCFS) decides: same serial-number guard for arrivals.
+		aa, ab := uint16(ka>>attr.KeyArrivalShift), uint16(kb>>attr.KeyArrivalShift)
+		if (aa < ab) != (int16(aa-ab) < 0) {
+			return false, false
+		}
+	}
+	return ka < kb, true
+}

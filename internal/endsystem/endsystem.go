@@ -47,6 +47,12 @@ const HostCostNs = 2130.0
 // §5.2 calibration (32 packets per PIO/DMA batch).
 const TransferBatch = 32
 
+// schedulerBatchCycles is how many decision cycles the drivers hand the
+// scheduler per core.RunCycles call: large enough to amortize the batch
+// entry over the hoisted per-cycle work, small enough that completion and
+// error conditions (checked in the visit callback) stop the run promptly.
+const schedulerBatchCycles = 256
+
 // OperatingPoint is one §5.2 throughput row.
 type OperatingPoint struct {
 	Mode        pci.Mode
@@ -200,24 +206,31 @@ func runPipeline(slots, framesPerStream int, bus *pci.Bus, meterBatch func(int) 
 		return fail(err)
 	}
 	var scheduled, sinceBatch uint64
-	for scheduled < total {
-		cr := sched.RunCycle()
-		if cr.Idle {
-			runtime.Gosched() // producer momentarily behind
-		}
-		for _, tx := range cr.Transmissions {
-			for !txRing.Push(tx) {
-				runtime.Gosched() // tx ring full: engine backpressure
+	var meterErr error
+	for scheduled < total && meterErr == nil {
+		sched.RunCycles(schedulerBatchCycles, func(cr *core.CycleResult) bool {
+			if cr.Idle {
+				runtime.Gosched() // producer momentarily behind
 			}
-			scheduled++
-			sinceBatch++
-			if sinceBatch == TransferBatch {
-				if err := meterBatch(TransferBatch); err != nil {
-					return fail(err)
+			for _, tx := range cr.Transmissions {
+				for !txRing.Push(tx) {
+					runtime.Gosched() // tx ring full: engine backpressure
 				}
-				sinceBatch = 0
+				scheduled++
+				sinceBatch++
+				if sinceBatch == TransferBatch {
+					if err := meterBatch(TransferBatch); err != nil {
+						meterErr = err
+						return false
+					}
+					sinceBatch = 0
+				}
 			}
-		}
+			return scheduled < total
+		})
+	}
+	if meterErr != nil {
+		return fail(meterErr)
 	}
 	if sinceBatch > 0 {
 		if err := meterBatch(int(sinceBatch)); err != nil {
@@ -354,31 +367,40 @@ func RunAllocation(cfg AllocationConfig) (*AllocationResult, error) {
 
 	res := &AllocationResult{TE: te, Sched: sched, CycleNs: cycleNs, Expected: expected}
 	var sent uint64
+	var txErr error
 	idleStreak := 0
+	drained := false
 	maxCycles := expected*4 + 1000
-	for sent < expected && res.Cycles < maxCycles {
-		cr := sched.RunCycle()
-		res.Cycles++
-		if cr.Idle {
-			idleStreak++
-			if uint64(idleStreak) > cfg.InterBurstCycles+1000 {
-				break // sources exhausted
+	for !drained && txErr == nil && sent < expected && res.Cycles < maxCycles {
+		sched.RunCycles(schedulerBatchCycles, func(cr *core.CycleResult) bool {
+			res.Cycles++
+			if cr.Idle {
+				idleStreak++
+				if uint64(idleStreak) > cfg.InterBurstCycles+1000 {
+					drained = true // sources exhausted
+					return false
+				}
+				return sent < expected && res.Cycles < maxCycles
 			}
-			continue
-		}
-		idleStreak = 0
-		for _, tx := range cr.Transmissions {
-			readyNs := float64(cr.Time) * cycleNs
-			arrivalNs := float64(tx.Arrival64) * cycleNs
-			end, err := te.Transmit(int(tx.Slot), cfg.FrameBytes, readyNs, arrivalNs)
-			if err != nil {
-				return nil, err
+			idleStreak = 0
+			for _, tx := range cr.Transmissions {
+				readyNs := float64(cr.Time) * cycleNs
+				arrivalNs := float64(tx.Arrival64) * cycleNs
+				end, err := te.Transmit(int(tx.Slot), cfg.FrameBytes, readyNs, arrivalNs)
+				if err != nil {
+					txErr = err
+					return false
+				}
+				if cfg.Observer != nil {
+					cfg.Observer(int(tx.Slot), tx, end)
+				}
+				sent++
 			}
-			if cfg.Observer != nil {
-				cfg.Observer(int(tx.Slot), tx, end)
-			}
-			sent++
-		}
+			return sent < expected && res.Cycles < maxCycles
+		})
+	}
+	if txErr != nil {
+		return nil, txErr
 	}
 	te.Finish()
 	res.Sent = sent

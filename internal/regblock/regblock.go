@@ -86,6 +86,18 @@ type Block struct {
 	a64  uint64          // shadow arrival (virtual time)
 	orig attr.Constraint // original window-constraint, reloaded on window completion
 
+	// key is cur's packed rank key (attr.Key) against keyRef, maintained at
+	// every attribute mutation — the hardware analogue of the flattened
+	// comparator word latched next to the attribute registers. The scheduler
+	// reads it each SCHEDULE cycle instead of re-packing all N words.
+	// keyConst caches the constraint fields (attr.KeyConstraint of the
+	// current window registers) so the per-head rekey skips the rank-table
+	// lookup; it is refreshed whenever LossNum/LossDen change.
+	key      attr.Key
+	keyConst attr.Key
+	keyRef   attr.Time16
+	gen      uint32 // bumped on every attribute/key mutation (see Gen)
+
 	Counters Counters
 }
 
@@ -108,6 +120,7 @@ func New(id attr.SlotID, spec attr.Spec, src HeadSource) (*Block, error) {
 			LossDen: spec.Constraint.Den,
 		},
 	}
+	b.rekeyConstraint()
 	return b, nil
 }
 
@@ -124,6 +137,41 @@ func (b *Block) Out() attr.Attributes { return b.cur }
 // Valid reports whether the slot currently holds a backlogged stream.
 func (b *Block) Valid() bool { return b.cur.Valid }
 
+// Key returns the slot's cached packed rank key — cur.Key(ref) for the
+// reference last installed with SetKeyRef. It is recomputed only when the
+// attribute word mutates (PRIORITY_UPDATE / INGEST), never per compare.
+func (b *Block) Key() attr.Key { return b.key }
+
+// SetKeyRef installs the key-normalization reference and rekeys. The
+// scheduler refreshes it epochally (every few thousand cycles) so live
+// deadlines stay inside the monotonic window of the packed key; any
+// reference is *correct* (decision.FastOrder's serial-window guard falls
+// back to the cascade outside the window), a good one is merely faster.
+func (b *Block) SetKeyRef(ref attr.Time16) {
+	b.keyRef = ref
+	b.rekey()
+}
+
+// rekey repacks the rank key after a cur mutation that left the window
+// registers alone — pure shifts around the cached constraint part.
+func (b *Block) rekey() {
+	b.key = b.cur.KeyWith(b.keyConst, b.keyRef)
+	b.gen++
+}
+
+// Gen returns the slot's mutation generation: it changes whenever the
+// attribute word or its key does, so the scheduler can skip relatching
+// unchanged slots onto the network bus between decision cycles. (Every
+// mutation path ends in rekey, which bumps it.)
+func (b *Block) Gen() uint32 { return b.gen }
+
+// rekeyConstraint refreshes the cached constraint fields and the key after a
+// window-register mutation.
+func (b *Block) rekeyConstraint() {
+	b.keyConst = attr.KeyConstraint(b.cur.LossNum, b.cur.LossDen)
+	b.rekey()
+}
+
 // Deadline64 returns the shadow (unwrapped) deadline of the current head.
 func (b *Block) Deadline64() uint64 { return b.d64 }
 
@@ -138,6 +186,7 @@ func (b *Block) setHead(h Head, deadline uint64) {
 	b.cur.Valid = true
 	b.cur.Arrival = attr.WrapTime(h.Arrival)
 	b.cur.Deadline = attr.WrapTime(deadline)
+	b.rekey()
 }
 
 // deadlineFor computes a head's shadow deadline given the predecessor's.
@@ -166,6 +215,7 @@ func (b *Block) Load(now uint64) {
 	h, ok := b.src.NextHead()
 	if !ok {
 		b.cur.Valid = false
+		b.rekey()
 		return
 	}
 	_ = now
@@ -177,6 +227,7 @@ func (b *Block) advance() {
 	h, ok := b.src.NextHead()
 	if !ok {
 		b.cur.Valid = false
+		b.rekey()
 		return
 	}
 	b.setHead(h, b.deadlineFor(h, b.d64))
@@ -212,8 +263,13 @@ func (b *Block) Service(late, circulated bool) {
 //	if y' > x'                 { y'-- }       // one fewer slot left in the window
 //	else if x' == y' && x' > 0 { x'--; y'-- } // remaining slots may all be lost
 //	if x' == 0 && y' == 0      { reload original } // window complete
+//
+// winnerWindowAdjust refreshes the cached constraint part but does not
+// repack the full key: its only caller (Service) advances the head right
+// after, and advance rekeys on both of its paths.
 func (b *Block) winnerWindowAdjust() {
 	b.cur.LossNum, b.cur.LossDen = previewWinnerWindow(b.cur.LossNum, b.cur.LossDen, b.orig)
+	b.keyConst = attr.KeyConstraint(b.cur.LossNum, b.cur.LossDen)
 }
 
 // ExpireCheck performs the loser-side PRIORITY_UPDATE at virtual time now
@@ -256,11 +312,15 @@ func (b *Block) ExpireCheck(now uint64) bool {
 	return true
 }
 
+// loserWindowAdjust refreshes the cached constraint part but does not
+// repack the full key: its only caller (ExpireCheck) advances the head
+// right after, and advance rekeys on both of its paths.
 func (b *Block) loserWindowAdjust() {
 	if b.cur.LossNum == 0 {
 		b.Counters.Violations++
 	}
 	b.cur.LossNum, b.cur.LossDen = previewLoserWindow(b.cur.LossNum, b.cur.LossDen, b.orig)
+	b.keyConst = attr.KeyConstraint(b.cur.LossNum, b.cur.LossDen)
 }
 
 // Refill re-validates an idle slot when its queue becomes non-empty again

@@ -444,3 +444,64 @@ func BenchmarkComputeAhead(b *testing.B) {
 		blk.ComputeAhead(uint64(i))
 	}
 }
+
+// TestKeyCachedConsistency pins the key-cache invariant the scheduler hot
+// path relies on: after *any* externally visible mutation sequence, the
+// cached Key() equals repacking the current attribute word against the
+// installed reference. The winner/loser window adjusts deliberately skip
+// rekeying (advance always follows); this test would catch that assumption
+// rotting.
+func TestKeyCachedConsistency(t *testing.T) {
+	check := func(blk *Block, ref attr.Time16, when string) {
+		t.Helper()
+		if got, want := blk.Key(), blk.Out().Key(ref); got != want {
+			t.Fatalf("%s: cached key %#x, repacked %#x (word %+v)", when, got, want, blk.Out())
+		}
+	}
+
+	blk, err := New(3, wcSpec(4, 1, 4), &periodicSource{step: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(blk, 0, "after New")
+	blk.Load(0)
+	check(blk, 0, "after Load")
+	const ref = attr.Time16(0x4321)
+	blk.SetKeyRef(ref)
+	check(blk, ref, "after SetKeyRef")
+	for i := 0; i < 8; i++ {
+		blk.Service(false, true) // winner adjust + advance
+		check(blk, ref, "after winner Service")
+		blk.ExpireCheck(blk.Deadline64() + 1) // loser adjust + advance
+		check(blk, ref, "after ExpireCheck")
+	}
+
+	// A draining source exercises the invalid paths.
+	drained, err := New(1, wcSpec(2, 1, 2), &finiteSource{n: 1, step: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained.Load(0)
+	check(drained, 0, "finite after Load")
+	drained.Service(false, true) // consumes the only head: slot goes invalid
+	check(drained, 0, "after draining Service")
+	drained.Refill(10)
+	check(drained, 0, "after failed Refill")
+}
+
+// finiteSource yields n heads, then reports empty.
+type finiteSource struct {
+	n    int
+	next uint64
+	step uint64
+}
+
+func (s *finiteSource) NextHead() (Head, bool) {
+	if s.n == 0 {
+		return Head{}, false
+	}
+	s.n--
+	h := Head{Arrival: s.next}
+	s.next += s.step
+	return h, true
+}

@@ -49,6 +49,11 @@ const DefaultHostNs = 2130.0
 // errCanceled marks a shard that aborted because a sibling failed.
 var errCanceled = errors.New("shard: run canceled")
 
+// schedulerBatchCycles is how many decision cycles each shard hands its
+// scheduler per core.RunCycles call; cancellation is still observed inside
+// the visit callback (on ring backpressure) and between batches.
+const schedulerBatchCycles = 256
+
 // StreamID identifies a stream across the whole sharded endsystem; the
 // per-shard slot indices are an internal detail of the dispatcher.
 type StreamID uint64
@@ -523,30 +528,38 @@ func (r *Router) runShard(s *shardState, framesPerStream int, windowNs float64, 
 	// Scheduler loop (this goroutine).
 	meterBatch := s.bus.BatchMeter(cfg.Mode)
 	var scheduled, sinceBatch uint64
-	for scheduled < total {
+	var loopErr error
+	for scheduled < total && loopErr == nil {
 		if stopped() {
 			return fail(errCanceled)
 		}
-		cr := s.sched.RunCycle()
-		if cr.Idle {
-			runtime.Gosched() // producer momentarily behind
-		}
-		for _, tx := range cr.Transmissions {
-			for !s.txRing.Push(tx) {
-				if stopped() {
-					return fail(errCanceled)
-				}
-				runtime.Gosched() // tx ring full: engine backpressure
+		s.sched.RunCycles(schedulerBatchCycles, func(cr *core.CycleResult) bool {
+			if cr.Idle {
+				runtime.Gosched() // producer momentarily behind
 			}
-			scheduled++
-			sinceBatch++
-			if sinceBatch == uint64(cfg.TransferBatch) {
-				if err := meterBatch(cfg.TransferBatch); err != nil {
-					return fail(err)
+			for _, tx := range cr.Transmissions {
+				for !s.txRing.Push(tx) {
+					if stopped() {
+						loopErr = errCanceled
+						return false
+					}
+					runtime.Gosched() // tx ring full: engine backpressure
 				}
-				sinceBatch = 0
+				scheduled++
+				sinceBatch++
+				if sinceBatch == uint64(cfg.TransferBatch) {
+					if err := meterBatch(cfg.TransferBatch); err != nil {
+						loopErr = err
+						return false
+					}
+					sinceBatch = 0
+				}
 			}
-		}
+			return scheduled < total
+		})
+	}
+	if loopErr != nil {
+		return fail(loopErr)
 	}
 	if sinceBatch > 0 {
 		if err := meterBatch(int(sinceBatch)); err != nil {

@@ -67,10 +67,25 @@ type Result struct {
 	Winner attr.Attributes
 	// Block is the ordered list of all N words, front = highest priority
 	// (BA schedules only; nil under Tournament, which routes winners only).
+	//
+	// Block aliases a buffer owned by the Network that the next Run /
+	// RunKeyed call overwrites — the recirculation registers themselves,
+	// not a fresh copy. Contents are stable until that next call; callers
+	// that retain the block across cycles must copy it first. This is the
+	// same contract core.CycleResult.Transmissions uses, and it is what
+	// keeps the decision hot path allocation-free.
 	Block []attr.Attributes
 	// Passes is the number of network passes the cycle consumed — each
 	// pass is one hardware clock cycle in the SCHEDULE state.
 	Passes int
+}
+
+// keyed is one recirculation-register value: an attribute word traveling
+// with its packed rank key, so each Decision block can resolve most
+// compare-exchanges on a single integer compare (decision.CompareKeyed).
+type keyed struct {
+	k attr.Key
+	w attr.Attributes
 }
 
 // Network is one recirculating shuffle-exchange network instance.
@@ -79,10 +94,19 @@ type Network struct {
 	schedule Schedule
 	blocks   []decision.Block // the N/2 physical Decision blocks
 
-	// scratch buffers reused across cycles to keep the hot path
-	// allocation-free (the decision loop runs hundreds of thousands of
-	// times in the Table 3 and throughput experiments).
-	cur, nxt []attr.Attributes
+	// in holds the latched input registers — the words the Register Base
+	// blocks drive onto the bus, with their packed keys. The schedules
+	// never write in: recirculation is modeled as a permutation of the
+	// idx register file (steering-mux state), so an unchanged slot's
+	// register needs no relatching between cycles (SetInput). All buffers
+	// are reused across cycles to keep the hot path allocation-free (the
+	// decision loop runs hundreds of thousands of times in the Table 3
+	// and throughput experiments); block is the buffer Result.Block
+	// aliases.
+	in          []keyed
+	idx, idxTmp []uint16
+	ident       []uint16 // precomputed identity permutation
+	block       []attr.Attributes
 
 	// Cycles counts decision cycles run; TotalPasses the cumulative
 	// SCHEDULE-state clock cycles.
@@ -103,11 +127,17 @@ func New(n int, mode decision.Mode, schedule Schedule) (*Network, error) {
 		n:        n,
 		schedule: schedule,
 		blocks:   make([]decision.Block, n/2),
-		cur:      make([]attr.Attributes, n),
-		nxt:      make([]attr.Attributes, n),
+		in:       make([]keyed, n),
+		idx:      make([]uint16, n),
+		idxTmp:   make([]uint16, n),
+		ident:    make([]uint16, n),
+		block:    make([]attr.Attributes, n),
 	}
 	for i := range nw.blocks {
 		nw.blocks[i].Mode = mode
+	}
+	for i := range nw.ident {
+		nw.ident[i] = uint16(i)
 	}
 	return nw, nil
 }
@@ -143,42 +173,122 @@ func (nw *Network) PassesPerCycle() int {
 	}
 }
 
-// Run performs one decision cycle over the N attribute words in slot order.
-// It panics if len(in) != N (a wiring error, not a runtime condition).
+// Run performs one decision cycle over the N attribute words in slot order,
+// packing rank keys for them on the way in (callers that maintain keys
+// across cycles use RunKeyed and skip that work). Result.Block aliases a
+// reused buffer — see the Result docs for the retention contract. Run
+// panics if len(in) != N (a wiring error, not a runtime condition).
 func (nw *Network) Run(in []attr.Attributes) Result {
 	if len(in) != nw.n {
 		panic(fmt.Sprintf("shuffle: %d inputs wired to a %d-slot network", len(in), nw.n))
 	}
+	// Without a caller-supplied virtual time there is no better
+	// normalization reference than a fixed one; the fast path's
+	// serial-window guard keeps any reference exact (see decision.FastOrder).
+	for i := range in {
+		nw.in[i] = keyed{k: in[i].Key(0), w: in[i]}
+	}
+	return nw.run()
+}
+
+// RunKeyed performs one decision cycle over the N attribute words and their
+// precomputed rank keys (attr.Key, all packed against one common reference).
+// This is the zero-recompute hot path: the scheduler maintains keys in the
+// Register Base blocks, refreshed only on PRIORITY_UPDATE/INGEST, and the
+// network just routes them. Result.Block aliases a reused buffer — see the
+// Result docs. Panics on length mismatches (wiring errors).
+func (nw *Network) RunKeyed(in []attr.Attributes, keys []attr.Key) Result {
+	if len(in) != nw.n || len(keys) != nw.n {
+		panic(fmt.Sprintf("shuffle: %d words / %d keys wired to a %d-slot network", len(in), len(keys), nw.n))
+	}
+	for i := range in {
+		nw.in[i] = keyed{k: keys[i], w: in[i]}
+	}
+	return nw.run()
+}
+
+// SetInput latches slot i's attribute word and packed rank key directly into
+// the input registers, ahead of RunLoaded. This is the bus the Register Base
+// blocks drive in hardware; the schedules route a permutation over these
+// registers without writing them, so a latched slot stays latched across
+// cycles and only *changed* slots need relatching.
+func (nw *Network) SetInput(i int, w attr.Attributes, k attr.Key) {
+	nw.in[i] = keyed{k: k, w: w}
+}
+
+// RunLoaded performs one decision cycle over the registers latched with
+// SetInput (each slot reflecting its latest latch, from this cycle or any
+// earlier one). Result.Block aliases a reused buffer — see the Result docs.
+func (nw *Network) RunLoaded() Result { return nw.run() }
+
+// run executes the configured pass schedule: the steering muxes permute the
+// idx register file over the latched inputs, so the pass loops move 16-bit
+// indices instead of whole attribute words.
+func (nw *Network) run() Result {
 	nw.Cycles++
+	copy(nw.idx, nw.ident)
 	var r Result
 	switch nw.schedule {
 	case Tournament:
-		r = nw.runTournament(in)
+		r = nw.runTournament()
 	case Bitonic:
-		r = nw.runBitonic(in)
+		r = nw.runBitonic()
 	default:
-		r = nw.runPaperLogN(in)
+		r = nw.runPaperLogN()
 	}
 	nw.TotalPasses += uint64(r.Passes)
 	return r
 }
 
+// emitBlock applies the final permutation to the latched inputs, filling the
+// reused block buffer Result.Block aliases.
+func (nw *Network) emitBlock() []attr.Attributes {
+	for i, x := range nw.idx {
+		nw.block[i] = nw.in[x].w
+	}
+	return nw.block
+}
+
+// compareAt orders in[x] against in[y] on Decision block b — CompareKeyed's
+// body with the network's registers already in scope; the counter semantics
+// are identical. The two paper schedules open-code this body in their pass
+// loops (one non-inlinable call per compare instead of two — these loops are
+// the hottest code in the repository); Bitonic, an ablation-only schedule,
+// calls it as is.
+func (nw *Network) compareAt(b int, x, y uint16) (xFirst bool) {
+	bl := &nw.blocks[b]
+	if first, decided := decision.FastOrder(bl.Mode, nw.in[x].k, nw.in[y].k); decided {
+		bl.Compares++
+		return first
+	}
+	return !bl.Compare(nw.in[x].w, nw.in[y].w).Swapped
+}
+
 // runPaperLogN executes log₂N shuffle-exchange passes routing winners and
 // losers: each pass applies the perfect shuffle, then each Decision block
 // compare-exchanges its pair (winner to the even output).
-func (nw *Network) runPaperLogN(in []attr.Attributes) Result {
-	cur, nxt := nw.cur, nw.nxt
-	copy(cur, in)
+func (nw *Network) runPaperLogN() Result {
+	in, idx, tmp := nw.in, nw.idx, nw.idxTmp
 	k := bits.TrailingZeros(uint(nw.n))
 	for p := 0; p < k; p++ {
-		perfectShuffle(nxt, cur)
+		perfectShuffle(tmp, idx)
 		for b := 0; b < nw.n/2; b++ {
-			v := nw.blocks[b].Compare(nxt[2*b], nxt[2*b+1])
-			cur[2*b], cur[2*b+1] = v.Winner, v.Loser
+			x, y := tmp[2*b], tmp[2*b+1]
+			// compareAt, open-coded.
+			bl := &nw.blocks[b]
+			first, decided := decision.FastOrder(bl.Mode, in[x].k, in[y].k)
+			if decided {
+				bl.Compares++
+			} else {
+				first = !bl.Compare(in[x].w, in[y].w).Swapped
+			}
+			if !first {
+				x, y = y, x
+			}
+			idx[2*b], idx[2*b+1] = x, y
 		}
 	}
-	block := make([]attr.Attributes, nw.n)
-	copy(block, cur)
+	block := nw.emitBlock()
 	return Result{Winner: block[0], Block: block, Passes: k}
 }
 
@@ -186,9 +296,8 @@ func (nw *Network) runPaperLogN(in []attr.Attributes) Result {
 // for each (k, j) stage the steering muxes pair element i with i^j and the
 // block compare-exchanges in the direction given by bit k of i. Every stage
 // engages exactly N/2 blocks, one pass each.
-func (nw *Network) runBitonic(in []attr.Attributes) Result {
-	cur := nw.cur
-	copy(cur, in)
+func (nw *Network) runBitonic() Result {
+	idx := nw.idx
 	passes := 0
 	for k := 2; k <= nw.n; k <<= 1 {
 		for j := k >> 1; j > 0; j >>= 1 {
@@ -198,43 +307,52 @@ func (nw *Network) runBitonic(in []attr.Attributes) Result {
 				if l <= i {
 					continue
 				}
-				ascending := i&k == 0
-				v := nw.blocks[b].Compare(cur[i], cur[l])
+				x, y := idx[i], idx[l]
+				first := nw.compareAt(b, x, y)
 				b++
-				if ascending {
-					cur[i], cur[l] = v.Winner, v.Loser
-				} else {
-					cur[i], cur[l] = v.Loser, v.Winner
+				if first != (i&k == 0) { // winner to the ascending end
+					x, y = y, x
 				}
+				idx[i], idx[l] = x, y
 			}
 			passes++
 		}
 	}
-	block := make([]attr.Attributes, nw.n)
-	copy(block, cur)
+	block := nw.emitBlock()
 	return Result{Winner: block[0], Block: block, Passes: passes}
 }
 
 // runTournament executes the WR max-finding schedule: each pass compares the
 // surviving candidates pairwise and routes only winners onward.
-func (nw *Network) runTournament(in []attr.Attributes) Result {
-	cur := nw.cur
-	copy(cur, in)
+func (nw *Network) runTournament() Result {
+	in, idx := nw.in, nw.idx
 	passes := 0
 	for m := nw.n; m > 1; m /= 2 {
 		for b := 0; b < m/2; b++ {
-			v := nw.blocks[b].Compare(cur[2*b], cur[2*b+1])
-			cur[b] = v.Winner
+			x, y := idx[2*b], idx[2*b+1]
+			// compareAt, open-coded.
+			bl := &nw.blocks[b]
+			first, decided := decision.FastOrder(bl.Mode, in[x].k, in[y].k)
+			if decided {
+				bl.Compares++
+			} else {
+				first = !bl.Compare(in[x].w, in[y].w).Swapped
+			}
+			if first {
+				idx[b] = x
+			} else {
+				idx[b] = y
+			}
 		}
 		passes++
 	}
-	return Result{Winner: cur[0], Passes: passes}
+	return Result{Winner: in[idx[0]].w, Passes: passes}
 }
 
 // perfectShuffle writes the perfect shuffle of src into dst:
 // dst[2i] = src[i], dst[2i+1] = src[i + N/2]. This is the fixed wiring
 // between recirculation register outputs and Decision-block inputs.
-func perfectShuffle(dst, src []attr.Attributes) {
+func perfectShuffle(dst, src []uint16) {
 	n := len(src)
 	for i := 0; i < n/2; i++ {
 		dst[2*i] = src[i]

@@ -253,15 +253,30 @@ func TestRunPanicsOnWidthMismatch(t *testing.T) {
 	nw.Run(make([]attr.Attributes, 3))
 }
 
-func TestRunReusesBuffersSafely(t *testing.T) {
-	// The returned block must not alias the internal scratch: a second Run
-	// must not mutate the first result.
+func TestBlockAliasingContract(t *testing.T) {
+	// Result.Block aliases a reused internal buffer with copy-on-retain
+	// semantics: contents are stable until the *next* Run, a copy taken
+	// before then stays stable forever, and after the next Run the old
+	// slice header observes the new cycle's block (same backing buffer, no
+	// allocation).
 	nw, _ := New(4, decision.DWCS, PaperLogN)
 	r1 := nw.Run(mkInputs([]uint16{4, 3, 2, 1}))
-	head := r1.Block[0].Slot
-	nw.Run(mkInputs([]uint16{1, 2, 3, 4}))
-	if r1.Block[0].Slot != head {
-		t.Fatal("second Run mutated the first result's block")
+	if r1.Block[0].Deadline != 1 {
+		t.Fatalf("first block head deadline = %d, want 1", r1.Block[0].Deadline)
+	}
+	retained := append([]attr.Attributes(nil), r1.Block...)
+
+	r2 := nw.Run(mkInputs([]uint16{9, 8, 7, 6}))
+	if &r1.Block[0] != &r2.Block[0] {
+		t.Fatal("Run allocated a fresh block instead of reusing the buffer")
+	}
+	if r1.Block[0].Deadline != 6 {
+		t.Fatalf("after the next Run the aliased block shows deadline %d, want 6", r1.Block[0].Deadline)
+	}
+	for i, want := range []uint16{1, 2, 3, 4} {
+		if uint16(retained[i].Deadline) != want {
+			t.Fatalf("retained copy [%d] = %d, want %d (copy-on-retain broken)", i, retained[i].Deadline, want)
+		}
 	}
 }
 
