@@ -1,8 +1,12 @@
 # ShareStreams-Go convenience targets (plain `go` commands work too).
 
-.PHONY: all build test race race-full bench bench-check perf report experiments cover fuzz
+.PHONY: all check build test race bench bench-check perf report experiments cover fuzz fuzz-smoke lint
 
-all: build test race
+all: build test race lint
+
+# check is the full pre-merge gate: everything in all plus the perf
+# regression guards and a short fuzz of the decision fast path.
+check: all bench-check fuzz-smoke
 
 build:
 	go build ./...
@@ -11,15 +15,20 @@ build:
 test:
 	go test ./...
 
-# The concurrent packages (SPSC rings, pipeline goroutines, sharded router)
-# plus shuffle/core (whose buffer-aliasing contracts the batch drivers lean
-# on) and the facade benchmarks, all under the race detector — fast enough
-# to run on every verify.
+# Everything under the race detector: the concurrent packages (SPSC rings,
+# pipeline goroutines, sharded router) are the point, but the aliasing
+# contracts in shuffle/core matter under -race too.
 race:
-	go test -race ./internal/ringbuf/ ./internal/endsystem/ ./internal/shard/ ./internal/shuffle/ ./internal/core/ .
-
-race-full:
 	go test -race ./...
+
+# Static-analysis gate: formatting, go vet, and the project-specific sslint
+# suite (see DESIGN.md "Static analysis: the enforced invariants").
+# Unformatted files fail the build rather than just being listed.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	go vet ./...
+	go run ./cmd/sslint ./...
 
 bench:
 	go test -bench=. -benchmem ./...
@@ -51,3 +60,8 @@ cover:
 fuzz:
 	go test -fuzz FuzzWinnerCorrect -fuzztime 30s ./internal/shuffle/
 	go test -fuzz FuzzCompareConsistency -fuzztime 30s ./internal/decision/
+
+# Ten-second fuzz of the decision-rule consistency property — cheap enough
+# for the check umbrella.
+fuzz-smoke:
+	go test -run xxx -fuzz FuzzCompareConsistency -fuzztime 10s ./internal/decision/

@@ -1,0 +1,123 @@
+// Command sslint is the ShareStreams-Go static-analysis gate: a
+// multichecker over the project-specific analyzers in internal/lint that
+// machine-checks the scheduler's otherwise unwritten invariants.
+//
+// Usage:
+//
+//	go run ./cmd/sslint [packages]     # default ./...
+//	go run ./cmd/sslint -list          # describe the analyzers
+//
+// The suite (see DESIGN.md "Static analysis: the enforced invariants"):
+//
+//	retainalias   copy-on-retain contract for cycle-aliased result slices
+//	hotpathalloc  no allocation-inducing constructs in the decision hot path
+//	walltime      no wall clock / global rand in modeled-time code
+//	spscatomic    atomic, method-confined SPSC ring pointer access
+//	exhaustdisc   exhaustive switches over discipline/configuration enums
+//
+// Findings are suppressed only by an explicit annotation with a reason —
+// `//sslint:allow <analyzer> — <reason>` — and unused or malformed
+// annotations are findings themselves. walltime is scoped away from
+// repro/cmd/...: the benchmark harnesses there measure wall time by design.
+// Test files are never analyzed (tests probe the contracts deliberately).
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/exhaustdisc"
+	"repro/internal/lint/hotpathalloc"
+	"repro/internal/lint/retainalias"
+	"repro/internal/lint/spscatomic"
+	"repro/internal/lint/walltime"
+)
+
+// analyzers is the full suite, in report order.
+var analyzers = []*analysis.Analyzer{
+	retainalias.Analyzer,
+	hotpathalloc.Analyzer,
+	walltime.Analyzer,
+	spscatomic.Analyzer,
+	exhaustdisc.Analyzer,
+}
+
+// skipFor lists analyzer names not applied to packages matching a path
+// prefix.
+var skipFor = map[string][]string{
+	"walltime": {"repro/cmd/"}, // wall-clock benchmark harnesses live under cmd/
+}
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: sslint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sslint: %v\n", err)
+		os.Exit(2)
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		run := applicable(pkg.Path)
+		diags, err := analysis.Run(pkg, run)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sslint: %v\n", err)
+			os.Exit(2)
+		}
+		cwd, _ := os.Getwd()
+		for _, d := range diags {
+			p := pkg.Fset.Position(d.Pos)
+			name := p.Filename
+			if cwd != "" && strings.HasPrefix(name, cwd+string(os.PathSeparator)) {
+				name = name[len(cwd)+1:]
+			}
+			fmt.Printf("%s:%d:%d: [%s] %s\n", name, p.Line, p.Column, d.Analyzer, d.Message)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "sslint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// applicable returns the analyzers to run on the package at path.
+func applicable(path string) []*analysis.Analyzer {
+	var run []*analysis.Analyzer
+	for _, a := range analyzers {
+		skip := false
+		for _, prefix := range skipFor[a.Name] {
+			if strings.HasPrefix(path, prefix) {
+				skip = true
+			}
+		}
+		if !skip {
+			run = append(run, a)
+		}
+	}
+	sort.SliceStable(run, func(i, j int) bool { return run[i].Name < run[j].Name })
+	return run
+}

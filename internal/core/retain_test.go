@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/traffic"
+)
+
+// TestTransmissionsAliasingContract pins CycleResult.Transmissions'
+// copy-on-retain contract across RunCycles batches, one layer above
+// shuffle's TestBlockAliasingContract: the slice aliases the scheduler's
+// reused transmission buffer, so its contents are stable only until the
+// next decision cycle; a copy taken inside the visit stays stable forever;
+// and a header retained past its cycle observes later cycles through the
+// same backing array (no fresh allocation per cycle). sslint's retainalias
+// analyzer enforces the copy side of this contract in non-test code.
+func TestTransmissionsAliasingContract(t *testing.T) {
+	s, err := New(Config{Slots: 4, Routing: BlockRouting, Circulate: MinFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		spec := attr.Spec{Class: attr.EDF, Period: uint16(2 + i)}
+		if err := s.Admit(i, spec, &traffic.Periodic{Gap: 1, Backlogged: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// First batch: retain the raw header (contract violation on purpose)
+	// and take the sanctioned snapshot.
+	var retained, snap []Transmission
+	s.RunCycles(1, func(cr *CycleResult) bool {
+		if len(cr.Transmissions) != 4 {
+			t.Fatalf("BA cycle transmitted %d frames, want the full block of 4", len(cr.Transmissions))
+		}
+		retained = cr.Transmissions
+		snap = append(snap[:0], cr.Transmissions...)
+		return true
+	})
+
+	// Second batch: the buffer must be reused in place across batches.
+	var last []Transmission
+	var lastVals [4]Transmission
+	s.RunCycles(3, func(cr *CycleResult) bool {
+		last = cr.Transmissions
+		copy(lastVals[:], cr.Transmissions)
+		return true
+	})
+	if &retained[0] != &last[0] {
+		t.Fatal("RunCycles allocated a fresh Transmissions buffer instead of reusing it")
+	}
+	for k := range retained {
+		if retained[k] != lastVals[k] {
+			t.Fatalf("retained header [%d] = %+v, want the latest cycle's %+v (buffer not shared?)",
+				k, retained[k], lastVals[k])
+		}
+	}
+	differs := false
+	for k := range snap {
+		if snap[k] != lastVals[k] {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("cycles 1 and 4 emitted identical transmissions; aliasing not exercised")
+	}
+}

@@ -266,6 +266,7 @@ func (st *Stream) expire(now uint64) {
 	switch st.spec.Class {
 	case attr.StaticPriority, attr.FairTag:
 		return
+	default: // EDF, WindowConstrained: deadline-bearing, checked below
 	}
 	if st.deadline >= now {
 		return

@@ -93,3 +93,28 @@ func TestREDDeterministicWithSeed(t *testing.T) {
 		}
 	}
 }
+
+// TestREDSeedDrivesDrops is the flip side of the reproducibility test: the
+// drop coin must actually consume the constructor's seed, so two
+// controllers seeded differently but fed the identical congested queue
+// trace diverge somewhere in the random-drop region.
+func TestREDSeedDrivesDrops(t *testing.T) {
+	run := func(seed int64) []bool {
+		r, err := NewRED(5, 20, 0.3, 0.5, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 400)
+		for i := range out {
+			out[i] = r.OnArrival(15)
+		}
+		return out
+	}
+	a, b := run(3), run(4)
+	for i := range a {
+		if a[i] != b[i] {
+			return
+		}
+	}
+	t.Fatal("seeds 3 and 4 produced identical drop traces: seed is not reaching the coin")
+}

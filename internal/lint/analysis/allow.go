@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"regexp"
+	"strings"
+)
+
+// The //sslint:allow annotation grammar: an analyzer name, an em dash (or
+// ASCII "--"), and a mandatory human-readable reason. A trailing annotation
+// suppresses findings of that analyzer on its own line; an annotation on a
+// line by itself suppresses findings on the next line. Annotations with no
+// reason, naming an analyzer that did not run, or suppressing nothing are
+// themselves findings — there are no silent suppressions.
+//
+//	wallNs := float64(time.Since(start)) //sslint:allow walltime — wall-clock scaling experiment
+//
+//	//sslint:allow retainalias — snapshot is copied two lines below
+//	blk := res.Block
+const allowPrefix = "sslint:allow"
+
+var allowRE = regexp.MustCompile(`^sslint:allow\s+([a-z][a-z0-9]*)\s+(?:—|--)\s*(.*)$`)
+
+// allow is one parsed //sslint:allow annotation.
+type allow struct {
+	name   string // analyzer being suppressed
+	reason string
+	pos    token.Pos
+	file   string
+	line   int // source line the annotation covers
+	used   bool
+}
+
+// collectAllows parses every //sslint:allow annotation in the package,
+// reporting malformed ones as problems.
+func collectAllows(pkg *Package) (allows []*allow, problems []Diagnostic) {
+	lineCache := map[string][]string{}
+	sourceLine := func(file string, line int) string {
+		lines, ok := lineCache[file]
+		if !ok {
+			if data, err := os.ReadFile(file); err == nil {
+				lines = strings.Split(string(data), "\n")
+			}
+			lineCache[file] = lines
+		}
+		if line-1 < 0 || line-1 >= len(lines) {
+			return ""
+		}
+		return lines[line-1]
+	}
+
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // block comments don't carry annotations
+				}
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				m := allowRE.FindStringSubmatch(text)
+				if m == nil || strings.TrimSpace(m[2]) == "" {
+					problems = append(problems, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "sslint",
+						Message:  "malformed annotation: want //sslint:allow <analyzer> — <reason>",
+					})
+					continue
+				}
+				target := p.Line
+				if line := sourceLine(p.Filename, p.Line); p.Column-1 <= len(line) &&
+					strings.TrimSpace(line[:p.Column-1]) == "" {
+					target = p.Line + 1 // standalone comment covers the next line
+				}
+				allows = append(allows, &allow{
+					name:   m[1],
+					reason: strings.TrimSpace(m[2]),
+					pos:    c.Pos(),
+					file:   p.Filename,
+					line:   target,
+				})
+			}
+		}
+	}
+	return allows, problems
+}
+
+// filterAllowed drops diagnostics covered by a matching //sslint:allow
+// annotation and reports annotation problems: malformed annotations,
+// annotations naming an analyzer that did not run on this package, and
+// annotations that suppressed nothing.
+func filterAllowed(pkg *Package, diags []Diagnostic, ran map[string]bool) (kept, problems []Diagnostic) {
+	allows, problems := collectAllows(pkg)
+	for _, d := range diags {
+		p := pkg.Fset.Position(d.Pos)
+		suppressed := false
+		for _, a := range allows {
+			if a.name == d.Analyzer && a.file == p.Filename && a.line == p.Line {
+				a.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, a := range allows {
+		switch {
+		case !ran[a.name]:
+			problems = append(problems, Diagnostic{
+				Pos:      a.pos,
+				Analyzer: "sslint",
+				Message:  fmt.Sprintf("annotation allows %q, which did not run on this package", a.name),
+			})
+		case !a.used:
+			problems = append(problems, Diagnostic{
+				Pos:      a.pos,
+				Analyzer: "sslint",
+				Message:  fmt.Sprintf("unused //sslint:allow %s — the line it covers has no %s finding", a.name, a.name),
+			})
+		}
+	}
+	return kept, problems
+}
+
+// CommentHasMarker reports whether any comment attached via doc or line
+// comment groups contains the given //sslint:<marker> directive. Analyzers
+// use markers (//sslint:hotpath, //sslint:aliased, //sslint:spsc,
+// //sslint:enum) to extend their built-in target sets from source
+// annotations — fixtures rely on this, and future code can opt in without
+// touching the analyzer.
+func CommentHasMarker(groups []*ast.CommentGroup, marker string) bool {
+	want := "sslint:" + marker
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//")
+			if !ok {
+				continue
+			}
+			text = strings.TrimSpace(text)
+			if text == want || strings.HasPrefix(text, want+" ") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,110 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis driver surface, sized for this repository's
+// sslint suite. The container build deliberately carries no module
+// dependencies beyond the standard library, so instead of importing x/tools
+// the suite defines the same three-piece contract — an Analyzer with a Run
+// function, a Pass giving it one type-checked package, and Diagnostics
+// reported against token positions — plus the project-specific
+// //sslint:allow suppression grammar shared by the cmd/sslint driver and the
+// linttest fixture runner.
+//
+// Analyzers written against this package port to the real go/analysis API by
+// changing only the import path and the Pass field names they touch.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //sslint:allow annotations. It must be a single lowercase word.
+	Name string
+	// Doc is the one-paragraph description shown by `sslint -help`.
+	Doc string
+	// Run applies the check to one package and reports findings through
+	// pass.Report / pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, message string) {
+	*p.diags = append(*p.diags, Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: message})
+}
+
+// Reportf records a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(pos, fmt.Sprintf(format, args...))
+}
+
+// Run applies the analyzers to pkg, filters the findings through the
+// package's //sslint:allow annotations, and returns the surviving
+// diagnostics sorted by position. Suppression problems (malformed or unused
+// annotations) come back as ordinary diagnostics under the analyzer name
+// "sslint", so a stale annotation fails the lint gate exactly like a real
+// finding — the "no silent suppressions" rule.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	names := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		names[a.Name] = true
+	}
+	kept, problems := filterAllowed(pkg, diags, names)
+	kept = append(kept, problems...)
+	sort.SliceStable(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept, nil
+}
+
+// WalkStack traverses root in source order, calling fn with each node and
+// the stack of its ancestors (outermost first, not including n itself).
+// Returning false prunes the subtree.
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Name  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load lists the packages matching patterns (relative to dir), parses their
+// non-test sources, and type-checks them against compiler export data for
+// their dependencies. It shells out to `go list -export`, so it works with
+// nothing but the toolchain and its build cache — no network, no x/tools.
+//
+// Test files are deliberately out of scope: the sslint contracts guard the
+// production scheduler code, and tests legitimately use wall clocks, retain
+// buffers to probe aliasing, and so on.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,DepOnly,Error",
+		"--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	metas := map[string]*listPackage{}
+	var roots []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+		}
+		q := p
+		metas[q.ImportPath] = &q
+		if !q.DepOnly {
+			roots = append(roots, &q)
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		m, ok := metas[path]
+		if !ok || m.Export == "" {
+			return nil, fmt.Errorf("no export data for %q (does the package build?)", path)
+		}
+		return os.Open(m.Export)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, r := range roots {
+		if r.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", r.ImportPath, r.Error.Err)
+		}
+		if len(r.GoFiles) == 0 {
+			continue // test-only or empty package
+		}
+		pkg, err := typeCheck(fset, imp, r.ImportPath, r.Dir, r.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// TypeCheckDir parses and type-checks a single directory of Go files as one
+// package (the linttest fixture path). deps supplies export data for the
+// fixture's imports, obtained from a prior Load-style `go list` over them;
+// resolve maps an import path to its export file.
+func TypeCheckDir(fset *token.FileSet, dir, pkgPath string, resolve func(path string) (io.ReadCloser, error)) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	imp := importer.ForCompiler(fset, "gc", resolve)
+	return typeCheck(fset, imp, pkgPath, dir, names)
+}
+
+// typeCheck parses the named files in dir and type-checks them as one
+// package.
+func typeCheck(fset *token.FileSet, imp types.Importer, pkgPath, dir string, fileNames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", pkgPath, err)
+	}
+	return &Package{
+		Path:  pkgPath,
+		Name:  tpkg.Name(),
+		Dir:   dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// ExportResolver runs `go list -export -deps` over the given import paths
+// and returns a resolve function serving their export data, for use with
+// TypeCheckDir. dir anchors the go invocation (any directory inside the
+// module works).
+func ExportResolver(dir string, importPaths []string) (func(path string) (io.ReadCloser, error), error) {
+	if len(importPaths) == 0 {
+		return func(path string) (io.ReadCloser, error) {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}, nil
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Export,Error",
+		"--",
+	}, importPaths...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", importPaths, err, stderr.String())
+	}
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	}, nil
+}

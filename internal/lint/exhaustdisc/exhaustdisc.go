@@ -1,0 +1,139 @@
+// Package exhaustdisc requires switches over the scheduling-discipline and
+// configuration enums to be exhaustive or carry an explicit default.
+//
+// The unified canonical architecture's whole point is that one datapath
+// serves every discipline; the discipline is threaded through the code as
+// small enums (attr.Class, decision.Mode, core.Routing, core.Circulate,
+// shuffle.Schedule). A new discipline or configuration landing without every
+// dispatch site taking a position is exactly how partial support slips in —
+// a switch that silently falls through for attr.FairTag compiles fine and
+// mis-schedules. The analyzer makes the compiler-shaped gap visible: every
+// switch over a registered enum must either name every declared constant of
+// the type or carry an explicit default clause (an empty `default:` is an
+// accepted, auditable statement that the remaining cases need nothing).
+//
+// Enums are registered two ways: the built-in list below, and — within the
+// defining package — an //sslint:enum marker on the type declaration.
+package exhaustdisc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the exhaustdisc check.
+var Analyzer = &analysis.Analyzer{
+	Name: "exhaustdisc",
+	Doc:  "require switches over discipline/configuration enums to be exhaustive or carry an explicit default",
+	Run:  run,
+}
+
+// builtin registers the discipline/configuration enums by defining package
+// path and type name.
+var builtin = map[string]map[string]bool{
+	"repro/internal/attr":     {"Class": true},
+	"repro/internal/decision": {"Mode": true},
+	"repro/internal/core":     {"Routing": true, "Circulate": true},
+	"repro/internal/shuffle":  {"Schedule": true},
+}
+
+func run(pass *analysis.Pass) error {
+	marked := markedEnums(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.Info.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			named, ok := tv.Type.(*types.Named)
+			if !ok {
+				return true
+			}
+			obj := named.Obj()
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if !builtin[obj.Pkg().Path()][obj.Name()] && !marked[obj] {
+				return true
+			}
+			checkSwitch(pass, sw, named)
+			return true
+		})
+	}
+	return nil
+}
+
+// markedEnums collects same-package types annotated //sslint:enum.
+func markedEnums(pass *analysis.Pass) map[types.Object]bool {
+	marked := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if analysis.CommentHasMarker([]*ast.CommentGroup{gd.Doc, ts.Doc, ts.Comment}, "enum") {
+					if obj := pass.Info.Defs[ts.Name]; obj != nil {
+						marked[obj] = true
+					}
+				}
+			}
+		}
+	}
+	return marked
+}
+
+// checkSwitch verifies one switch over the enum type named.
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt, named *types.Named) {
+	covered := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if clause.List == nil {
+			return // explicit default: the author took a position
+		}
+		for _, e := range clause.List {
+			if tv, ok := pass.Info.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+
+	var missing []string
+	scope := named.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if !covered[c.Val().ExactString()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	typeName := named.Obj().Name()
+	if pass.Pkg != named.Obj().Pkg() {
+		typeName = fmt.Sprintf("%s.%s", named.Obj().Pkg().Name(), typeName)
+	}
+	pass.Reportf(sw.Pos(), "switch over %s misses %s and has no default: cover every discipline or add an explicit default clause",
+		typeName, strings.Join(missing, ", "))
+}

@@ -1,0 +1,11 @@
+package exhaustdisc
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestExhaustdisc(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", Analyzer)
+}

@@ -1,0 +1,89 @@
+// Package a is the exhaustdisc fixture: a marked discipline enum whose
+// switches must be exhaustive or carry an explicit default.
+package a
+
+import "fmt"
+
+// Discipline selects the scheduling discipline.
+//
+//sslint:enum
+type Discipline uint8
+
+// The disciplines.
+const (
+	DWCS Discipline = iota
+	EDF
+	FairQueue
+	Priority
+)
+
+// Unmarked is an ordinary type whose switches are not checked.
+type Unmarked uint8
+
+// Unmarked values.
+const (
+	U0 Unmarked = iota
+	U1
+)
+
+// BadPartial misses two disciplines and has no default.
+func BadPartial(d Discipline) string {
+	switch d { // want `switch over Discipline misses FairQueue, Priority`
+	case DWCS:
+		return "dwcs"
+	case EDF:
+		return "edf"
+	}
+	return ""
+}
+
+// GoodExhaustive names every discipline.
+func GoodExhaustive(d Discipline) string {
+	switch d {
+	case DWCS:
+		return "dwcs"
+	case EDF, FairQueue:
+		return "deadline-ish"
+	case Priority:
+		return "priority"
+	}
+	return ""
+}
+
+// GoodDefault takes an explicit position on the rest.
+func GoodDefault(d Discipline) string {
+	switch d {
+	case DWCS:
+		return "dwcs"
+	default:
+		return fmt.Sprintf("discipline(%d)", uint8(d))
+	}
+}
+
+// GoodUnmarked switches over an unregistered enum without constraint.
+func GoodUnmarked(u Unmarked) bool {
+	switch u {
+	case U0:
+		return true
+	}
+	return false
+}
+
+// GoodTagless is a condition switch, not an enum dispatch.
+func GoodTagless(d Discipline) bool {
+	switch {
+	case d == DWCS:
+		return true
+	}
+	return false
+}
+
+// AllowedPartial documents a deliberate two-case probe.
+func AllowedPartial(d Discipline) bool {
+	//sslint:allow exhaustdisc — fixture: deliberate partial probe
+	switch d {
+	case DWCS:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,326 @@
+// Package hotpathalloc flags allocation-inducing constructs in the
+// scheduler's designated decision hot path.
+//
+// TestZeroAllocSteadyState pins the steady-state decision cycle at zero
+// allocations per cycle, but a runtime guard only fires for the
+// configurations it samples. This analyzer is the compile-time backstop: in
+// the functions that make up the hot path — core's cycle driver, the whole
+// shuffle pass machinery, decision's comparators, attr's key packers, and
+// regblock's per-cycle methods — it rejects the constructs that create
+// garbage:
+//
+//   - make/new, slice and map literals, and heap-escaping &T{...} literals;
+//   - append outside the reused-buffer pattern `buf = append(buf, ...)`;
+//   - closures, go and defer statements, and method-value bindings;
+//   - fmt/errors/strconv formatting calls (panic arguments are exempt:
+//     wiring-error panics are cold by definition);
+//   - implicit or explicit conversions to interface types, and
+//     string<->[]byte conversions and string concatenation.
+//
+// The check is intraprocedural by design — calls out of the hot set are the
+// allocation test's job — and the hot set is the built-in list below plus
+// any function annotated //sslint:hotpath.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the hotpathalloc check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "forbid allocation-inducing constructs in the designated decision hot path",
+	Run:  run,
+}
+
+// builtinHot names the hot-path functions per package path. Methods are
+// qualified by their receiver's base type ("Network.Run") so same-named
+// functions on other types — shuffle's gate-level Structural.Run, say — stay
+// out of the hot set.
+var builtinHot = map[string]map[string]bool{
+	"repro/internal/core": {
+		"Scheduler.runCycle": true, "Scheduler.RunCycles": true, "Scheduler.RunFor": true,
+		"Scheduler.runWinnerOnly": true, "Scheduler.runBlock": true,
+	},
+	"repro/internal/shuffle": {
+		"Network.run": true, "Network.runPaperLogN": true, "Network.runBitonic": true,
+		"Network.runTournament": true, "Network.emitBlock": true, "Network.compareAt": true,
+		"Network.Run": true, "Network.RunKeyed": true, "Network.RunLoaded": true,
+		"Network.SetInput": true, "perfectShuffle": true,
+	},
+	"repro/internal/decision": {
+		"FastOrder": true, "Compare": true, "Block.Compare": true, "Block.CompareKeyed": true,
+		"compare": true, "order": true, "Less": true,
+	},
+	"repro/internal/attr": {
+		"Attributes.Key": true, "Attributes.KeyWith": true, "KeyConstraint": true,
+	},
+	"repro/internal/regblock": {
+		"Block.Out": true, "Block.Key": true, "Block.Gen": true, "Block.Valid": true,
+		"Block.SetKeyRef": true, "Block.rekey": true, "Block.rekeyConstraint": true,
+		"Block.setHead": true, "Block.deadlineFor": true, "Block.Load": true,
+		"Block.advance": true, "Block.Service": true, "Block.winnerWindowAdjust": true,
+		"Block.ExpireCheck": true, "Block.loserWindowAdjust": true, "Block.Refill": true,
+		"previewWinnerWindow": true, "previewLoserWindow": true,
+	},
+}
+
+func run(pass *analysis.Pass) error {
+	hotNames := builtinHot[pass.Pkg.Path()]
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			hot := hotNames[qualifiedName(fd)] ||
+				analysis.CommentHasMarker([]*ast.CommentGroup{fd.Doc}, "hotpath")
+			if hot {
+				checkHotFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// qualifiedName returns "Recv.Name" for methods and "Name" for functions.
+func qualifiedName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name + "." + fd.Name.Name
+		default:
+			return fd.Name.Name
+		}
+	}
+}
+
+// checkHotFunc walks one hot function, flagging allocation-inducing
+// constructs. Subtrees under panic(...) are exempt.
+func checkHotFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	analysis.WalkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			pass.Report(x.Pos(), "go statement in the hot path: goroutine launch allocates")
+		case *ast.DeferStmt:
+			pass.Report(x.Pos(), "defer in the hot path: deferred frames cost on every cycle")
+		case *ast.FuncLit:
+			pass.Report(x.Pos(), "closure literal in the hot path: the closure (and its captures) may allocate per cycle")
+			return false
+		case *ast.CompositeLit:
+			checkCompositeLit(pass, x, stack)
+		case *ast.BinaryExpr:
+			if x.Op.String() == "+" && isString(pass, x.X) {
+				pass.Report(x.Pos(), "string concatenation in the hot path allocates")
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := pass.Info.Selections[x]; ok && sel.Kind() == types.MethodVal && !isCallFun(stack, x) {
+				pass.Report(x.Pos(), "method-value binding in the hot path allocates a bound-method closure")
+			}
+		case *ast.CallExpr:
+			return checkCall(pass, x, stack)
+		}
+		return true
+	})
+}
+
+// checkCall inspects one call in the hot path. It returns false to prune
+// traversal (panic arguments).
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) bool {
+	// Builtins and panic.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "panic":
+				return false // wiring-error panics are cold; their args don't count
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s in the hot path allocates; hoist the buffer into the owning struct", b.Name())
+			case "append":
+				checkAppend(pass, call, stack)
+			}
+			return true
+		}
+	}
+
+	// Conversions: T(x).
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		checkConversion(pass, call, tv.Type)
+		return true
+	}
+
+	// Known-allocating formatting helpers.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if obj := pass.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "fmt", "errors", "strconv":
+				pass.Reportf(call.Pos(), "%s.%s in the hot path allocates; move formatting off the per-cycle path",
+					obj.Pkg().Name(), sel.Sel.Name)
+				return true
+			}
+		}
+	}
+
+	// Implicit interface conversions at the call boundary.
+	sig, ok := funcSignature(pass, call)
+	if !ok {
+		return true
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i, call.Ellipsis.IsValid())
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		if _, isTypeParam := pt.(*types.TypeParam); isTypeParam {
+			continue
+		}
+		at, ok := pass.Info.Types[arg]
+		if !ok || at.Type == nil || types.IsInterface(at.Type) || isNil(at) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "implicit conversion of %s to interface %s in the hot path may allocate (escaping interface box)",
+			at.Type, pt)
+	}
+	return true
+}
+
+// checkAppend allows only the reused-buffer pattern buf = append(buf, ...):
+// the result written straight back to the first argument, so growth is
+// amortized into a persistent buffer.
+func checkAppend(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
+	if len(call.Args) > 0 && len(stack) > 0 {
+		if as, ok := stack[len(stack)-1].(*ast.AssignStmt); ok &&
+			len(as.Lhs) == 1 && len(as.Rhs) == 1 && as.Rhs[0] == call &&
+			as.Tok.String() == "=" &&
+			types.ExprString(as.Lhs[0]) == types.ExprString(call.Args[0]) {
+			return
+		}
+	}
+	pass.Report(call.Pos(), "append outside the reused-buffer pattern `buf = append(buf, ...)` in the hot path: growing a fresh slice allocates")
+}
+
+// checkCompositeLit flags slice/map literals and heap-escaping &T{...}.
+func checkCompositeLit(pass *analysis.Pass, lit *ast.CompositeLit, stack []ast.Node) {
+	tv, ok := pass.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		pass.Report(lit.Pos(), "slice literal in the hot path allocates a fresh backing array")
+		return
+	case *types.Map:
+		pass.Report(lit.Pos(), "map literal in the hot path allocates")
+		return
+	}
+	if len(stack) > 0 {
+		if u, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && u.Op.String() == "&" && u.X == lit {
+			pass.Report(lit.Pos(), "&composite literal in the hot path heap-allocates")
+		}
+	}
+}
+
+// checkConversion flags conversions that copy or box.
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr, to types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	at, ok := pass.Info.Types[call.Args[0]]
+	if !ok || at.Type == nil {
+		return
+	}
+	from := at.Type.Underlying()
+	toU := to.Underlying()
+	if types.IsInterface(to) && !types.IsInterface(at.Type) && !isNil(at) {
+		pass.Reportf(call.Pos(), "conversion of %s to interface %s in the hot path may allocate", at.Type, to)
+		return
+	}
+	if isStringByte(from, toU) {
+		pass.Report(call.Pos(), "string<->[]byte conversion in the hot path copies and allocates")
+	}
+}
+
+// isStringByte reports a string <-> []byte/[]rune conversion pair.
+func isStringByte(from, to types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteSlice := func(t types.Type) bool {
+		s, ok := t.(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+			b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isStr(from) && isByteSlice(to)) || (isByteSlice(from) && isStr(to))
+}
+
+// funcSignature extracts the callee signature, if n is a plain call.
+func funcSignature(pass *analysis.Pass, call *ast.CallExpr) (*types.Signature, bool) {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || tv.Type == nil || tv.IsType() {
+		return nil, false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+// paramType returns the effective parameter type for argument i.
+func paramType(sig *types.Signature, i int, ellipsis bool) types.Type {
+	params := sig.Params()
+	n := params.Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 && !ellipsis {
+		last := params.At(n - 1).Type()
+		if s, ok := last.Underlying().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return last
+	}
+	if i >= n {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+// isString reports whether e has string type.
+func isString(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isNil reports an untyped nil argument.
+func isNil(tv types.TypeAndValue) bool {
+	b, ok := tv.Type.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// isCallFun reports whether sel is the Fun of its parent call.
+func isCallFun(stack []ast.Node, sel *ast.SelectorExpr) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	call, ok := stack[len(stack)-1].(*ast.CallExpr)
+	return ok && call.Fun == sel
+}

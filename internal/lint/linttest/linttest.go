@@ -1,0 +1,145 @@
+// Package linttest is the fixture runner for the sslint analyzers — a
+// stdlib-only stand-in for golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is a directory of ordinary Go files (conventionally
+// testdata/src/<name> next to the analyzer) compiled as one package.
+// Expected findings are declared in the source with trailing comments:
+//
+//	t := time.Now() // want `wall clock`
+//
+// Each `// want` comment holds one backquoted regular expression that must
+// match a diagnostic reported on that line; diagnostics with no matching
+// want, and wants with no matching diagnostic, fail the test. Because the
+// runner pushes findings through the same //sslint:allow filter as
+// cmd/sslint, fixtures exercise the suppression grammar too (an allowed line
+// simply carries no want).
+package linttest
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+var wantRE = regexp.MustCompile("// want `([^`]*)`")
+
+// Run loads the fixture package in dir, applies the analyzers, filters
+// through //sslint:allow, and compares the surviving diagnostics against the
+// fixture's // want comments.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+
+	// Resolve the fixture's imports from compiler export data.
+	imports, err := fixtureImports(dir)
+	if err != nil {
+		t.Fatalf("scanning fixture imports in %s: %v", dir, err)
+	}
+	resolve, err := analysis.ExportResolver(".", imports)
+	if err != nil {
+		t.Fatalf("resolving fixture imports: %v", err)
+	}
+
+	pkg, err := analysis.TypeCheckDir(fset, dir, "fixture", resolve)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+
+	wants := collectWants(t, pkg)
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		ok := false
+		for i, w := range wants {
+			if w.file == p.Filename && w.line == p.Line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("%s:%d: unexpected diagnostic [%s] %s", p.Filename, p.Line, d.Analyzer, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// fixtureImports lists the distinct import paths of the fixture's files.
+func fixtureImports(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var paths []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || seen[p] {
+				continue
+			}
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	return paths, nil
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// collectWants extracts the // want expectations from the fixture's
+// comments.
+func collectWants(t *testing.T, pkg *analysis.Package) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, "// want ") {
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				ms := wantRE.FindAllStringSubmatch(c.Text, -1)
+				if ms == nil {
+					t.Errorf("%s:%d: malformed want comment %q (need a backquoted regexp)", p.Filename, p.Line, c.Text)
+					continue
+				}
+				for _, m := range ms {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", p.Filename, p.Line, m[1], err)
+						continue
+					}
+					wants = append(wants, want{file: p.Filename, line: p.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}

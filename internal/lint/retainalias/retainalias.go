@@ -1,0 +1,235 @@
+// Package retainalias enforces the scheduler's copy-on-retain contract.
+//
+// The zero-allocation decision hot path hands results out as slices that
+// alias buffers the next cycle overwrites: shuffle.Result.Block is the
+// network's recirculation block buffer, and core.CycleResult.Transmissions
+// is the scheduler's reused transmission buffer. Reading them inside the
+// cycle is free; *retaining* them — storing the slice in a field or global,
+// returning it, sending it on a channel, or tucking it into another data
+// structure — silently yields data that mutates one cycle later. The
+// analyzer flags exactly those retention points: an aliased slice (or a
+// sub-slice of one, or a local variable holding one) may be ranged over,
+// indexed, and passed down the stack, but any store that can outlive the
+// cycle must go through a copy (append(dst[:0], blk...),
+// append([]T(nil), blk...), copy(dst, blk), slices.Clone — anything whose
+// result is a fresh backing array).
+//
+// Aliased fields are the two built-ins above plus — within the defining
+// package — any struct field annotated //sslint:aliased.
+package retainalias
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the retainalias check.
+var Analyzer = &analysis.Analyzer{
+	Name: "retainalias",
+	Doc:  "flag retention of cycle-aliased result slices (Result.Block, CycleResult.Transmissions) without a copy",
+	Run:  run,
+}
+
+// builtinFields registers the aliased fields as owner-package path → owner
+// type name → field name.
+var builtinFields = map[string]map[string]map[string]bool{
+	"repro/internal/shuffle": {"Result": {"Block": true}},
+	"repro/internal/core":    {"CycleResult": {"Transmissions": true}},
+}
+
+func run(pass *analysis.Pass) error {
+	marked := markedFields(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, marked)
+		}
+	}
+	return nil
+}
+
+// markedFields collects same-package struct fields annotated
+// //sslint:aliased.
+func markedFields(pass *analysis.Pass) map[*types.Var]bool {
+	marked := map[*types.Var]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, fld := range st.Fields.List {
+					if !analysis.CommentHasMarker([]*ast.CommentGroup{fld.Doc, fld.Comment}, "aliased") {
+						continue
+					}
+					for _, name := range fld.Names {
+						if fv, ok := pass.Info.Defs[name].(*types.Var); ok {
+							marked[fv] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return marked
+}
+
+// checker tracks, within one function, which local variables hold an
+// aliased slice.
+type checker struct {
+	pass    *analysis.Pass
+	marked  map[*types.Var]bool
+	tainted map[types.Object]bool
+}
+
+// checkFunc runs the retention check over one function body.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, marked map[*types.Var]bool) {
+	c := &checker{pass: pass, marked: marked, tainted: map[types.Object]bool{}}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			c.assign(x.Lhs, x.Rhs)
+		case *ast.ValueSpec: // var b = res.Block
+			for i, name := range x.Names {
+				if i < len(x.Values) && c.aliased(x.Values[i]) {
+					if obj := c.pass.Info.Defs[name]; obj != nil {
+						c.tainted[obj] = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if c.aliased(r) {
+					c.report(r, "returned")
+				}
+			}
+		case *ast.SendStmt:
+			if c.aliased(x.Value) {
+				c.report(x.Value, "sent on a channel")
+			}
+		case *ast.CallExpr:
+			c.call(x)
+		case *ast.CompositeLit:
+			for _, elt := range x.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if c.aliased(v) {
+					c.report(v, "stored into a composite literal")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// assign processes one assignment statement: taint propagation into locals,
+// retention findings for every other destination.
+func (c *checker) assign(lhs, rhs []ast.Expr) {
+	for i, l := range lhs {
+		if i >= len(rhs) { // x, y := f() — calls never yield tainted values
+			return
+		}
+		if !c.aliased(rhs[i]) {
+			continue
+		}
+		switch dst := l.(type) {
+		case *ast.Ident:
+			if dst.Name == "_" {
+				continue
+			}
+			obj := c.pass.Info.Defs[dst]
+			if obj == nil {
+				obj = c.pass.Info.Uses[dst]
+			}
+			if obj == nil {
+				continue
+			}
+			if v, ok := obj.(*types.Var); ok && v.Parent() == c.pass.Pkg.Scope() {
+				c.report(rhs[i], "stored in a package-level variable")
+				continue
+			}
+			c.tainted[obj] = true // a local holding the alias: fine until retained
+		default: // x.F = blk, m[k] = blk, *p = blk, a[i] = blk
+			c.report(rhs[i], "stored beyond the cycle")
+		}
+	}
+}
+
+// call flags append(dst, aliasedSlice) — storing the slice header itself
+// into another slice. append(dst, aliasedSlice...) copies elements and is
+// the sanctioned snapshot idiom.
+func (c *checker) call(call *ast.CallExpr) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || call.Ellipsis.IsValid() {
+		return
+	}
+	if b, ok := c.pass.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if c.aliased(arg) {
+			c.report(arg, "stored into another slice via append")
+		}
+	}
+}
+
+// aliased reports whether e evaluates to an aliased slice: a registered
+// field selection, a sub-slice of one, or a tainted local.
+func (c *checker) aliased(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return c.aliased(x.X)
+	case *ast.SliceExpr:
+		return c.aliased(x.X)
+	case *ast.Ident:
+		obj := c.pass.Info.Uses[x]
+		return obj != nil && c.tainted[obj]
+	case *ast.SelectorExpr:
+		sel, ok := c.pass.Info.Selections[x]
+		if !ok || sel.Kind() != types.FieldVal {
+			return false
+		}
+		fv, ok := sel.Obj().(*types.Var)
+		if !ok {
+			return false
+		}
+		if c.marked[fv.Origin()] {
+			return true
+		}
+		recv := sel.Recv()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		if obj == nil || obj.Pkg() == nil {
+			return false
+		}
+		return builtinFields[obj.Pkg().Path()][obj.Name()][fv.Name()]
+	}
+	return false
+}
+
+// report emits one retention finding.
+func (c *checker) report(at ast.Expr, how string) {
+	c.pass.Reportf(at.Pos(), "cycle-aliased slice %s without a copy: the next decision cycle overwrites its backing buffer (copy-on-retain contract; snapshot with append(dst[:0], s...) first)", how)
+}

@@ -1,0 +1,11 @@
+package retainalias
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestRetainAlias(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", Analyzer)
+}

@@ -1,0 +1,109 @@
+// Package a is the retainalias fixture: a result type whose slice field
+// aliases a reused buffer under the copy-on-retain contract.
+package a
+
+// Item is one element of a result block.
+type Item struct {
+	Slot int
+	Rank int
+}
+
+// Result is one cycle's outcome.
+type Result struct {
+	Winner Item
+	// Block aliases a buffer the next cycle overwrites.
+	Block []Item //sslint:aliased
+}
+
+// Engine produces results against a reused buffer.
+type Engine struct {
+	buf      []Item
+	retained []Item
+	history  [][]Item
+}
+
+// Run produces the cycle result; Block aliases e.buf. Assigning the buffer
+// INTO the aliased field is the producer side of the contract and is fine.
+func (e *Engine) Run() Result {
+	return Result{Winner: e.buf[0], Block: e.buf}
+}
+
+// GoodReaders consume the block inside the cycle.
+func GoodReaders(e *Engine) int {
+	res := e.Run()
+	sum := 0
+	for _, it := range res.Block {
+		sum += it.Slot
+	}
+	sum += res.Block[0].Rank
+	return sum
+}
+
+// GoodSnapshot copies before retaining — every sanctioned idiom.
+func GoodSnapshot(e *Engine) []Item {
+	res := e.Run()
+	snap := append([]Item(nil), res.Block...)
+	e.retained = append(e.retained[:0], res.Block...)
+	dst := make([]Item, len(res.Block))
+	copy(dst, res.Block)
+	e.history = append(e.history, snap)
+	return dst
+}
+
+// BadStoreField retains the alias in a field.
+func BadStoreField(e *Engine) {
+	res := e.Run()
+	e.retained = res.Block // want `stored beyond the cycle`
+}
+
+// BadReturn leaks the alias to an unknowing caller.
+func BadReturn(e *Engine) []Item {
+	res := e.Run()
+	return res.Block // want `returned without a copy`
+}
+
+// BadSubslice retains a sub-slice — same backing buffer.
+func BadSubslice(e *Engine) []Item {
+	res := e.Run()
+	return res.Block[1:] // want `returned without a copy`
+}
+
+// BadViaLocal launders the alias through a local variable.
+func BadViaLocal(e *Engine) {
+	res := e.Run()
+	b := res.Block
+	e.retained = b // want `stored beyond the cycle`
+}
+
+// BadSend ships the alias to another goroutine's cycle.
+func BadSend(e *Engine, ch chan []Item) {
+	res := e.Run()
+	ch <- res.Block // want `sent on a channel`
+}
+
+// BadAppendHeader stores the slice header, not the elements.
+func BadAppendHeader(e *Engine) {
+	res := e.Run()
+	e.history = append(e.history, res.Block) // want `stored into another slice via append`
+}
+
+// BadComposite tucks the alias into a struct that may escape.
+func BadComposite(e *Engine) Result {
+	res := e.Run()
+	return Result{Block: res.Block} // want `stored into a composite literal`
+}
+
+// globalBlock is a package-level retention target.
+var globalBlock []Item
+
+// BadGlobal parks the alias in a package-level variable.
+func BadGlobal(e *Engine) {
+	res := e.Run()
+	globalBlock = res.Block // want `stored in a package-level variable`
+}
+
+// AllowedRetention documents a sanctioned alias hand-off.
+func AllowedRetention(e *Engine) []Item {
+	res := e.Run()
+	return res.Block //sslint:allow retainalias — fixture: caller consumes before the next cycle
+}

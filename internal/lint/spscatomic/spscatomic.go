@@ -1,0 +1,204 @@
+// Package spscatomic guards the SPSC ring's lock-free pointer fields.
+//
+// The endsystem's rings (internal/ringbuf) are single-producer/
+// single-consumer queues whose head/tail indices are shared between two
+// spinning goroutines with no lock — correctness rests entirely on every
+// access being an atomic load/store with the right ordering, performed by
+// the ring's own methods (PR 1 fixed exactly this class of bug by hand in
+// Len's load ordering). The analyzer enforces the convention structurally:
+//
+//   - a guarded field must be declared with a sync/atomic type
+//     (atomic.Uint64 and friends), never a bare integer;
+//   - every mention of a guarded field must be an immediate atomic method
+//     call (r.head.Load(), r.tail.Store(...)) — copying the value, taking
+//     its address, or naming it in a composite literal is a finding;
+//   - the mention must occur inside a method of the owning struct — helper
+//     functions and other types reaching into the pointers cannot uphold
+//     the pairing contract.
+//
+// Guarded fields are the built-in ringbuf.Ring head/tail plus — within the
+// defining package — any struct field annotated //sslint:spsc.
+package spscatomic
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the spscatomic check.
+var Analyzer = &analysis.Analyzer{
+	Name: "spscatomic",
+	Doc:  "require atomic, method-confined access to SPSC ring head/tail fields",
+	Run:  run,
+}
+
+// builtinFields names the guarded fields per package path and struct name.
+var builtinFields = map[string]map[string][]string{
+	"repro/internal/ringbuf": {"Ring": {"head", "tail"}},
+}
+
+// guarded maps a field object (generic origin) to its owning type.
+type guarded map[*types.Var]*types.TypeName
+
+func run(pass *analysis.Pass) error {
+	fields := collectGuarded(pass)
+	if len(fields) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		checkFile(pass, f, fields)
+	}
+	return nil
+}
+
+// collectGuarded resolves the guarded field set: built-ins for this package
+// plus //sslint:spsc-annotated struct fields.
+func collectGuarded(pass *analysis.Pass) guarded {
+	fields := guarded{}
+	add := func(owner *types.TypeName, names ...string) {
+		st, ok := owner.Type().Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		want := map[string]bool{}
+		for _, n := range names {
+			want[n] = true
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if fv := st.Field(i); want[fv.Name()] {
+				fields[fv.Origin()] = owner
+			}
+		}
+	}
+	for owner, names := range builtinFields[pass.Pkg.Path()] {
+		if tn, ok := pass.Pkg.Scope().Lookup(owner).(*types.TypeName); ok {
+			add(tn, names...)
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				owner, _ := pass.Info.Defs[ts.Name].(*types.TypeName)
+				if owner == nil {
+					continue
+				}
+				for _, fld := range st.Fields.List {
+					if !analysis.CommentHasMarker([]*ast.CommentGroup{fld.Doc, fld.Comment}, "spsc") {
+						continue
+					}
+					for _, name := range fld.Names {
+						add(owner, name.Name)
+					}
+				}
+			}
+		}
+	}
+	// Declaration check: guarded fields must be sync/atomic types.
+	for fv, owner := range fields {
+		if !isAtomicType(fv.Type()) {
+			pass.Reportf(fv.Pos(), "SPSC pointer field %s.%s must be a sync/atomic type, not %s: plain loads and stores race between producer and consumer",
+				owner.Name(), fv.Name(), fv.Type())
+		}
+	}
+	return fields
+}
+
+// isAtomicType reports whether t is a named type from sync/atomic.
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// checkFile flags every non-atomic or non-method-confined mention of a
+// guarded field.
+func checkFile(pass *analysis.Pass, f *ast.File, fields guarded) {
+	analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		fv, ok := obj.(*types.Var)
+		if !ok {
+			return true
+		}
+		owner, isGuarded := fields[fv.Origin()]
+		if !isGuarded {
+			return true
+		}
+
+		if fd := enclosingFuncDecl(stack); fd == nil || !isMethodOn(pass, fd, owner) {
+			pass.Reportf(id.Pos(), "%s.%s accessed outside %s's own methods: the SPSC contract confines head/tail to the owning ring",
+				owner.Name(), fv.Name(), owner.Name())
+			return true
+		}
+
+		// The mention must be r.<field>.<AtomicMethod>(...): stack ends
+		// ... CallExpr > SelectorExpr(method) > SelectorExpr(field) > id.
+		if len(stack) >= 3 {
+			fieldSel, ok1 := stack[len(stack)-1].(*ast.SelectorExpr)
+			methodSel, ok2 := stack[len(stack)-2].(*ast.SelectorExpr)
+			call, ok3 := stack[len(stack)-3].(*ast.CallExpr)
+			if ok1 && ok2 && ok3 && fieldSel.Sel == id && methodSel.X == fieldSel && call.Fun == methodSel {
+				return true // r.head.Load() and friends
+			}
+		}
+		pass.Reportf(id.Pos(), "non-atomic use of %s.%s: access it only through its sync/atomic methods (Load/Store/...)",
+			owner.Name(), fv.Name())
+		return true
+	})
+}
+
+// enclosingFuncDecl returns the innermost FuncDecl on the stack.
+func enclosingFuncDecl(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}
+
+// isMethodOn reports whether fd is a method whose receiver's base type is
+// owner.
+func isMethodOn(pass *analysis.Pass, fd *ast.FuncDecl, owner *types.TypeName) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // Ring[T]
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return pass.Info.Uses[x] == owner || pass.Info.Defs[x] == owner
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,11 @@
+package spscatomic
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestSPSCAtomic(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", Analyzer)
+}

@@ -1,0 +1,45 @@
+// Package a is the walltime fixture: wall-clock and global-rand escapes are
+// flagged, explicitly seeded generators and annotated measurement sites are
+// accepted.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BadWallClock reads the host clock inside modeled-time code.
+func BadWallClock() int64 {
+	t := time.Now()              // want `time.Now: wall clock`
+	time.Sleep(time.Millisecond) // want `time.Sleep: wall-clock sleep`
+	return t.UnixNano()
+}
+
+// BadGlobalRand draws from the process-global source.
+func BadGlobalRand() int {
+	rand.Seed(42)                 // want `process-global rand source`
+	f := rand.Float64()           // want `process-global rand source`
+	return rand.Intn(10) + int(f) // want `process-global rand source`
+}
+
+// GoodSeeded uses the sanctioned explicit-seed pattern.
+func GoodSeeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// GoodDuration manipulates time.Duration values without touching the clock.
+func GoodDuration(d time.Duration) time.Duration {
+	return d * 2
+}
+
+// AllowedMeasurement is a sanctioned wall-clock site.
+func AllowedMeasurement() time.Time {
+	return time.Now() //sslint:allow walltime — fixture: sanctioned measurement site
+}
+
+// AllowedAbove uses the standalone-annotation form.
+func AllowedAbove() {
+	//sslint:allow walltime — fixture: standalone annotation covers the next line
+	time.Sleep(time.Nanosecond)
+}

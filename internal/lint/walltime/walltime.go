@@ -1,0 +1,96 @@
+// Package walltime flags wall-clock and global-randomness escapes in
+// modeled-time code.
+//
+// The scheduler's clock is virtual — one time unit per decision cycle — and
+// every experiment output is required to be bit-identical across runs and
+// hosts (DESIGN.md "Determinism"). A stray time.Now, time.Sleep, or draw
+// from math/rand's process-global source silently couples modeled results to
+// the host's clock or to test execution order. The analyzer forbids:
+//
+//   - time.Now, time.Sleep, time.Tick, time.After, time.AfterFunc,
+//     time.NewTimer, time.NewTicker — wall-clock sources and timers;
+//   - every math/rand top-level function that draws from the global source
+//     (Int, Intn, Float64, Perm, Shuffle, Seed, ...). Explicitly seeded
+//     generators — rand.New(rand.NewSource(seed)) — are the sanctioned
+//     pattern and pass.
+//
+// Legitimate wall-clock sites (the §4.1 latency harness, the sharded
+// wall-clock scaling experiment) carry //sslint:allow walltime annotations;
+// the cmd/sslint driver additionally scopes this analyzer away from
+// repro/cmd/..., whose benchmark harnesses measure wall time by design.
+package walltime
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the walltime check.
+var Analyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc:  "forbid time.Now/time.Sleep and global math/rand in modeled-time code",
+	Run:  run,
+}
+
+// forbidden maps package path → function names whose call (or mention) is a
+// finding.
+var forbidden = map[string]map[string]string{
+	"time": {
+		"Now":       "wall clock in modeled-time code",
+		"Sleep":     "wall-clock sleep in modeled-time code",
+		"Tick":      "wall-clock ticker in modeled-time code",
+		"After":     "wall-clock timer in modeled-time code",
+		"AfterFunc": "wall-clock timer in modeled-time code",
+		"NewTimer":  "wall-clock timer in modeled-time code",
+		"NewTicker": "wall-clock ticker in modeled-time code",
+	},
+	"math/rand": {
+		"Int": "", "Intn": "", "Int31": "", "Int31n": "", "Int63": "", "Int63n": "",
+		"Uint32": "", "Uint64": "", "Float32": "", "Float64": "", "ExpFloat64": "",
+		"NormFloat64": "", "Perm": "", "Shuffle": "", "Read": "", "Seed": "",
+	},
+	"math/rand/v2": {
+		"Int": "", "IntN": "", "Int32": "", "Int32N": "", "Int64": "", "Int64N": "",
+		"Uint32": "", "Uint64": "", "Float32": "", "Float64": "", "ExpFloat64": "",
+		"NormFloat64": "", "Perm": "", "Shuffle": "", "N": "", "Uint32N": "", "Uint64N": "",
+	},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			fn, isFunc := obj.(*types.Func)
+			if !isFunc {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. on an explicitly seeded *rand.Rand) are fine
+			}
+			names, ok := forbidden[obj.Pkg().Path()]
+			if !ok {
+				return true
+			}
+			why, ok := names[sel.Sel.Name]
+			if !ok {
+				return true
+			}
+			if why == "" {
+				why = "draw from the process-global rand source (unseeded, test-order dependent)"
+			}
+			pass.Reportf(sel.Pos(), "%s.%s: %s; thread virtual time / an explicit seed through instead, or annotate //sslint:allow walltime — <reason>",
+				obj.Pkg().Path(), sel.Sel.Name, why)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+package walltime
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestWalltime(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", Analyzer)
+}

@@ -299,6 +299,7 @@ func (b *Block) ExpireCheck(now uint64) bool {
 	switch b.spec.Class {
 	case attr.StaticPriority, attr.FairTag:
 		return false // no deadlines to expire
+	default: // EDF, WindowConstrained: deadline-bearing, checked below
 	}
 	if b.d64 >= now {
 		return false
@@ -348,6 +349,7 @@ func (b *Block) ComputeAhead(now uint64) (ifWinner, ifLoser attr.Attributes) {
 	switch b.spec.Class {
 	case attr.StaticPriority, attr.FairTag:
 		return ifWinner, ifLoser // adjustments bypassed for these classes
+	default: // EDF, WindowConstrained: previewed below
 	}
 	// Winner path: window winner-adjust, then deadline synthesis.
 	if b.spec.Class == attr.WindowConstrained {

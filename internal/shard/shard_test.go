@@ -28,7 +28,7 @@ func TestConfigValidation(t *testing.T) {
 	bad := []Config{
 		{Shards: 0, SlotsPerShard: 4},
 		{Shards: -1, SlotsPerShard: 4},
-		{Shards: 2, SlotsPerShard: 3},          // not a power of two
+		{Shards: 2, SlotsPerShard: 3}, // not a power of two
 		{Shards: 2, SlotsPerShard: 4, HostNs: -1},
 		{Shards: 2, SlotsPerShard: 4, FrameBytes: -5},
 		{Shards: 2, SlotsPerShard: 4, TransferBatch: -1},

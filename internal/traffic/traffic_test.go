@@ -303,3 +303,57 @@ func TestOnOffLimitAndGating(t *testing.T) {
 		t.Fatalf("counters: %d/%d", o.Emitted(), o.Consumed())
 	}
 }
+
+// onOffTrace advances an OnOff source to horizon in the given step size and
+// drains the arrival times.
+func onOffTrace(seed int64, horizon, step uint64) []uint64 {
+	o := &OnOff{Gap: 2, MeanOn: 15, MeanOff: 10, Seed: seed}
+	for now := uint64(0); now <= horizon; now += step {
+		o.Advance(now)
+	}
+	o.Advance(horizon)
+	var got []uint64
+	for {
+		h, ok := o.NextHead()
+		if !ok {
+			return got
+		}
+		got = append(got, h.Arrival)
+	}
+}
+
+// TestOnOffSeedDrivesTrace guards the seeding audit from the other side:
+// the dwell-time generator must actually consume OnOff.Seed (a regression
+// that hardwired the source would still pass the same-seed reproducibility
+// test), and the trace must depend only on the seed — not on the
+// granularity of Advance calls, which the endsystem varies per cycle.
+func TestOnOffSeedDrivesTrace(t *testing.T) {
+	a := onOffTrace(1, 2000, 2000)
+	b := onOffTrace(2, 2000, 2000)
+	if len(a) == 0 || len(b) == 0 {
+		t.Fatal("no packets generated")
+	}
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical traces: Seed is not reaching the generator")
+	}
+
+	oneShot := onOffTrace(1, 2000, 2000)
+	piecewise := onOffTrace(1, 2000, 7)
+	if len(oneShot) != len(piecewise) {
+		t.Fatalf("advance granularity changed the trace: %d vs %d packets", len(oneShot), len(piecewise))
+	}
+	for i := range oneShot {
+		if oneShot[i] != piecewise[i] {
+			t.Fatalf("advance granularity changed arrival %d: %d vs %d", i, oneShot[i], piecewise[i])
+		}
+	}
+}
