@@ -1,0 +1,80 @@
+package main
+
+// The perf-regression gate: `ssbench perf -baseline BENCH_PR2.json
+// [-tolerance 0.25]` re-measures the decision hot path and compares each
+// (slots, mode, routing) row against the recorded baseline. A row regresses
+// when its ns/decision exceeds baseline×(1+tolerance) or its allocs/cycle
+// exceeds baseline+tolerance (the alloc budget is absolute: the recorded
+// baselines are 0, and tolerance 0 means "still zero"). Any regression makes
+// the command exit nonzero, which is what lets make check and CI gate on it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// rowKey identifies a measurement across reports.
+type rowKey struct {
+	Slots   int
+	Mode    string
+	Routing string
+}
+
+// checkBaseline compares cur against the report recorded at path.
+func checkBaseline(cur PerfReport, path string, tolerance float64) error {
+	if tolerance < 0 {
+		return fmt.Errorf("-tolerance %v: must be ≥ 0", tolerance)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("-baseline: %w", err)
+	}
+	defer f.Close()
+	var base PerfReport
+	if err := json.NewDecoder(f).Decode(&base); err != nil {
+		return fmt.Errorf("-baseline %s: %w", path, err)
+	}
+	if len(base.Rows) == 0 {
+		return fmt.Errorf("-baseline %s: no rows", path)
+	}
+	baseRows := make(map[rowKey]PerfRow, len(base.Rows))
+	for _, r := range base.Rows {
+		baseRows[rowKey{r.Slots, r.Mode, r.Routing}] = r
+	}
+
+	fmt.Printf("\nBaseline comparison vs %s (%s %s/%s, tolerance %.0f%%):\n",
+		path, base.GoVersion, base.GOOS, base.GOARCH, tolerance*100)
+	fmt.Println("slots  mode     routing  ns/decision      baseline     delta    allocs  verdict")
+	var regressions, missing int
+	for _, r := range cur.Rows {
+		b, ok := baseRows[rowKey{r.Slots, r.Mode, r.Routing}]
+		if !ok {
+			missing++
+			fmt.Printf("%5d  %-7s  %-7s  %11.1f  %12s  %8s  %8.2f  no baseline row\n",
+				r.Slots, r.Mode, r.Routing, r.NsPerDecision, "-", "-", r.AllocsPerCycle)
+			continue
+		}
+		delta := r.NsPerDecision/b.NsPerDecision - 1
+		verdict := "ok"
+		if r.NsPerDecision > b.NsPerDecision*(1+tolerance) {
+			verdict = "REGRESSION: ns/decision"
+			regressions++
+		}
+		if r.AllocsPerCycle > b.AllocsPerCycle+tolerance {
+			verdict = fmt.Sprintf("REGRESSION: allocs/cycle %.2f > %.2f", r.AllocsPerCycle, b.AllocsPerCycle+tolerance)
+			regressions++
+		}
+		fmt.Printf("%5d  %-7s  %-7s  %11.1f  %12.1f  %+7.1f%%  %8.2f  %s\n",
+			r.Slots, r.Mode, r.Routing, r.NsPerDecision, b.NsPerDecision, delta*100, r.AllocsPerCycle, verdict)
+	}
+	if regressions > 0 {
+		return fmt.Errorf("perf gate: %d row(s) regressed beyond tolerance %.0f%%", regressions, tolerance*100)
+	}
+	fmt.Printf("perf gate: %d row(s) within tolerance", len(cur.Rows)-missing)
+	if missing > 0 {
+		fmt.Printf(" (%d without a baseline row, not gated)", missing)
+	}
+	fmt.Println()
+	return nil
+}

@@ -16,8 +16,12 @@
 //
 // Flags: -csv FILE writes the active figure's series as CSV; -shards K sets
 // the shard count for the sharded command (default: host cores); -json FILE
-// sets the perf command's report path; -cpuprofile/-memprofile FILE write
-// pprof profiles of whichever command ran.
+// sets the perf command's report path; -baseline FILE compares the perf run
+// against a recorded report and exits nonzero on regression (-tolerance sets
+// the allowed slack, default 25%); -metrics ADDR serves the observability
+// registry (JSON /metrics plus net/http/pprof) for the duration of the run
+// and instruments the perf and sharded commands; -cpuprofile/-memprofile
+// FILE write pprof profiles of whichever command ran.
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 	"repro/internal/endsystem"
 	"repro/internal/experiments"
 	"repro/internal/fpga"
+	"repro/internal/obs"
 	"repro/internal/pci"
 	"repro/internal/stats"
 )
@@ -38,6 +43,9 @@ func main() {
 	csvPath := flag.String("csv", "", "write the figure's series to this CSV file (fig8/fig9/fig10/sharded)")
 	shards := flag.Int("shards", runtime.NumCPU(), "scheduler shard count for the sharded command")
 	jsonPath := flag.String("json", "BENCH_PR2.json", "perf command: write the machine-readable report here (empty to skip)")
+	baseline := flag.String("baseline", "", "perf command: compare against this recorded report; exit nonzero on regression")
+	tolerance := flag.Float64("tolerance", 0.25, "perf gate slack: allowed ns/decision growth ratio and allocs/cycle budget")
+	metricsAddr := flag.String("metrics", "", "serve the obs registry and pprof on this address (e.g. :9090) for the run")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Usage = usage
@@ -47,6 +55,27 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
+
+	// Gate runs leave the recorded baseline untouched unless the user asked
+	// for a rewrite by naming -json explicitly.
+	jsonExplicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "json" {
+			jsonExplicit = true
+		}
+	})
+
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		bound, closeFn, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ssbench: -metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ssbench: metrics on http://%s/metrics (pprof on /debug/pprof/)\n", bound)
+		defer closeFn()
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -62,7 +91,15 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	err := run(cmd, *csvPath, *shards, *jsonPath)
+	err := run(cmd, runConfig{
+		csvPath:      *csvPath,
+		shards:       *shards,
+		jsonPath:     *jsonPath,
+		jsonExplicit: jsonExplicit,
+		baseline:     *baseline,
+		tolerance:    *tolerance,
+		reg:          reg,
+	})
 
 	if *memProfile != "" {
 		f, ferr := os.Create(*memProfile)
@@ -86,10 +123,22 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ssbench [-csv file] [-shards K] [-json file] [-cpuprofile file] [-memprofile file] {table3|fig1|fig7|fig8|fig9|fig10|throughput|latency|ablation|extensions|scale|gsr|sortquality|sharded|perf|all}")
+	fmt.Fprintln(os.Stderr, "usage: ssbench [-csv file] [-shards K] [-json file] [-baseline file] [-tolerance x] [-metrics addr] [-cpuprofile file] [-memprofile file] {table3|fig1|fig7|fig8|fig9|fig10|throughput|latency|ablation|extensions|scale|gsr|sortquality|sharded|perf|all}")
 }
 
-func run(cmd, csvPath string, shards int, jsonPath string) error {
+// runConfig carries the flag values down to the per-command drivers.
+type runConfig struct {
+	csvPath      string
+	shards       int
+	jsonPath     string
+	jsonExplicit bool
+	baseline     string
+	tolerance    float64
+	reg          *obs.Registry
+}
+
+func run(cmd string, rc runConfig) error {
+	csvPath, shards := rc.csvPath, rc.shards
 	switch cmd {
 	case "table3":
 		return table3()
@@ -118,13 +167,15 @@ func run(cmd, csvPath string, shards int, jsonPath string) error {
 	case "sortquality":
 		return sortQuality()
 	case "sharded":
-		return sharded(csvPath, shards)
+		return sharded(csvPath, shards, rc.reg)
 	case "perf":
-		return perf(jsonPath)
+		return perf(rc)
 	case "all":
 		for _, c := range []string{"table3", "fig1", "fig7", "fig8", "fig9", "fig10", "throughput", "latency", "ablation", "extensions", "scale", "gsr", "sortquality", "sharded"} {
 			fmt.Printf("════ %s ════\n", c)
-			if err := run(c, "", shards, jsonPath); err != nil {
+			sub := rc
+			sub.csvPath = ""
+			if err := run(c, sub); err != nil {
 				return err
 			}
 			fmt.Println()
@@ -318,7 +369,7 @@ func scale() error {
 	return nil
 }
 
-func sharded(csvPath string, shards int) error {
+func sharded(csvPath string, shards int, reg *obs.Registry) error {
 	if shards < 1 {
 		return fmt.Errorf("-shards %d", shards)
 	}
@@ -328,7 +379,7 @@ func sharded(csvPath string, shards int) error {
 	)
 	fmt.Printf("Sharded endsystem — %d scheduler pipelines × %d streams, %d frames/stream, PIO batching\n",
 		shards, slotsPerShard, framesPerStream)
-	res, err := endsystem.RunSharded(shards, slotsPerShard, framesPerStream, pci.ModePIO)
+	res, err := endsystem.RunShardedInstrumented(shards, slotsPerShard, framesPerStream, pci.ModePIO, reg)
 	if err != nil {
 		return err
 	}

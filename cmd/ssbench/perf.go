@@ -20,6 +20,7 @@ import (
 	"repro/internal/attr"
 	"repro/internal/core"
 	"repro/internal/decision"
+	"repro/internal/obs"
 	"repro/internal/traffic"
 )
 
@@ -47,7 +48,7 @@ type PerfReport struct {
 	Rows      []PerfRow `json:"rows"`
 }
 
-func perf(jsonPath string) error {
+func perf(rc runConfig) error {
 	fmt.Println("PR-2 perf harness — steady-state decision hot path")
 	fmt.Println("(backlogged EDF streams, one decision per cycle; allocs via testing.AllocsPerRun)")
 	fmt.Println()
@@ -62,7 +63,7 @@ func perf(jsonPath string) error {
 	for _, n := range perfSlots {
 		for _, mode := range []decision.Mode{decision.DWCS, decision.TagOnly} {
 			for _, routing := range []core.Routing{core.WinnerOnly, core.BlockRouting} {
-				row, err := perfOne(n, mode, routing)
+				row, err := perfOne(n, mode, routing, rc.reg)
 				if err != nil {
 					return err
 				}
@@ -74,8 +75,12 @@ func perf(jsonPath string) error {
 		}
 	}
 
-	if jsonPath != "" {
-		f, err := os.Create(jsonPath)
+	// A gate run compares; it only rewrites the recorded baseline when -json
+	// was named explicitly (a fresh measurement on a regressed machine would
+	// otherwise silently ratchet the baseline down to the regression).
+	writeJSON := rc.jsonPath != "" && (rc.baseline == "" || rc.jsonExplicit)
+	if writeJSON {
+		f, err := os.Create(rc.jsonPath)
 		if err != nil {
 			return err
 		}
@@ -85,16 +90,34 @@ func perf(jsonPath string) error {
 		if err := enc.Encode(rep); err != nil {
 			return err
 		}
-		fmt.Printf("\n(report written to %s)\n", jsonPath)
+		fmt.Printf("\n(report written to %s)\n", rc.jsonPath)
+	}
+	if rc.baseline != "" {
+		return checkBaseline(rep, rc.baseline, rc.tolerance)
 	}
 	return nil
 }
 
-// perfOne builds a backlogged scheduler and measures its steady state.
-func perfOne(n int, mode decision.Mode, routing core.Routing) (PerfRow, error) {
+// perfOne builds a backlogged scheduler and measures its steady state. With
+// a registry attached the scheduler records the shared core.* bundle
+// (registration is idempotent, so all rows aggregate into one view) and the
+// timed region feeds perf.decision_ns, a wall-clock histogram of per-chunk
+// mean decision latency.
+func perfOne(n int, mode decision.Mode, routing core.Routing, reg *obs.Registry) (PerfRow, error) {
 	sched, err := perfScheduler(n, mode, routing)
 	if err != nil {
 		return PerfRow{}, err
+	}
+	var nsHist *obs.Histogram
+	if reg != nil {
+		m, err := core.NewMetrics(reg, "core", 256)
+		if err != nil {
+			return PerfRow{}, err
+		}
+		if err := sched.Instrument(m); err != nil {
+			return PerfRow{}, err
+		}
+		nsHist = reg.Histogram("perf.decision_ns", "ns")
 	}
 
 	// Cycle budget: roughly constant total comparator work across N, with a
@@ -108,9 +131,39 @@ func perfOne(n int, mode decision.Mode, routing core.Routing) (PerfRow, error) {
 	// steady state.
 	sched.RunCycles(cycles/4+16, nil)
 
-	start := time.Now()
-	sched.RunCycles(cycles, nil)
-	elapsed := time.Since(start)
+	// Best-of-3: the minimum over repetitions is the run least disturbed by
+	// the host (scheduler preemptions, frequency ramps), which is what makes
+	// baseline comparisons across runs stable enough to gate on.
+	timed := func() time.Duration {
+		if nsHist == nil {
+			start := time.Now()
+			sched.RunCycles(cycles, nil)
+			return time.Since(start)
+		}
+		// Chunked timing so the histogram sees per-chunk mean latency while
+		// the repetition total stays the same sum.
+		const chunk = 1 << 14
+		var total time.Duration
+		for done := 0; done < cycles; {
+			batch := cycles - done
+			if batch > chunk {
+				batch = chunk
+			}
+			start := time.Now()
+			sched.RunCycles(batch, nil)
+			d := time.Since(start)
+			total += d
+			nsHist.Observe(uint64(d.Nanoseconds()) / uint64(batch))
+			done += batch
+		}
+		return total
+	}
+	elapsed := timed()
+	for rep := 1; rep < 3; rep++ {
+		if d := timed(); d < elapsed {
+			elapsed = d
+		}
+	}
 
 	// Allocation accounting on a fresh scheduler: AllocsPerRun pins
 	// GOMAXPROCS to 1, and a short batch per run keeps the probe cheap.

@@ -2,8 +2,13 @@
 // stdout: every paper table and figure plus this reproduction's ablations,
 // computed live.
 //
-//	ssreport        > report.md   # scaled-down runs (seconds)
-//	ssreport -full  > report.md   # paper-scale runs
+//	ssreport           > report.md   # scaled-down runs (seconds)
+//	ssreport -full     > report.md   # paper-scale runs
+//	ssreport -metrics  > report.md   # append an observability snapshot
+//
+// -metrics drives an instrumented endsystem pipeline run and appends the
+// registry's text summary (counters, histogram quantiles, cycle-trace tail)
+// as a final report section.
 package main
 
 import (
@@ -12,11 +17,15 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/endsystem"
+	"repro/internal/obs"
+	"repro/internal/pci"
 	"repro/internal/report"
 )
 
 func main() {
 	full := flag.Bool("full", false, "run every experiment at paper scale")
+	metrics := flag.Bool("metrics", false, "append the observability summary of an instrumented pipeline run")
 	flag.Parse()
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
@@ -24,4 +33,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ssreport: %v\n", err)
 		os.Exit(1)
 	}
+	if *metrics {
+		if err := metricsSection(w, *full); err != nil {
+			fmt.Fprintf(os.Stderr, "ssreport: -metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// metricsSection runs the concurrent endsystem pipeline with the obs
+// registry attached and renders the scraped snapshot as a report section.
+func metricsSection(w *bufio.Writer, full bool) error {
+	slots, frames := 8, 2000
+	if full {
+		slots, frames = 32, 64000
+	}
+	reg := obs.NewRegistry()
+	res, err := endsystem.RunPipelineInstrumented(slots, frames, pci.ModePIO, reg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n## Observability snapshot\n\n")
+	fmt.Fprintf(w, "Instrumented pipeline run: %d slots × %d frames, PIO batching — %d frames delivered, %.0f packets/s modeled.\n\n",
+		slots, frames, res.Frames, res.PacketsPerS)
+	fmt.Fprintf(w, "```\n")
+	if err := reg.Snapshot().WriteText(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "```\n")
+	return nil
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/attr"
 	"repro/internal/core"
 	"repro/internal/fpga"
+	"repro/internal/obs"
 	"repro/internal/traffic"
 )
 
@@ -31,6 +32,7 @@ func main() {
 		device    = flag.String("device", "v1", "clock model device: v1 (Virtex-I) or v2 (Virtex-II)")
 		trace     = flag.Int("trace", 0, "print the first N decision cycles")
 		vcdPath   = flag.String("vcd", "", "dump the control-unit trace as a VCD waveform file")
+		metrics   = flag.String("metrics", "", "serve the obs registry and pprof on this address (e.g. :9090) for the run, and print the metrics summary at exit")
 	)
 	flag.Parse()
 
@@ -65,6 +67,23 @@ func main() {
 	}
 	if err := admit(sched, cfg.Slots, *mix); err != nil {
 		fatal("%v", err)
+	}
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		m, err := core.NewMetrics(reg, "core", 256)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := sched.Instrument(m); err != nil {
+			fatal("%v", err)
+		}
+		bound, closeFn, err := obs.Serve(*metrics, reg)
+		if err != nil {
+			fatal("-metrics: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "sssim: metrics on http://%s/metrics (pprof on /debug/pprof/)\n", bound)
+		defer closeFn()
 	}
 	if err := sched.Start(); err != nil {
 		fatal("%v", err)
@@ -121,6 +140,13 @@ func main() {
 			fatal("%v", err)
 		}
 		fmt.Printf("control-unit waveform written to %s (%d events)\n", *vcdPath, sched.Trace().Len())
+	}
+
+	if reg != nil {
+		fmt.Println("\nObservability summary:")
+		if err := reg.Snapshot().WriteText(os.Stdout); err != nil {
+			fatal("%v", err)
+		}
 	}
 }
 

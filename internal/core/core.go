@@ -219,6 +219,14 @@ type Scheduler struct {
 
 	trace *hwsim.Trace // nil unless Config.TraceDepth > 0
 
+	// obs is the attached metrics bundle (nil when uninstrumented); the
+	// cycle* fields stage per-cycle telemetry — loser expiries, the
+	// winner's packed rank key as latched for the decision — between the
+	// routing handlers and observe.
+	obs            *Metrics
+	cycleExpiries  uint16
+	cycleWinnerKey attr.Key
+
 	// gens[i] is slots[i].Gen() as of its last latch onto the network bus;
 	// genReload forces a relatch (fresh scheduler, dynamic admission).
 	gens  []uint64
@@ -454,6 +462,8 @@ func (s *Scheduler) runCycle(cr *CycleResult) {
 		HWCycles: s.cpd,
 	}
 	s.txBuf = s.txBuf[:0]
+	s.cycleExpiries = 0
+	s.cycleWinnerKey = 0
 
 	switch s.cfg.Routing {
 	case WinnerOnly:
@@ -471,6 +481,9 @@ func (s *Scheduler) runCycle(cr *CycleResult) {
 	cr.Transmissions = s.txBuf
 	if s.trace != nil {
 		s.emitTrace(cr)
+	}
+	if s.obs != nil {
+		s.observe(cr)
 	}
 }
 
@@ -540,6 +553,7 @@ func (s *Scheduler) runWinnerOnly(now uint64, res shuffle.Result, cr *CycleResul
 	w := res.Winner
 	cr.Winner = w.Slot
 	wb := s.slots[w.Slot]
+	s.cycleWinnerKey = wb.Key()
 	late := wb.Deadline64() < now
 	s.txBuf = append(s.txBuf, Transmission{
 		Slot: w.Slot, Rank: 0, Late: late, Deadline: w.Deadline,
@@ -554,7 +568,9 @@ func (s *Scheduler) runWinnerOnly(now uint64, res shuffle.Result, cr *CycleResul
 		if b.Slot() == w.Slot {
 			continue
 		}
-		b.ExpireCheck(now + 1)
+		if b.ExpireCheck(now + 1) {
+			s.cycleExpiries++
+		}
 	}
 }
 
@@ -579,6 +595,7 @@ func (s *Scheduler) runBlock(now uint64, res shuffle.Result, cr *CycleResult) {
 		circulated = res.Block[valid-1].Slot
 	}
 	cr.Winner = circulated
+	s.cycleWinnerKey = s.slots[circulated].Key()
 	for r := 0; r < valid; r++ {
 		member := res.Block[r]
 		if s.cfg.Circulate == MinFirst {

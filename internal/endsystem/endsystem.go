@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/attr"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pci"
 	"repro/internal/qm"
 	"repro/internal/regblock"
@@ -99,16 +100,26 @@ type PipelineResult struct {
 // Engine goroutine consuming that ring — all over synchronization-free
 // SPSC rings, no locks. Timing comes from the calibrated cost model.
 func RunPipeline(slots, framesPerStream int, mode pci.Mode) (PipelineResult, error) {
+	return RunPipelineInstrumented(slots, framesPerStream, mode, nil)
+}
+
+// RunPipelineInstrumented is RunPipeline with an observability registry
+// attached: the scheduler records its core.* bundle (tracer depth 256) and
+// the Queue Manager publishes its qm.* gauges on reg for the duration of the
+// run. A nil reg degrades to the uninstrumented RunPipeline. Scrape reg live
+// (atomic core counters, observer-safe backlog) or read the full snapshot
+// after the run returns; the qm totals gauges are exact only once quiescent.
+func RunPipelineInstrumented(slots, framesPerStream int, mode pci.Mode, reg *obs.Registry) (PipelineResult, error) {
 	bus, err := pci.New(pci.DefaultConfig())
 	if err != nil {
 		return PipelineResult{}, err
 	}
-	return runPipeline(slots, framesPerStream, bus, bus.BatchMeter(mode))
+	return runPipeline(slots, framesPerStream, bus, bus.BatchMeter(mode), reg)
 }
 
 // runPipeline is RunPipeline with the transfer meter injected, so tests can
 // force metering failures and assert the goroutine lifecycle.
-func runPipeline(slots, framesPerStream int, bus *pci.Bus, meterBatch func(int) error) (PipelineResult, error) {
+func runPipeline(slots, framesPerStream int, bus *pci.Bus, meterBatch func(int) error, reg *obs.Registry) (PipelineResult, error) {
 	if slots < 2 || framesPerStream < 1 {
 		return PipelineResult{}, fmt.Errorf("endsystem: bad pipeline config (%d slots, %d frames)", slots, framesPerStream)
 	}
@@ -126,6 +137,17 @@ func runPipeline(slots, framesPerStream int, bus *pci.Bus, meterBatch func(int) 
 			return PipelineResult{}, err
 		}
 		if err := sched.Admit(i, spec, manager.Source(i)); err != nil {
+			return PipelineResult{}, err
+		}
+	}
+
+	if reg != nil {
+		manager.RegisterMetrics(reg, "qm")
+		m, err := core.NewMetrics(reg, "core", 256)
+		if err != nil {
+			return PipelineResult{}, err
+		}
+		if err := sched.Instrument(m); err != nil {
 			return PipelineResult{}, err
 		}
 	}
@@ -279,6 +301,9 @@ type AllocationConfig struct {
 	// Observer, when non-nil, sees every transmission with its wire
 	// completion time (Figure 10 charges streamlets here).
 	Observer func(slot int, tx core.Transmission, completionNs float64)
+	// Obs, when non-nil, attaches the scheduler's core.* observability
+	// bundle (tracer depth 256) to this registry for the run.
+	Obs *obs.Registry
 }
 
 // AllocationResult reports a bandwidth-allocation run.
@@ -349,6 +374,15 @@ func RunAllocation(cfg AllocationConfig) (*AllocationResult, error) {
 	for i := 0; i < n; i++ {
 		src := cfg.source(i, periods[i])
 		if err := sched.Admit(i, attr.Spec{Class: attr.EDF, Period: periods[i]}, src); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Obs != nil {
+		m, err := core.NewMetrics(cfg.Obs, "core", 256)
+		if err != nil {
+			return nil, err
+		}
+		if err := sched.Instrument(m); err != nil {
 			return nil, err
 		}
 	}

@@ -230,7 +230,7 @@ func TestRunPipelineMeterErrorUnblocksPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	boom := errors.New("transfer meter failure")
-	if _, err := runPipeline(4, 8000, bus, func(int) error { return boom }); !errors.Is(err, boom) {
+	if _, err := runPipeline(4, 8000, bus, func(int) error { return boom }, nil); !errors.Is(err, boom) {
 		t.Fatalf("error = %v, want %v", err, boom)
 	}
 	// The error return waits for the pipeline goroutines; allow a moment

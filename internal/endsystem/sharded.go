@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/attr"
+	"repro/internal/obs"
 	"repro/internal/pci"
 	"repro/internal/shard"
 )
@@ -17,6 +18,14 @@ import (
 // single-pipeline operating points (469,483 pps ModeNone) and K evenly
 // loaded shards report ≈K× that.
 func RunSharded(shards, slotsPerShard, framesPerStream int, mode pci.Mode) (*shard.Result, error) {
+	return RunShardedInstrumented(shards, slotsPerShard, framesPerStream, mode, nil)
+}
+
+// RunShardedInstrumented is RunSharded with an observability registry
+// attached: the router publishes its shard.* dispatcher and throughput
+// metrics (per-shard delivered counters are atomic, so scraping mid-run is
+// race-free). A nil reg degrades to the uninstrumented RunSharded.
+func RunShardedInstrumented(shards, slotsPerShard, framesPerStream int, mode pci.Mode, reg *obs.Registry) (*shard.Result, error) {
 	router, err := shard.New(shard.Config{
 		Shards:        shards,
 		SlotsPerShard: slotsPerShard,
@@ -31,6 +40,9 @@ func RunSharded(shards, slotsPerShard, framesPerStream int, mode pci.Mode) (*sha
 	spec := attr.Spec{Class: attr.EDF, Period: uint16(slotsPerShard)}
 	if _, err := router.AdmitBalanced(streams, spec); err != nil {
 		return nil, fmt.Errorf("endsystem: sharded admission: %w", err)
+	}
+	if reg != nil {
+		router.RegisterMetrics(reg, "shard")
 	}
 	return router.Run(framesPerStream)
 }

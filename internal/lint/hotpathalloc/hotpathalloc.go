@@ -43,7 +43,7 @@ var Analyzer = &analysis.Analyzer{
 var builtinHot = map[string]map[string]bool{
 	"repro/internal/core": {
 		"Scheduler.runCycle": true, "Scheduler.RunCycles": true, "Scheduler.RunFor": true,
-		"Scheduler.runWinnerOnly": true, "Scheduler.runBlock": true,
+		"Scheduler.runWinnerOnly": true, "Scheduler.runBlock": true, "Scheduler.observe": true,
 	},
 	"repro/internal/shuffle": {
 		"Network.run": true, "Network.runPaperLogN": true, "Network.runBitonic": true,

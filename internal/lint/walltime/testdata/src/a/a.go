@@ -6,6 +6,8 @@ package a
 import (
 	"math/rand"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // BadWallClock reads the host clock inside modeled-time code.
@@ -42,4 +44,16 @@ func AllowedMeasurement() time.Time {
 func AllowedAbove() {
 	//sslint:allow walltime — fixture: standalone annotation covers the next line
 	time.Sleep(time.Nanosecond)
+}
+
+// BadObsWallClock launders a wall-clock reading through the observability
+// layer's scrape stamp: obs timestamps in modeled-time code are cycle
+// counts, so the sanctioned wrapper is just as forbidden as time.Now here.
+func BadObsWallClock() uint64 {
+	return obs.WallClock() // want `obs.WallClock: wall-clock scrape stamp`
+}
+
+// GoodObsRecording uses the obs recording primitives, which carry no clock.
+func GoodObsRecording(c *obs.Counter) {
+	c.Inc()
 }

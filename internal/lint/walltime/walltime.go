@@ -12,7 +12,11 @@
 //   - every math/rand top-level function that draws from the global source
 //     (Int, Intn, Float64, Perm, Shuffle, Seed, ...). Explicitly seeded
 //     generators — rand.New(rand.NewSource(seed)) — are the sanctioned
-//     pattern and pass.
+//     pattern and pass;
+//   - obs.WallClock, the observability layer's scrape stamp: obs timestamps
+//     inside modeled-time packages are cycle counts, and reaching for the
+//     sanctioned wall-clock wrapper from such code is the same escape as
+//     calling time.Now directly.
 //
 // Legitimate wall-clock sites (the §4.1 latency harness, the sharded
 // wall-clock scaling experiment) carry //sslint:allow walltime annotations;
@@ -55,6 +59,14 @@ var forbidden = map[string]map[string]string{
 		"Int": "", "IntN": "", "Int32": "", "Int32N": "", "Int64": "", "Int64N": "",
 		"Uint32": "", "Uint64": "", "Float32": "", "Float64": "", "ExpFloat64": "",
 		"NormFloat64": "", "Perm": "", "Shuffle": "", "N": "", "Uint32N": "", "Uint64N": "",
+	},
+	// The observability layer's scrape stamp is the one sanctioned wall-clock
+	// reading in the tree; obs timestamps are otherwise modeled time (cycle
+	// counts). Calling WallClock from modeled-time code would launder a
+	// time.Now through the obs package, so it is forbidden exactly like the
+	// source it wraps (repro/cmd/... stays exempt via the driver's scoping).
+	"repro/internal/obs": {
+		"WallClock": "wall-clock scrape stamp in modeled-time code",
 	},
 }
 

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the fixed bucket count: bucket i holds values whose
+// bit length is i, i.e. bucket 0 is exactly 0 and bucket i (i ≥ 1) spans
+// [2^(i-1), 2^i). 65 buckets cover the whole uint64 range, so Observe never
+// clamps and never branches on range.
+const histBuckets = 65
+
+// Histogram is a fixed-bucket log₂-scale histogram for latency and
+// occupancy distributions. All storage is in the struct — one allocation at
+// construction, none per Observe — and every cell is atomic, so recording
+// and snapshotting may run concurrently.
+//
+// Log-scale buckets trade value resolution (one bit: each bucket spans a
+// power of two) for a recording path that is two atomic adds and a
+// bits.Len64. Quantiles are therefore estimates, exact to the bucket and
+// linearly interpolated within it.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// NewHistogram builds an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one value.
+//
+//sslint:hotpath
+func (h *Histogram) Observe(v uint64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(v)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Mean returns the mean observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// bucketBounds returns bucket i's value range [lo, hi] (inclusive).
+func bucketBounds(i int) (lo, hi uint64) {
+	if i == 0 {
+		return 0, 0
+	}
+	lo = uint64(1) << (i - 1)
+	if i == 64 {
+		return lo, math.MaxUint64
+	}
+	return lo, (uint64(1) << i) - 1
+}
+
+// Quantile estimates the q-th quantile (q in [0, 1]) by walking the bucket
+// counts and interpolating linearly inside the landing bucket. An empty
+// histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	// Load a consistent-enough view: counts may advance between loads, but
+	// each cell is individually atomic and the estimate is log-scale anyway.
+	var cells [histBuckets]uint64
+	var total uint64
+	for i := range cells {
+		cells[i] = h.buckets[i].Load()
+		total += cells[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var seen float64
+	for i, c := range cells {
+		if c == 0 {
+			continue
+		}
+		next := seen + float64(c)
+		if rank <= next || i == histBuckets-1 {
+			lo, hi := bucketBounds(i)
+			frac := 0.0
+			if c > 0 {
+				frac = (rank - seen) / float64(c)
+				if frac < 0 {
+					frac = 0
+				}
+				if frac > 1 {
+					frac = 1
+				}
+			}
+			return float64(lo) + frac*float64(hi-lo)
+		}
+		seen = next
+	}
+	return 0
+}
+
+// Max returns the upper bound of the highest non-empty bucket (an estimate
+// of the maximum observed value, exact to its power-of-two bucket).
+func (h *Histogram) Max() uint64 {
+	for i := histBuckets - 1; i >= 0; i-- {
+		if h.buckets[i].Load() > 0 {
+			_, hi := bucketBounds(i)
+			return hi
+		}
+	}
+	return 0
+}
+
+// Bucket is one non-empty histogram cell in a snapshot.
+type Bucket struct {
+	Lo    uint64 `json:"lo"`
+	Hi    uint64 `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// Buckets returns the non-empty cells in ascending value order.
+func (h *Histogram) Buckets() []Bucket {
+	var out []Bucket
+	for i := 0; i < histBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		out = append(out, Bucket{Lo: lo, Hi: hi, Count: c})
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// WallClock returns the host clock in nanoseconds since the Unix epoch. It
+// exists for the harnesses under cmd/ to stamp metric scrapes; instrumented
+// modeled-time packages must record virtual time instead, and the walltime
+// analyzer rejects obs.WallClock there exactly as it rejects time.Now.
+func WallClock() uint64 {
+	return uint64(time.Now().UnixNano()) //sslint:allow walltime — the one sanctioned wall-clock source for scrape stamping; modeled-time packages are barred from calling WallClock by the walltime analyzer itself
+}
+
+// scrape is the JSON document served by Handler: the registry snapshot plus
+// a wall-clock stamp so successive scrapes can be rated. Snapshot embeds
+// flat, so the document reads {"wall_ns": ..., "metrics": [...], ...}.
+type scrape struct {
+	WallNs uint64 `json:"wall_ns"`
+	Snapshot
+}
+
+// Handler serves the registry as a JSON snapshot (an expvar-style view, but
+// structured: histograms carry quantiles and buckets, tracers their ring
+// dumps).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(scrape{WallNs: WallClock(), Snapshot: r.Snapshot()})
+	})
+}
+
+// NewMux builds the observability mux: the JSON snapshot on /metrics and
+// the standard pprof handlers under /debug/pprof/ (mounted explicitly so the
+// endpoint works on any mux, not just http.DefaultServeMux).
+func NewMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the observability endpoint on addr (e.g. ":9090") in a
+// background goroutine and returns the bound address plus a closer. Callers
+// that want graceful lifecycle management should build their own server
+// around NewMux; this is the one-call path for the cmd/ harnesses'
+// -metrics flag.
+func Serve(addr string, r *Registry) (bound string, close func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: NewMux(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(-7)
+	g.Add(10)
+	if got := g.Load(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	// 0 lands in bucket 0; 1 in [1,1]; 2,3 in [2,3]; 1000 in [512,1023].
+	for _, v := range []uint64{0, 1, 2, 3, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 1006 {
+		t.Fatalf("sum = %d, want 1006", h.Sum())
+	}
+	bs := h.Buckets()
+	wantBuckets := []Bucket{
+		{Lo: 0, Hi: 0, Count: 1},
+		{Lo: 1, Hi: 1, Count: 1},
+		{Lo: 2, Hi: 3, Count: 2},
+		{Lo: 512, Hi: 1023, Count: 1},
+	}
+	if len(bs) != len(wantBuckets) {
+		t.Fatalf("buckets = %+v, want %+v", bs, wantBuckets)
+	}
+	for i, b := range bs {
+		if b != wantBuckets[i] {
+			t.Fatalf("bucket %d = %+v, want %+v", i, b, wantBuckets[i])
+		}
+	}
+	if got, want := h.Mean(), 1006.0/5; got != want {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+	// The median of {0,1,2,3,1000} must land in a low bucket, the p99 in
+	// the top one; log-scale quantiles are estimates, so assert ranges.
+	if p50 := h.Quantile(0.5); p50 > 3 {
+		t.Fatalf("p50 = %v, want ≤ 3", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 512 || p99 > 1023 {
+		t.Fatalf("p99 = %v, want within [512, 1023]", p99)
+	}
+	if mx := h.Max(); mx != 1023 {
+		t.Fatalf("max = %d, want 1023 (bucket upper bound)", mx)
+	}
+	// Quantile inputs are clamped.
+	if h.Quantile(-1) > h.Quantile(2) {
+		t.Fatal("clamped quantiles out of order")
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(math.MaxUint64)
+	if got := h.Max(); got != math.MaxUint64 {
+		t.Fatalf("max = %d, want MaxUint64", got)
+	}
+	if q := h.Quantile(1); q <= 0 {
+		t.Fatalf("q1 = %v, want > 0", q)
+	}
+}
+
+func TestCycleTracerWrap(t *testing.T) {
+	if _, err := NewCycleTracer(0); err == nil {
+		t.Fatal("depth 0 must fail")
+	}
+	tr, err := NewCycleTracer(3) // rounds up to 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Cap() != 4 {
+		t.Fatalf("cap = %d, want 4", tr.Cap())
+	}
+	for i := uint64(0); i < 10; i++ {
+		tr.Record(CycleRecord{Decision: i, Time: i, Winner: uint32(i % 4), Occupancy: 1})
+	}
+	if tr.Len() != 4 || tr.Recorded() != 10 {
+		t.Fatalf("len=%d recorded=%d, want 4/10", tr.Len(), tr.Recorded())
+	}
+	dump := tr.Dump()
+	if len(dump) != 4 {
+		t.Fatalf("dump len = %d, want 4", len(dump))
+	}
+	for i, rec := range dump {
+		if want := uint64(6 + i); rec.Decision != want {
+			t.Fatalf("dump[%d].Decision = %d, want %d (oldest first)", i, rec.Decision, want)
+		}
+	}
+}
+
+func TestTracerConcurrentDump(t *testing.T) {
+	tr, err := NewCycleTracer(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < 5000; i++ {
+			tr.Record(CycleRecord{Decision: i})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			for _, rec := range tr.Dump() {
+				_ = rec.Decision
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestRegistryIdempotentAndSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	c1 := reg.Counter("core.decisions", "1")
+	c2 := reg.Counter("core.decisions", "1")
+	if c1 != c2 {
+		t.Fatal("re-registration must return the same counter")
+	}
+	c1.Add(3)
+	reg.Gauge("qm.depth", "frames").Set(17)
+	reg.GaugeFunc("shard.imbalance", "ratio", func() float64 { return 1.5 })
+	h := reg.Histogram("core.block_occupancy", "slots")
+	h.Observe(4)
+	tr, err := reg.Tracer("core.cycles", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Record(CycleRecord{Decision: 9, Winner: 2, Occupancy: 4, WinnerKey: 0xbeef})
+
+	snap := reg.Snapshot()
+	byName := map[string]MetricSnap{}
+	for _, m := range snap.Metrics {
+		byName[m.Name] = m
+	}
+	if m := byName["core.decisions"]; m.Kind != "counter" || m.Value != 3 {
+		t.Fatalf("core.decisions snap = %+v", m)
+	}
+	if m := byName["qm.depth"]; m.Kind != "gauge" || m.Value != 17 {
+		t.Fatalf("qm.depth snap = %+v", m)
+	}
+	if m := byName["shard.imbalance"]; m.Kind != "func" || m.Value != 1.5 {
+		t.Fatalf("shard.imbalance snap = %+v", m)
+	}
+	if m := byName["core.block_occupancy"]; m.Kind != "histogram" || m.Count != 1 || m.Value != 4 {
+		t.Fatalf("core.block_occupancy snap = %+v", m)
+	}
+	// Names come out sorted.
+	for i := 1; i < len(snap.Metrics); i++ {
+		if snap.Metrics[i-1].Name >= snap.Metrics[i].Name {
+			t.Fatalf("snapshot not name-ordered: %q before %q", snap.Metrics[i-1].Name, snap.Metrics[i].Name)
+		}
+	}
+	if len(snap.Traces) != 1 || snap.Traces[0].Name != "core.cycles" ||
+		len(snap.Traces[0].Records) != 1 || snap.Traces[0].Records[0].WinnerKey != 0xbeef {
+		t.Fatalf("trace snap = %+v", snap.Traces)
+	}
+
+	// JSON round-trip.
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Metrics) != len(snap.Metrics) {
+		t.Fatalf("round-trip lost metrics: %d vs %d", len(back.Metrics), len(snap.Metrics))
+	}
+
+	// Text summary mentions every metric and the trace.
+	buf.Reset()
+	if err := snap.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"core.decisions", "qm.depth", "core.block_occupancy", "trace core.cycles"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Fatalf("text summary missing %q:\n%s", name, buf.String())
+		}
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x", "1")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch must panic")
+		}
+	}()
+	reg.Gauge("x", "1")
+}
+
+// TestRecordingPathAllocs pins the package-level contract: the recording
+// primitives allocate nothing. Core's TestZeroAllocInstrumented pins the
+// same property end to end through the scheduler.
+func TestRecordingPathAllocs(t *testing.T) {
+	var c Counter
+	var g Gauge
+	h := NewHistogram()
+	tr, err := NewCycleTracer(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Add(2)
+		g.Set(5)
+		h.Observe(12345)
+		tr.Record(CycleRecord{Decision: c.Load(), Occupancy: 3})
+	})
+	if allocs != 0 {
+		t.Fatalf("recording path allocated %.2f times per run (want 0)", allocs)
+	}
+}
+
+func TestHTTPEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("core.decisions", "1").Add(11)
+	srv := httptest.NewServer(NewMux(reg))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	var doc struct {
+		WallNs  uint64       `json:"wall_ns"`
+		Metrics []MetricSnap `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.WallNs == 0 {
+		t.Fatal("scrape missing wall-clock stamp")
+	}
+	if len(doc.Metrics) != 1 || doc.Metrics[0].Name != "core.decisions" || doc.Metrics[0].Value != 11 {
+		t.Fatalf("scrape = %+v", doc.Metrics)
+	}
+
+	// pprof is mounted on the same mux.
+	pp, err := srv.Client().Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != 200 {
+		t.Fatalf("/debug/pprof/cmdline status %d", pp.StatusCode)
+	}
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// CycleRecord is one decision cycle's post-mortem record: what the tracer
+// keeps about the cycle after its CycleResult buffer has been reused. All
+// fields are scalars so records copy by value and the ring needs no
+// per-record storage.
+type CycleRecord struct {
+	// Decision is the zero-based decision-cycle index.
+	Decision uint64 `json:"decision"`
+	// Time is the virtual time the cycle ran at.
+	Time uint64 `json:"time"`
+	// Winner is the circulated slot (meaningless when Idle).
+	Winner uint32 `json:"winner"`
+	// Idle marks a cycle with no backlogged slot.
+	Idle bool `json:"idle"`
+	// Occupancy is the cycle's block occupancy: transmissions in the block
+	// transaction (BA) or 1 for the single winner (WR).
+	Occupancy uint16 `json:"occupancy"`
+	// Expiries counts loser heads that expired during PRIORITY_UPDATE.
+	Expiries uint16 `json:"expiries"`
+	// WinnerKey is the winner's packed rank key as latched for the decision
+	// (attr.Key bits; the Table-2 cascade order flattened to one uint64).
+	WinnerKey uint64 `json:"winner_key"`
+}
+
+// CycleTracer is a ring buffer over the last K decision cycles, for
+// post-mortem dumps: when something looks wrong — a starved slot, a burst of
+// expiries — Dump reconstructs the recent decision history without the
+// scheduler having kept per-cycle results around. The ring storage is
+// allocated once at construction; Record writes in place under an
+// uncontended mutex (no allocation), so a tracer can stay enabled on the
+// decision hot path.
+type CycleTracer struct {
+	mu   sync.Mutex
+	buf  []CycleRecord
+	mask uint64
+	next uint64 // total records ever written; next&mask is the write slot
+}
+
+// NewCycleTracer builds a tracer holding the last depth cycles; depth is
+// rounded up to a power of two (minimum 1).
+func NewCycleTracer(depth int) (*CycleTracer, error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("obs: tracer depth %d", depth)
+	}
+	n := 1
+	if depth > 1 {
+		n = 1 << bits.Len(uint(depth-1))
+	}
+	return &CycleTracer{buf: make([]CycleRecord, n), mask: uint64(n - 1)}, nil
+}
+
+// Record appends one cycle record, overwriting the oldest once the ring is
+// full.
+//
+//sslint:hotpath
+func (t *CycleTracer) Record(r CycleRecord) {
+	t.mu.Lock()
+	t.buf[t.next&t.mask] = r
+	t.next++
+	t.mu.Unlock()
+}
+
+// Len returns the number of records currently held (≤ Cap).
+func (t *CycleTracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.next < uint64(len(t.buf)) {
+		return int(t.next)
+	}
+	return len(t.buf)
+}
+
+// Cap returns the ring capacity.
+func (t *CycleTracer) Cap() int { return len(t.buf) }
+
+// Recorded returns the total number of records ever written (the ring keeps
+// the last Cap of them).
+func (t *CycleTracer) Recorded() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+// Dump copies the held records out, oldest first.
+func (t *CycleTracer) Dump() []CycleRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.next
+	size := uint64(len(t.buf))
+	out := make([]CycleRecord, 0, min(n, size))
+	start := uint64(0)
+	if n > size {
+		start = n - size
+	}
+	for i := start; i < n; i++ {
+		out = append(out, t.buf[i&t.mask])
+	}
+	return out
+}

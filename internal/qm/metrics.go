@@ -1,0 +1,27 @@
+package qm
+
+import "repro/internal/obs"
+
+// RegisterMetrics publishes the Queue Manager's accounting on reg under
+// prefix (canonically "qm"): prefix.submitted / prefix.dequeued /
+// prefix.dropped / prefix.bytes from the per-stream counters, and
+// prefix.backlog, the live queued-frame depth summed over every stream ring.
+//
+// The counters behind the first four gauges are plain fields owned by the
+// producer and scheduler goroutines, so per the obs sampling discipline they
+// are exact only when the pipeline is quiescent (scraped before Run, after
+// it, or between single-threaded steps); a live scrape sees an approximate
+// in-flight value. Backlog is safe live: ringbuf.Len is observer-safe.
+func (m *Manager) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.GaugeFunc(prefix+".submitted", "frames", func() float64 { return float64(m.Totals().Submitted) })
+	reg.GaugeFunc(prefix+".dequeued", "frames", func() float64 { return float64(m.Totals().Dequeued) })
+	reg.GaugeFunc(prefix+".dropped", "frames", func() float64 { return float64(m.Totals().Dropped) })
+	reg.GaugeFunc(prefix+".bytes", "bytes", func() float64 { return float64(m.Totals().Bytes) })
+	reg.GaugeFunc(prefix+".backlog", "frames", func() float64 {
+		var depth int
+		for i := range m.queues {
+			depth += m.queues[i].Len()
+		}
+		return float64(depth)
+	})
+}

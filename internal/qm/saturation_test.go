@@ -1,0 +1,102 @@
+package qm
+
+// Saturation guards: the Queue Manager's accounting must stay consistent
+// when rings fill, drops accumulate, and callers hand it out-of-range
+// stream indices.
+
+import (
+	"testing"
+
+	"repro/internal/attr"
+)
+
+// TestRingSaturationAccounting fills a ring past capacity and checks every
+// counter: submissions stop at capacity, the overflow lands in Dropped, the
+// per-stream and total views agree, and draining restores consistency.
+func TestRingSaturationAccounting(t *testing.T) {
+	const cap, extra = 8, 5
+	m, err := New(2, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cap+extra; i++ {
+		ok := m.Submit(0, Frame{Size: 100, Arrival: uint64(i)})
+		if wantOK := i < cap; ok != wantOK {
+			t.Fatalf("submit %d accepted=%v, want %v", i, ok, wantOK)
+		}
+	}
+	st := m.Stats(0)
+	if st.Submitted != cap || st.Dropped != extra || st.Dequeued != 0 {
+		t.Fatalf("stats = %+v, want %d submitted / %d dropped / 0 dequeued", st, cap, extra)
+	}
+	if st.Bytes != cap*100 {
+		t.Fatalf("bytes = %d, want %d (drops must not charge bytes)", st.Bytes, cap*100)
+	}
+	if m.Backlog(0) != cap {
+		t.Fatalf("backlog = %d, want full ring %d", m.Backlog(0), cap)
+	}
+	tot := m.Totals()
+	if tot != st {
+		t.Fatalf("totals %+v != single-stream stats %+v", tot, st)
+	}
+	if m.Submitted != cap || m.Dropped != extra {
+		t.Fatalf("aggregate fields %d/%d, want %d/%d", m.Submitted, m.Dropped, cap, extra)
+	}
+
+	// Drain one and the freed slot accepts exactly one more frame.
+	src := m.Source(0)
+	if _, ok := src.NextHead(); !ok {
+		t.Fatal("full ring refused a dequeue")
+	}
+	if !m.Submit(0, Frame{Size: 100}) {
+		t.Fatal("freed slot refused a submit")
+	}
+	if m.Submit(0, Frame{Size: 100}) {
+		t.Fatal("ring accepted past capacity after refill")
+	}
+	tot = m.Totals()
+	if tot.Submitted != cap+1 || tot.Dropped != extra+1 || tot.Dequeued != 1 {
+		t.Fatalf("after drain/refill totals = %+v", tot)
+	}
+
+	// Full drain: dequeues match submissions and the backlog hits zero.
+	for {
+		if _, ok := src.NextHead(); !ok {
+			break
+		}
+	}
+	tot = m.Totals()
+	if tot.Dequeued != tot.Submitted {
+		t.Fatalf("drained totals = %+v, want dequeued == submitted", tot)
+	}
+	if m.Backlog(0) != 0 {
+		t.Fatalf("backlog = %d after drain, want 0", m.Backlog(0))
+	}
+}
+
+// TestOutOfRangeIndices: bad stream indices are tolerated uniformly — false
+// from Submit without counting a drop, zero values from the read side.
+func TestOutOfRangeIndices(t *testing.T) {
+	m, err := New(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{-1, 1, 1 << 20} {
+		if m.Submit(i, Frame{Size: 1}) {
+			t.Fatalf("Submit(%d) accepted", i)
+		}
+		if st := m.Stats(i); st != (StreamStats{}) {
+			t.Fatalf("Stats(%d) = %+v, want zero", i, st)
+		}
+		if m.Backlog(i) != 0 {
+			t.Fatalf("Backlog(%d) != 0", i)
+		}
+	}
+	// A rejected index is not a drop: nothing was queued to lose.
+	if m.Dropped != 0 || m.Totals() != (StreamStats{}) {
+		t.Fatalf("out-of-range submits disturbed accounting: %+v", m.Totals())
+	}
+	if err := m.Describe(1, attr.Spec{Class: attr.EDF, Period: 1}); err == nil {
+		t.Fatal("Describe out of range must fail")
+	}
+}

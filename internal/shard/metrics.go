@@ -1,0 +1,59 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// RegisterMetrics publishes the router's dispatcher and throughput view on
+// reg under prefix (canonically "shard"): per-shard delivered-frame counters
+// (prefix.shardK.delivered, atomic — safe to scrape mid-run), the aggregate
+// prefix.delivered, prefix.placement_imbalance (max over mean streams per
+// shard, the flow-hash skew after admission), and prefix.delivery_imbalance
+// (max over mean delivered frames, the live dispatcher skew; 1.0 is a
+// perfectly even run, 0 means nothing delivered yet).
+//
+// Call it after New and before Run; the placement gauge assumes admission is
+// complete by the time it is scraped.
+func (r *Router) RegisterMetrics(reg *obs.Registry, prefix string) {
+	for _, s := range r.shards {
+		s.delivered = reg.Counter(fmt.Sprintf("%s.shard%d.delivered", prefix, s.index), "frames")
+	}
+	reg.GaugeFunc(prefix+".delivered", "frames", func() float64 {
+		var total uint64
+		for _, s := range r.shards {
+			total += s.delivered.Load()
+		}
+		return float64(total)
+	})
+	reg.GaugeFunc(prefix+".placement_imbalance", "ratio", func() float64 {
+		var max, total int
+		for _, s := range r.shards {
+			total += len(s.streams)
+			if len(s.streams) > max {
+				max = len(s.streams)
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		mean := float64(total) / float64(len(r.shards))
+		return float64(max) / mean
+	})
+	reg.GaugeFunc(prefix+".delivery_imbalance", "ratio", func() float64 {
+		var max, total uint64
+		for _, s := range r.shards {
+			d := s.delivered.Load()
+			total += d
+			if d > max {
+				max = d
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		mean := float64(total) / float64(len(r.shards))
+		return float64(max) / mean
+	})
+}

@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/attr"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pci"
 	"repro/internal/qm"
 	"repro/internal/regblock"
@@ -143,6 +144,11 @@ type shardState struct {
 	txRing  *ringbuf.Ring[core.Transmission]
 	bus     *pci.Bus
 	streams []StreamID // admitted streams in slot order
+
+	// delivered, when RegisterMetrics has attached it, counts frames the
+	// shard's transmission engine has drained — atomic, so the obs scrape
+	// goroutine reads it live without racing the pipeline.
+	delivered *obs.Counter
 }
 
 // Router is the sharded endsystem: the flow-hash dispatcher in front of K
@@ -519,6 +525,9 @@ func (r *Router) runShard(s *shardState, framesPerStream int, windowNs float64, 
 			}
 			res.PerSlot[tx.Slot]++
 			delivered++
+			if s.delivered != nil {
+				s.delivered.Inc()
+			}
 			// Record cannot fail here: stream 0 exists and the modeled
 			// clock is monotone.
 			_ = meter.Record(0, cfg.FrameBytes, float64(delivered)*cfg.HostNs)

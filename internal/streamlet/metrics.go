@@ -1,0 +1,59 @@
+package streamlet
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// Fairness returns Jain's fairness index over the aggregator's streamlets,
+// with each streamlet's Served count normalized by its configured share
+// (set weight split evenly across the set's members, the WRR + round-robin
+// ideal). 1.0 means every streamlet received exactly its weighted share;
+// the index falls toward 1/n as service concentrates on one streamlet. An
+// aggregator that has served nothing reports 1.0 (vacuously fair).
+func (a *Aggregator) Fairness() float64 {
+	var sum, sumSq float64
+	var n int
+	for _, s := range a.sets {
+		share := float64(s.weight) / float64(len(s.streamlets))
+		for _, sl := range s.streamlets {
+			x := float64(sl.Served) / share
+			sum += x
+			sumSq += x * x
+			n++
+		}
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
+// RegisterMetrics publishes the aggregator's round-robin service view on reg
+// under prefix: prefix.served (packets handed to the slot across all sets),
+// prefix.streamlets (member count), and prefix.fairness (the weighted Jain
+// index above). The underlying counts are plain fields advanced by the
+// scheduler loop, so per the obs sampling discipline scrape them quiesced or
+// accept an in-flight approximation.
+func (a *Aggregator) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.GaugeFunc(prefix+".served", "packets", func() float64 { return float64(a.Served) })
+	reg.GaugeFunc(prefix+".streamlets", "streamlets", func() float64 {
+		var n int
+		for _, s := range a.sets {
+			n += len(s.streamlets)
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc(prefix+".fairness", "index", a.Fairness)
+	for i, s := range a.sets {
+		set := s
+		reg.GaugeFunc(fmt.Sprintf("%s.set%d.served", prefix, i), "packets", func() float64 {
+			var n uint64
+			for _, sl := range set.streamlets {
+				n += sl.Served
+			}
+			return float64(n)
+		})
+	}
+}

@@ -1,0 +1,110 @@
+package streamlet
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/regblock"
+	"repro/internal/traffic"
+)
+
+func TestFairness(t *testing.T) {
+	// Fresh aggregator: vacuously fair.
+	a, err := New(mustSet(t, 1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := a.Fairness(); f != 1 {
+		t.Fatalf("empty fairness = %v, want 1", f)
+	}
+	// Round robin over backlogged equals: exactly fair after any multiple of
+	// the set size.
+	for i := 0; i < 3*100; i++ {
+		if _, ok := a.NextHead(); !ok {
+			t.Fatal("backlogged set ran dry")
+		}
+	}
+	if f := a.Fairness(); f != 1 {
+		t.Fatalf("RR fairness = %v, want 1", f)
+	}
+
+	// Weighted sets: 2:1 weights with one streamlet each — weight
+	// normalization keeps perfect WRR at index 1.
+	b, err := New(mustSet(t, 2, 1), mustSet(t, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if _, ok := b.NextHead(); !ok {
+			t.Fatal("backlogged sets ran dry")
+		}
+	}
+	if f := b.Fairness(); f < 0.999 || f > 1 {
+		t.Fatalf("weighted fairness = %v, want ≈1", f)
+	}
+
+	// Skew: one of two equal-share streamlets is idle, so all service lands
+	// on the other — Jain's index drops to 1/2.
+	idle := &traffic.Periodic{Gap: 1, Phase: 1 << 40} // nothing before the far future
+	busy := &traffic.Periodic{Gap: 1, Backlogged: true}
+	set, err := NewSet(1, []regblock.HeadSource{busy, idle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, ok := c.NextHead(); !ok {
+			t.Fatal("busy streamlet ran dry")
+		}
+	}
+	if f := c.Fairness(); f != 0.5 {
+		t.Fatalf("skewed fairness = %v, want 0.5", f)
+	}
+}
+
+func TestRegisterMetrics(t *testing.T) {
+	a, err := New(mustSet(t, 2, 2), mustSet(t, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	a.RegisterMetrics(reg, "streamlet")
+	for i := 0; i < 30; i++ {
+		a.NextHead()
+	}
+	byName := map[string]float64{}
+	for _, m := range reg.Snapshot().Metrics {
+		byName[m.Name] = m.Value
+	}
+	if byName["streamlet.served"] != 30 {
+		t.Fatalf("served = %v, want 30", byName["streamlet.served"])
+	}
+	if byName["streamlet.streamlets"] != 3 {
+		t.Fatalf("streamlets = %v, want 3", byName["streamlet.streamlets"])
+	}
+	if f := byName["streamlet.fairness"]; f <= 0 || f > 1 {
+		t.Fatalf("fairness = %v, want (0, 1]", f)
+	}
+	// 2:1 WRR over 30 packets: set 0 gets 20, set 1 gets 10.
+	if byName["streamlet.set0.served"] != 20 || byName["streamlet.set1.served"] != 10 {
+		t.Fatalf("per-set served = %v / %v, want 20 / 10",
+			byName["streamlet.set0.served"], byName["streamlet.set1.served"])
+	}
+}
+
+// mustSet builds a weight-w set of n backlogged streamlets.
+func mustSet(t *testing.T, w, n int) *Set {
+	t.Helper()
+	srcs := make([]regblock.HeadSource, n)
+	for i := range srcs {
+		srcs[i] = &traffic.Periodic{Gap: 1, Backlogged: true}
+	}
+	s, err := NewSet(w, srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
