@@ -1,18 +1,18 @@
 # ShareStreams-Go convenience targets (plain `go` commands work too).
 
-.PHONY: all check ci build test race bench bench-check perf perf-check report experiments cover fuzz fuzz-smoke lint
+.PHONY: all check ci build test race bench bench-check perf perf-check report experiments cover fuzz fuzz-smoke lint chaos
 
 all: build test race lint
 
 # check is the full pre-merge gate: everything in all plus the perf
 # regression guards, the recorded-baseline perf gate, the coverage floor,
-# and a short fuzz of the decision fast path.
-check: all bench-check perf-check cover fuzz-smoke
+# the chaos suite, and a short fuzz of the decision fast path.
+check: all bench-check perf-check cover chaos fuzz-smoke
 
 # ci mirrors .github/workflows/ci.yml locally: the same steps its required
 # jobs run, in one invocation (the workflow's perf job is advisory and is
 # reproduced by `make perf-check`).
-ci: build test race lint bench-check cover
+ci: build test race lint bench-check cover chaos
 
 build:
 	go build ./...
@@ -80,6 +80,17 @@ cover:
 	echo "internal/... statement coverage: $$total% (floor $(COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || \
 		{ echo "FAIL: coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
+
+# Chaos gate: the fault-injection suite under the race detector (trace
+# determinism, frame conservation, bounded recovery, nil-injector parity
+# with the paper figures), then a seeded end-to-end fault sweep through
+# ssbench. The same seed replays the same fault/recovery trace — a chaos
+# failure is reproducible from its seed alone.
+chaos:
+	go test -race -run 'TestChaos|TestSupervised|TestReuseAfterRestart' \
+		./internal/fault/ ./internal/shard/ ./internal/ringbuf/
+	go run ./cmd/ssbench -shards 2 -seed 1 faults
+	go run ./cmd/ssbench -shards 3 -seed 42 faults
 
 fuzz:
 	go test -fuzz FuzzWinnerCorrect -fuzztime 30s ./internal/shuffle/

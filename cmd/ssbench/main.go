@@ -11,11 +11,14 @@
 //	ssbench latency      §4.1 — processor-resident scheduler latencies
 //	ssbench ablation     §3   — shuffle vs heap/systolic/shift-register
 //	ssbench sharded      sharded endsystem: K scheduler pipelines in parallel
+//	ssbench faults       chaos sweep: fault injection vs throughput/drops
 //	ssbench perf         PR-2 perf-regression harness (writes BENCH_PR2.json)
 //	ssbench all          everything above (perf excluded; run it explicitly)
 //
 // Flags: -csv FILE writes the active figure's series as CSV; -shards K sets
-// the shard count for the sharded command (default: host cores); -json FILE
+// the shard count for the sharded and faults commands (default: host
+// cores); -seed N sets the faults command's deterministic schedule seed —
+// the same seed replays the same fault and recovery sequence; -json FILE
 // sets the perf command's report path; -baseline FILE compares the perf run
 // against a recorded report and exits nonzero on regression (-tolerance sets
 // the allowed slack, default 25%); -metrics ADDR serves the observability
@@ -46,6 +49,7 @@ func main() {
 	baseline := flag.String("baseline", "", "perf command: compare against this recorded report; exit nonzero on regression")
 	tolerance := flag.Float64("tolerance", 0.25, "perf gate slack: allowed ns/decision growth ratio and allocs/cycle budget")
 	metricsAddr := flag.String("metrics", "", "serve the obs registry and pprof on this address (e.g. :9090) for the run")
+	seed := flag.Int64("seed", 1, "faults command: base seed for the deterministic fault schedule")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Usage = usage
@@ -99,6 +103,7 @@ func main() {
 		baseline:     *baseline,
 		tolerance:    *tolerance,
 		reg:          reg,
+		seed:         *seed,
 	})
 
 	if *memProfile != "" {
@@ -123,7 +128,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ssbench [-csv file] [-shards K] [-json file] [-baseline file] [-tolerance x] [-metrics addr] [-cpuprofile file] [-memprofile file] {table3|fig1|fig7|fig8|fig9|fig10|throughput|latency|ablation|extensions|scale|gsr|sortquality|sharded|perf|all}")
+	fmt.Fprintln(os.Stderr, "usage: ssbench [-csv file] [-shards K] [-seed n] [-json file] [-baseline file] [-tolerance x] [-metrics addr] [-cpuprofile file] [-memprofile file] {table3|fig1|fig7|fig8|fig9|fig10|throughput|latency|ablation|extensions|scale|gsr|sortquality|sharded|faults|perf|all}")
 }
 
 // runConfig carries the flag values down to the per-command drivers.
@@ -135,6 +140,7 @@ type runConfig struct {
 	baseline     string
 	tolerance    float64
 	reg          *obs.Registry
+	seed         int64
 }
 
 func run(cmd string, rc runConfig) error {
@@ -168,10 +174,12 @@ func run(cmd string, rc runConfig) error {
 		return sortQuality()
 	case "sharded":
 		return sharded(csvPath, shards, rc.reg)
+	case "faults":
+		return faults(csvPath, shards, rc.seed)
 	case "perf":
 		return perf(rc)
 	case "all":
-		for _, c := range []string{"table3", "fig1", "fig7", "fig8", "fig9", "fig10", "throughput", "latency", "ablation", "extensions", "scale", "gsr", "sortquality", "sharded"} {
+		for _, c := range []string{"table3", "fig1", "fig7", "fig8", "fig9", "fig10", "throughput", "latency", "ablation", "extensions", "scale", "gsr", "sortquality", "sharded", "faults"} {
 			fmt.Printf("════ %s ════\n", c)
 			sub := rc
 			sub.csvPath = ""

@@ -217,6 +217,11 @@ type Scheduler struct {
 	keyRef    attr.Time16 // current key-normalization reference
 	nextRekey uint64      // vnow at which to refresh keyRef next
 
+	// rebindEpoch counts Rebind calls. Results produced before a rebind
+	// belong to the previous epoch; supervisors stamp re-aggregation
+	// decisions with the epoch so in-flight attribution stays unambiguous.
+	rebindEpoch uint64
+
 	trace *hwsim.Trace // nil unless Config.TraceDepth > 0
 
 	// obs is the attached metrics bundle (nil when uninstrumented); the
@@ -543,6 +548,50 @@ func (s *Scheduler) AdmitDynamic(i int, spec attr.Spec, src regblock.HeadSource)
 	}
 	return nil
 }
+
+// Rebind swaps slot i's head source while the scheduler runs, keeping the
+// slot's stream identity: spec, window registers, and performance counters
+// survive (unlike AdmitDynamic, which replaces the Register Base block and
+// discards its counters). The slot's in-flight head, if any, is flushed —
+// the caller owns conservation for it — and the slot reloads from the new
+// source, costing one LOAD clock. Each successful rebind bumps the rebind
+// epoch, the attribution fence for in-flight results.
+//
+// This is the re-aggregation hook (§4.2): a surviving slot's source becomes
+// a streamlet aggregator spanning its own queue plus a dead shard's
+// re-homed flows, while the slot itself keeps its QoS state. It reports
+// whether an in-flight head was flushed, so the caller can compensate.
+func (s *Scheduler) Rebind(i int, src regblock.HeadSource) (bool, error) {
+	if !s.started {
+		return false, fmt.Errorf("core: Rebind before Start (use Admit)")
+	}
+	if i < 0 || i >= s.cfg.Slots {
+		return false, fmt.Errorf("core: slot %d out of range [0, %d)", i, s.cfg.Slots)
+	}
+	if src == nil {
+		return false, fmt.Errorf("core: Rebind slot %d to nil source", i)
+	}
+	s.srcs[i] = src
+	s.timed[i], _ = src.(TimedSource)
+	if ts := s.timed[i]; ts != nil {
+		ts.Advance(s.vnow)
+	}
+	flushed, err := s.slots[i].Rebind(src, s.vnow)
+	if err != nil {
+		return false, err
+	}
+	s.gens[i] = genReload
+	s.rebindEpoch++
+	s.hwCycles++
+	if s.trace != nil {
+		s.trace.Add(hwsim.Event{Cycle: s.hwCycles, Signal: "ctl.state", Value: fmt.Sprintf("REBIND[slot %d epoch %d]", i, s.rebindEpoch)})
+	}
+	return flushed, nil
+}
+
+// RebindEpoch returns how many source rebinds the scheduler has performed.
+// Zero means every result ever produced belongs to the original binding.
+func (s *Scheduler) RebindEpoch() uint64 { return s.rebindEpoch }
 
 // runWinnerOnly transmits the single winner and expire-checks the losers.
 func (s *Scheduler) runWinnerOnly(now uint64, res shuffle.Result, cr *CycleResult) {

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/regblock"
+	"repro/internal/traffic"
+)
+
+// fixedHeads serves a fixed list of heads, then reports empty.
+type fixedHeads struct {
+	heads []regblock.Head
+	next  int
+}
+
+func (f *fixedHeads) NextHead() (regblock.Head, bool) {
+	if f.next >= len(f.heads) {
+		return regblock.Head{}, false
+	}
+	h := f.heads[f.next]
+	f.next++
+	return h, true
+}
+
+func TestRebindKeepsCountersAndSpec(t *testing.T) {
+	s := edfScheduler(t, Config{Slots: 4, Routing: WinnerOnly})
+	s.RunFor(40)
+	before := s.SlotCounters(2)
+	if before.Services == 0 {
+		t.Fatal("slot 2 never served in the warm-up")
+	}
+	epochBefore := s.RebindEpoch()
+	src := &traffic.Periodic{Gap: 1, Phase: s.Now(), Backlogged: true}
+	if _, err := s.Rebind(2, src); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.RebindEpoch(); got != epochBefore+1 {
+		t.Fatalf("rebind epoch %d, want %d", got, epochBefore+1)
+	}
+	if got := s.SlotCounters(2); got.Services != before.Services {
+		t.Fatalf("rebind must keep counters: %+v vs %+v", got, before)
+	}
+	s.RunFor(300)
+	if got := s.SlotCounters(2).Services; got <= before.Services {
+		t.Fatal("rebound slot never served from its new source")
+	}
+}
+
+func TestRebindFlushesInFlightHead(t *testing.T) {
+	s := edfScheduler(t, Config{Slots: 2, Routing: WinnerOnly})
+	// The slot holds an in-flight head from its backlogged source; rebinding
+	// to an empty source must leave the slot idle — the stale head must not
+	// be transmitted after the swap.
+	if _, err := s.Rebind(0, &fixedHeads{}); err != nil {
+		t.Fatal(err)
+	}
+	served := s.SlotCounters(0).Services
+	s.RunFor(50)
+	if got := s.SlotCounters(0).Services; got != served {
+		t.Fatalf("flushed slot still transmitted: %d -> %d", served, got)
+	}
+	// Refill path still works: rebind again to a live source.
+	if _, err := s.Rebind(0, &fixedHeads{heads: []regblock.Head{{Arrival: s.Now()}}}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(50)
+	if got := s.SlotCounters(0).Services; got != served+1 {
+		t.Fatalf("rebound head not served exactly once: %d -> %d", served, got)
+	}
+}
+
+func TestRebindValidation(t *testing.T) {
+	s, err := New(Config{Slots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Rebind(0, &fixedHeads{}); err == nil || !strings.Contains(err.Error(), "before Start") {
+		t.Fatalf("rebind before Start: %v", err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Rebind(-1, &fixedHeads{}); err == nil {
+		t.Fatal("out-of-range slot accepted")
+	}
+	if _, err := s.Rebind(5, &fixedHeads{}); err == nil {
+		t.Fatal("out-of-range slot accepted")
+	}
+	if _, err := s.Rebind(0, nil); err == nil {
+		t.Fatal("nil source accepted")
+	}
+}
+
+func TestRebindTraced(t *testing.T) {
+	s, err := New(Config{Slots: 2, TraceDepth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Rebind(1, &fixedHeads{}); err != nil {
+		t.Fatal(err)
+	}
+	if dump := s.Trace().Dump(""); !strings.Contains(dump, "REBIND[slot 1 epoch 1]") {
+		t.Fatalf("rebind not traced:\n%s", dump)
+	}
+}
+
+func TestBlockRebindKeepsWindowRegisters(t *testing.T) {
+	spec := attr.Spec{Class: attr.WindowConstrained, Period: 4, Constraint: attr.Constraint{Num: 2, Den: 5}}
+	b, err := regblock.New(3, spec, &fixedHeads{heads: []regblock.Head{{Arrival: 0}, {Arrival: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Load(0)
+	b.Service(false, true) // winner-adjust mutates the window registers
+	wantWin := b.Out().LossDen
+	flushed, err := b.Rebind(&fixedHeads{heads: []regblock.Head{{Arrival: 2}}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flushed {
+		t.Fatal("a valid head was in flight; Rebind must report the flush")
+	}
+	if got := b.Out(); got.LossDen != wantWin || got.Slot != 3 {
+		t.Fatalf("rebind disturbed identity: %+v (want den %d, slot 3)", got, wantWin)
+	}
+	if !b.Valid() {
+		t.Fatal("slot must reload from the new source")
+	}
+	if _, err := b.Rebind(nil, 2); err == nil {
+		t.Fatal("nil source accepted")
+	}
+}

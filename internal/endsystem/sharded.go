@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/attr"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/pci"
 	"repro/internal/shard"
@@ -45,4 +46,31 @@ func RunShardedInstrumented(shards, slotsPerShard, framesPerStream int, mode pci
 		router.RegisterMetrics(reg, "shard")
 	}
 	return router.Run(framesPerStream)
+}
+
+// RunShardedSupervised is the chaos-mode counterpart of RunSharded: the
+// same evenly-loaded sharded endsystem, run under a deterministic fault
+// schedule with the self-healing supervisor — crashed pipelines restart
+// with capped backoff, shards dead after the restart budget have their
+// flows re-aggregated as streamlets onto survivors (§4.2), and the whole
+// fault/recovery history lands in trace (byte-identical for a given seed).
+// schedule may be nil (no faults), trace may be nil (discard), and a zero
+// RecoveryConfig takes the defaults.
+func RunShardedSupervised(shards, slotsPerShard, framesPerStream int, mode pci.Mode, schedule *fault.Schedule, rcfg shard.RecoveryConfig, trace *fault.Trace) (*shard.SupervisedResult, error) {
+	router, err := shard.New(shard.Config{
+		Shards:        shards,
+		SlotsPerShard: slotsPerShard,
+		HostNs:        HostCostNs,
+		Mode:          mode,
+		TransferBatch: TransferBatch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	streams := shards * slotsPerShard
+	spec := attr.Spec{Class: attr.EDF, Period: uint16(slotsPerShard)}
+	if _, err := router.AdmitBalanced(streams, spec); err != nil {
+		return nil, fmt.Errorf("endsystem: sharded admission: %w", err)
+	}
+	return router.RunSupervised(framesPerStream, schedule, rcfg, trace)
 }

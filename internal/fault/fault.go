@@ -1,0 +1,318 @@
+// Package fault is the deterministic, modeled-time fault-injection framework
+// for the ShareStreams endsystem. A seeded Profile expands into a Schedule of
+// fault events — PCI transfer failures and stalls, SRAM bank-switch timeouts,
+// shard pipeline crashes, and Queue-Manager ring saturation bursts — each
+// pinned to a deterministic site-local index rather than wall-clock time:
+//
+//   - bus events fire at a pci.Bus operation index (the op counter the bus
+//     advances per transfer),
+//   - crashes fire when a shard's scheduler has scheduled its N-th frame,
+//   - saturation bursts fire at a producer's N-th submit attempt.
+//
+// Because every trigger is an index in the modeled execution and the schedule
+// is drawn from a seeded source, the same seed yields the same faults in the
+// same places on every run — the property the chaos suite asserts as a
+// bit-identical recovery trace.
+//
+// Every injection point is an interface with a no-op default: a nil *Injector
+// or nil *ShardPlan answers "no fault" from a nil-receiver method, so the
+// scheduler hot path pays one pointer check and zero allocations when chaos
+// is disabled.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/pci"
+)
+
+// Kind classifies a scheduled fault event.
+type Kind uint8
+
+const (
+	// PCIFail is a burst of failed PCI transfer attempts at one bus op; the
+	// bus recovers through bounded retry with exponential backoff, or gives
+	// up past its retry budget.
+	PCIFail Kind = iota
+	// PCIStall is a long transfer stall charged to one bus op, testing the
+	// transfer deadline.
+	PCIStall
+	// BankTimeout is an SRAM bank-ownership-switch timeout ("generally the
+	// bottleneck", §5.2) charged to one bus op.
+	BankTimeout
+	// ShardCrash kills a shard's scheduler pipeline after it has scheduled
+	// its At-th frame; the supervisor restarts it with capped backoff and
+	// re-aggregates its flows when it is declared dead.
+	ShardCrash
+	// QMSaturation forces a burst of submit attempts down the ring-full
+	// path, exercising the Queue Manager's overload policy.
+	QMSaturation
+)
+
+// String names the fault kind.
+func (k Kind) String() string {
+	switch k {
+	case PCIFail:
+		return "pci-fail"
+	case PCIStall:
+		return "pci-stall"
+	case BankTimeout:
+		return "bank-timeout"
+	case ShardCrash:
+		return "shard-crash"
+	case QMSaturation:
+		return "qm-saturation"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one scheduled fault: Kind at site-local index At on shard Shard,
+// with a kind-specific magnitude Arg (fail count, stall/timeout ns, or burst
+// length).
+type Event struct {
+	Kind  Kind
+	Shard int
+	At    uint64
+	Arg   float64
+}
+
+// String renders the event in the fixed grammar the chaos trace uses:
+// "kind shard=K at=N arg=A".
+func (e Event) String() string {
+	return fmt.Sprintf("%s shard=%d at=%d arg=%g", e.Kind, e.Shard, e.At, e.Arg)
+}
+
+// Profile declares how many events of each kind a schedule holds and the
+// magnitudes they carry. Zero-valued magnitude fields take the defaults
+// below; zero counts mean "none of that kind".
+type Profile struct {
+	Seed   int64
+	Shards int
+	// Horizon is the site-local index range [0, Horizon) events scatter
+	// over. Default 4096.
+	Horizon uint64
+
+	// event counts
+	PCIFails      int
+	PCIStalls     int
+	BankTimeouts  int
+	ShardCrashes  int
+	QMSaturations int
+
+	// magnitudes
+	FailBurst       int     // failed attempts per PCIFail event; default 2 (within the bus retry budget)
+	StallNs         float64 // stall length per PCIStall event; default 20000
+	TimeoutNs       float64 // timeout length per BankTimeout event; default 2×3310 (two bank switches)
+	SaturationBurst uint64  // forced ring-full attempts per QMSaturation event; default 8
+}
+
+func (p Profile) withDefaults() Profile {
+	if p.Horizon == 0 {
+		p.Horizon = 4096
+	}
+	if p.FailBurst == 0 {
+		p.FailBurst = 2
+	}
+	if p.StallNs == 0 {
+		p.StallNs = 20000
+	}
+	if p.TimeoutNs == 0 {
+		p.TimeoutNs = 2 * 3310
+	}
+	if p.SaturationBurst == 0 {
+		p.SaturationBurst = 8
+	}
+	return p
+}
+
+// Schedule is the expanded fault plan: every event, plus per-shard views.
+type Schedule struct {
+	profile Profile
+	events  []Event
+	shards  []*ShardPlan
+}
+
+// NewSchedule expands a profile into a deterministic schedule: events are
+// drawn from a source seeded with Profile.Seed, so equal profiles yield
+// equal schedules.
+func NewSchedule(p Profile) (*Schedule, error) {
+	p = p.withDefaults()
+	if p.Shards < 1 {
+		return nil, fmt.Errorf("fault: schedule needs at least 1 shard, got %d", p.Shards)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	var events []Event
+	// Draw in a fixed kind order so the seed fully determines the stream of
+	// (shard, at) pairs each kind consumes.
+	add := func(kind Kind, n int, arg float64) {
+		for i := 0; i < n; i++ {
+			events = append(events, Event{
+				Kind:  kind,
+				Shard: rng.Intn(p.Shards),
+				At:    uint64(rng.Int63n(int64(p.Horizon))),
+				Arg:   arg,
+			})
+		}
+	}
+	add(PCIFail, p.PCIFails, float64(p.FailBurst))
+	add(PCIStall, p.PCIStalls, p.StallNs)
+	add(BankTimeout, p.BankTimeouts, p.TimeoutNs)
+	add(ShardCrash, p.ShardCrashes, 0)
+	add(QMSaturation, p.QMSaturations, float64(p.SaturationBurst))
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Shard != events[j].Shard {
+			return events[i].Shard < events[j].Shard
+		}
+		if events[i].At != events[j].At {
+			return events[i].At < events[j].At
+		}
+		return events[i].Kind < events[j].Kind
+	})
+
+	s := &Schedule{profile: p, events: events, shards: make([]*ShardPlan, p.Shards)}
+	for k := range s.shards {
+		s.shards[k] = &ShardPlan{shard: k}
+	}
+	for _, e := range events {
+		plan := s.shards[e.Shard]
+		switch e.Kind {
+		case PCIFail, PCIStall, BankTimeout:
+			plan.bus.add(e)
+		case ShardCrash:
+			plan.crashes = append(plan.crashes, e.At)
+		case QMSaturation:
+			if plan.saturations == nil {
+				plan.saturations = make(map[uint64]uint64)
+			}
+			plan.saturations[e.At] += uint64(e.Arg)
+		default:
+			return nil, fmt.Errorf("fault: unknown event kind %v", e.Kind)
+		}
+	}
+	return s, nil
+}
+
+// Events returns the schedule's events ordered by (shard, index, kind).
+func (s *Schedule) Events() []Event {
+	out := make([]Event, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+// String renders the whole schedule, one event per line, in deterministic
+// order — the header of a chaos trace.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule seed=%d shards=%d events=%d\n", s.profile.Seed, s.profile.Shards, len(s.events))
+	for _, e := range s.events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Shard returns shard k's view of the schedule, or nil (the no-op plan)
+// when k is out of range.
+func (s *Schedule) Shard(k int) *ShardPlan {
+	if s == nil || k < 0 || k >= len(s.shards) {
+		return nil
+	}
+	return s.shards[k]
+}
+
+// ShardPlan is one shard's slice of the schedule. All methods are nil-safe:
+// a nil plan injects nothing.
+type ShardPlan struct {
+	shard       int
+	bus         Injector
+	crashes     []uint64
+	saturations map[uint64]uint64
+}
+
+// Bus returns the shard's PCI-level injector (nil when the plan is nil or
+// holds no bus events), ready to install as pci.Bus.Injector.
+func (p *ShardPlan) Bus() *Injector {
+	if p == nil || p.bus.faults == nil {
+		return nil
+	}
+	return &p.bus
+}
+
+// CrashAt reports whether the shard's pipeline crashes once its scheduler
+// has scheduled `frames` frames. Crash points are consumed in ascending
+// order by the supervisor; this predicate answers the next unconsumed one.
+func (p *ShardPlan) CrashAt(frames uint64) bool {
+	if p == nil || len(p.crashes) == 0 {
+		return false
+	}
+	return frames >= p.crashes[0]
+}
+
+// ConsumeCrash retires the shard's next crash point (after the supervisor
+// has acted on it) and returns the index it fired at.
+func (p *ShardPlan) ConsumeCrash() (uint64, bool) {
+	if p == nil || len(p.crashes) == 0 {
+		return 0, false
+	}
+	at := p.crashes[0]
+	p.crashes = p.crashes[1:]
+	return at, true
+}
+
+// BurstAt returns the saturation burst length due at submit attempt n
+// (0 when none).
+func (p *ShardPlan) BurstAt(n uint64) uint64 {
+	if p == nil || p.saturations == nil {
+		return 0
+	}
+	return p.saturations[n]
+}
+
+// Injector maps bus operation indices to injected pci.Fault values. The
+// zero value and nil both inject nothing; OnTransfer is a map lookup, so it
+// allocates nothing on the transfer path.
+type Injector struct {
+	faults map[uint64]pci.Fault
+}
+
+func (in *Injector) add(e Event) {
+	if in.faults == nil {
+		in.faults = make(map[uint64]pci.Fault)
+	}
+	f := in.faults[e.At]
+	switch e.Kind {
+	case PCIFail:
+		f.Fails += int(e.Arg)
+	case PCIStall:
+		f.StallNs += e.Arg
+	case BankTimeout:
+		f.TimeoutNs += e.Arg
+	case ShardCrash, QMSaturation:
+		// not bus-level events; never routed here
+	default:
+	}
+	in.faults[e.At] = f
+}
+
+// OnTransfer implements pci.FaultInjector. A nil *Injector is the no-op
+// default.
+func (in *Injector) OnTransfer(op uint64) pci.Fault {
+	if in == nil {
+		return pci.Fault{}
+	}
+	return in.faults[op]
+}
+
+// Fault returns the injected fault at op, if any — the test-facing view of
+// the injector's table.
+func (in *Injector) Fault(op uint64) (pci.Fault, bool) {
+	if in == nil {
+		return pci.Fault{}, false
+	}
+	f, ok := in.faults[op]
+	return f, ok
+}

@@ -1,0 +1,221 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pci"
+)
+
+func testProfile(seed int64) Profile {
+	return Profile{
+		Seed:          seed,
+		Shards:        4,
+		Horizon:       1024,
+		PCIFails:      3,
+		PCIStalls:     2,
+		BankTimeouts:  2,
+		ShardCrashes:  2,
+		QMSaturations: 2,
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	a, err := NewSchedule(testProfile(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSchedule(testProfile(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("same seed, different schedules:\n%s\nvs\n%s", a, b)
+	}
+	c, err := NewSchedule(testProfile(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == c.String() {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if got := len(a.Events()); got != 11 {
+		t.Fatalf("event count %d, want 11", got)
+	}
+}
+
+func TestScheduleRejectsZeroShards(t *testing.T) {
+	if _, err := NewSchedule(Profile{Seed: 1}); err == nil {
+		t.Fatal("0-shard profile must be rejected")
+	}
+}
+
+func TestEventGrammar(t *testing.T) {
+	e := Event{Kind: BankTimeout, Shard: 2, At: 77, Arg: 6620}
+	if got, want := e.String(), "bank-timeout shard=2 at=77 arg=6620"; got != want {
+		t.Fatalf("event grammar %q, want %q", got, want)
+	}
+	if got := Kind(200).String(); got != "kind(200)" {
+		t.Fatalf("unknown kind renders %q", got)
+	}
+}
+
+func TestShardPlanRouting(t *testing.T) {
+	s, err := NewSchedule(testProfile(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every event must land on exactly the plan of its shard.
+	var busEvents, crashes, bursts int
+	for _, e := range s.Events() {
+		plan := s.Shard(e.Shard)
+		if plan == nil {
+			t.Fatalf("no plan for shard %d", e.Shard)
+		}
+		switch e.Kind {
+		case PCIFail, PCIStall, BankTimeout:
+			f, ok := plan.Bus().Fault(e.At)
+			if !ok {
+				t.Fatalf("bus event %v missing from shard plan", e)
+			}
+			switch e.Kind {
+			case PCIFail:
+				if f.Fails == 0 {
+					t.Fatalf("%v lost its fail burst: %+v", e, f)
+				}
+			case PCIStall:
+				if f.StallNs == 0 {
+					t.Fatalf("%v lost its stall: %+v", e, f)
+				}
+			case BankTimeout:
+				if f.TimeoutNs == 0 {
+					t.Fatalf("%v lost its timeout: %+v", e, f)
+				}
+			default:
+			}
+			busEvents++
+		case ShardCrash:
+			if !plan.CrashAt(e.At) {
+				// earlier crash points may precede this one; consume until found
+				found := false
+				for {
+					at, ok := plan.ConsumeCrash()
+					if !ok {
+						break
+					}
+					if at == e.At {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("crash event %v missing from shard plan", e)
+				}
+			}
+			crashes++
+		case QMSaturation:
+			if plan.BurstAt(e.At) == 0 {
+				t.Fatalf("saturation event %v missing from shard plan", e)
+			}
+			bursts++
+		default:
+			t.Fatalf("unknown kind in schedule: %v", e)
+		}
+	}
+	if busEvents != 7 || crashes != 2 || bursts != 2 {
+		t.Fatalf("routing counts bus=%d crash=%d burst=%d, want 7/2/2", busEvents, crashes, bursts)
+	}
+}
+
+func TestNilPlanIsNoOp(t *testing.T) {
+	var plan *ShardPlan
+	if plan.Bus() != nil {
+		t.Fatal("nil plan must expose a nil bus injector")
+	}
+	if plan.CrashAt(0) || plan.BurstAt(0) != 0 {
+		t.Fatal("nil plan must inject nothing")
+	}
+	if _, ok := plan.ConsumeCrash(); ok {
+		t.Fatal("nil plan has no crash points")
+	}
+	var in *Injector
+	if f := in.OnTransfer(0); f != (pci.Fault{}) {
+		t.Fatalf("nil injector returned %+v", f)
+	}
+	if _, ok := in.Fault(0); ok {
+		t.Fatal("nil injector holds no faults")
+	}
+	s, err := NewSchedule(Profile{Seed: 1, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shard(-1) != nil || s.Shard(2) != nil {
+		t.Fatal("out-of-range shard views must be nil")
+	}
+}
+
+func TestCrashPointsConsumeInOrder(t *testing.T) {
+	p := Profile{Seed: 9, Shards: 1, ShardCrashes: 3, Horizon: 512}
+	s, err := NewSchedule(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := s.Shard(0)
+	var prev uint64
+	for i := 0; i < 3; i++ {
+		at, ok := plan.ConsumeCrash()
+		if !ok {
+			t.Fatalf("crash point %d missing", i)
+		}
+		if at < prev {
+			t.Fatalf("crash points out of order: %d after %d", at, prev)
+		}
+		prev = at
+	}
+	if _, ok := plan.ConsumeCrash(); ok {
+		t.Fatal("more crash points than scheduled")
+	}
+}
+
+func TestInjectorDrivesBusRetry(t *testing.T) {
+	s, err := NewSchedule(Profile{Seed: 3, Shards: 1, PCIFails: 1, Horizon: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus, err := pci.New(pci.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Injector = s.Shard(0).Bus()
+	for op := 0; op < 4; op++ {
+		if _, err := bus.PushPIO(0, 8); err != nil {
+			t.Fatalf("op %d: default FailBurst of 2 sits within the retry budget: %v", op, err)
+		}
+	}
+	if bus.Retries != 2 || bus.Giveups != 0 {
+		t.Fatalf("retries=%d giveups=%d, want 2/0", bus.Retries, bus.Giveups)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	var nilTrace *Trace
+	nilTrace.Addf("dropped")
+	if nilTrace.Len() != 0 || nilTrace.String() != "" || nilTrace.Lines() != nil {
+		t.Fatal("nil trace must discard appends")
+	}
+	tr := &Trace{}
+	tr.Addf("round=%d shard=%d crash at=%d", 0, 1, 17)
+	tr.Addf("round=%d shard=%d restart backoff=%gns", 0, 1, 6620.0)
+	if tr.Len() != 2 {
+		t.Fatalf("len %d, want 2", tr.Len())
+	}
+	want := "round=0 shard=1 crash at=17\nround=0 shard=1 restart backoff=6620ns\n"
+	if tr.String() != want {
+		t.Fatalf("trace rendering:\n%q\nwant\n%q", tr.String(), want)
+	}
+	lines := tr.Lines()
+	lines[0] = "mutated"
+	if strings.Contains(tr.String(), "mutated") {
+		t.Fatal("Lines must return a copy")
+	}
+}

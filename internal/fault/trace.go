@@ -1,0 +1,53 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Trace is the append-only record of fault and recovery actions a chaos run
+// produces. Writers append fully-formatted lines in a deterministic order
+// (the supervisor merges per-round records by (round, shard) before
+// appending), so two runs with the same seed produce byte-identical
+// String() output — the chaos suite's central assertion.
+//
+// A nil *Trace discards appends, so production paths can thread one through
+// unconditionally.
+type Trace struct {
+	lines []string
+}
+
+// Addf appends one formatted line. No-op on a nil trace.
+func (t *Trace) Addf(format string, args ...any) {
+	if t == nil {
+		return
+	}
+	t.lines = append(t.lines, fmt.Sprintf(format, args...))
+}
+
+// Len returns the number of recorded lines (0 for nil).
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.lines)
+}
+
+// Lines returns a copy of the recorded lines.
+func (t *Trace) Lines() []string {
+	if t == nil {
+		return nil
+	}
+	out := make([]string, len(t.lines))
+	copy(out, t.lines)
+	return out
+}
+
+// String joins the recorded lines, one per row, with a trailing newline
+// when non-empty.
+func (t *Trace) String() string {
+	if t == nil || len(t.lines) == 0 {
+		return ""
+	}
+	return strings.Join(t.lines, "\n") + "\n"
+}

@@ -9,3 +9,10 @@ import (
 func TestHotPathAlloc(t *testing.T) {
 	linttest.Run(t, "testdata/src/a", Analyzer)
 }
+
+// TestHotPathAllocFaultFixture pins the injector contract: the disabled
+// fault check on the PCI transfer path is a nil check plus a map probe;
+// per-operation events, formatting, or fresh slices are findings.
+func TestHotPathAllocFaultFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/fault", Analyzer)
+}

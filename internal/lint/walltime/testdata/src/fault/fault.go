@@ -1,0 +1,72 @@
+// Package fault is the walltime fixture for the fault-injection layer: a
+// deterministic fault schedule must be driven entirely by seeded draws and
+// virtual (modeled-ns) arithmetic. Wall-clock jitter, host-clock deadlines,
+// real sleeps for backoff, and process-global rand draws would all make a
+// chaos run unreproducible from its seed, so each is a finding here.
+package fault
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Fault is a modeled fault: when it fires and how long it costs, in
+// virtual nanoseconds.
+type Fault struct {
+	At     uint64
+	CostNs uint64
+}
+
+// GoodSeededSchedule draws every fault point from an explicitly seeded
+// generator — the sanctioned pattern: the seed alone replays the schedule.
+func GoodSeededSchedule(seed int64, n int, horizon uint64) []Fault {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Fault, n)
+	for i := range out {
+		out[i] = Fault{At: rng.Uint64() % horizon, CostNs: 6620}
+	}
+	return out
+}
+
+// GoodVirtualBackoff doubles a restart backoff in modeled nanoseconds —
+// pure arithmetic, no clock.
+func GoodVirtualBackoff(prev, cap uint64) uint64 {
+	next := prev * 2
+	if next > cap {
+		next = cap
+	}
+	return next
+}
+
+// BadJitteredFault stamps a fault with the host clock: the schedule now
+// differs on every run and every machine.
+func BadJitteredFault() Fault {
+	return Fault{At: uint64(time.Now().UnixNano())} // want `time.Now: wall clock`
+}
+
+// BadBackoffSleep burns real time for a modeled backoff.
+func BadBackoffSleep(ns uint64) {
+	time.Sleep(time.Duration(ns)) // want `time.Sleep: wall-clock sleep`
+}
+
+// BadGlobalFaultPoints draws fault points from the process-global source:
+// the schedule depends on whatever else drew from it first.
+func BadGlobalFaultPoints(n int, horizon uint64) []Fault {
+	out := make([]Fault, n)
+	for i := range out {
+		out[i] = Fault{At: rand.Uint64() % horizon} // want `process-global rand source`
+	}
+	return out
+}
+
+// BadDeadlineTimer arms a wall-clock timer for a transfer deadline that is
+// specified in virtual nanoseconds.
+func BadDeadlineTimer(ns uint64) <-chan time.Time {
+	return time.After(time.Duration(ns)) // want `time.After: wall-clock timer`
+}
+
+// AllowedChaosWallClock is the sanctioned escape: measuring how long the
+// chaos harness itself runs is a wall-clock job, and says so.
+func AllowedChaosWallClock() time.Time {
+	return time.Now() //sslint:allow walltime — fixture: harness wall-clock measurement
+}

@@ -9,3 +9,10 @@ import (
 func TestWalltime(t *testing.T) {
 	linttest.Run(t, "testdata/src/a", Analyzer)
 }
+
+// TestWalltimeFaultFixture pins the fault-injection contract: schedules
+// are seeded draws and backoffs are virtual-ns arithmetic; host clocks,
+// real sleeps, and global rand in fault code are findings.
+func TestWalltimeFaultFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/fault", Analyzer)
+}

@@ -1,0 +1,157 @@
+package pci
+
+import (
+	"strings"
+	"testing"
+)
+
+// mapInjector injects a fixed fault at chosen operation indices.
+type mapInjector map[uint64]Fault
+
+func (m mapInjector) OnTransfer(op uint64) Fault { return m[op] }
+
+func TestInjectorNilFastPath(t *testing.T) {
+	clean, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted.Injector = mapInjector{} // present but always zero-fault
+	for _, b := range []*Bus{clean, faulted} {
+		if _, err := b.PushPIO(0, 32); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if clean.BusyNs != faulted.BusyNs {
+		t.Fatalf("zero-fault injector changed the cost model: %v vs %v ns", clean.BusyNs, faulted.BusyNs)
+	}
+	if faulted.FaultNs != 0 || faulted.Retries != 0 || faulted.Giveups != 0 {
+		t.Fatalf("zero-fault injector charged fault accounting: %+v", faulted)
+	}
+	if clean.Ops != 1 || faulted.Ops != 1 {
+		t.Fatalf("op counters: clean %d faulted %d, want 1", clean.Ops, faulted.Ops)
+	}
+}
+
+func TestInjectedStallAndTimeout(t *testing.T) {
+	b, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := b.PushPIO(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Injector = mapInjector{1: {StallNs: 20000, TimeoutNs: 3310}}
+	ns, err := b.PushPIO(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := base + 20000 + 3310; ns != want {
+		t.Fatalf("faulted op cost %v ns, want %v", ns, want)
+	}
+	if b.Stalls != 1 || b.Timeouts != 1 || b.FaultNs != 23310 {
+		t.Fatalf("fault accounting: stalls=%d timeouts=%d faultNs=%v", b.Stalls, b.Timeouts, b.FaultNs)
+	}
+}
+
+func TestRetryBackoffRecovers(t *testing.T) {
+	b, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Injector = mapInjector{0: {Fails: 2}}
+	base, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanNs, err := base.PushPIO(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := b.PushPIO(0, 8)
+	if err != nil {
+		t.Fatalf("2 failures within the default retry budget must recover: %v", err)
+	}
+	// Exponential backoff: first retry 2×BankSwitchNs, second doubles.
+	backoff := 2*b.cfg.BankSwitchNs + 4*b.cfg.BankSwitchNs
+	if want := cleanNs + backoff; ns != want {
+		t.Fatalf("recovered op cost %v ns, want %v (base %v + backoffs %v)", ns, want, cleanNs, backoff)
+	}
+	if b.Retries != 2 || b.Giveups != 0 {
+		t.Fatalf("retries=%d giveups=%d, want 2/0", b.Retries, b.Giveups)
+	}
+}
+
+func TestRetryBudgetGiveup(t *testing.T) {
+	b, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Injector = mapInjector{0: {Fails: 10}}
+	before := b.BusyNs
+	_, err = b.PushPIO(0, 8)
+	if err == nil || !strings.Contains(err.Error(), "retry budget") {
+		t.Fatalf("10 failures must exhaust the default budget of 3: %v", err)
+	}
+	if b.Giveups != 1 || b.Retries != 3 {
+		t.Fatalf("giveups=%d retries=%d, want 1/3", b.Giveups, b.Retries)
+	}
+	if b.BusyNs <= before {
+		t.Fatal("an abandoned transfer must still charge the backoff time it burned")
+	}
+}
+
+func TestTransferDeadlineGiveup(t *testing.T) {
+	b, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Retry = RetryConfig{DeadlineNs: 10000}
+	b.Injector = mapInjector{0: {StallNs: 50000}}
+	if _, err := b.PushPIO(0, 8); err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("stall past the deadline must give up: %v", err)
+	}
+	if b.Giveups != 1 {
+		t.Fatalf("giveups=%d, want 1", b.Giveups)
+	}
+
+	// Backoffs count against the deadline too.
+	b2, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2.Retry = RetryConfig{MaxRetries: 8, DeadlineNs: 3 * b2.cfg.BankSwitchNs}
+	b2.Injector = mapInjector{0: {Fails: 8}}
+	if _, err := b2.PushPIO(0, 8); err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("backoff past the deadline must give up: %v", err)
+	}
+
+	// Negative deadline disables the budget: enough retries always recover.
+	b3, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3.Retry = RetryConfig{MaxRetries: 20, DeadlineNs: -1}
+	b3.Injector = mapInjector{0: {Fails: 18}}
+	if _, err := b3.PushPIO(0, 8); err != nil {
+		t.Fatalf("disabled deadline with a wide retry budget must recover: %v", err)
+	}
+}
+
+func TestInjectorCoversDMA(t *testing.T) {
+	b, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Injector = mapInjector{0: {Fails: 10}}
+	if _, err := b.PullDMA(0, 128); err == nil {
+		t.Fatal("PullDMA must consult the injector")
+	}
+	if b.Giveups != 1 {
+		t.Fatalf("giveups=%d, want 1", b.Giveups)
+	}
+}

@@ -1,0 +1,24 @@
+package pci
+
+import "repro/internal/obs"
+
+// RegisterMetrics publishes the bus's transfer and fault/recovery accounting
+// on reg under prefix (canonically "pci", or "shardK.pci" in sharded runs):
+// prefix.ops / prefix.batches / prefix.bank_switches / prefix.busy_ns for
+// the transfer totals, and prefix.retries / prefix.giveups / prefix.stalls /
+// prefix.timeouts / prefix.fault_ns for the injected-fault recovery view.
+//
+// The counters are plain fields owned by the goroutine driving the bus, so
+// per the obs sampling discipline they are exact only when that pipeline is
+// quiescent; a live scrape sees an approximate in-flight value.
+func (b *Bus) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.GaugeFunc(prefix+".ops", "transfers", func() float64 { return float64(b.Ops) })
+	reg.GaugeFunc(prefix+".batches", "batches", func() float64 { return float64(b.Batches) })
+	reg.GaugeFunc(prefix+".bank_switches", "switches", func() float64 { return float64(b.BankSwitches) })
+	reg.GaugeFunc(prefix+".busy_ns", "ns", func() float64 { return b.BusyNs })
+	reg.GaugeFunc(prefix+".retries", "attempts", func() float64 { return float64(b.Retries) })
+	reg.GaugeFunc(prefix+".giveups", "transfers", func() float64 { return float64(b.Giveups) })
+	reg.GaugeFunc(prefix+".stalls", "transfers", func() float64 { return float64(b.Stalls) })
+	reg.GaugeFunc(prefix+".timeouts", "switches", func() float64 { return float64(b.Timeouts) })
+	reg.GaugeFunc(prefix+".fault_ns", "ns", func() float64 { return b.FaultNs })
+}

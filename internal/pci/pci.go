@@ -77,6 +77,58 @@ func (o Owner) String() string {
 	return "fpga"
 }
 
+// Fault describes what an injected fault does to one transfer operation.
+// All costs are virtual nanoseconds; the zero value is "no fault".
+type Fault struct {
+	// StallNs is extra transfer time: the PCI burst stalls but completes.
+	StallNs float64
+	// TimeoutNs is extra SRAM bank-arbitration time: the ownership switch
+	// times out and is re-arbitrated ("generally the bottleneck", §5.2).
+	TimeoutNs float64
+	// Fails is how many consecutive attempts of this operation fail before
+	// one succeeds. The bus retries with exponential backoff; when Fails
+	// exceeds the retry budget the operation gives up with an error.
+	Fails int
+}
+
+// FaultInjector is consulted once per transfer operation (PushPIO, ReadPIO,
+// PullDMA), keyed by the bus's monotone operation index. Implementations
+// must be deterministic in the index — the chaos suite's bit-identical
+// fault/recovery traces depend on it. A nil injector is the no-fault fast
+// path: a single pointer check per operation, no allocation.
+type FaultInjector interface {
+	OnTransfer(op uint64) Fault
+}
+
+// RetryConfig bounds how a bus recovers from injected transfer failures.
+// The zero value takes defaults at the first faulted operation.
+type RetryConfig struct {
+	// MaxRetries is the retry budget after the first failed attempt
+	// (default 3).
+	MaxRetries int
+	// BackoffNs is the first retry's backoff in virtual ns, doubling on
+	// every subsequent retry (default 2×BankSwitchNs).
+	BackoffNs float64
+	// DeadlineNs is the per-operation fault budget: when stalls, timeouts
+	// and backoffs exceed it the operation gives up even with retries left
+	// (default 1e6 ns; negative disables the deadline).
+	DeadlineNs float64
+}
+
+// withDefaults fills zero fields from the bus configuration.
+func (r RetryConfig) withDefaults(cfg Config) RetryConfig {
+	if r.MaxRetries == 0 {
+		r.MaxRetries = 3
+	}
+	if r.BackoffNs == 0 {
+		r.BackoffNs = 2 * cfg.BankSwitchNs
+	}
+	if r.DeadlineNs == 0 {
+		r.DeadlineNs = 1e6
+	}
+	return r
+}
+
 // Bus is one card's transfer engine and SRAM arbitration state. It
 // accumulates the virtual time spent on transfers and counts the traffic,
 // so the endsystem can convert per-packet overheads into throughput.
@@ -84,12 +136,26 @@ type Bus struct {
 	cfg    Config
 	owners []Owner
 
+	// Injector, when non-nil, is consulted once per transfer operation;
+	// Retry bounds the recovery from the failures it injects. Both are
+	// plain fields owned by the single goroutine driving the bus.
+	Injector FaultInjector
+	Retry    RetryConfig
+
 	// Totals (virtual).
 	BusyNs       float64 // cumulative transfer + arbitration time
 	PIOWords     uint64
 	DMABytes     uint64
 	BankSwitches uint64
 	Batches      uint64
+
+	// Fault/recovery accounting (zero while Injector is nil).
+	Ops      uint64  // transfer operations issued (the injector's index)
+	Retries  uint64  // failed attempts recovered by backoff + retry
+	Giveups  uint64  // operations abandoned (retry budget or deadline)
+	Stalls   uint64  // operations that stalled but completed
+	Timeouts uint64  // bank-switch timeouts re-arbitrated
+	FaultNs  float64 // virtual ns added by stalls, timeouts and backoffs
 }
 
 // New builds a bus; banks start owned by the FPGA, as after configuration.
@@ -120,6 +186,58 @@ func (b *Bus) acquire(bank int, who Owner) (float64, error) {
 	return b.cfg.BankSwitchNs, nil
 }
 
+// inject consults the injector for the operation about to run. It returns
+// the extra virtual nanoseconds the fault model adds (stall + timeout +
+// retry backoffs), or an error when the operation gives up: injected
+// failures exhausted the retry budget or blew the transfer deadline. The
+// time spent before giving up is still charged to BusyNs — a failed
+// transfer is not free.
+func (b *Bus) inject() (float64, error) {
+	op := b.Ops
+	b.Ops++
+	if b.Injector == nil {
+		return 0, nil
+	}
+	f := b.Injector.OnTransfer(op)
+	if f == (Fault{}) {
+		return 0, nil
+	}
+	if f.StallNs > 0 {
+		b.Stalls++
+	}
+	if f.TimeoutNs > 0 {
+		b.Timeouts++
+	}
+	r := b.Retry.withDefaults(b.cfg)
+	extra := f.StallNs + f.TimeoutNs
+	giveup := func(retries int, why string) (float64, error) {
+		b.Retries += uint64(retries)
+		b.Giveups++
+		b.FaultNs += extra
+		b.BusyNs += extra // an abandoned transfer is not free
+		return 0, fmt.Errorf("pci: op %d gave up: %s", op, why)
+	}
+	if r.DeadlineNs >= 0 && extra > r.DeadlineNs {
+		return giveup(0, fmt.Sprintf("stalled past the %v ns transfer deadline", r.DeadlineNs))
+	}
+	backoff := r.BackoffNs
+	for attempt := 1; attempt <= f.Fails; attempt++ {
+		if attempt > r.MaxRetries {
+			return giveup(attempt-1, fmt.Sprintf("retry budget %d exhausted (injected failure burst %d)",
+				r.MaxRetries, f.Fails))
+		}
+		extra += backoff
+		backoff *= 2
+		if r.DeadlineNs >= 0 && extra > r.DeadlineNs {
+			return giveup(attempt, fmt.Sprintf("exceeded the %v ns transfer deadline after %d retries",
+				r.DeadlineNs, attempt))
+		}
+	}
+	b.Retries += uint64(f.Fails)
+	b.FaultNs += extra
+	return extra, nil
+}
+
 // PushPIO models the host push-writing words 32-bit values into an SRAM
 // bank (small transfers: arrival-time offsets) and handing the bank back to
 // the FPGA. It returns the virtual nanoseconds consumed.
@@ -127,10 +245,15 @@ func (b *Bus) PushPIO(bank, words int) (float64, error) {
 	if words < 0 {
 		return 0, fmt.Errorf("pci: negative word count %d", words)
 	}
-	ns, err := b.acquire(bank, OwnerHost)
+	ns, err := b.inject()
 	if err != nil {
 		return 0, err
 	}
+	acq, err := b.acquire(bank, OwnerHost)
+	if err != nil {
+		return 0, err
+	}
+	ns += acq
 	ns += float64(words) * b.cfg.PIOWordNs
 	back, err := b.acquire(bank, OwnerFPGA)
 	if err != nil {
@@ -159,10 +282,15 @@ func (b *Bus) PullDMA(bank, bytes int) (float64, error) {
 	if bytes > b.cfg.BankBytes {
 		return 0, fmt.Errorf("pci: %d bytes exceeds the %d-byte bank", bytes, b.cfg.BankBytes)
 	}
-	ns, err := b.acquire(bank, OwnerHost)
+	ns, err := b.inject()
 	if err != nil {
 		return 0, err
 	}
+	acq, err := b.acquire(bank, OwnerHost)
+	if err != nil {
+		return 0, err
+	}
+	ns += acq
 	ns += b.cfg.DMASetupNs + float64(bytes)/b.cfg.DMABytesPerSec*1e9
 	back, err := b.acquire(bank, OwnerFPGA)
 	if err != nil {

@@ -1,22 +1,31 @@
 package qm
 
-import "repro/internal/obs"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // RegisterMetrics publishes the Queue Manager's accounting on reg under
 // prefix (canonically "qm"): prefix.submitted / prefix.dequeued /
-// prefix.dropped / prefix.bytes from the per-stream counters, and
-// prefix.backlog, the live queued-frame depth summed over every stream ring.
+// prefix.dropped / prefix.bytes from the per-stream counters;
+// prefix.backlog, the live queued-frame depth summed over every stream ring;
+// prefix.live_dropped, the definitively-lost frame count under the overload
+// policy; and a per-stream-slot prefix.slotI.dropped gauge so fairness
+// reports can see asymmetric loss instead of only the aggregate.
 //
-// The counters behind the first four gauges are plain fields owned by the
-// producer and scheduler goroutines, so per the obs sampling discipline they
-// are exact only when the pipeline is quiescent (scraped before Run, after
-// it, or between single-threaded steps); a live scrape sees an approximate
-// in-flight value. Backlog is safe live: ringbuf.Len is observer-safe.
+// The counters behind the plain-field gauges are owned by the producer and
+// scheduler goroutines, so per the obs sampling discipline they are exact
+// only when the pipeline is quiescent (scraped before Run, after it, or
+// between single-threaded steps); a live scrape sees an approximate
+// in-flight value. Backlog and live_dropped are safe live: ringbuf.Len is
+// observer-safe and live_dropped is atomic.
 func (m *Manager) RegisterMetrics(reg *obs.Registry, prefix string) {
 	reg.GaugeFunc(prefix+".submitted", "frames", func() float64 { return float64(m.Totals().Submitted) })
 	reg.GaugeFunc(prefix+".dequeued", "frames", func() float64 { return float64(m.Totals().Dequeued) })
 	reg.GaugeFunc(prefix+".dropped", "frames", func() float64 { return float64(m.Totals().Dropped) })
 	reg.GaugeFunc(prefix+".bytes", "bytes", func() float64 { return float64(m.Totals().Bytes) })
+	reg.GaugeFunc(prefix+".live_dropped", "frames", func() float64 { return float64(m.LiveDropped()) })
 	reg.GaugeFunc(prefix+".backlog", "frames", func() float64 {
 		var depth int
 		for i := range m.queues {
@@ -24,4 +33,9 @@ func (m *Manager) RegisterMetrics(reg *obs.Registry, prefix string) {
 		}
 		return float64(depth)
 	})
+	for i := range m.queues {
+		slot := i
+		reg.GaugeFunc(fmt.Sprintf("%s.slot%d.dropped", prefix, slot), "frames",
+			func() float64 { return float64(m.perDropped[slot]) })
+	}
 }

@@ -1,0 +1,206 @@
+package qm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/obs"
+)
+
+func overloadManager(t *testing.T, streams, capacity int) *Manager {
+	t.Helper()
+	m, err := New(streams, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < streams; i++ {
+		if err := m.Describe(i, attr.Spec{Class: attr.EDF, Period: 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func fillRing(t *testing.T, m *Manager, stream, n int) {
+	t.Helper()
+	for f := 0; f < n; f++ {
+		if v := m.Offer(stream, Frame{Size: 64, Arrival: uint64(f)}); v != Queued {
+			t.Fatalf("fill frame %d: verdict %v", f, v)
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	cases := map[Policy]string{
+		Backpressure: "backpressure",
+		RejectNew:    "reject-new",
+		DropOldest:   "drop-oldest",
+		Policy(99):   "policy(99)",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("Policy(%d).String() = %q, want %q", uint8(p), got, want)
+		}
+	}
+}
+
+func TestBackpressureVerdictMatchesSubmit(t *testing.T) {
+	m := overloadManager(t, 1, 2)
+	fillRing(t, m, 0, 2)
+	if v := m.Offer(0, Frame{Size: 64}); v != Busy {
+		t.Fatalf("full ring under Backpressure: verdict %v, want Busy", v)
+	}
+	if m.Dropped != 1 || m.perDropped[0] != 1 {
+		t.Fatalf("refused attempt must count a drop: %d/%d", m.Dropped, m.perDropped[0])
+	}
+	if m.LiveDropped() != 0 {
+		t.Fatal("a backpressure refusal is not a live drop: the producer still holds the frame")
+	}
+}
+
+func TestRejectNewShedsWithAccounting(t *testing.T) {
+	m := overloadManager(t, 2, 2)
+	m.SetPolicy(RejectNew)
+	if m.PolicyInEffect() != RejectNew {
+		t.Fatal("policy not installed")
+	}
+	fillRing(t, m, 1, 2)
+	for i := 0; i < 3; i++ {
+		if v := m.Offer(1, Frame{Size: 64}); v != Shed {
+			t.Fatalf("shed %d: verdict %v, want Shed", i, v)
+		}
+	}
+	if m.Stats(1).Dropped != 3 || m.Stats(0).Dropped != 0 {
+		t.Fatalf("per-slot drop accounting: slot1=%d slot0=%d, want 3/0", m.Stats(1).Dropped, m.Stats(0).Dropped)
+	}
+	if m.LiveDropped() != 3 {
+		t.Fatalf("LiveDropped=%d, want 3", m.LiveDropped())
+	}
+	// The shed frames must not have advanced the queued frames' ordering:
+	// exactly the 2 queued frames drain.
+	src := m.Source(1)
+	for i := 0; i < 2; i++ {
+		if _, ok := src.NextHead(); !ok {
+			t.Fatalf("queued frame %d vanished", i)
+		}
+	}
+	if _, ok := src.NextHead(); ok {
+		t.Fatal("a shed frame leaked into the ring")
+	}
+}
+
+func TestRejectNewRollsBackFairTags(t *testing.T) {
+	m := overloadManager(t, 1, 2)
+	if err := m.Describe(0, attr.Spec{Class: attr.FairTag, Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	m.SetPolicy(RejectNew)
+	fillRing(t, m, 0, 2)
+	finishBefore := m.finish[0]
+	if v := m.Offer(0, Frame{Size: 1000}); v != Shed {
+		t.Fatalf("verdict %v, want Shed", v)
+	}
+	if m.finish[0] != finishBefore {
+		t.Fatalf("a shed frame advanced the virtual finish tag: %v -> %v", finishBefore, m.finish[0])
+	}
+}
+
+func TestDropOldestEvictsAtDequeue(t *testing.T) {
+	m := overloadManager(t, 1, 2)
+	m.SetPolicy(DropOldest)
+	fillRing(t, m, 0, 2) // arrivals 0, 1
+	// Ring full: the offer marks the oldest frame for eviction and asks the
+	// producer to retry; only one eviction is outstanding per ring.
+	if v := m.Offer(0, Frame{Size: 64, Arrival: 7}); v != Busy {
+		t.Fatalf("first overflow offer: verdict %v, want Busy", v)
+	}
+	if v := m.Offer(0, Frame{Size: 64, Arrival: 7}); v != Busy {
+		t.Fatalf("retry with eviction pending: verdict %v, want Busy", v)
+	}
+	if m.Dropped != 1 || m.LiveDropped() != 1 {
+		t.Fatalf("exactly one eviction charged: dropped=%d live=%d", m.Dropped, m.LiveDropped())
+	}
+	// The card side consumes the debt: arrival 0 is discarded, arrival 1 is
+	// served, freeing space for the retried frame.
+	src := m.Source(0)
+	h, ok := src.NextHead()
+	if !ok || h.Arrival != 1 {
+		t.Fatalf("head after eviction: %v/%v, want arrival 1", h, ok)
+	}
+	if v := m.Offer(0, Frame{Size: 64, Arrival: 7}); v != Queued {
+		t.Fatalf("retry after eviction freed space: verdict %v, want Queued", v)
+	}
+	if m.Stats(0).Dequeued != 1 {
+		t.Fatalf("evicted frame counted as dequeued: %d", m.Stats(0).Dequeued)
+	}
+}
+
+func TestSaturateForcesOverflowPath(t *testing.T) {
+	m := overloadManager(t, 1, 8)
+	m.SetPolicy(RejectNew)
+	m.Saturate(3)
+	for i := 0; i < 3; i++ {
+		if v := m.Offer(0, Frame{Size: 64}); v != Shed {
+			t.Fatalf("saturated offer %d: verdict %v, want Shed", i, v)
+		}
+	}
+	if v := m.Offer(0, Frame{Size: 64}); v != Queued {
+		t.Fatalf("burst of 3 must end after 3 attempts: verdict %v", v)
+	}
+	if m.Stats(0).Dropped != 3 || m.LiveDropped() != 3 {
+		t.Fatalf("saturation drops: %d/%d, want 3/3", m.Stats(0).Dropped, m.LiveDropped())
+	}
+}
+
+func TestDrainSalvagesBacklogSkippingEvicted(t *testing.T) {
+	m := overloadManager(t, 1, 4)
+	m.SetPolicy(DropOldest)
+	fillRing(t, m, 0, 4) // arrivals 0..3
+	m.Offer(0, Frame{Size: 64, Arrival: 9})
+	var got []uint64
+	n := m.Drain(0, func(f Frame) { got = append(got, f.Arrival) })
+	if n != 3 || len(got) != 3 {
+		t.Fatalf("salvaged %d frames (%v), want 3", n, got)
+	}
+	for i, a := range []uint64{1, 2, 3} {
+		if got[i] != a {
+			t.Fatalf("salvage order %v, want [1 2 3] (arrival 0 owed to eviction)", got)
+		}
+	}
+	if m.Backlog(0) != 0 {
+		t.Fatalf("backlog after drain: %d", m.Backlog(0))
+	}
+	if m.Drain(-1, nil) != 0 || m.Drain(99, nil) != 0 {
+		t.Fatal("out-of-range drain must salvage nothing")
+	}
+}
+
+func TestPerSlotDropGauges(t *testing.T) {
+	m := overloadManager(t, 2, 2)
+	m.SetPolicy(RejectNew)
+	fillRing(t, m, 1, 2)
+	m.Offer(1, Frame{Size: 64})
+	m.Offer(1, Frame{Size: 64})
+	reg := obs.NewRegistry()
+	m.RegisterMetrics(reg, "qm")
+	snap := map[string]float64{}
+	for _, s := range reg.Snapshot().Metrics {
+		snap[s.Name] = s.Value
+	}
+	if snap["qm.slot0.dropped"] != 0 || snap["qm.slot1.dropped"] != 2 {
+		t.Fatalf("per-slot drop gauges: slot0=%v slot1=%v, want 0/2", snap["qm.slot0.dropped"], snap["qm.slot1.dropped"])
+	}
+	if snap["qm.live_dropped"] != 2 {
+		t.Fatalf("live_dropped gauge: %v, want 2", snap["qm.live_dropped"])
+	}
+	found := false
+	for name := range snap {
+		if strings.HasPrefix(name, "qm.slot") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no per-slot gauges registered")
+	}
+}

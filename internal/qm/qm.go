@@ -16,10 +16,59 @@ package qm
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/attr"
 	"repro/internal/regblock"
 	"repro/internal/ringbuf"
+)
+
+// Policy selects the Queue Manager's explicit overload behavior when a
+// stream's ring is full — replacing the silent ring-full drop with a
+// configured, accounted choice.
+type Policy uint8
+
+const (
+	// Backpressure refuses the frame and expects the producer to retry —
+	// the pipeline drivers' spin-until-accepted behavior. Every refused
+	// attempt is counted against the stream (the pre-policy accounting).
+	Backpressure Policy = iota
+	// RejectNew is tail drop: the arriving frame is lost, with per-stream
+	// accounting; the producer must not retry it.
+	RejectNew
+	// DropOldest is head drop: the oldest queued frame is marked for
+	// eviction (discarded by the card-side dequeue, which is the only safe
+	// side of an SPSC ring to remove from) and the arriving frame retries
+	// into the space the eviction frees.
+	DropOldest
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case RejectNew:
+		return "reject-new"
+	case DropOldest:
+		return "drop-oldest"
+	case Backpressure:
+		return "backpressure"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// Verdict is the outcome of an Offer under the manager's overload policy.
+type Verdict uint8
+
+const (
+	// Queued: the frame was accepted into the stream's ring.
+	Queued Verdict = iota
+	// Shed: the overload policy definitively dropped a frame (with
+	// accounting); the producer must move on.
+	Shed
+	// Busy: the ring is momentarily full; the producer should retry
+	// (Backpressure always; DropOldest until the eviction frees space).
+	Busy
 )
 
 // Frame is one queued frame descriptor. The payload itself stays in
@@ -40,8 +89,9 @@ type Manager struct {
 	specs  []attr.Spec
 
 	// fair-queuing state (shared across FairTag streams)
-	vtime  float64
-	finish []float64
+	vtime      float64
+	finish     []float64
+	prevFinish float64 // scratch: finish tag before the last stamp, for rollback
 
 	// transfer accounting (for the PCI cost model)
 	Submitted uint64
@@ -53,6 +103,20 @@ type Manager struct {
 	perDequeued  []uint64
 	perDropped   []uint64
 	perBytes     []uint64
+
+	// overload policy state
+	policy Policy
+	// evict is per-stream head-drop debt: the producer marks the oldest
+	// queued frame for discard, and the card-side dequeue (the only safe
+	// remover on an SPSC ring) consumes the debt before serving a head.
+	evict []atomic.Uint64
+	// satRemaining forces the next n submit attempts down the ring-full
+	// path — the injected QM saturation burst. Producer-owned.
+	satRemaining uint64
+	// liveDrops counts frames definitively lost (shed or evicted), readable
+	// from any goroutine while the pipeline runs. Backpressure refusals are
+	// not live drops: the producer still holds the frame.
+	liveDrops atomic.Uint64
 }
 
 // StreamStats is one stream's Queue-Manager accounting.
@@ -77,6 +141,7 @@ func New(n, capacity int) (*Manager, error) {
 		perDequeued:  make([]uint64, n),
 		perDropped:   make([]uint64, n),
 		perBytes:     make([]uint64, n),
+		evict:        make([]atomic.Uint64, n),
 	}
 	for i := range m.queues {
 		r, err := ringbuf.New[Frame](capacity)
@@ -106,34 +171,110 @@ func (m *Manager) Spec(i int) attr.Spec { return m.specs[i] }
 // Streams returns the stream count.
 func (m *Manager) Streams() int { return len(m.queues) }
 
-// Submit queues a frame for stream i (producer side), stamping fair-queuing
-// tags on arrival for FairTag streams. It reports false — and counts a drop
-// — when the ring is full.
+// SetPolicy selects the manager's overload policy. Choose it before the
+// pipeline starts; the default is Backpressure, the pre-policy behavior.
+func (m *Manager) SetPolicy(p Policy) { m.policy = p }
+
+// PolicyInEffect returns the configured overload policy.
+func (m *Manager) PolicyInEffect() Policy { return m.policy }
+
+// Saturate forces the next n submit attempts down the ring-full path even
+// when the ring has space — the injected QM saturation burst. Producer-side
+// state: call it from the goroutine that submits.
+func (m *Manager) Saturate(n uint64) { m.satRemaining += n }
+
+// LiveDropped returns the frames definitively lost so far (shed by RejectNew
+// or evicted by DropOldest). Unlike the plain counters it is safe to read
+// while the pipeline runs, so supervisors can reconcile delivery targets
+// against losses without waiting for quiescence.
+func (m *Manager) LiveDropped() uint64 { return m.liveDrops.Load() }
+
+// Submit queues a frame for stream i (producer side). It reports false —
+// and counts a drop — when the overload policy refuses the frame; under the
+// default Backpressure policy that preserves the historical
+// drop-per-refused-attempt accounting.
 func (m *Manager) Submit(i int, f Frame) bool {
+	return m.Offer(i, f) == Queued
+}
+
+// Offer queues a frame for stream i under the configured overload policy,
+// stamping fair-queuing tags for FairTag streams only when the frame is
+// accepted. Producers switch on the verdict: Queued moves on to the next
+// frame, Busy retries this one, Shed abandons it (already accounted).
+func (m *Manager) Offer(i int, f Frame) Verdict {
 	if i < 0 || i >= len(m.queues) {
-		return false
+		return Shed
 	}
-	if m.specs[i].Class == attr.FairTag {
-		// F = max(F_prev, V) + size/weight at arrival; V itself only
-		// advances as packets enter service (see NextHead).
-		start := m.finish[i]
-		if m.vtime > start {
-			start = m.vtime
+	full := false
+	if m.satRemaining > 0 {
+		m.satRemaining--
+		full = true
+	}
+	if !full {
+		f = m.stampTags(i, f)
+		if m.queues[i].Push(f) {
+			m.Submitted++
+			m.perSubmitted[i]++
+			m.perBytes[i] += uint64(f.Size)
+			return Queued
 		}
-		w := float64(m.specs[i].Weight)
-		m.finish[i] = start + float64(f.Size)/w
-		f.tagStart = start
-		f.tagFinish = m.finish[i]
+		m.unstampTags(i)
 	}
-	if !m.queues[i].Push(f) {
+	switch m.policy {
+	case RejectNew:
 		m.Dropped++
 		m.perDropped[i]++
-		return false
+		m.liveDrops.Add(1)
+		return Shed
+	case DropOldest:
+		// Charge the loss to the evicted head, at most one outstanding
+		// eviction per ring: once debt is pending, space is already on the
+		// way and further attempts just wait for it.
+		if m.evict[i].CompareAndSwap(0, 1) {
+			m.Dropped++
+			m.perDropped[i]++
+			m.liveDrops.Add(1)
+		}
+		return Busy
+	case Backpressure:
+		m.Dropped++
+		m.perDropped[i]++
+		return Busy
+	default:
+		m.Dropped++
+		m.perDropped[i]++
+		return Busy
 	}
-	m.Submitted++
-	m.perSubmitted[i]++
-	m.perBytes[i] += uint64(f.Size)
-	return true
+}
+
+// stampTags computes the fair-queuing start/finish tags for a FairTag frame
+// ("F = max(F_prev, V) + size/weight" at arrival; V itself only advances as
+// packets enter service, see NextHead). Non-fair frames pass through.
+func (m *Manager) stampTags(i int, f Frame) Frame {
+	if m.specs[i].Class != attr.FairTag {
+		return f
+	}
+	start := m.finish[i]
+	if m.vtime > start {
+		start = m.vtime
+	}
+	w := float64(m.specs[i].Weight)
+	m.prevFinish = m.finish[i]
+	m.finish[i] = start + float64(f.Size)/w
+	f.tagStart = start
+	f.tagFinish = m.finish[i]
+	return f
+}
+
+// unstampTags rolls back the finish-tag advance of a stamp whose push was
+// refused, so a shed or retried frame cannot skew the stream's virtual
+// finish time ("service-tags do not change once computed" — but a frame
+// that never entered the queue was never tagged).
+func (m *Manager) unstampTags(i int) {
+	if m.specs[i].Class != attr.FairTag {
+		return
+	}
+	m.finish[i] = m.prevFinish
 }
 
 // Stats returns stream i's accounting; an out-of-range index returns the
@@ -190,6 +331,14 @@ type source struct {
 // streams that return from idle.
 func (s *source) NextHead() (regblock.Head, bool) {
 	m := s.m
+	// Consume any head-drop debt first: DropOldest marks the oldest queued
+	// frame for discard, and the card side is the only safe remover.
+	for m.evict[s.stream].Load() > 0 {
+		if _, ok := m.queues[s.stream].Pop(); !ok {
+			break
+		}
+		m.evict[s.stream].Add(^uint64(0))
+	}
 	f, ok := m.queues[s.stream].Pop()
 	if !ok {
 		return regblock.Head{}, false
@@ -204,6 +353,34 @@ func (s *source) NextHead() (regblock.Head, bool) {
 		}
 	}
 	return h, true
+}
+
+// Drain removes stream i's queued frames, calling fn for each salvageable
+// one, and returns how many fn saw. Frames owed to head-drop eviction debt
+// are discarded (their loss was already accounted at Offer time), not
+// salvaged. Drain bypasses the dequeue accounting: it is the supervisor's
+// salvage path when a shard is declared dead and its backlog is re-submitted
+// to a surviving shard, and it is only safe once both the producer and the
+// card side of this manager have stopped.
+func (m *Manager) Drain(i int, fn func(Frame)) int {
+	if i < 0 || i >= len(m.queues) {
+		return 0
+	}
+	salvaged := 0
+	for {
+		f, ok := m.queues[i].Pop()
+		if !ok {
+			return salvaged
+		}
+		if m.evict[i].Load() > 0 {
+			m.evict[i].Add(^uint64(0))
+			continue
+		}
+		if fn != nil {
+			fn(f)
+		}
+		salvaged++
+	}
 }
 
 // BatchWords returns how many 32-bit words a batch of n arrival-time

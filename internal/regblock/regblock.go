@@ -324,6 +324,26 @@ func (b *Block) loserWindowAdjust() {
 	b.keyConst = attr.KeyConstraint(b.cur.LossNum, b.cur.LossDen)
 }
 
+// Rebind swaps the slot's head source while keeping its identity: spec,
+// slot ID, window registers, and performance counters all survive. The
+// in-flight head (a frame already pulled from the old source but not yet
+// transmitted) is discarded — the caller owns conservation for it, e.g. by
+// recomputing remaining work from the scheduled count — and the slot
+// reloads from the new source at virtual time now (staying invalid when the
+// new source starts empty). This is the supervisor's re-aggregation hook:
+// after a dead shard's flows are folded into a survivor's streamlet set,
+// the slot's source becomes the aggregator without disturbing QoS state.
+// It reports whether an in-flight head was flushed.
+func (b *Block) Rebind(src HeadSource, now uint64) (bool, error) {
+	if src == nil {
+		return false, fmt.Errorf("regblock: slot %d: rebind to nil head source", b.cur.Slot)
+	}
+	flushed := b.cur.Valid
+	b.src = src
+	b.Load(now)
+	return flushed, nil
+}
+
 // Refill re-validates an idle slot when its queue becomes non-empty again
 // (event-driven path used by the endsystem). now anchors the new deadline.
 func (b *Block) Refill(now uint64) {

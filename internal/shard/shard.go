@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -424,14 +425,24 @@ func (r *Router) Run(framesPerStream int) (*Result, error) {
 	wg.Wait()
 	wallNs := float64(time.Since(start))
 	close(errCh)
-	var firstErr error
+	var failures, cancellations []error
 	for err := range errCh {
-		if firstErr == nil || errors.Is(firstErr, errCanceled) {
-			firstErr = err // prefer the root cause over sibling cancellations
+		if errors.Is(err, errCanceled) {
+			cancellations = append(cancellations, err)
+			continue
 		}
+		failures = append(failures, err)
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	if len(failures) > 0 {
+		// Every real failure is reported, each annotated with its shard
+		// index; sibling cancellations are consequences, not causes, and are
+		// dropped when a root cause exists. Sort for a deterministic join
+		// order — errCh receives in goroutine-completion order.
+		sort.Slice(failures, func(i, j int) bool { return failures[i].Error() < failures[j].Error() })
+		return nil, errors.Join(failures...)
+	}
+	if len(cancellations) > 0 {
+		return nil, cancellations[0]
 	}
 
 	out := &Result{

@@ -174,3 +174,68 @@ func (a *Aggregator) OnTransmit(bytes int) (set, sl int, err error) {
 	a.sets[p.set].streamlets[p.streamlet].Bytes += uint64(bytes)
 	return p.set, p.streamlet, nil
 }
+
+// Pending returns how many dequeued heads await their OnTransmit charge.
+func (a *Aggregator) Pending() int { return len(a.pending) }
+
+// DiscardPending abandons every dequeued-but-untransmitted head — the
+// recovery path when the stream-slot draining this aggregator is flushed
+// (rebind, crash) and its in-flight heads will never transmit. Each
+// provider's Served count (and the aggregate's) is rolled back so a caller
+// that re-submits the abandoned frames does not double-count service; undo,
+// when non-nil, is called once per abandoned head in FIFO dequeue order with
+// the providing (set, streamlet), letting the caller restore provenance. It
+// returns the number of heads discarded.
+func (a *Aggregator) DiscardPending(undo func(set, streamlet int)) int {
+	n := len(a.pending)
+	for _, p := range a.pending {
+		a.sets[p.set].streamlets[p.streamlet].Served--
+		a.Served--
+		if undo != nil {
+			undo(p.set, p.streamlet)
+		}
+	}
+	a.pending = a.pending[:0]
+	return n
+}
+
+// Backlog is a HeadSource over an in-memory queue of heads — "processor
+// memory" in the paper's aggregation trade. The supervisor uses it to
+// re-home a dead shard's salvaged frames: the drained backlog becomes one
+// streamlet bound (with the survivors) to a living stream-slot.
+type Backlog struct {
+	heads []regblock.Head
+	next  int
+}
+
+// NewBacklog builds a backlog over the given heads, served in order.
+func NewBacklog(heads []regblock.Head) *Backlog {
+	return &Backlog{heads: heads}
+}
+
+// Push appends a head to the backlog.
+func (b *Backlog) Push(h regblock.Head) { b.heads = append(b.heads, h) }
+
+// Unget returns a head to the front of the backlog (the undo for a dequeue
+// whose consumer abandoned it).
+func (b *Backlog) Unget(h regblock.Head) {
+	if b.next > 0 {
+		b.next--
+		b.heads[b.next] = h
+		return
+	}
+	b.heads = append([]regblock.Head{h}, b.heads...)
+}
+
+// Remaining returns how many heads are still queued.
+func (b *Backlog) Remaining() int { return len(b.heads) - b.next }
+
+// NextHead implements regblock.HeadSource.
+func (b *Backlog) NextHead() (regblock.Head, bool) {
+	if b.next >= len(b.heads) {
+		return regblock.Head{}, false
+	}
+	h := b.heads[b.next]
+	b.next++
+	return h, true
+}

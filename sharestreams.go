@@ -52,6 +52,7 @@ import (
 	"repro/internal/endsystem"
 	"repro/internal/experiments"
 	"repro/internal/fabric"
+	"repro/internal/fault"
 	"repro/internal/fpga"
 	"repro/internal/linecard"
 	"repro/internal/pci"
@@ -228,6 +229,36 @@ func NewShardedRouter(cfg ShardedConfig) (*ShardedRouter, error) {
 // throughput (and wall-clock throughput that scales with host cores).
 func RunSharded(shards, slotsPerShard, framesPerStream int, mode TransferMode) (*ShardedResult, error) {
 	return endsystem.RunSharded(shards, slotsPerShard, framesPerStream, mode)
+}
+
+// Fault injection and self-healing (internal/fault, DESIGN.md §7): seeded,
+// modeled-time fault schedules drive a supervised sharded run that retries
+// PCI faults, restarts crashed pipelines with capped backoff, and
+// re-aggregates dead shards' flows as streamlets onto survivors (§4.2).
+type (
+	// FaultProfile parameterizes a deterministic fault schedule.
+	FaultProfile = fault.Profile
+	// FaultSchedule is the materialized, seed-replayable event list.
+	FaultSchedule = fault.Schedule
+	// FaultTrace accumulates the deterministic fault/recovery record.
+	FaultTrace = fault.Trace
+	// RecoveryConfig bounds restarts and backoff and picks the overload
+	// policy for a supervised run.
+	RecoveryConfig = shard.RecoveryConfig
+	// SupervisedResult is the frame ledger and recovery summary of a
+	// supervised run (conservation: Delivered + Dropped == Target).
+	SupervisedResult = shard.SupervisedResult
+)
+
+// NewFaultSchedule draws a deterministic fault schedule from the profile's
+// seed; the same profile always yields the same schedule.
+func NewFaultSchedule(p FaultProfile) (*FaultSchedule, error) { return fault.NewSchedule(p) }
+
+// RunShardedSupervised is RunSharded under a fault schedule with the
+// self-healing supervisor. A nil schedule injects nothing (and reproduces
+// RunSharded's figures); a nil trace discards the recovery record.
+func RunShardedSupervised(shards, slotsPerShard, framesPerStream int, mode TransferMode, schedule *FaultSchedule, rcfg RecoveryConfig, trace *FaultTrace) (*SupervisedResult, error) {
+	return endsystem.RunShardedSupervised(shards, slotsPerShard, framesPerStream, mode, schedule, rcfg, trace)
 }
 
 // Line-card realization (Figure 2): the no-host configuration for backbone
