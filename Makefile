@@ -95,8 +95,14 @@ chaos:
 fuzz:
 	go test -fuzz FuzzWinnerCorrect -fuzztime 30s ./internal/shuffle/
 	go test -fuzz FuzzCompareConsistency -fuzztime 30s ./internal/decision/
+	go test -fuzz FuzzKeyTieDifferential -fuzztime 30s ./internal/decision/
+	go test -fuzz FuzzProgramRank -fuzztime 30s ./internal/decision/
 
-# Ten-second fuzz of the decision-rule consistency property — cheap enough
-# for the check umbrella.
+# Ten-second fuzzes of the decision-rule consistency properties — cheap
+# enough for the check umbrella. FuzzProgramRank draws its program from the
+# fuzzed input modulo NumPrograms, so every registered rank program is
+# exercised; FuzzKeyTieDifferential pins the tie fast path to the cascade.
 fuzz-smoke:
 	go test -run xxx -fuzz FuzzCompareConsistency -fuzztime 10s ./internal/decision/
+	go test -run xxx -fuzz FuzzKeyTieDifferential -fuzztime 10s ./internal/decision/
+	go test -run xxx -fuzz FuzzProgramRank -fuzztime 10s ./internal/decision/

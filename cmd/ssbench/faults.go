@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 
+	"repro/internal/decision"
 	"repro/internal/endsystem"
 	"repro/internal/fault"
 	"repro/internal/pci"
@@ -78,9 +79,55 @@ func faults(csvPath string, shards int, seed int64) error {
 		fmt.Print(lastTrace)
 	}
 	if csvPath != "" {
-		return writeCSV(csvPath, "fault_level",
+		if err := writeCSV(csvPath, "fault_level",
 			[]string{"modeled_pps", "dropped_frames"},
-			[][]stats.Point{pps, dropped}, 1)
+			[][]stats.Point{pps, dropped}, 1); err != nil {
+			return err
+		}
 	}
+	return faultsPerProgram(shards, seed)
+}
+
+// faultsPerProgram reruns a mid-intensity fault mix once under every
+// registered rank program: recovery and conservation are supervisor
+// properties that must hold for all disciplines, so any program whose row
+// breaks the ledger is a program bug, not a fault-injection artifact.
+func faultsPerProgram(shards int, seed int64) error {
+	const (
+		slotsPerShard   = 4
+		framesPerStream = 2000
+	)
+	profile := fault.Profile{
+		Seed:          seed + 2,
+		Shards:        shards,
+		ShardCrashes:  2,
+		PCIFails:      4,
+		BankTimeouts:  2,
+		QMSaturations: 2,
+		Horizon:       uint64(framesPerStream),
+	}
+	fmt.Println("\nPer-program conservation pass (level-2 fault mix under every rank program):")
+	fmt.Println("program          delivered   dropped  restarts  dead  rounds  modeled_pps")
+	for _, p := range decision.Programs() {
+		sched, err := fault.NewSchedule(profile)
+		if err != nil {
+			return err
+		}
+		var tr fault.Trace
+		res, err := endsystem.RunShardedSupervisedProgram(
+			shards, slotsPerShard, framesPerStream, pci.ModePIO, p,
+			sched, shard.RecoveryConfig{Policy: qm.RejectNew}, &tr)
+		if err != nil {
+			return fmt.Errorf("program %v: %w\n%s", p, err, tr.String())
+		}
+		if res.Delivered+res.Dropped != res.Target {
+			return fmt.Errorf("program %v: conservation violated: %d + %d != %d",
+				p, res.Delivered, res.Dropped, res.Target)
+		}
+		fmt.Printf("%-15s  %9d  %8d  %8d  %4d  %6d  %11.0f\n",
+			p, res.Delivered, res.Dropped, res.Restarts,
+			len(res.DeadShards), res.Rounds, res.PacketsPerS)
+	}
+	fmt.Println("(conservation held under every program)")
 	return nil
 }

@@ -13,7 +13,10 @@
 //	ssbench sharded      sharded endsystem: K scheduler pipelines in parallel
 //	ssbench faults       chaos sweep: fault injection vs throughput/drops
 //	ssbench perf         PR-2 perf-regression harness (writes BENCH_PR2.json)
-//	ssbench all          everything above (perf excluded; run it explicitly)
+//	ssbench rank         PR-6 rank-program sweep: N × program × fast-path hit
+//	                     rate (writes BENCH_PR6.json)
+//	ssbench all          everything above (perf and rank excluded; run them
+//	                     explicitly)
 //
 // Flags: -csv FILE writes the active figure's series as CSV; -shards K sets
 // the shard count for the sharded and faults commands (default: host
@@ -128,7 +131,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ssbench [-csv file] [-shards K] [-seed n] [-json file] [-baseline file] [-tolerance x] [-metrics addr] [-cpuprofile file] [-memprofile file] {table3|fig1|fig7|fig8|fig9|fig10|throughput|latency|ablation|extensions|scale|gsr|sortquality|sharded|faults|perf|all}")
+	fmt.Fprintln(os.Stderr, "usage: ssbench [-csv file] [-shards K] [-seed n] [-json file] [-baseline file] [-tolerance x] [-metrics addr] [-cpuprofile file] [-memprofile file] {table3|fig1|fig7|fig8|fig9|fig10|throughput|latency|ablation|extensions|scale|gsr|sortquality|sharded|faults|perf|rank|all}")
 }
 
 // runConfig carries the flag values down to the per-command drivers.
@@ -178,6 +181,8 @@ func run(cmd string, rc runConfig) error {
 		return faults(csvPath, shards, rc.seed)
 	case "perf":
 		return perf(rc)
+	case "rank":
+		return rank(rc)
 	case "all":
 		for _, c := range []string{"table3", "fig1", "fig7", "fig8", "fig9", "fig10", "throughput", "latency", "ablation", "extensions", "scale", "gsr", "sortquality", "sharded", "faults"} {
 			fmt.Printf("════ %s ════\n", c)

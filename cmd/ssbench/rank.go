@@ -1,0 +1,186 @@
+package main
+
+// The rank command is the PR-6 rank-program sweep: every registered rank
+// program (DWCS, tag-only, STFQ, EDF, strict-priority-with-guard) driven
+// through the unchanged shuffle-network hot path across slot counts and
+// routing disciplines, with the decision fast-path hit rate measured from
+// the Decision blocks' own counters. Two hit-rate columns are emitted:
+//
+//   - fastpath_hit_rate: the current fast path (packed-key compare plus the
+//     tie short-circuit that resolves masked-key-equal pairs by slot ID).
+//   - fastpath_hit_rate_prefix: what the rate would have been before the
+//     tie short-circuit, reconstructed from the same run as
+//     1 − (CascadeFallbacks+TieHits)/Compares — every tie used to fall back
+//     to the full rule cascade, which is exactly the N>127 slot-field
+//     saturation collapse the PR-6 bugfix removed.
+//
+// The gap between the two columns is the bugfix, visible at N=1024 where
+// the 7-bit slot field saturates and masked-key ties become common. Results
+// land in BENCH_PR6.json (override with -json).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/decision"
+	"repro/internal/traffic"
+)
+
+// RankRow is one (N, program, routing) measurement.
+type RankRow struct {
+	Slots                 int     `json:"slots"`
+	Program               string  `json:"program"`
+	Routing               string  `json:"routing"` // "WR" or "BA"
+	Cycles                int     `json:"cycles"`
+	PassesPerCycle        int     `json:"passes_per_cycle"`
+	NsPerDecision         float64 `json:"ns_per_decision"`
+	DecisionsPerSec       float64 `json:"decisions_per_sec"`
+	Compares              uint64  `json:"compares"`
+	TieHits               uint64  `json:"tie_hits"`
+	CascadeFallbacks      uint64  `json:"cascade_fallbacks"`
+	FastpathHitRate       float64 `json:"fastpath_hit_rate"`
+	FastpathHitRatePrefix float64 `json:"fastpath_hit_rate_prefix"`
+}
+
+// RankReport is the BENCH_PR6.json document.
+type RankReport struct {
+	GoVersion string    `json:"go_version"`
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	NumCPU    int       `json:"num_cpu"`
+	Rows      []RankRow `json:"rows"`
+}
+
+func rank(rc runConfig) error {
+	fmt.Println("PR-6 rank-program sweep — every registered program through the shuffle hot path")
+	fmt.Println("(steady-state backlogged streams; hit rates from the Decision blocks' own counters)")
+	fmt.Println()
+	fmt.Println("slots  program          routing  ns/decision  decisions/s  fastpath  pre-fix")
+
+	rep := RankReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, n := range perfSlots {
+		for _, p := range decision.Programs() {
+			for _, routing := range []core.Routing{core.WinnerOnly, core.BlockRouting} {
+				row, err := rankOne(n, p, routing)
+				if err != nil {
+					return err
+				}
+				rep.Rows = append(rep.Rows, row)
+				fmt.Printf("%5d  %-15s  %-7s  %11.1f  %11.0f  %7.1f%%  %6.1f%%\n",
+					row.Slots, row.Program, row.Routing, row.NsPerDecision,
+					row.DecisionsPerSec, 100*row.FastpathHitRate, 100*row.FastpathHitRatePrefix)
+			}
+		}
+	}
+
+	// Unlike perf, rank has no baseline gate yet: the report always lands in
+	// BENCH_PR6.json unless -json names another path.
+	path := rc.jsonPath
+	if !rc.jsonExplicit {
+		path = "BENCH_PR6.json"
+	}
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+		fmt.Printf("\n(report written to %s)\n", path)
+	}
+	return nil
+}
+
+// rankOne builds a backlogged scheduler running program p and measures its
+// steady state; the fast-path columns are counter deltas over the timed
+// region only, so warmup does not dilute them.
+func rankOne(n int, p decision.Program, routing core.Routing) (RankRow, error) {
+	sched, err := rankScheduler(n, p, routing)
+	if err != nil {
+		return RankRow{}, err
+	}
+
+	cycles := 2_000_000 / n
+	if cycles < 4000 {
+		cycles = 4000
+	}
+	// Warm past the first key-refresh epoch so only steady state is timed.
+	sched.RunCycles(cycles/4+16, nil)
+
+	nw := sched.Network()
+	c0, t0, f0 := nw.Compares(), nw.TieHits(), nw.CascadeFallbacks()
+	start := time.Now()
+	sched.RunCycles(cycles, nil)
+	elapsed := time.Since(start)
+	compares := nw.Compares() - c0
+	ties := nw.TieHits() - t0
+	fallbacks := nw.CascadeFallbacks() - f0
+
+	ns := float64(elapsed.Nanoseconds()) / float64(cycles)
+	row := RankRow{
+		Slots:           n,
+		Program:         p.String(),
+		Routing:         "WR",
+		Cycles:          cycles,
+		PassesPerCycle:  nw.PassesPerCycle(),
+		NsPerDecision:   ns,
+		DecisionsPerSec: 1e9 / ns,
+		Compares:        compares,
+		TieHits:         ties,
+	}
+	if routing == core.BlockRouting {
+		row.Routing = "BA"
+	}
+	row.CascadeFallbacks = fallbacks
+	if compares > 0 {
+		row.FastpathHitRate = 1 - float64(fallbacks)/float64(compares)
+		row.FastpathHitRatePrefix = 1 - float64(fallbacks+ties)/float64(compares)
+	}
+	return row, nil
+}
+
+// rankScheduler builds an N-slot scheduler running rank program p with every
+// slot backlogged under the program's natural attribute class, mirroring the
+// perf harness's staggered-period load.
+func rankScheduler(n int, p decision.Program, routing core.Routing) (*core.Scheduler, error) {
+	sched, err := core.New(core.ProgramConfig(n, p, routing))
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		src := &traffic.Periodic{Gap: 1, Phase: uint64(i % 7), Backlogged: true}
+		var spec attr.Spec
+		switch p.Class() {
+		case attr.EDF:
+			spec = attr.Spec{Class: attr.EDF, Period: uint16(1 + i%16)}
+		case attr.StaticPriority:
+			spec = attr.Spec{Class: attr.StaticPriority, Priority: uint16(i % 8), Guard: 32}
+		case attr.FairTag:
+			spec = attr.Spec{Class: attr.FairTag, Weight: uint16(1 + i%4)}
+		default: // WindowConstrained (the DWCS program)
+			spec = attr.Spec{Class: attr.WindowConstrained, Period: uint16(1 + i%16),
+				Constraint: attr.Constraint{Num: 1, Den: 2}}
+		}
+		if err := sched.Admit(i, spec, src); err != nil {
+			return nil, err
+		}
+	}
+	if err := sched.Start(); err != nil {
+		return nil, err
+	}
+	return sched, nil
+}

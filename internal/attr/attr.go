@@ -226,6 +226,14 @@ type Spec struct {
 	// Weight is the fair-share weight (FairTag class); service tags are
 	// computed as virtual times advancing inversely to Weight.
 	Weight uint16
+	// Guard is the starvation guard for StaticPriority streams: a head that
+	// has waited Guard virtual ticks past its arrival is boosted to the
+	// front (deadline field 0) until served, bounding the starvation a
+	// low-priority stream can suffer under sustained high-priority load.
+	// Zero disables the guard. When set, Priority must stay below 2^15 so
+	// the boosted value 0 orders before every unboosted priority under the
+	// wrap-aware compare.
+	Guard uint16
 }
 
 // String summarizes the spec in the class's natural terms.
@@ -236,6 +244,9 @@ func (s Spec) String() string {
 	case EDF:
 		return fmt.Sprintf("edf(T=%d)", s.Period)
 	case StaticPriority:
+		if s.Guard != 0 {
+			return fmt.Sprintf("static(p=%d, guard=%d)", s.Priority, s.Guard)
+		}
 		return fmt.Sprintf("static(p=%d)", s.Priority)
 	case FairTag:
 		return fmt.Sprintf("fair(w=%d)", s.Weight)
@@ -259,13 +270,20 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("attr: EDF stream needs a nonzero request period")
 		}
 	case StaticPriority:
-		// any priority is fine
+		// Any priority is fine without a guard; with one, the boosted
+		// deadline 0 must order before the priority in serial-number order.
+		if s.Guard != 0 && s.Priority >= 1<<15 {
+			return fmt.Errorf("attr: guarded static priority %d must stay below 2^15", s.Priority)
+		}
 	case FairTag:
 		if s.Weight == 0 {
 			return fmt.Errorf("attr: fair-share stream needs a nonzero weight")
 		}
 	default:
 		return fmt.Errorf("attr: unknown class %d", s.Class)
+	}
+	if s.Guard != 0 && s.Class != StaticPriority {
+		return fmt.Errorf("attr: starvation guard is a static-priority knob (class %v)", s.Class)
 	}
 	return nil
 }

@@ -77,6 +77,69 @@ func TestZeroAllocSteadyState(t *testing.T) {
 	}
 }
 
+// programScheduler builds an n-slot scheduler running rank program p, every
+// slot backlogged with a stream of p's attribute class, warmed past the
+// first key-refresh epoch.
+func programScheduler(t *testing.T, n int, p decision.Program, routing Routing) *Scheduler {
+	t.Helper()
+	s, err := New(ProgramConfig(n, p, routing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		src := &traffic.Periodic{Gap: 1, Phase: uint64(i % 7), Backlogged: true}
+		var spec attr.Spec
+		switch p.Class() {
+		case attr.EDF:
+			spec = attr.Spec{Class: attr.EDF, Period: uint16(1 + i%16)}
+		case attr.StaticPriority:
+			spec = attr.Spec{Class: attr.StaticPriority, Priority: uint16(i % 8), Guard: 32}
+		case attr.FairTag:
+			spec = attr.Spec{Class: attr.FairTag, Weight: uint16(1 + i%4)}
+		default: // WindowConstrained
+			spec = attr.Spec{Class: attr.WindowConstrained, Period: uint16(1 + i%16),
+				Constraint: attr.Constraint{Num: 1, Den: 2}}
+		}
+		if err := s.Admit(i, spec, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	s.RunCycles(keyRefreshPeriod+64, nil)
+	return s
+}
+
+// TestZeroAllocPrograms extends the zero-allocation contract to the new
+// rank programs: EDF, strict-priority-with-starvation-guard (the per-cycle
+// guard check must be allocation-free, boosts included) and STFQ all run
+// the steady-state decision cycle without a single heap allocation.
+func TestZeroAllocPrograms(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		p       decision.Program
+		routing Routing
+	}{
+		{"EDF-WR32", decision.ProgramEDF, WinnerOnly},
+		{"EDF-BA32", decision.ProgramEDF, BlockRouting},
+		{"StrictGuard-WR32", decision.ProgramStrictPriority, WinnerOnly},
+		{"StrictGuard-BA32", decision.ProgramStrictPriority, BlockRouting},
+		{"STFQ-WR32", decision.ProgramSTFQ, WinnerOnly},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := programScheduler(t, 32, tc.p, tc.routing)
+			const batch = 128
+			allocs := testing.AllocsPerRun(50, func() {
+				s.RunCycles(batch, nil)
+			})
+			if allocs != 0 {
+				t.Fatalf("program %v: steady-state RunCycles(%d) allocated %.2f times (want 0)", tc.p, batch, allocs)
+			}
+		})
+	}
+}
+
 // TestHWCyclesAccounting asserts that hoisting cyclesPerDecision into New
 // left the Table-1 accounting untouched: every decision cycle costs exactly
 // CyclesPerDecision() hardware clocks, however it is driven.

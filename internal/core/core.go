@@ -151,6 +151,17 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// ProgramConfig returns the scheduler configuration that runs slots under
+// rank program p with the given routing: the Decision-block mode follows
+// from the program (only ProgramDWCS needs the multi-attribute datapath).
+// The rest of a discipline is per-slot state, set up by admitting specs of
+// p's attribute class (decision.Program.Class) and — for the tag programs —
+// pointing fair-tag streams at a Queue Manager with the matching
+// per-stream program installed (qm.Manager.SetProgram).
+func ProgramConfig(slots int, p decision.Program, routing Routing) Config {
+	return Config{Slots: slots, Mode: p.Mode(), Routing: routing}
+}
+
 // TimedSource is an optional extension of regblock.HeadSource for
 // time-gated traffic: before each decision cycle the scheduler advances
 // every timed source to the current virtual time, releasing packets that

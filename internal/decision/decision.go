@@ -116,8 +116,13 @@ type Verdict struct {
 type Block struct {
 	Mode Mode
 	// Compares counts invocations; RuleHits counts, per rule, how often
-	// that rule resolved the order.
+	// that rule resolved the order. TieHits counts keyed compares resolved
+	// by the equal-key slot tie-break (KeyTie) — decisions that stayed on
+	// the fast path but would have fallen back to the cascade before the
+	// tie-break existed, so pre-fix hit rates remain reconstructible from
+	// one run.
 	Compares uint64
+	TieHits  uint64
 	RuleHits [NumRules]uint64
 }
 
@@ -136,18 +141,25 @@ func Compare(mode Mode, a, b attr.Attributes) Verdict {
 }
 
 // CompareKeyed orders a against b using their packed rank keys: one
-// unsigned integer compare when FastOrder can prove the order, the full
+// unsigned integer compare when FastOrder can prove the order, a slot-ID
+// tie-break when the masked keys are exactly equal (KeyTie — every cascade
+// rule ties, so only the deterministic slot order remains), and the full
 // Table-2 cascade otherwise — exactly equivalent to Compare in every case
 // (see the differential tests). It reports whether a orders first.
 //
 // Compares counts every invocation either way; RuleHits attributes a rule
-// only on the cascade fallback, since the single-compare path — like the
-// hardware's flattened comparator — does not know which rule would have
-// fired. Callers that need full rule traces use Compare.
+// only on the cascade fallback, since the fast paths — like the hardware's
+// flattened comparator — do not know which rule would have fired. Callers
+// that need full rule traces use Compare.
 func (bl *Block) CompareKeyed(a, b attr.Attributes, ka, kb attr.Key) (aFirst bool) {
 	if first, decided := FastOrder(bl.Mode, ka, kb); decided {
 		bl.Compares++
 		return first
+	}
+	if KeyTie(bl.Mode, ka, kb) {
+		bl.Compares++
+		bl.TieHits++
+		return a.Slot < b.Slot
 	}
 	return !bl.Compare(a, b).Swapped
 }

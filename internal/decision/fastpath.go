@@ -57,3 +57,26 @@ func FastOrder(mode Mode, ka, kb attr.Key) (aFirst, decided bool) {
 	}
 	return ka < kb, true
 }
+
+// KeyTie reports whether two packed keys are exactly equal after mode
+// masking. Equality in every key field means the cascade ties at every rule
+// before the final slot-ID tie-break — each field above the slot is exact
+// (see the attr.Key layout comment), and field equality is
+// ref-independent, so no wrap-window guard is needed. A caller seeing
+// KeyTie may resolve the order as `a.Slot < b.Slot` directly, skipping the
+// cascade.
+//
+// This is the second half of the fast path: the 7-bit key slot field
+// saturates at 127, so at N > 127 a tied pair of high slots always produces
+// equal keys and FastOrder must decline. Before this tie-break existed,
+// every such pair paid the full Table-2 cascade — at N = 1024 that was the
+// common case, collapsing the fast-path hit rate exactly in the regime the
+// perf work targets. The equivalence with the cascade is pinned by
+// TestKeyTieDifferential and FuzzKeyTieDifferential.
+func KeyTie(mode Mode, ka, kb attr.Key) bool {
+	if mode == TagOnly {
+		ka &= keyTagMask
+		kb &= keyTagMask
+	}
+	return ka == kb
+}

@@ -1,0 +1,169 @@
+package decision
+
+// Rank programs: the PIFO view of the Decision datapath.
+//
+// "Programmable Packet Scheduling at Line Rate" (Sivaraman et al.) observes
+// that one priority structure hosts a whole family of disciplines if each
+// discipline is expressed as a *rank program* — a pure function from stream
+// state to a rank, with the structure ordering ranks. The ShareStreams
+// datapath already is that structure: the shuffle network orders packed
+// attr.Key ranks, and only attribute loading/update differs per discipline
+// (the paper's "unified canonical architecture"). This file names the
+// programs, so a discipline is selected by one enum value instead of a
+// scattering of (Mode, attr.Class) pairs.
+//
+// The program contract (see DESIGN.md "Rank programs"):
+//
+//   - Rank is pure: the same attribute word and reference always produce the
+//     same key, with no allocation and no state. Anything stateful (fair-tag
+//     virtual time, window adjustments) lives upstream in qm/regblock, which
+//     write the state *into* the attribute word before ranking.
+//   - Rank's unsigned integer order must agree with the program's dispatch
+//     order whenever FastOrder accepts the pair; the Table-2 cascade under
+//     the program's Mode remains the source of truth for the remainder.
+//   - A program's key must stay inside the attr.Key field budget; programs
+//     that need fewer fields (every tag program) zero the constraint fields
+//     rather than repurposing them, so the TagOnly mask stays valid.
+
+import (
+	"fmt"
+
+	"repro/internal/attr"
+)
+
+// Program identifies a rank program: one schedulable discipline expressed as
+// a pure stream-state → rank-key function over the shared datapath.
+//
+// The set of Program constants below is the complete registry — sslint's
+// exhaustdisc analyzer requires every switch over Program to handle all of
+// them (or carry an explicit default), so adding a program here surfaces
+// every dispatch site that needs a decision as a build failure. Do not add
+// sentinel constants of type Program; use NumPrograms and Programs instead.
+type Program uint8
+
+const (
+	// ProgramDWCS is full dynamic window-constrained scheduling: the Table-2
+	// multi-attribute rank (deadline, window-constraint, loss fields,
+	// arrival, slot) under the DWCS comparator mode. Bit-identical to the
+	// pre-program attr.Key path.
+	ProgramDWCS Program = iota
+	// ProgramTagOnly is the simple-comparator discipline of §3: a service
+	// tag or static priority in the deadline field, FCFS and slot-ID
+	// tie-breaks, constraint fields ignored. Bit-identical to the
+	// pre-program TagOnly path.
+	ProgramTagOnly
+	// ProgramSTFQ is start-time fair queuing over the qm fair-queuing tags:
+	// identical datapath to ProgramTagOnly, but the Queue Manager loads each
+	// head's virtual *start* tag instead of its finish tag, which bounds the
+	// unfairness a large in-service frame can impose on small ones.
+	ProgramSTFQ
+	// ProgramEDF is earliest-deadline-first: per-period deadlines in the
+	// deadline field, no window-constraint attributes, over the simple
+	// comparator.
+	ProgramEDF
+	// ProgramStrictPriority is strict priority with a starvation guard:
+	// static priorities in the deadline field, but a head that has waited
+	// Guard ticks past its arrival is boosted to the front (deadline 0)
+	// until served, so low-priority streams cannot starve.
+	ProgramStrictPriority
+)
+
+// NumPrograms is the number of registered rank programs, for sizing tables.
+// It is deliberately untyped (not a Program constant) so exhaustive switches
+// over Program need not handle it.
+const NumPrograms = 5
+
+var programNames = [NumPrograms]string{
+	ProgramDWCS:           "dwcs",
+	ProgramTagOnly:        "tag-only",
+	ProgramSTFQ:           "stfq",
+	ProgramEDF:            "edf",
+	ProgramStrictPriority: "strict-priority",
+}
+
+// Programs returns the registered rank programs in enum order. It allocates
+// a fresh slice; callers iterate it in tests, sweeps and CI drivers, never
+// on the decision hot path.
+func Programs() []Program {
+	ps := make([]Program, NumPrograms)
+	for i := range ps {
+		ps[i] = Program(i)
+	}
+	return ps
+}
+
+// String returns the program name.
+func (p Program) String() string {
+	if int(p) < NumPrograms {
+		return programNames[p]
+	}
+	return fmt.Sprintf("program(%d)", uint8(p))
+}
+
+// ParseProgram resolves a program by its String name.
+func ParseProgram(name string) (Program, error) {
+	for i, n := range programNames {
+		if n == name {
+			return Program(i), nil
+		}
+	}
+	return 0, fmt.Errorf("decision: unknown rank program %q", name)
+}
+
+// Mode returns the comparator mode the program's ranks are ordered under.
+// Only full DWCS needs the multi-attribute datapath; every other program is
+// a §3 simple-comparator discipline.
+func (p Program) Mode() Mode {
+	if p == ProgramDWCS {
+		return DWCS
+	}
+	return TagOnly
+}
+
+// Class returns the attribute class that drives a Register Base block's
+// loading/update behavior for streams scheduled under p.
+func (p Program) Class() attr.Class {
+	switch p {
+	case ProgramDWCS:
+		return attr.WindowConstrained
+	case ProgramTagOnly, ProgramSTFQ:
+		return attr.FairTag
+	case ProgramEDF:
+		return attr.EDF
+	case ProgramStrictPriority:
+		return attr.StaticPriority
+	default:
+		panic("decision: rank program with no attribute class: " + p.String())
+	}
+}
+
+// tagConstraint is the constraint part of every tag program's key: the
+// zero-tolerance encoding KeyConstraint(0, 0), which is exactly what the
+// Register Base path packs for classes whose specs carry no loss fields. The
+// comparator masks these bits out under TagOnly, so they never influence a
+// tag program's order; packing them identically keeps the raw key order
+// equal to the masked order, which the hwpq differential benches rely on.
+var tagConstraint = attr.KeyConstraint(0, 0)
+
+// Rank is the program body: it packs a stream's attribute word into the
+// uint64 rank key the priority structure orders. It is pure and
+// allocation-free; state evolution happens upstream when the word is
+// written. ref is the wrap-window normalization base (see attr.Key).
+//
+// For ProgramDWCS and ProgramTagOnly the result is bit-identical to the
+// pre-program key path (attr.Key with the spec's constraint fields), pinned
+// by TestProgramRankBitIdentity and the differential fuzz harness.
+func (p Program) Rank(a attr.Attributes, ref attr.Time16) attr.Key {
+	switch p {
+	case ProgramDWCS:
+		return a.Key(ref)
+	case ProgramTagOnly, ProgramSTFQ, ProgramEDF, ProgramStrictPriority:
+		// Tag programs differ in how the deadline field is *produced*
+		// (finish tag, start tag, per-period deadline, static priority with
+		// guard boost), not in how it is ranked: the word already carries
+		// the produced value, so one packing serves all four.
+		return a.KeyWith(tagConstraint, ref)
+	default:
+		panic("decision: rank program with no rank function: " + p.String())
+	}
+}

@@ -1,0 +1,164 @@
+package decision
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/attr"
+)
+
+// TestProgramRankBitIdentity pins the tentpole contract: ProgramDWCS ranks
+// are bit-identical to attr.Key, and every tag program's rank is
+// bit-identical to the pre-program TagOnly key path (KeyWith over the
+// zero-constraint part), for random words and references. Re-expressing the
+// two existing disciplines as programs must not move a single bit.
+func TestProgramRankBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	zero := attr.KeyConstraint(0, 0)
+	for trial := 0; trial < 100000; trial++ {
+		a := randWord(rng, attr.SlotID(rng.Intn(1024)))
+		ref := attr.Time16(rng.Intn(1 << 16))
+		if got, want := ProgramDWCS.Rank(a, ref), a.Key(ref); got != want {
+			t.Fatalf("dwcs rank %x != key %x for %+v ref %d", got, want, a, ref)
+		}
+		for _, p := range []Program{ProgramTagOnly, ProgramSTFQ, ProgramEDF, ProgramStrictPriority} {
+			// Tag-class words carry no loss fields; zero them the way the
+			// Register Base path sees them.
+			w := a
+			w.LossNum, w.LossDen = 0, 0
+			if got, want := p.Rank(w, ref), w.Key(ref); got != want {
+				t.Fatalf("%v rank %x != key %x for %+v ref %d", p, got, want, w, ref)
+			}
+			if got, want := p.Rank(w, ref), w.KeyWith(zero, ref); got != want {
+				t.Fatalf("%v rank %x != KeyWith %x for %+v ref %d", p, got, want, w, ref)
+			}
+			// Even with junk loss fields, the masked (compared) bits match
+			// the generic key: tag programs zero, never repurpose, the
+			// constraint fields.
+			if got, want := p.Rank(a, ref)&^attr.KeyConstraintMask, a.Key(ref)&^attr.KeyConstraintMask; got != want {
+				t.Fatalf("%v masked rank %x != masked key %x for %+v", p, got, want, a)
+			}
+		}
+	}
+}
+
+// TestProgramRankPurity checks the program contract's purity clause: Rank is
+// a function of (word, ref) alone — repeated calls agree, and ranks of
+// distinct references shift only the wrapped time fields.
+func TestProgramRankPurity(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20000; trial++ {
+		a := randWord(rng, attr.SlotID(rng.Intn(1024)))
+		ref := attr.Time16(rng.Intn(1 << 16))
+		for _, p := range Programs() {
+			k1, k2 := p.Rank(a, ref), p.Rank(a, ref)
+			if k1 != k2 {
+				t.Fatalf("%v rank not deterministic for %+v", p, a)
+			}
+		}
+	}
+}
+
+// TestProgramRegistry covers the enum plumbing: names round-trip through
+// ParseProgram, Programs enumerates exactly NumPrograms distinct values, and
+// Mode/Class dispatch for every registered program without panicking.
+func TestProgramRegistry(t *testing.T) {
+	ps := Programs()
+	if len(ps) != NumPrograms {
+		t.Fatalf("Programs() returned %d entries, want %d", len(ps), NumPrograms)
+	}
+	seen := map[Program]bool{}
+	for _, p := range ps {
+		if seen[p] {
+			t.Fatalf("duplicate program %v", p)
+		}
+		seen[p] = true
+		back, err := ParseProgram(p.String())
+		if err != nil || back != p {
+			t.Fatalf("ParseProgram(%q) = %v, %v", p.String(), back, err)
+		}
+		_ = p.Class() // must not panic
+		if p == ProgramDWCS {
+			if p.Mode() != DWCS || p.Class() != attr.WindowConstrained {
+				t.Fatalf("dwcs program mode/class: %v/%v", p.Mode(), p.Class())
+			}
+		} else if p.Mode() != TagOnly {
+			t.Fatalf("%v must run on the simple comparator, got %v", p, p.Mode())
+		}
+	}
+	if _, err := ParseProgram("no-such-program"); err == nil {
+		t.Fatal("ParseProgram accepted an unknown name")
+	}
+	if got := Program(200).String(); got != "program(200)" {
+		t.Fatalf("out-of-range String: %q", got)
+	}
+	if ProgramSTFQ.Class() != attr.FairTag || ProgramEDF.Class() != attr.EDF ||
+		ProgramStrictPriority.Class() != attr.StaticPriority {
+		t.Fatal("program → attribute-class mapping drifted")
+	}
+}
+
+// TestProgramRankOrdersUnderMode checks each program's rank order agrees
+// with the Table-2 cascade under the program's mode whenever the composed
+// fast path decides — the "rank order equals dispatch order" clause of the
+// program contract, across all registered programs.
+func TestProgramRankOrdersUnderMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50000; trial++ {
+		a := randWord(rng, attr.SlotID(rng.Intn(1024)))
+		b := randWord(rng, attr.SlotID(rng.Intn(1024)))
+		if rng.Intn(3) == 0 {
+			b.Deadline = a.Deadline
+			b.Arrival = a.Arrival
+		}
+		ref := attr.Time16(rng.Intn(1 << 16))
+		for _, p := range Programs() {
+			mode := p.Mode()
+			wa, wb := a, b
+			if mode == TagOnly {
+				// Tag-class words carry no loss fields.
+				wa.LossNum, wa.LossDen = 0, 0
+				wb.LossNum, wb.LossDen = 0, 0
+			}
+			ka, kb := p.Rank(wa, ref), p.Rank(wb, ref)
+			if got, want := keyedOrFallback(mode, wa, wb, ka, kb), Less(mode, wa, wb); got != want {
+				t.Fatalf("program %v ref %d: rank order %v, cascade %v\na=%+v\nb=%+v", p, ref, got, want, wa, wb)
+			}
+		}
+	}
+}
+
+// FuzzProgramRank drives every registered rank program through the composed
+// fast path against the cascade — the per-program arm of `make fuzz-smoke`,
+// so a newly registered program is fuzzed from the day it lands.
+func FuzzProgramRank(f *testing.F) {
+	f.Add(uint8(0), uint16(10), uint8(0), uint8(0), uint16(5), uint16(300), true,
+		uint16(10), uint8(0), uint8(0), uint16(5), uint16(900), true, uint16(0))
+	f.Add(uint8(2), uint16(7), uint8(1), uint8(2), uint16(3), uint16(200), true,
+		uint16(7), uint8(2), uint8(4), uint16(3), uint16(201), true, uint16(99))
+	f.Add(uint8(4), uint16(0x8000), uint8(0), uint8(0), uint16(9), uint16(0), true,
+		uint16(0), uint8(0), uint8(0), uint16(9), uint16(1), true, uint16(0x7FFF))
+	f.Fuzz(func(t *testing.T, pi uint8, d1 uint16, n1, y1 uint8, a1, s1 uint16, v1 bool,
+		d2 uint16, n2, y2 uint8, a2, s2 uint16, v2 bool, ref uint16) {
+		p := Program(pi % NumPrograms)
+		mode := p.Mode()
+		a := attr.Attributes{Deadline: attr.Time16(d1), LossNum: n1, LossDen: y1,
+			Arrival: attr.Time16(a1), Slot: attr.SlotID(s1), Valid: v1}
+		b := attr.Attributes{Deadline: attr.Time16(d2), LossNum: n2, LossDen: y2,
+			Arrival: attr.Time16(a2), Slot: attr.SlotID(s2), Valid: v2}
+		if mode == TagOnly {
+			a.LossNum, a.LossDen = 0, 0
+			b.LossNum, b.LossDen = 0, 0
+		}
+		ka, kb := p.Rank(a, attr.Time16(ref)), p.Rank(b, attr.Time16(ref))
+		want := Less(mode, a, b)
+		if got := keyedOrFallback(mode, a, b, ka, kb); got != want {
+			t.Fatalf("program %v ref %d: rank order %v, cascade %v for %+v vs %+v", p, ref, got, want, a, b)
+		}
+		if a.Slot != b.Slot {
+			if got, want := keyedOrFallback(mode, b, a, kb, ka), Less(mode, b, a); got != want {
+				t.Fatalf("program %v: port-order mismatch for %+v vs %+v", p, a, b)
+			}
+		}
+	})
+}

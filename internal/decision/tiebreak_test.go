@@ -1,0 +1,177 @@
+package decision
+
+// Differential verification of the equal-key slot tie-break (KeyTie): when
+// the mode-masked keys are exactly equal, every Table-2 rule ties and the
+// cascade's answer is the raw slot order — so the tie-break path must be
+// bit-identical to the cascade for every such pair. Together with the
+// FastOrder differential this proves the full three-way composition
+// (FastOrder → KeyTie → cascade) used by CompareKeyed and the shuffle
+// network never changes an ordering.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/attr"
+)
+
+// keyedOrFallback is the exact three-way composition CompareKeyed and the
+// network pass loops use.
+func keyedOrFallback(mode Mode, a, b attr.Attributes, ka, kb attr.Key) bool {
+	if aFirst, decided := FastOrder(mode, ka, kb); decided {
+		return aFirst
+	}
+	if KeyTie(mode, ka, kb) {
+		return a.Slot < b.Slot
+	}
+	first, _, _ := order(mode, a, b)
+	return first
+}
+
+// tiedWord derives a word from a that ties every cascade rule the mode
+// compares but sits in a different slot — the shape that collapsed the fast
+// path at N > 127 before the tie-break existed.
+func tiedWord(rng *rand.Rand, a attr.Attributes, mode Mode, slot attr.SlotID) attr.Attributes {
+	b := a
+	b.Slot = slot
+	if mode == TagOnly {
+		// TagOnly ignores the constraint fields: scrambling them must not
+		// disturb the tie.
+		b.LossNum = uint8(rng.Intn(256))
+		b.LossDen = uint8(rng.Intn(256))
+	}
+	return b
+}
+
+// TestKeyTieDifferential sweeps pairs engineered to produce equal masked
+// keys — saturated high slots, equal-ratio constraints (1/2 vs 2/4),
+// invalid pairs — and demands the tie-break answer match the cascade in
+// both port orders.
+func TestKeyTieDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200000; trial++ {
+		a := randWord(rng, attr.SlotID(127+rng.Intn(1024-127)))
+		for _, mode := range []Mode{DWCS, TagOnly} {
+			b := tiedWord(rng, a, mode, attr.SlotID(127+rng.Intn(1024-127)))
+			if rng.Intn(4) == 0 && a.LossNum <= 127 && a.LossDen <= 127 {
+				// Same ratio, different encoding: 2x/2y vs x/y shares the
+				// dense rank (rule 2 ties) but differs in the rule-3/4 tie
+				// field, exercising the near-tie edge of the key space.
+				b.LossNum, b.LossDen = a.LossNum*2, a.LossDen*2
+			}
+			ref := attr.Time16(rng.Intn(1 << 16))
+			ka, kb := a.Key(ref), b.Key(ref)
+			if !KeyTie(mode, ka, kb) {
+				// Engineered tie failed (constraint scramble or ratio trick
+				// produced distinct keys): still a valid differential input.
+				if got, want := keyedOrFallback(mode, a, b, ka, kb), Less(mode, a, b); got != want {
+					t.Fatalf("mode %v ref %d: composition %v, cascade %v\na=%+v\nb=%+v", mode, ref, got, want, a, b)
+				}
+				continue
+			}
+			want := Less(mode, a, b)
+			if got := keyedOrFallback(mode, a, b, ka, kb); got != want {
+				t.Fatalf("mode %v ref %d: tie-break %v, cascade %v\na=%+v\nb=%+v\nka=%064b",
+					mode, ref, got, want, a, b, uint64(ka))
+			}
+			if a.Slot != b.Slot {
+				if got, want := keyedOrFallback(mode, b, a, kb, ka), Less(mode, b, a); got != want {
+					t.Fatalf("mode %v ref %d: tie-break port-order mismatch for %+v vs %+v", mode, ref, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestKeyTieImpliesCascadeSlotOrder pins the theorem the tie-break rests on:
+// masked-key equality implies the cascade resolves by RuleSlotID (every
+// earlier rule tied), for random words — valid, invalid and mixed.
+func TestKeyTieImpliesCascadeSlotOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	hits := 0
+	for trial := 0; trial < 400000; trial++ {
+		a := randWord(rng, attr.SlotID(rng.Intn(1024)))
+		b := randWord(rng, attr.SlotID(rng.Intn(1024)))
+		if rng.Intn(2) == 0 { // make masked equality reachable
+			b.Deadline, b.Arrival, b.Valid = a.Deadline, a.Arrival, a.Valid
+			if rng.Intn(2) == 0 {
+				b.LossNum, b.LossDen = a.LossNum, a.LossDen
+			}
+		}
+		ref := attr.Time16(rng.Intn(1 << 16))
+		ka, kb := a.Key(ref), b.Key(ref)
+		for _, mode := range []Mode{DWCS, TagOnly} {
+			if !KeyTie(mode, ka, kb) {
+				continue
+			}
+			hits++
+			first, rule, _ := order(mode, a, b)
+			if rule != RuleSlotID {
+				t.Fatalf("mode %v: masked keys equal but cascade fired %v for %+v vs %+v", mode, rule, a, b)
+			}
+			if first != (a.Slot < b.Slot) {
+				t.Fatalf("mode %v: cascade slot order %v != raw slot order for %+v vs %+v", mode, first, a, b)
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatal("sweep never produced a masked-key tie; generator broken")
+	}
+}
+
+// TestCompareKeyedTieCounters checks the counter split: a tie-break decision
+// increments Compares and TieHits but no RuleHits entry, so post-fix hit
+// rates (1 - ΣRuleHits/Compares) and pre-fix rates
+// (1 - (ΣRuleHits+TieHits)/Compares) are both reconstructible from one run.
+func TestCompareKeyedTieCounters(t *testing.T) {
+	a := attr.Attributes{Deadline: 10, Arrival: 5, Slot: 300, Valid: true}
+	b := attr.Attributes{Deadline: 10, Arrival: 5, Slot: 900, Valid: true}
+	bl := &Block{Mode: DWCS}
+	ka, kb := a.Key(0), b.Key(0)
+	if ka != kb {
+		t.Fatalf("saturated tied slots must share a key: %x vs %x", ka, kb)
+	}
+	if !bl.CompareKeyed(a, b, ka, kb) {
+		t.Fatal("slot 300 must order before slot 900 on the tie path")
+	}
+	if bl.CompareKeyed(b, a, kb, ka) {
+		t.Fatal("tie path must be antisymmetric")
+	}
+	if bl.Compares != 2 || bl.TieHits != 2 {
+		t.Fatalf("counters: Compares=%d TieHits=%d, want 2/2", bl.Compares, bl.TieHits)
+	}
+	for r, n := range bl.RuleHits {
+		if n != 0 {
+			t.Fatalf("tie path charged RuleHits[%v]=%d", Rule(r), n)
+		}
+	}
+}
+
+// FuzzKeyTieDifferential is the fuzz-driven form: the full three-way
+// composition must match the cascade for arbitrary word pairs, and whenever
+// KeyTie fires the cascade must have resolved by slot ID.
+func FuzzKeyTieDifferential(f *testing.F) {
+	f.Add(uint16(10), uint8(0), uint8(0), uint16(5), uint16(300), true,
+		uint16(10), uint8(0), uint8(0), uint16(5), uint16(900), true, uint16(0))
+	f.Add(uint16(7), uint8(1), uint8(2), uint16(3), uint16(200), true,
+		uint16(7), uint8(2), uint8(4), uint16(3), uint16(201), true, uint16(99))
+	f.Add(uint16(0), uint8(0), uint8(0), uint16(0), uint16(127), false,
+		uint16(1), uint8(9), uint8(9), uint16(2), uint16(128), false, uint16(0))
+	f.Fuzz(func(t *testing.T, d1 uint16, n1, y1 uint8, a1, s1 uint16, v1 bool,
+		d2 uint16, n2, y2 uint8, a2, s2 uint16, v2 bool, ref uint16) {
+		a := attr.Attributes{Deadline: attr.Time16(d1), LossNum: n1, LossDen: y1,
+			Arrival: attr.Time16(a1), Slot: attr.SlotID(s1), Valid: v1}
+		b := attr.Attributes{Deadline: attr.Time16(d2), LossNum: n2, LossDen: y2,
+			Arrival: attr.Time16(a2), Slot: attr.SlotID(s2), Valid: v2}
+		ka, kb := a.Key(attr.Time16(ref)), b.Key(attr.Time16(ref))
+		for _, mode := range []Mode{DWCS, TagOnly} {
+			want, rule, _ := order(mode, a, b)
+			if got := keyedOrFallback(mode, a, b, ka, kb); got != want {
+				t.Fatalf("mode %v ref %d: composition %v, cascade %v for %+v vs %+v", mode, ref, got, want, a, b)
+			}
+			if KeyTie(mode, ka, kb) && rule != RuleSlotID {
+				t.Fatalf("mode %v: key tie but cascade rule %v for %+v vs %+v", mode, rule, a, b)
+			}
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/attr"
+	"repro/internal/decision"
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/pci"
@@ -57,19 +58,52 @@ func RunShardedInstrumented(shards, slotsPerShard, framesPerStream int, mode pci
 // schedule may be nil (no faults), trace may be nil (discard), and a zero
 // RecoveryConfig takes the defaults.
 func RunShardedSupervised(shards, slotsPerShard, framesPerStream int, mode pci.Mode, schedule *fault.Schedule, rcfg shard.RecoveryConfig, trace *fault.Trace) (*shard.SupervisedResult, error) {
+	// ProgramDWCS with EDF-class specs is bit-for-bit the pre-program
+	// configuration (full datapath, conserved frames), keeping the chaos
+	// traces byte-identical across the refactor.
+	return RunShardedSupervisedProgram(shards, slotsPerShard, framesPerStream, mode,
+		decision.ProgramDWCS, schedule, rcfg, trace)
+}
+
+// programSpec maps a rank program to the uniform stream spec the sharded
+// chaos drivers admit under it. The window-constrained class never appears
+// here: a regblock expiry drop is invisible to the Queue Manager's loss
+// accounting, so it would break the supervisor's frame-conservation
+// invariant — chaos runs stick to the non-dropping classes. The DWCS
+// program therefore also drives EDF-class specs (full datapath, conserved
+// frames), which is exactly how the pre-program chaos jobs ran it.
+func programSpec(p decision.Program, slotsPerShard int) attr.Spec {
+	switch p {
+	case decision.ProgramDWCS, decision.ProgramEDF:
+		return attr.Spec{Class: attr.EDF, Period: uint16(slotsPerShard)}
+	case decision.ProgramTagOnly, decision.ProgramSTFQ:
+		return attr.Spec{Class: attr.FairTag, Weight: 1}
+	case decision.ProgramStrictPriority:
+		return attr.Spec{Class: attr.StaticPriority, Priority: 5, Guard: 64}
+	default:
+		panic("endsystem: rank program with no chaos spec: " + p.String())
+	}
+}
+
+// RunShardedSupervisedProgram is RunShardedSupervised generalized over the
+// registered rank programs: every shard's scheduler runs program p, and the
+// admitted streams carry p's natural spec (programSpec). The chaos CI job
+// iterates this over decision.Programs() so fault recovery is exercised
+// under every discipline, not just the EDF default.
+func RunShardedSupervisedProgram(shards, slotsPerShard, framesPerStream int, mode pci.Mode, p decision.Program, schedule *fault.Schedule, rcfg shard.RecoveryConfig, trace *fault.Trace) (*shard.SupervisedResult, error) {
 	router, err := shard.New(shard.Config{
 		Shards:        shards,
 		SlotsPerShard: slotsPerShard,
 		HostNs:        HostCostNs,
 		Mode:          mode,
 		TransferBatch: TransferBatch,
+		Program:       p,
 	})
 	if err != nil {
 		return nil, err
 	}
 	streams := shards * slotsPerShard
-	spec := attr.Spec{Class: attr.EDF, Period: uint16(slotsPerShard)}
-	if _, err := router.AdmitBalanced(streams, spec); err != nil {
+	if _, err := router.AdmitBalanced(streams, programSpec(p, slotsPerShard)); err != nil {
 		return nil, fmt.Errorf("endsystem: sharded admission: %w", err)
 	}
 	return router.RunSupervised(framesPerStream, schedule, rcfg, trace)

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/decision"
 	"repro/internal/endsystem"
 	"repro/internal/fault"
 	"repro/internal/pci"
@@ -125,6 +126,49 @@ func TestChaosConservation(t *testing.T) {
 				t.Fatalf("dead shards %v with no re-aggregated slots", res.DeadShards)
 			}
 		})
+	}
+}
+
+// TestChaosAllPrograms runs the fault schedules under every registered rank
+// program: crash/restart recovery and the frame-conservation ledger are
+// properties of the supervisor, not of any one discipline, so a program that
+// breaks them under faults is a program bug. Determinism holds per program
+// too — the trace is replayed once for each.
+func TestChaosAllPrograms(t *testing.T) {
+	// "crash and restart" and "everything at once": one pure-crash scenario
+	// and one mixing every fault class, under shedding.
+	for _, i := range []int{0, 4} {
+		sc := chaosScenarios[i]
+		for _, p := range decision.Programs() {
+			t.Run(sc.name+"/"+p.String(), func(t *testing.T) {
+				run := func() (*shard.SupervisedResult, *fault.Trace) {
+					sched, err := fault.NewSchedule(sc.profile)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var tr fault.Trace
+					res, err := endsystem.RunShardedSupervisedProgram(
+						sc.profile.Shards, 4, sc.frames, sc.mode, p, sched, sc.rcfg, &tr)
+					if err != nil {
+						t.Fatalf("%s/%v: %v\n%s", sc.name, p, err, tr.String())
+					}
+					return res, &tr
+				}
+				res, tr := run()
+				if res.Delivered+res.Dropped != res.Target {
+					t.Fatalf("program %v: delivered %d + dropped %d != target %d\n%s",
+						p, res.Delivered, res.Dropped, res.Target, tr.String())
+				}
+				if sc.rcfg.Policy == qm.Backpressure && res.Dropped != 0 {
+					t.Fatalf("program %v: backpressure must not drop: %d", p, res.Dropped)
+				}
+				_, second := run()
+				if tr.String() != second.String() {
+					t.Fatalf("program %v: seed %d trace diverged between runs:\n--- run 1 ---\n%s--- run 2 ---\n%s",
+						p, sc.profile.Seed, tr.String(), second.String())
+				}
+			})
+		}
 	}
 }
 

@@ -1,0 +1,147 @@
+package hwpq
+
+// Per-program differential: every registered rank program's packed key,
+// pushed through each §3 priority-queue architecture, must serve streams in
+// exactly the order the Decision-block cascade would. This is the PIFO
+// contract from the other side — the rank program is the *only* discipline-
+// specific piece, so any uint64 min-queue (chain, systolic, pipelined heap,
+// or the recirculating shuffle) realizes the same schedule.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/decision"
+)
+
+// programWords draws n valid attribute words with distinct slots, fields
+// small enough to stay clear of the 16-bit wrap window around ref=0 so the
+// packed-key numeric order is exactly the cascade order.
+func programWords(rng *rand.Rand, n int) []attr.Attributes {
+	words := make([]attr.Attributes, n)
+	for i := range words {
+		words[i] = attr.Attributes{
+			Deadline: attr.Time16(rng.Intn(4000)),
+			LossNum:  uint8(rng.Intn(8)),
+			LossDen:  uint8(1 + rng.Intn(8)),
+			Arrival:  attr.Time16(rng.Intn(4000)),
+			Slot:     attr.SlotID(i),
+			Valid:    true,
+		}
+		if words[i].LossNum > words[i].LossDen {
+			words[i].LossNum, words[i].LossDen = words[i].LossDen, words[i].LossNum
+		}
+	}
+	return words
+}
+
+// TestProgramRankOrdersQueues extracts a full load of rank-keyed entries
+// from each queue architecture and checks the service order against the
+// cascade: the queue must never serve a stream that the Decision block,
+// running the program's mode, would rank strictly behind one still waiting.
+func TestProgramRankOrdersQueues(t *testing.T) {
+	const n = 64
+	rng := rand.New(rand.NewSource(61))
+	for _, p := range decision.Programs() {
+		words := programWords(rng, n)
+		ref := attr.Time16(0)
+		for _, q := range queues(t, n) {
+			name := fmt.Sprintf("%v/%s", p, q.Name())
+			for i, a := range words {
+				if _, err := q.Insert(Entry{Key: uint64(p.Rank(a, ref)), ID: i}); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+			}
+			order := make([]attr.Attributes, 0, n)
+			for i := 0; i < n; i++ {
+				e, ok, _ := q.ExtractMin()
+				if !ok {
+					t.Fatalf("%s: empty at %d", name, i)
+				}
+				if e.Key != uint64(p.Rank(words[e.ID], ref)) {
+					t.Fatalf("%s: extract %d returned key %#x for slot %d, want %#x",
+						name, i, e.Key, e.ID, uint64(p.Rank(words[e.ID], ref)))
+				}
+				order = append(order, words[e.ID])
+			}
+			mode := p.Mode()
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					if decision.Less(mode, order[j], order[i]) {
+						t.Fatalf("%s: served slot %d before slot %d but the %v cascade prefers the latter",
+							name, order[i].Slot, order[j].Slot, mode)
+					}
+				}
+			}
+		}
+	}
+}
+
+// benchQueue builds the named architecture fresh — b.Run re-enters its body
+// during calibration, so each entry must start from an empty queue.
+func benchQueue(b *testing.B, name string, capacity int) Queue {
+	b.Helper()
+	var q Queue
+	var err error
+	switch name {
+	case "chain":
+		q, err = NewShiftChain(capacity)
+	case "systolic":
+		q, err = NewSystolic(capacity)
+	case "heap":
+		q, err = NewPipelinedHeap(capacity)
+	default:
+		b.Fatalf("unknown queue %q", name)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	return q
+}
+
+// BenchmarkProgramQueueDecision prices one steady-state decision per rank
+// program per architecture: extract the winner, re-rank it, re-insert — and,
+// when the program's class updates priorities every cycle (DWCS's window
+// constraints), the full GlobalUpdate re-sort the §3 argument charges. The
+// hwcycles/op metric is the modeled hardware cost; ns/op is this functional
+// model's software cost.
+func BenchmarkProgramQueueDecision(b *testing.B) {
+	const n = 256
+	for _, p := range decision.Programs() {
+		windowed := p.Class() == attr.WindowConstrained
+		for _, arch := range []string{"chain", "systolic", "heap"} {
+			b.Run(fmt.Sprintf("%v/%s", p, arch), func(b *testing.B) {
+				q := benchQueue(b, arch, n)
+				rng := rand.New(rand.NewSource(7))
+				words := programWords(rng, n)
+				ref := attr.Time16(0)
+				for i, a := range words {
+					if _, err := q.Insert(Entry{Key: uint64(p.Rank(a, ref)), ID: i}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				var hwCycles uint64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e, ok, cx := q.ExtractMin()
+					if !ok {
+						b.Fatal("queue drained")
+					}
+					words[e.ID].Deadline += attr.Time16(1 + e.ID%7)
+					words[e.ID].Arrival++
+					ci, err := q.Insert(Entry{Key: uint64(p.Rank(words[e.ID], ref)), ID: e.ID})
+					if err != nil {
+						b.Fatal(err)
+					}
+					hwCycles += uint64(cx + ci)
+					if windowed {
+						hwCycles += uint64(q.GlobalUpdate(func(e Entry) uint64 { return e.Key }))
+					}
+				}
+				b.ReportMetric(float64(hwCycles)/float64(b.N), "hwcycles/op")
+			})
+		}
+	}
+}

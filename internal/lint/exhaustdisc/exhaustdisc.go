@@ -37,7 +37,7 @@ var Analyzer = &analysis.Analyzer{
 // path and type name.
 var builtin = map[string]map[string]bool{
 	"repro/internal/attr":     {"Class": true},
-	"repro/internal/decision": {"Mode": true},
+	"repro/internal/decision": {"Mode": true, "Program": true},
 	"repro/internal/core":     {"Routing": true, "Circulate": true},
 	"repro/internal/shuffle":  {"Schedule": true},
 }

@@ -78,6 +78,49 @@ func GoodTagless(d Discipline) bool {
 	return false
 }
 
+// RankProgram mirrors the decision.Program rank-program enum: a registry
+// of programmable rank functions whose dispatch switches must take a
+// position on every registered program.
+//
+//sslint:enum
+type RankProgram uint8
+
+// The registered rank programs.
+const (
+	ProgDWCS RankProgram = iota
+	ProgTagOnly
+	ProgSTFQ
+	ProgEDF
+	ProgStrict
+)
+
+// BadProgramPartial adds a program but forgets a dispatch site: the switch
+// predates ProgStrict and silently mis-ranks it.
+func BadProgramPartial(p RankProgram) uint64 {
+	switch p { // want `switch over RankProgram misses ProgStrict`
+	case ProgDWCS:
+		return 1
+	case ProgTagOnly, ProgSTFQ, ProgEDF:
+		return 2
+	}
+	return 0
+}
+
+// GoodProgramPanicDefault is the production idiom: exhaustive today, and an
+// unregistered program fails loudly instead of ranking as garbage.
+func GoodProgramPanicDefault(p RankProgram) uint64 {
+	switch p {
+	case ProgDWCS:
+		return 1
+	case ProgTagOnly, ProgSTFQ, ProgEDF:
+		return 2
+	case ProgStrict:
+		return 3
+	default:
+		panic("unregistered rank program")
+	}
+}
+
 // AllowedPartial documents a deliberate two-case probe.
 func AllowedPartial(d Discipline) bool {
 	//sslint:allow exhaustdisc — fixture: deliberate partial probe

@@ -52,8 +52,9 @@ var builtinHot = map[string]map[string]bool{
 		"Network.SetInput": true, "perfectShuffle": true,
 	},
 	"repro/internal/decision": {
-		"FastOrder": true, "Compare": true, "Block.Compare": true, "Block.CompareKeyed": true,
-		"compare": true, "order": true, "Less": true,
+		"FastOrder": true, "KeyTie": true, "Compare": true, "Block.Compare": true,
+		"Block.CompareKeyed": true, "compare": true, "order": true, "Less": true,
+		"Program.Rank": true,
 	},
 	"repro/internal/attr": {
 		"Attributes.Key": true, "Attributes.KeyWith": true, "KeyConstraint": true,
@@ -64,6 +65,7 @@ var builtinHot = map[string]map[string]bool{
 		"Block.setHead": true, "Block.deadlineFor": true, "Block.Load": true,
 		"Block.advance": true, "Block.Service": true, "Block.winnerWindowAdjust": true,
 		"Block.ExpireCheck": true, "Block.loserWindowAdjust": true, "Block.Refill": true,
+		"Block.guardCheck":    true,
 		"previewWinnerWindow": true, "previewLoserWindow": true,
 	},
 }

@@ -1,0 +1,119 @@
+package obs
+
+// Quantile edge cases: the top bucket (whose upper bound is MaxUint64, where
+// a naive 1<<i bound would overflow to zero), single-observation histograms,
+// exactness at q=0 and q=1, and a randomized comparison against a sorted-
+// slice reference — the estimate must land in (or adjacent to) the log₂
+// bucket that holds the true quantile.
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestQuantileTopBucket(t *testing.T) {
+	// bucketBounds(64) is the overflow-prone cell: [2^63, MaxUint64].
+	lo, hi := bucketBounds(64)
+	if lo != uint64(1)<<63 || hi != math.MaxUint64 {
+		t.Fatalf("bucketBounds(64) = [%d, %d], want [2^63, MaxUint64]", lo, hi)
+	}
+
+	h := NewHistogram()
+	h.Observe(math.MaxUint64)
+	h.Observe(uint64(1) << 63)
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		v := h.Quantile(q)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("Quantile(%v) = %v", q, v)
+		}
+		if v < float64(lo) || v > float64(hi) {
+			t.Fatalf("Quantile(%v) = %v outside the top bucket [%d, %d]", q, v, lo, hi)
+		}
+	}
+	if q1 := h.Quantile(1); q1 != float64(math.MaxUint64) {
+		t.Fatalf("Quantile(1) = %v, want the top bucket's hi %v", q1, float64(math.MaxUint64))
+	}
+	if h.Max() != math.MaxUint64 {
+		t.Fatalf("Max() = %d, want MaxUint64", h.Max())
+	}
+}
+
+func TestQuantileSingleObservation(t *testing.T) {
+	for _, v := range []uint64{0, 1, 2, 100, 1 << 40, math.MaxUint64} {
+		h := NewHistogram()
+		h.Observe(v)
+		lo, hi := bucketBounds(bits.Len64(v))
+		prev := -1.0
+		for _, q := range []float64{0, 0.1, 0.5, 0.9, 1} {
+			got := h.Quantile(q)
+			// One observation pins every quantile to its bucket: exactly lo
+			// at q=0, exactly hi at q=1, monotone in between.
+			if got < float64(lo) || got > float64(hi) {
+				t.Fatalf("value %d: Quantile(%v) = %v outside bucket [%d, %d]", v, q, got, lo, hi)
+			}
+			if got < prev {
+				t.Fatalf("value %d: Quantile(%v) = %v below Quantile at lower q (%v)", v, q, got, prev)
+			}
+			prev = got
+		}
+		if got := h.Quantile(0); got != float64(lo) {
+			t.Fatalf("value %d: Quantile(0) = %v, want bucket lo %d", v, got, lo)
+		}
+		if got := h.Quantile(1); got != float64(hi) {
+			t.Fatalf("value %d: Quantile(1) = %v, want bucket hi %d", v, got, hi)
+		}
+	}
+}
+
+func TestQuantileEndpointsExactToBucket(t *testing.T) {
+	// q=0 must identify the minimum's bucket (returning its lo, a lower
+	// bound on the true min) and q=1 the maximum's bucket (returning its hi,
+	// an upper bound on the true max, == Max()).
+	h := NewHistogram()
+	vals := []uint64{9, 77, 300, 300, 5000, 123456}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	minLo, _ := bucketBounds(bits.Len64(9))
+	_, maxHi := bucketBounds(bits.Len64(123456))
+	if got := h.Quantile(0); got != float64(minLo) {
+		t.Fatalf("Quantile(0) = %v, want min bucket lo %d", got, minLo)
+	}
+	if got := h.Quantile(1); got != float64(maxHi) {
+		t.Fatalf("Quantile(1) = %v, want max bucket hi %d", got, maxHi)
+	}
+	if got := h.Quantile(1); got != float64(h.Max()) {
+		t.Fatalf("Quantile(1) = %v disagrees with Max() = %d", got, h.Max())
+	}
+}
+
+func TestQuantileMatchesSortedReference(t *testing.T) {
+	// Randomized differential against the exact sorted-slice quantile: the
+	// log₂-bucket estimate must land in the true quantile's bucket or an
+	// adjacent one (boundary ranks may resolve to a neighbour).
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(2000)
+		vals := make([]uint64, n)
+		h := NewHistogram()
+		for i := range vals {
+			// Mix magnitudes so many buckets populate.
+			vals[i] = uint64(rng.Int63()) >> uint(rng.Intn(60))
+			h.Observe(vals[i])
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			idx := int(q * float64(n-1))
+			refBucket := bits.Len64(vals[idx])
+			got := h.Quantile(q)
+			gotBucket := bits.Len64(uint64(got))
+			if gotBucket < refBucket-1 || gotBucket > refBucket+1 {
+				t.Fatalf("trial %d n=%d: Quantile(%v) = %v (bucket %d), reference %d (bucket %d)",
+					trial, n, q, got, gotBucket, vals[idx], refBucket)
+			}
+		}
+	}
+}

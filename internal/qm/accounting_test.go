@@ -1,0 +1,173 @@
+package qm
+
+// Regression tests for the drop/refused accounting split: Dropped counts
+// frames definitively lost and must equal LiveDropped at quiescence under
+// every overload policy, while Refused counts submit attempts turned away.
+// Before the split, Backpressure charged every refused attempt to Dropped
+// while liveDrops counted none, so Totals and LiveDropped silently diverged.
+
+import (
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/decision"
+)
+
+// TestDropAccountingMatchesLiveAcrossPolicies drives each policy through an
+// overload episode and checks the invariant Totals().Dropped ==
+// LiveDropped() at every quiescent point, plus the per-policy expectations
+// for attempts vs. losses.
+func TestDropAccountingMatchesLiveAcrossPolicies(t *testing.T) {
+	check := func(t *testing.T, m *Manager, where string) {
+		t.Helper()
+		if got, live := m.Totals().Dropped, m.LiveDropped(); got != live {
+			t.Fatalf("%s: Totals().Dropped=%d diverged from LiveDropped()=%d", where, got, live)
+		}
+		if m.Totals().Dropped != m.Dropped || m.Totals().Refused != m.Refused {
+			t.Fatalf("%s: aggregate fields disagree with per-stream sums", where)
+		}
+	}
+
+	t.Run("backpressure", func(t *testing.T) {
+		m := overloadManager(t, 1, 2)
+		fillRing(t, m, 0, 2)
+		for i := 0; i < 3; i++ {
+			if v := m.Offer(0, Frame{Size: 64}); v != Busy {
+				t.Fatalf("offer %d: verdict %v, want Busy", i, v)
+			}
+			check(t, m, "after busy offer")
+		}
+		st := m.Stats(0)
+		if st.Refused != 3 || st.Dropped != 0 {
+			t.Fatalf("backpressure stats = %+v, want 3 refused / 0 dropped", st)
+		}
+	})
+
+	t.Run("reject-new", func(t *testing.T) {
+		m := overloadManager(t, 1, 2)
+		m.SetPolicy(RejectNew)
+		fillRing(t, m, 0, 2)
+		for i := 0; i < 3; i++ {
+			if v := m.Offer(0, Frame{Size: 64}); v != Shed {
+				t.Fatalf("offer %d: verdict %v, want Shed", i, v)
+			}
+			check(t, m, "after shed")
+		}
+		st := m.Stats(0)
+		if st.Refused != 3 || st.Dropped != 3 {
+			t.Fatalf("reject-new stats = %+v, want 3 refused / 3 dropped", st)
+		}
+	})
+
+	t.Run("drop-oldest", func(t *testing.T) {
+		m := overloadManager(t, 1, 2)
+		m.SetPolicy(DropOldest)
+		fillRing(t, m, 0, 2)
+		m.Offer(0, Frame{Size: 64}) // Busy: marks one eviction
+		m.Offer(0, Frame{Size: 64}) // Busy: debt already pending
+		check(t, m, "with eviction pending")
+		m.Source(0).NextHead() // consumes the debt, serves a head
+		if v := m.Offer(0, Frame{Size: 64}); v != Queued {
+			t.Fatalf("retry after eviction: verdict %v, want Queued", v)
+		}
+		check(t, m, "after retry queued")
+		st := m.Stats(0)
+		if st.Refused != 2 || st.Dropped != 1 {
+			t.Fatalf("drop-oldest stats = %+v, want 2 refused / 1 dropped", st)
+		}
+	})
+}
+
+// TestFairTagsSurviveBusyRetry is the Offer→Busy→retry→Queued consistency
+// check: a FairTag stream's virtual finish tag must reflect only accepted
+// frames. Under DropOldest with eviction debt already pending, each Busy
+// offer stamps and must roll back; the eventual Queued retry stamps once.
+func TestFairTagsSurviveBusyRetry(t *testing.T) {
+	m, err := New(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Describe(0, attr.Spec{Class: attr.FairTag, Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	m.SetPolicy(DropOldest)
+	// Two accepted frames of 100 bytes: finish tag 200.
+	for k := 0; k < 2; k++ {
+		if v := m.Offer(0, Frame{Size: 100, Arrival: uint64(k)}); v != Queued {
+			t.Fatalf("fill %d: verdict %v", k, v)
+		}
+	}
+	if m.finish[0] != 200 {
+		t.Fatalf("finish after two accepts = %v, want 200", m.finish[0])
+	}
+	// First overflow offer marks the eviction; the second hits the
+	// debt-already-pending path. Neither entered the queue, so neither may
+	// move the finish tag.
+	if v := m.Offer(0, Frame{Size: 100, Arrival: 7}); v != Busy || m.finish[0] != 200 {
+		t.Fatalf("first busy offer: verdict %v finish %v, want Busy/200", v, m.finish[0])
+	}
+	if v := m.Offer(0, Frame{Size: 100, Arrival: 7}); v != Busy || m.finish[0] != 200 {
+		t.Fatalf("debt-pending busy offer: verdict %v finish %v, want Busy/200", v, m.finish[0])
+	}
+	// The card side consumes the debt (arrival 0 evicted, arrival 1 served;
+	// its finish tag 200 rides out unchanged), freeing space.
+	h, ok := m.Source(0).NextHead()
+	if !ok || h.Tag != 200 {
+		t.Fatalf("head after eviction: %+v/%v, want tag 200", h, ok)
+	}
+	// The retry is finally accepted: exactly one more stamp.
+	if v := m.Offer(0, Frame{Size: 100, Arrival: 7}); v != Queued {
+		t.Fatalf("retry: verdict %v, want Queued", v)
+	}
+	if m.finish[0] != 300 {
+		t.Fatalf("finish after accepted retry = %v, want 300 (one stamp only)", m.finish[0])
+	}
+	// And the accepted frame carries tags from the rolled-back state.
+	if h, ok := m.Source(0).NextHead(); !ok || h.Arrival != 7 || h.Tag != 300 {
+		t.Fatalf("accepted retry's head = %+v/%v, want arrival 7 tag 300", h, ok)
+	}
+}
+
+// TestSTFQLoadsStartTags checks SetProgram's only datapath effect: an STFQ
+// stream's card heads carry virtual start tags, a WFQ-style stream's carry
+// finish tags, from identical submissions.
+func TestSTFQLoadsStartTags(t *testing.T) {
+	build := func(t *testing.T, p decision.Program) *Manager {
+		t.Helper()
+		m, err := New(1, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Describe(0, attr.Spec{Class: attr.FairTag, Weight: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SetProgram(0, p); err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 3; k++ {
+			if !m.Submit(0, Frame{Size: 100, Arrival: uint64(k)}) {
+				t.Fatalf("submit %d", k)
+			}
+		}
+		return m
+	}
+
+	wfq := build(t, decision.ProgramTagOnly)
+	stfq := build(t, decision.ProgramSTFQ)
+	wsrc, ssrc := wfq.Source(0), stfq.Source(0)
+	// Backlogged weight-1 stream, 100-byte frames: starts 0,100,200 and
+	// finishes 100,200,300.
+	for k, want := range []struct{ start, finish uint64 }{{0, 100}, {100, 200}, {200, 300}} {
+		wh, _ := wsrc.NextHead()
+		sh, _ := ssrc.NextHead()
+		if wh.Tag != want.finish {
+			t.Fatalf("wfq head %d tag = %d, want finish %d", k, wh.Tag, want.finish)
+		}
+		if sh.Tag != want.start {
+			t.Fatalf("stfq head %d tag = %d, want start %d", k, sh.Tag, want.start)
+		}
+	}
+	if err := stfq.SetProgram(5, decision.ProgramSTFQ); err == nil {
+		t.Fatal("SetProgram accepted an out-of-range stream")
+	}
+}

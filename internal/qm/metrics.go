@@ -8,11 +8,17 @@ import (
 
 // RegisterMetrics publishes the Queue Manager's accounting on reg under
 // prefix (canonically "qm"): prefix.submitted / prefix.dequeued /
-// prefix.dropped / prefix.bytes from the per-stream counters;
-// prefix.backlog, the live queued-frame depth summed over every stream ring;
-// prefix.live_dropped, the definitively-lost frame count under the overload
-// policy; and a per-stream-slot prefix.slotI.dropped gauge so fairness
-// reports can see asymmetric loss instead of only the aggregate.
+// prefix.dropped / prefix.refused / prefix.bytes from the per-stream
+// counters; prefix.backlog, the live queued-frame depth summed over every
+// stream ring; prefix.live_dropped, the definitively-lost frame count under
+// the overload policy; and a per-stream-slot prefix.slotI.dropped gauge so
+// fairness reports can see asymmetric loss instead of only the aggregate.
+//
+// dropped and refused are deliberately distinct series: dropped is frames
+// lost (it converges to live_dropped at quiescence), refused is submit
+// attempts turned away (retry pressure). A backpressured system shows high
+// refused with zero dropped; conflating them is the accounting bug this
+// split fixed.
 //
 // The counters behind the plain-field gauges are owned by the producer and
 // scheduler goroutines, so per the obs sampling discipline they are exact
@@ -24,6 +30,7 @@ func (m *Manager) RegisterMetrics(reg *obs.Registry, prefix string) {
 	reg.GaugeFunc(prefix+".submitted", "frames", func() float64 { return float64(m.Totals().Submitted) })
 	reg.GaugeFunc(prefix+".dequeued", "frames", func() float64 { return float64(m.Totals().Dequeued) })
 	reg.GaugeFunc(prefix+".dropped", "frames", func() float64 { return float64(m.Totals().Dropped) })
+	reg.GaugeFunc(prefix+".refused", "attempts", func() float64 { return float64(m.Totals().Refused) })
 	reg.GaugeFunc(prefix+".bytes", "bytes", func() float64 { return float64(m.Totals().Bytes) })
 	reg.GaugeFunc(prefix+".live_dropped", "frames", func() float64 { return float64(m.LiveDropped()) })
 	reg.GaugeFunc(prefix+".backlog", "frames", func() float64 {

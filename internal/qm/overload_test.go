@@ -51,11 +51,12 @@ func TestBackpressureVerdictMatchesSubmit(t *testing.T) {
 	if v := m.Offer(0, Frame{Size: 64}); v != Busy {
 		t.Fatalf("full ring under Backpressure: verdict %v, want Busy", v)
 	}
-	if m.Dropped != 1 || m.perDropped[0] != 1 {
-		t.Fatalf("refused attempt must count a drop: %d/%d", m.Dropped, m.perDropped[0])
+	if m.Refused != 1 || m.perRefused[0] != 1 {
+		t.Fatalf("refused attempt must count as refused: %d/%d", m.Refused, m.perRefused[0])
 	}
-	if m.LiveDropped() != 0 {
-		t.Fatal("a backpressure refusal is not a live drop: the producer still holds the frame")
+	if m.Dropped != 0 || m.perDropped[0] != 0 || m.LiveDropped() != 0 {
+		t.Fatalf("a backpressure refusal is not a drop (the producer still holds the frame): %d/%d/%d",
+			m.Dropped, m.perDropped[0], m.LiveDropped())
 	}
 }
 
@@ -120,6 +121,9 @@ func TestDropOldestEvictsAtDequeue(t *testing.T) {
 	}
 	if m.Dropped != 1 || m.LiveDropped() != 1 {
 		t.Fatalf("exactly one eviction charged: dropped=%d live=%d", m.Dropped, m.LiveDropped())
+	}
+	if m.Refused != 2 {
+		t.Fatalf("both busy offers were refused attempts: refused=%d, want 2", m.Refused)
 	}
 	// The card side consumes the debt: arrival 0 is discarded, arrival 1 is
 	// served, freeing space for the retried frame.

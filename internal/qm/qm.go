@@ -16,9 +16,11 @@ package qm
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"repro/internal/attr"
+	"repro/internal/decision"
 	"repro/internal/regblock"
 	"repro/internal/ringbuf"
 )
@@ -30,8 +32,9 @@ type Policy uint8
 
 const (
 	// Backpressure refuses the frame and expects the producer to retry —
-	// the pipeline drivers' spin-until-accepted behavior. Every refused
-	// attempt is counted against the stream (the pre-policy accounting).
+	// the pipeline drivers' spin-until-accepted behavior. Refused attempts
+	// are counted per stream (Refused), but nothing is dropped: the
+	// producer still holds the frame.
 	Backpressure Policy = iota
 	// RejectNew is tail drop: the arriving frame is lost, with per-stream
 	// accounting; the producer must not retry it.
@@ -88,21 +91,40 @@ type Manager struct {
 	queues []*ringbuf.Ring[Frame]
 	specs  []attr.Spec
 
-	// fair-queuing state (shared across FairTag streams)
-	vtime      float64
+	// fair-queuing state. finish/prevFinish are producer-owned; vtime is
+	// the self-clocked virtual time, read by the producer when stamping
+	// tags and max-advanced by the card-side dequeue as frames enter
+	// service — the one fair-queuing cell crossing the SPSC boundary, so
+	// it is atomic (float64 bits in a Uint64).
+	vtime      atomic.Uint64
 	finish     []float64
 	prevFinish float64 // scratch: finish tag before the last stamp, for rollback
 
-	// transfer accounting (for the PCI cost model)
+	// Transfer accounting (for the PCI cost model). The two overload
+	// counters answer different questions and must not be conflated:
+	// Dropped counts frames definitively *lost* (shed by RejectNew,
+	// evicted by DropOldest) and equals LiveDropped once the pipeline
+	// quiesces; Refused counts submit *attempts* that did not enqueue a
+	// frame (every Busy verdict, and each Shed — a shed attempt both
+	// refuses and loses). Backpressure refusals therefore raise Refused
+	// without touching Dropped: the producer still holds the frame.
 	Submitted uint64
 	Dequeued  uint64
 	Dropped   uint64
+	Refused   uint64
 
 	// per-stream accounting
 	perSubmitted []uint64
 	perDequeued  []uint64
 	perDropped   []uint64
+	perRefused   []uint64
 	perBytes     []uint64
+
+	// program is the per-stream rank program, installed by SetProgram. It
+	// only matters for FairTag streams: STFQ loads the head's virtual
+	// *start* tag onto the card instead of its finish tag. The zero value
+	// (ProgramDWCS) leaves the historical finish-tag behavior.
+	program []decision.Program
 
 	// overload policy state
 	policy Policy
@@ -119,11 +141,14 @@ type Manager struct {
 	liveDrops atomic.Uint64
 }
 
-// StreamStats is one stream's Queue-Manager accounting.
+// StreamStats is one stream's Queue-Manager accounting. Dropped counts
+// frames definitively lost; Refused counts submit attempts that did not
+// enqueue (see Manager for the distinction).
 type StreamStats struct {
 	Submitted uint64
 	Dequeued  uint64
 	Dropped   uint64
+	Refused   uint64
 	Bytes     uint64 // bytes submitted
 }
 
@@ -140,8 +165,10 @@ func New(n, capacity int) (*Manager, error) {
 		perSubmitted: make([]uint64, n),
 		perDequeued:  make([]uint64, n),
 		perDropped:   make([]uint64, n),
+		perRefused:   make([]uint64, n),
 		perBytes:     make([]uint64, n),
 		evict:        make([]atomic.Uint64, n),
+		program:      make([]decision.Program, n),
 	}
 	for i := range m.queues {
 		r, err := ringbuf.New[Frame](capacity)
@@ -168,6 +195,18 @@ func (m *Manager) Describe(i int, spec attr.Spec) error {
 // Spec returns stream i's descriptor.
 func (m *Manager) Spec(i int) attr.Spec { return m.specs[i] }
 
+// SetProgram installs stream i's rank program. The Queue Manager consults it
+// only for FairTag streams: ProgramSTFQ loads virtual start tags onto the
+// card, every other program keeps the finish-tag (WFQ-style) behavior.
+// Stamping is unaffected — both tags are computed at Offer either way.
+func (m *Manager) SetProgram(i int, p decision.Program) error {
+	if i < 0 || i >= len(m.queues) {
+		return fmt.Errorf("qm: stream %d out of range", i)
+	}
+	m.program[i] = p
+	return nil
+}
+
 // Streams returns the stream count.
 func (m *Manager) Streams() int { return len(m.queues) }
 
@@ -190,9 +229,9 @@ func (m *Manager) Saturate(n uint64) { m.satRemaining += n }
 func (m *Manager) LiveDropped() uint64 { return m.liveDrops.Load() }
 
 // Submit queues a frame for stream i (producer side). It reports false —
-// and counts a drop — when the overload policy refuses the frame; under the
-// default Backpressure policy that preserves the historical
-// drop-per-refused-attempt accounting.
+// and counts a refused attempt — when the overload policy refuses the
+// frame; whether the frame is also *lost* depends on the policy (see
+// Offer's verdicts and the Dropped/Refused split on Manager).
 func (m *Manager) Submit(i int, f Frame) bool {
 	return m.Offer(i, f) == Queued
 }
@@ -220,6 +259,11 @@ func (m *Manager) Offer(i int, f Frame) Verdict {
 		}
 		m.unstampTags(i)
 	}
+	// Every path below failed to enqueue: one refused attempt, whatever
+	// the policy. Losses are charged separately so Dropped keeps the
+	// invariant Dropped == LiveDropped at quiescence.
+	m.Refused++
+	m.perRefused[i]++
 	switch m.policy {
 	case RejectNew:
 		m.Dropped++
@@ -236,13 +280,7 @@ func (m *Manager) Offer(i int, f Frame) Verdict {
 			m.liveDrops.Add(1)
 		}
 		return Busy
-	case Backpressure:
-		m.Dropped++
-		m.perDropped[i]++
-		return Busy
-	default:
-		m.Dropped++
-		m.perDropped[i]++
+	default: // Backpressure: the producer still holds the frame — no loss.
 		return Busy
 	}
 }
@@ -255,8 +293,8 @@ func (m *Manager) stampTags(i int, f Frame) Frame {
 		return f
 	}
 	start := m.finish[i]
-	if m.vtime > start {
-		start = m.vtime
+	if v := m.virtualTime(); v > start {
+		start = v
 	}
 	w := float64(m.specs[i].Weight)
 	m.prevFinish = m.finish[i]
@@ -264,6 +302,27 @@ func (m *Manager) stampTags(i int, f Frame) Frame {
 	f.tagStart = start
 	f.tagFinish = m.finish[i]
 	return f
+}
+
+// virtualTime loads the shared self-clocked virtual time. Tags are always
+// non-negative, so the float64 bit pattern round-trips exactly.
+func (m *Manager) virtualTime() float64 {
+	return math.Float64frombits(m.vtime.Load())
+}
+
+// advanceVirtualTime max-advances the virtual clock to t. The CAS loop
+// keeps the advance monotone even though producer stamping and card-side
+// dequeue race on the clock.
+func (m *Manager) advanceVirtualTime(t float64) {
+	for {
+		cur := m.vtime.Load()
+		if math.Float64frombits(cur) >= t {
+			return
+		}
+		if m.vtime.CompareAndSwap(cur, math.Float64bits(t)) {
+			return
+		}
+	}
 }
 
 // unstampTags rolls back the finish-tag advance of a stamp whose push was
@@ -287,6 +346,7 @@ func (m *Manager) Stats(i int) StreamStats {
 		Submitted: m.perSubmitted[i],
 		Dequeued:  m.perDequeued[i],
 		Dropped:   m.perDropped[i],
+		Refused:   m.perRefused[i],
 		Bytes:     m.perBytes[i],
 	}
 }
@@ -299,6 +359,7 @@ func (m *Manager) Totals() StreamStats {
 		t.Submitted += m.perSubmitted[i]
 		t.Dequeued += m.perDequeued[i]
 		t.Dropped += m.perDropped[i]
+		t.Refused += m.perRefused[i]
 		t.Bytes += m.perBytes[i]
 	}
 	return t
@@ -347,10 +408,16 @@ func (s *source) NextHead() (regblock.Head, bool) {
 	m.perDequeued[s.stream]++
 	h := regblock.Head{Arrival: f.Arrival}
 	if m.specs[s.stream].Class == attr.FairTag {
-		h.Tag = uint64(f.tagFinish)
-		if f.tagStart > m.vtime {
-			m.vtime = f.tagStart
+		// WFQ-style programs schedule on finish tags; STFQ on start tags
+		// (bounding the head-of-line penalty a large in-service frame
+		// imposes). The tag choice is the *only* datapath difference
+		// between the two programs.
+		if m.program[s.stream] == decision.ProgramSTFQ {
+			h.Tag = uint64(f.tagStart)
+		} else {
+			h.Tag = uint64(f.tagFinish)
 		}
+		m.advanceVirtualTime(f.tagStart)
 	}
 	return h, true
 }

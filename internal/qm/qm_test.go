@@ -55,8 +55,11 @@ func TestSubmitAndSource(t *testing.T) {
 	if m.Submit(0, Frame{Size: 100}) {
 		t.Fatal("submit into full ring succeeded")
 	}
-	if m.Dropped != 1 || m.Submitted != 4 {
-		t.Fatalf("counters: %d dropped %d submitted", m.Dropped, m.Submitted)
+	if m.Refused != 1 || m.Submitted != 4 {
+		t.Fatalf("counters: %d refused %d submitted", m.Refused, m.Submitted)
+	}
+	if m.Dropped != 0 {
+		t.Fatalf("a backpressure refusal lost nothing, yet Dropped=%d", m.Dropped)
 	}
 	if m.Backlog(0) != 4 {
 		t.Fatalf("backlog = %d", m.Backlog(0))
@@ -135,13 +138,13 @@ func TestPerStreamStats(t *testing.T) {
 	for k := 0; k < 4; k++ {
 		m.Submit(0, Frame{Size: 100, Arrival: uint64(k)})
 	}
-	m.Submit(0, Frame{Size: 100}) // drop
+	m.Submit(0, Frame{Size: 100}) // refused (backpressure: not lost)
 	m.Submit(1, Frame{Size: 250})
 	src := m.Source(0)
 	src.NextHead()
 	src.NextHead()
 	s0, s1 := m.Stats(0), m.Stats(1)
-	if s0.Submitted != 4 || s0.Dropped != 1 || s0.Dequeued != 2 || s0.Bytes != 400 {
+	if s0.Submitted != 4 || s0.Refused != 1 || s0.Dropped != 0 || s0.Dequeued != 2 || s0.Bytes != 400 {
 		t.Fatalf("stream 0 stats = %+v", s0)
 	}
 	if s1.Submitted != 1 || s1.Bytes != 250 || s1.Dequeued != 0 {

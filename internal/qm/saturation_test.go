@@ -11,8 +11,9 @@ import (
 )
 
 // TestRingSaturationAccounting fills a ring past capacity and checks every
-// counter: submissions stop at capacity, the overflow lands in Dropped, the
-// per-stream and total views agree, and draining restores consistency.
+// counter: submissions stop at capacity, the overflow lands in Refused (the
+// default Backpressure policy loses nothing), the per-stream and total views
+// agree, and draining restores consistency.
 func TestRingSaturationAccounting(t *testing.T) {
 	const cap, extra = 8, 5
 	m, err := New(2, cap)
@@ -26,8 +27,11 @@ func TestRingSaturationAccounting(t *testing.T) {
 		}
 	}
 	st := m.Stats(0)
-	if st.Submitted != cap || st.Dropped != extra || st.Dequeued != 0 {
-		t.Fatalf("stats = %+v, want %d submitted / %d dropped / 0 dequeued", st, cap, extra)
+	if st.Submitted != cap || st.Refused != extra || st.Dequeued != 0 {
+		t.Fatalf("stats = %+v, want %d submitted / %d refused / 0 dequeued", st, cap, extra)
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("backpressure refusals lost nothing, yet stats = %+v", st)
 	}
 	if st.Bytes != cap*100 {
 		t.Fatalf("bytes = %d, want %d (drops must not charge bytes)", st.Bytes, cap*100)
@@ -39,8 +43,8 @@ func TestRingSaturationAccounting(t *testing.T) {
 	if tot != st {
 		t.Fatalf("totals %+v != single-stream stats %+v", tot, st)
 	}
-	if m.Submitted != cap || m.Dropped != extra {
-		t.Fatalf("aggregate fields %d/%d, want %d/%d", m.Submitted, m.Dropped, cap, extra)
+	if m.Submitted != cap || m.Refused != extra || m.Dropped != 0 {
+		t.Fatalf("aggregate fields %d/%d/%d, want %d/%d/0", m.Submitted, m.Refused, m.Dropped, cap, extra)
 	}
 
 	// Drain one and the freed slot accepts exactly one more frame.
@@ -55,7 +59,7 @@ func TestRingSaturationAccounting(t *testing.T) {
 		t.Fatal("ring accepted past capacity after refill")
 	}
 	tot = m.Totals()
-	if tot.Submitted != cap+1 || tot.Dropped != extra+1 || tot.Dequeued != 1 {
+	if tot.Submitted != cap+1 || tot.Refused != extra+1 || tot.Dequeued != 1 {
 		t.Fatalf("after drain/refill totals = %+v", tot)
 	}
 
@@ -92,8 +96,9 @@ func TestOutOfRangeIndices(t *testing.T) {
 			t.Fatalf("Backlog(%d) != 0", i)
 		}
 	}
-	// A rejected index is not a drop: nothing was queued to lose.
-	if m.Dropped != 0 || m.Totals() != (StreamStats{}) {
+	// A rejected index is neither a drop nor a refused attempt: there is no
+	// stream to charge it to.
+	if m.Dropped != 0 || m.Refused != 0 || m.Totals() != (StreamStats{}) {
 		t.Fatalf("out-of-range submits disturbed accounting: %+v", m.Totals())
 	}
 	if err := m.Describe(1, attr.Spec{Class: attr.EDF, Period: 1}); err == nil {

@@ -1,0 +1,88 @@
+package regblock
+
+import (
+	"testing"
+
+	"repro/internal/attr"
+)
+
+func guardSpec(priority, guard uint16) attr.Spec {
+	return attr.Spec{Class: attr.StaticPriority, Priority: priority, Guard: guard}
+}
+
+// TestGuardBoostsStarvedHead walks a guarded static-priority slot through a
+// starvation episode: the head keeps its priority until Guard ticks past its
+// arrival, is boosted to deadline 0 exactly then, stays boosted until
+// served, and its successor loads un-boosted.
+func TestGuardBoostsStarvedHead(t *testing.T) {
+	src := &sliceSource{heads: []Head{{Arrival: 10}, {Arrival: 12}}}
+	b, err := New(1, guardSpec(40, 8), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Load(10)
+	if b.Out().Deadline != 40 || b.Deadline64() != 40 {
+		t.Fatalf("loaded priority: %d/%d, want 40", b.Out().Deadline, b.Deadline64())
+	}
+	for now := uint64(11); now < 18; now++ { // waited < Guard: no boost
+		b.Refill(now)
+		if b.Out().Deadline != 40 {
+			t.Fatalf("boost fired early at now=%d", now)
+		}
+	}
+	gen := b.Gen()
+	b.Refill(18) // arrival 10 + guard 8
+	if b.Out().Deadline != 0 || b.Deadline64() != 0 {
+		t.Fatalf("boost missing at the guard horizon: %d/%d", b.Out().Deadline, b.Deadline64())
+	}
+	if b.Gen() == gen {
+		t.Fatal("boost must bump the mutation generation (the key changed)")
+	}
+	key := b.Key()
+	gen = b.Gen()
+	b.Refill(19) // already boosted: idempotent, no re-key churn
+	if b.Gen() != gen || b.Key() != key {
+		t.Fatal("repeated guard checks on a boosted head must not mutate")
+	}
+	b.Service(false, true)
+	if b.Out().Deadline != 40 || b.Deadline64() != 40 {
+		t.Fatalf("successor must load un-boosted: %d/%d, want 40", b.Out().Deadline, b.Deadline64())
+	}
+}
+
+// TestGuardDisabledAndWrongClass checks the guard is inert when Guard is 0,
+// for priority-0 streams (already at the front), and that Validate rejects
+// guards on other classes and guarded priorities outside the serial window.
+func TestGuardDisabledAndWrongClass(t *testing.T) {
+	src := &periodicSource{step: 1}
+	b, err := New(0, guardSpec(7, 0), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Load(0)
+	b.Refill(1 << 20)
+	if b.Out().Deadline != 7 {
+		t.Fatalf("guard-disabled slot boosted: %d", b.Out().Deadline)
+	}
+
+	zero, err := New(0, guardSpec(0, 4), &periodicSource{step: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero.Load(0)
+	gen := zero.Gen()
+	zero.Refill(100)
+	if zero.Gen() != gen {
+		t.Fatal("priority-0 head needs no boost; the check must not mutate")
+	}
+
+	if err := (attr.Spec{Class: attr.EDF, Period: 5, Guard: 3}).Validate(); err == nil {
+		t.Error("Validate accepted a guard on an EDF stream")
+	}
+	if err := (attr.Spec{Class: attr.StaticPriority, Priority: 1 << 15, Guard: 3}).Validate(); err == nil {
+		t.Error("Validate accepted a guarded priority at 2^15")
+	}
+	if err := (attr.Spec{Class: attr.StaticPriority, Priority: 1 << 15}).Validate(); err != nil {
+		t.Errorf("unguarded high priority must stay legal: %v", err)
+	}
+}

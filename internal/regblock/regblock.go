@@ -346,11 +346,32 @@ func (b *Block) Rebind(src HeadSource, now uint64) (bool, error) {
 
 // Refill re-validates an idle slot when its queue becomes non-empty again
 // (event-driven path used by the endsystem). now anchors the new deadline.
+// For backlogged guarded static-priority slots it doubles as the per-cycle
+// starvation-guard evaluation (the hardware would fold this into the same
+// INGEST pass).
 func (b *Block) Refill(now uint64) {
 	if b.cur.Valid {
+		b.guardCheck(now)
 		return
 	}
 	b.Load(now)
+}
+
+// guardCheck applies the static-priority starvation guard: once the current
+// head has waited Guard virtual ticks past its arrival, its deadline field
+// is boosted to 0 — the front of the priority order — until the head is
+// served (advance re-synthesizes the deadline from the spec, un-boosting
+// the successor). The boost fires at most once per head: after it, d64 is 0
+// and the check short-circuits, so the steady-state cost is two compares.
+func (b *Block) guardCheck(now uint64) {
+	if b.spec.Guard == 0 || b.spec.Class != attr.StaticPriority || b.d64 == 0 {
+		return
+	}
+	if now >= b.a64+uint64(b.spec.Guard) {
+		b.d64 = 0
+		b.cur.Deadline = 0
+		b.rekey()
+	}
 }
 
 // ComputeAhead is the §6 "compute-ahead" microarchitectural extension: the

@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/attr"
 	"repro/internal/core"
+	"repro/internal/decision"
 	"repro/internal/obs"
 	"repro/internal/pci"
 	"repro/internal/qm"
@@ -85,6 +86,11 @@ type Config struct {
 	// MeterWindows is the number of bandwidth measurement windows across
 	// the run (default 32).
 	MeterWindows int
+	// Program is the rank program every shard's scheduler runs (the
+	// comparator mode follows from it). The zero value, ProgramDWCS, is the
+	// full Table-2 datapath — the historical behavior. Admitted specs must
+	// still be legal under the derived mode (core.Admit enforces this).
+	Program decision.Program
 }
 
 // withDefaults returns cfg with zero fields filled in.
@@ -173,7 +179,11 @@ func New(cfg Config) (*Router, error) {
 		if err != nil {
 			return nil, err
 		}
-		sched, err := core.New(core.Config{Slots: cfg.SlotsPerShard, Routing: core.WinnerOnly})
+		sched, err := core.New(core.Config{
+			Slots:   cfg.SlotsPerShard,
+			Mode:    cfg.Program.Mode(),
+			Routing: core.WinnerOnly,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -249,6 +259,9 @@ func (r *Router) Admit(id StreamID, spec attr.Spec) error {
 			id, k, r.cfg.SlotsPerShard)
 	}
 	if err := s.manager.Describe(slot, spec); err != nil {
+		return err
+	}
+	if err := s.manager.SetProgram(slot, r.cfg.Program); err != nil {
 		return err
 	}
 	if err := s.sched.Admit(slot, spec, s.manager.Source(slot)); err != nil {

@@ -117,18 +117,12 @@ func (u *supShard) remaining() uint64 {
 	return total - have
 }
 
-// liveLost returns slot's definitively-lost frames: per-slot drop counts
-// are losses under the shedding policies and mere refusals under
-// Backpressure.
-func (u *supShard) liveLost(slot int, policy qm.Policy) uint64 {
-	switch policy {
-	case qm.RejectNew, qm.DropOldest:
-		return u.s.manager.Stats(slot).Dropped
-	case qm.Backpressure:
-		return 0
-	default:
-		return 0
-	}
+// liveLost returns slot's definitively-lost frames. Since the Queue
+// Manager's drop/refused accounting split, Stats(slot).Dropped counts
+// losses only under every policy — Backpressure refusals land in Refused —
+// so no policy dispatch is needed.
+func (u *supShard) liveLost(slot int) uint64 {
+	return u.s.manager.Stats(slot).Dropped
 }
 
 // RunSupervised pushes framesPerStream frames through every admitted stream

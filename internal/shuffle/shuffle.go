@@ -161,6 +161,31 @@ func (nw *Network) Compares() uint64 {
 	return total
 }
 
+// TieHits returns the cumulative equal-key slot tie-break count across all
+// blocks: decisions that stayed on the fast path only because of the
+// tie-break (before it existed, each would have paid the full cascade).
+func (nw *Network) TieHits() uint64 {
+	var total uint64
+	for i := range nw.blocks {
+		total += nw.blocks[i].TieHits
+	}
+	return total
+}
+
+// CascadeFallbacks returns the cumulative full Table-2 cascade evaluations
+// across all blocks (ΣRuleHits): the comparisons the packed keys could not
+// decide. Fast-path hit rate is 1 − CascadeFallbacks/Compares; the pre-fix
+// rate (without the slot tie-break) is 1 − (CascadeFallbacks+TieHits)/Compares.
+func (nw *Network) CascadeFallbacks() uint64 {
+	var total uint64
+	for i := range nw.blocks {
+		for _, h := range nw.blocks[i].RuleHits {
+			total += h
+		}
+	}
+	return total
+}
+
 // PassesPerCycle returns the number of network passes (SCHEDULE-state clock
 // cycles) one decision cycle takes under the configured schedule.
 func (nw *Network) PassesPerCycle() int {
@@ -261,6 +286,11 @@ func (nw *Network) compareAt(b int, x, y uint16) (xFirst bool) {
 		bl.Compares++
 		return first
 	}
+	if decision.KeyTie(bl.Mode, nw.in[x].k, nw.in[y].k) {
+		bl.Compares++
+		bl.TieHits++
+		return nw.in[x].w.Slot < nw.in[y].w.Slot
+	}
 	return !bl.Compare(nw.in[x].w, nw.in[y].w).Swapped
 }
 
@@ -279,6 +309,10 @@ func (nw *Network) runPaperLogN() Result {
 			first, decided := decision.FastOrder(bl.Mode, in[x].k, in[y].k)
 			if decided {
 				bl.Compares++
+			} else if decision.KeyTie(bl.Mode, in[x].k, in[y].k) {
+				bl.Compares++
+				bl.TieHits++
+				first = in[x].w.Slot < in[y].w.Slot
 			} else {
 				first = !bl.Compare(in[x].w, in[y].w).Swapped
 			}
@@ -335,6 +369,10 @@ func (nw *Network) runTournament() Result {
 			first, decided := decision.FastOrder(bl.Mode, in[x].k, in[y].k)
 			if decided {
 				bl.Compares++
+			} else if decision.KeyTie(bl.Mode, in[x].k, in[y].k) {
+				bl.Compares++
+				bl.TieHits++
+				first = in[x].w.Slot < in[y].w.Slot
 			} else {
 				first = !bl.Compare(in[x].w, in[y].w).Swapped
 			}

@@ -49,6 +49,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/attr"
 	"repro/internal/core"
+	"repro/internal/decision"
 	"repro/internal/endsystem"
 	"repro/internal/experiments"
 	"repro/internal/fabric"
@@ -81,6 +82,9 @@ type (
 	StreamSpec = attr.Spec
 	// Constraint is a DWCS window-constraint (loss-tolerance) x/y.
 	Constraint = attr.Constraint
+	// Head is one packet head (arrival time plus fair-queuing tag) as
+	// delivered by a HeadSource.
+	Head = regblock.Head
 	// HeadSource feeds a stream-slot with successive packet heads.
 	HeadSource = regblock.HeadSource
 	// SlotCounters are a slot's hardware performance counters.
@@ -130,6 +134,41 @@ func StaticPriorityStream(priority uint16) StreamSpec {
 // by the Queue Manager).
 func FairShareStream(weight uint16) StreamSpec {
 	return attr.Spec{Class: attr.FairTag, Weight: weight}
+}
+
+// GuardedPriorityStream returns the spec of a static-priority stream with a
+// starvation guard: a head that has waited guard time units is boosted to
+// priority 0 until served. priority must stay below 2^15 when guarded.
+func GuardedPriorityStream(priority, guard uint16) StreamSpec {
+	return attr.Spec{Class: attr.StaticPriority, Priority: priority, Guard: guard}
+}
+
+// Rank programs (DESIGN.md §8): a discipline, seen from the shuffle
+// network, is a pure function from stream state to a packed uint64 rank key.
+// RankProgram names one registered program; Program.Rank is the function.
+type RankProgram = decision.Program
+
+// The registered rank programs.
+const (
+	// ProgramDWCS is the full window-constrained (DWCS) Table-2 cascade.
+	ProgramDWCS = decision.ProgramDWCS
+	// ProgramTagOnly orders by precomputed service tags (WFQ-style).
+	ProgramTagOnly = decision.ProgramTagOnly
+	// ProgramSTFQ is start-time fair queuing over the qm tag state.
+	ProgramSTFQ = decision.ProgramSTFQ
+	// ProgramEDF is earliest-deadline-first.
+	ProgramEDF = decision.ProgramEDF
+	// ProgramStrictPriority is strict priority with a starvation guard.
+	ProgramStrictPriority = decision.ProgramStrictPriority
+)
+
+// RankPrograms returns every registered rank program.
+func RankPrograms() []RankProgram { return decision.Programs() }
+
+// ProgramConfig returns the scheduler Config that runs rank program p over
+// the given slot count and routing.
+func ProgramConfig(slots int, p RankProgram, routing Routing) Config {
+	return core.ProgramConfig(slots, p, routing)
 }
 
 // Traffic generators.
@@ -259,6 +298,13 @@ func NewFaultSchedule(p FaultProfile) (*FaultSchedule, error) { return fault.New
 // RunSharded's figures); a nil trace discards the recovery record.
 func RunShardedSupervised(shards, slotsPerShard, framesPerStream int, mode TransferMode, schedule *FaultSchedule, rcfg RecoveryConfig, trace *FaultTrace) (*SupervisedResult, error) {
 	return endsystem.RunShardedSupervised(shards, slotsPerShard, framesPerStream, mode, schedule, rcfg, trace)
+}
+
+// RunShardedSupervisedProgram is RunShardedSupervised generalized over the
+// registered rank programs: every shard's scheduler runs p and the admitted
+// streams carry p's natural spec.
+func RunShardedSupervisedProgram(shards, slotsPerShard, framesPerStream int, mode TransferMode, p RankProgram, schedule *FaultSchedule, rcfg RecoveryConfig, trace *FaultTrace) (*SupervisedResult, error) {
+	return endsystem.RunShardedSupervisedProgram(shards, slotsPerShard, framesPerStream, mode, p, schedule, rcfg, trace)
 }
 
 // Line-card realization (Figure 2): the no-host configuration for backbone
