@@ -59,6 +59,7 @@ perf:
 # `make perf` after an intentional perf change.
 perf-check:
 	go run ./cmd/ssbench -baseline BENCH_PR2.json perf
+	go run ./cmd/ssbench -baseline BENCH_PR6.json rank
 
 report:
 	go run ./cmd/ssreport -full > report.md

@@ -7,6 +7,12 @@ package main
 // exceeds baseline+tolerance (the alloc budget is absolute: the recorded
 // baselines are 0, and tolerance 0 means "still zero"). Any regression makes
 // the command exit nonzero, which is what lets make check and CI gate on it.
+//
+// The same file holds the rank gate: `ssbench rank -baseline BENCH_PR6.json`
+// compares the PR-6 sweep's fast-path hit rates row by row. Timing is gated
+// with a relative tolerance because it is host-noise-bound; hit rates are
+// gated with a tight absolute epsilon because they are counter-derived and
+// deterministic for a fixed load.
 
 import (
 	"encoding/json"
@@ -72,6 +78,83 @@ func checkBaseline(cur PerfReport, path string, tolerance float64) error {
 		return fmt.Errorf("perf gate: %d row(s) regressed beyond tolerance %.0f%%", regressions, tolerance*100)
 	}
 	fmt.Printf("perf gate: %d row(s) within tolerance", len(cur.Rows)-missing)
+	if missing > 0 {
+		fmt.Printf(" (%d without a baseline row, not gated)", missing)
+	}
+	fmt.Println()
+	return nil
+}
+
+// rankKey identifies a rank-sweep measurement across reports.
+type rankKey struct {
+	Slots   int
+	Program string
+	Routing string
+}
+
+// hitRateEpsilon is the rank gate's tolerance, absolute in hit-rate units.
+// Hit rates are derived from the Decision blocks' own compare/tie/fallback
+// counters over a fixed deterministic load, so run-to-run they are exact;
+// the epsilon only absorbs cycle-budget edge effects (the timed region's
+// boundary lands mid-epoch at different points when the budget changes).
+// Anything beyond it means the fast path genuinely declines more often —
+// exactly the regression that used to pass CI silently.
+const hitRateEpsilon = 0.005
+
+// checkRankBaseline compares cur's fast-path hit rates against the report
+// recorded at path. Only the counter-derived columns gate — ns/decision is
+// host-noise-bound and stays the perf command's (tolerance-scaled) concern.
+// Both hit-rate columns are checked: the current fast path, and the pre-fix
+// prefix rate, which guards the tie short-circuit's accounting itself (a
+// bug that reclassified fallbacks as ties would hold fastpath_hit_rate
+// steady while the prefix column collapsed).
+func checkRankBaseline(cur RankReport, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("-baseline: %w", err)
+	}
+	defer f.Close()
+	var base RankReport
+	if err := json.NewDecoder(f).Decode(&base); err != nil {
+		return fmt.Errorf("-baseline %s: %w", path, err)
+	}
+	if len(base.Rows) == 0 {
+		return fmt.Errorf("-baseline %s: no rows", path)
+	}
+	baseRows := make(map[rankKey]RankRow, len(base.Rows))
+	for _, r := range base.Rows {
+		baseRows[rankKey{r.Slots, r.Program, r.Routing}] = r
+	}
+
+	fmt.Printf("\nRank gate vs %s (%s %s/%s, epsilon %.3f):\n",
+		path, base.GoVersion, base.GOOS, base.GOARCH, hitRateEpsilon)
+	fmt.Println("slots  program          routing  fastpath  baseline   pre-fix  baseline  verdict")
+	var regressions, missing int
+	for _, r := range cur.Rows {
+		b, ok := baseRows[rankKey{r.Slots, r.Program, r.Routing}]
+		if !ok {
+			missing++
+			fmt.Printf("%5d  %-15s  %-7s  %7.1f%%  %8s  %7.1f%%  %8s  no baseline row\n",
+				r.Slots, r.Program, r.Routing, 100*r.FastpathHitRate, "-",
+				100*r.FastpathHitRatePrefix, "-")
+			continue
+		}
+		verdict := "ok"
+		if r.FastpathHitRate < b.FastpathHitRate-hitRateEpsilon {
+			verdict = "REGRESSION: fastpath hit rate"
+			regressions++
+		} else if r.FastpathHitRatePrefix < b.FastpathHitRatePrefix-hitRateEpsilon {
+			verdict = "REGRESSION: pre-fix hit rate"
+			regressions++
+		}
+		fmt.Printf("%5d  %-15s  %-7s  %7.1f%%  %7.1f%%  %7.1f%%  %7.1f%%  %s\n",
+			r.Slots, r.Program, r.Routing, 100*r.FastpathHitRate, 100*b.FastpathHitRate,
+			100*r.FastpathHitRatePrefix, 100*b.FastpathHitRatePrefix, verdict)
+	}
+	if regressions > 0 {
+		return fmt.Errorf("rank gate: %d row(s) regressed beyond epsilon %.3f", regressions, hitRateEpsilon)
+	}
+	fmt.Printf("rank gate: %d row(s) within epsilon", len(cur.Rows)-missing)
 	if missing > 0 {
 		fmt.Printf(" (%d without a baseline row, not gated)", missing)
 	}

@@ -12,7 +12,8 @@
 //	ssbench ablation     §3   — shuffle vs heap/systolic/shift-register
 //	ssbench sharded      sharded endsystem: K scheduler pipelines in parallel
 //	ssbench faults       chaos sweep: fault injection vs throughput/drops
-//	ssbench perf         PR-2 perf-regression harness (writes BENCH_PR2.json)
+//	ssbench perf         PR-2 perf-regression harness, single-pipeline and
+//	                     sharded rows (writes BENCH_PR2.json)
 //	ssbench rank         PR-6 rank-program sweep: N × program × fast-path hit
 //	                     rate (writes BENCH_PR6.json)
 //	ssbench all          everything above (perf and rank excluded; run them
@@ -22,9 +23,11 @@
 // the shard count for the sharded and faults commands (default: host
 // cores); -seed N sets the faults command's deterministic schedule seed —
 // the same seed replays the same fault and recovery sequence; -json FILE
-// sets the perf command's report path; -baseline FILE compares the perf run
-// against a recorded report and exits nonzero on regression (-tolerance sets
-// the allowed slack, default 25%); -metrics ADDR serves the observability
+// sets the perf command's report path; -baseline FILE compares the perf or
+// rank run against a recorded report and exits nonzero on regression — perf
+// gates ns/decision and allocs/cycle (-tolerance sets the allowed slack,
+// default 25%), rank gates the counter-derived fast-path hit rates with a
+// tight absolute epsilon; -metrics ADDR serves the observability
 // registry (JSON /metrics plus net/http/pprof) for the duration of the run
 // and instruments the perf and sharded commands; -cpuprofile/-memprofile
 // FILE write pprof profiles of whichever command ran.

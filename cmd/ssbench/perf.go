@@ -20,7 +20,9 @@ import (
 	"repro/internal/attr"
 	"repro/internal/core"
 	"repro/internal/decision"
+	"repro/internal/endsystem"
 	"repro/internal/obs"
+	"repro/internal/pci"
 	"repro/internal/traffic"
 )
 
@@ -73,6 +75,24 @@ func perf(rc runConfig) error {
 					row.NsPerDecision, row.DecisionsPerSec, row.AllocsPerCycle)
 			}
 		}
+	}
+
+	// Sharded sweep: the same 1024 decision slots split across run-to-
+	// completion pipelines, so the report carries the decision fabric's
+	// sharded operating points next to the single-pipeline ones. These rows
+	// have no BENCH_PR2 counterpart (the gate reports them "not gated");
+	// they are recorded for BENCH_PR7.json and later baselines.
+	fmt.Println()
+	fmt.Println("slots  mode     routing   cycles   ns/decision  decisions/s  allocs/cycle")
+	for _, rtc := range []bool{false, true} {
+		row, err := perfSharded(4, 256, rtc)
+		if err != nil {
+			return err
+		}
+		rep.Rows = append(rep.Rows, row)
+		fmt.Printf("%5d  %-7s  %-8s  %7d  %11.1f  %11.0f  %12.2f\n",
+			row.Slots, row.Mode, row.Routing, row.Cycles,
+			row.NsPerDecision, row.DecisionsPerSec, row.AllocsPerCycle)
 	}
 
 	// A gate run compares; it only rewrites the recorded baseline when -json
@@ -194,6 +214,72 @@ func perfOne(n int, mode decision.Mode, routing core.Routing, reg *obs.Registry)
 		row.Routing = "BA"
 	}
 	return row, nil
+}
+
+// perfSharded measures the sharded decision fabric end to end: shards
+// evenly-loaded pipelines (shards×slotsPerShard streams, the same total as
+// the largest single-pipeline row) driven by the endsystem's §5.2
+// calibration with PCI metering off, so the row isolates decision + queueing
+// work. The routing label distinguishes the shard loop — "SH4" is the
+// classic three-goroutine pipeline, "SH4-RTC" the run-to-completion loop —
+// and ns/decision is wall time over the summed per-shard decision counts
+// (the shards share the host, so wall time is the honest denominator).
+// Allocations are a Mallocs delta amortized over the run: it includes
+// construction, which is the point — steady-state zero-alloc claims are
+// covered by TestZeroAlloc*, while this column watches the whole fabric.
+func perfSharded(shards, slotsPerShard int, rtc bool) (PerfRow, error) {
+	const framesPerStream = 1000
+	routing := "SH" + fmt.Sprint(shards)
+	if rtc {
+		routing += "-RTC"
+	}
+
+	run := func() (*PerfRow, error) {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		res, err := endsystem.RunShardedOpts(shards, slotsPerShard, framesPerStream,
+			endsystem.ShardedOptions{Mode: pci.ModeNone, RunToCompletion: rtc})
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return nil, err
+		}
+		var decisions uint64
+		for _, s := range res.PerShard {
+			decisions += s.Decisions
+		}
+		if decisions == 0 {
+			return nil, fmt.Errorf("perf: sharded run made no decisions")
+		}
+		ns := float64(elapsed.Nanoseconds()) / float64(decisions)
+		return &PerfRow{
+			Slots:           shards * slotsPerShard,
+			Mode:            "DWCS",
+			Routing:         routing,
+			Cycles:          int(decisions),
+			NsPerDecision:   ns,
+			DecisionsPerSec: 1e9 / ns,
+			AllocsPerCycle:  float64(after.Mallocs-before.Mallocs) / float64(decisions),
+		}, nil
+	}
+
+	// Best-of-3, same as the single-pipeline rows: each repetition is a full
+	// fresh run (router construction included), minimum wall time wins.
+	best, err := run()
+	if err != nil {
+		return PerfRow{}, err
+	}
+	for rep := 1; rep < 3; rep++ {
+		row, err := run()
+		if err != nil {
+			return PerfRow{}, err
+		}
+		if row.NsPerDecision < best.NsPerDecision {
+			best = row
+		}
+	}
+	return *best, nil
 }
 
 // perfScheduler builds an N-slot scheduler with every slot backlogged: EDF

@@ -16,7 +16,11 @@ package main
 //
 // The gap between the two columns is the bugfix, visible at N=1024 where
 // the 7-bit slot field saturates and masked-key ties become common. Results
-// land in BENCH_PR6.json (override with -json).
+// land in BENCH_PR6.json (override with -json). With -baseline the sweep
+// gates instead: each row's hit rates are compared against the recorded
+// report and any drop beyond a small absolute epsilon fails the run (hit
+// rates are counter-derived and deterministic, so unlike the perf gate's
+// timing columns they admit a tight gate — see checkRankBaseline).
 
 import (
 	"encoding/json"
@@ -83,11 +87,15 @@ func rank(rc runConfig) error {
 		}
 	}
 
-	// Unlike perf, rank has no baseline gate yet: the report always lands in
-	// BENCH_PR6.json unless -json names another path.
+	// Like perf, a gate run (-baseline) compares and only rewrites the
+	// recorded report when -json was named explicitly — a regressed run must
+	// not silently ratchet BENCH_PR6.json's hit rates down to the regression.
 	path := rc.jsonPath
 	if !rc.jsonExplicit {
 		path = "BENCH_PR6.json"
+	}
+	if rc.baseline != "" && !rc.jsonExplicit {
+		path = ""
 	}
 	if path != "" {
 		f, err := os.Create(path)
@@ -101,6 +109,9 @@ func rank(rc runConfig) error {
 			return err
 		}
 		fmt.Printf("\n(report written to %s)\n", path)
+	}
+	if rc.baseline != "" {
+		return checkRankBaseline(rep, rc.baseline)
 	}
 	return nil
 }

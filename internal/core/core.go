@@ -217,6 +217,17 @@ type Scheduler struct {
 	timed []TimedSource // srcs[i].(TimedSource) cached at Admit/Start; nil if untimed
 	nw    *shuffle.Network
 
+	// Per-slot class facts cached off the admitted spec (Rebind keeps the
+	// spec, so only Admit/AdmitDynamic write them): expirable marks the
+	// deadline-bearing classes ExpireCheck acts on (EDF, window-
+	// constrained), wcClass the window-constrained subset that drops and
+	// re-advances on expiry, guarded the static-priority slots whose
+	// starvation guard needs a Refill tick while valid. The lean cycle path
+	// branches on these instead of re-deriving them per slot per cycle.
+	expirable []bool
+	wcClass   []bool
+	guarded   []bool
+
 	started bool
 	vnow    uint64 // virtual time, one unit per decision cycle
 
@@ -224,9 +235,12 @@ type Scheduler struct {
 	hwCycles  uint64
 	idleCount uint64
 
-	cpd       int         // hardware clocks per decision cycle, fixed at New
-	keyRef    attr.Time16 // current key-normalization reference
-	nextRekey uint64      // vnow at which to refresh keyRef next
+	cpd          int         // hardware clocks per decision cycle, fixed at New
+	keyRef       attr.Time16 // current key-normalization reference
+	nextRekey    uint64      // vnow at which to refresh keyRef next
+	arrHint      uint64      // arrival time of the most recently transmitted head
+	dlHint       uint64      // deadline of the most recently transmitted head
+	nextRecenter uint64      // vnow at which to re-center the safety windows next
 
 	// rebindEpoch counts Rebind calls. Results produced before a rebind
 	// belong to the previous epoch; supervisors stamp re-aggregation
@@ -245,9 +259,13 @@ type Scheduler struct {
 
 	// gens[i] is slots[i].Gen() as of its last latch onto the network bus;
 	// genReload forces a relatch (fresh scheduler, dynamic admission).
-	gens  []uint64
-	txBuf []Transmission // reused CycleResult buffer
-	crBuf CycleResult    // RunCycles' reused result (avoids a per-batch escape)
+	// wordsStale records that the lean path has latched keys only since the
+	// last full latch, so the network's word plane must be redriven before
+	// the next word-materializing cycle.
+	gens       []uint64
+	wordsStale bool
+	txBuf      []Transmission // reused CycleResult buffer
+	crBuf      CycleResult    // RunCycles' reused result (avoids a per-batch escape)
 }
 
 // genReload never equals uint64(regblock.Block.Gen()), so a gens entry set
@@ -260,6 +278,14 @@ const genReload = ^uint64(0)
 // fallbacks, never change an ordering — so the refresh is sized to be
 // amortized noise: one N-slot repack every 8192 cycles.
 const keyRefreshPeriod = 8192
+
+// centerRefreshPeriod is how often (in decision cycles) the scheduler
+// re-centers the network's serial-safety windows on the service frontier.
+// Centers are a pure speed hint (see shuffle.SetFieldCenters); the period
+// just has to beat the fastest sustained field drift across a half window
+// (0x4000 ticks), which chained deadlines at large admitted periods can
+// approach. The O(N) flag rescan amortizes to ~2 slot visits per cycle.
+const centerRefreshPeriod = 512
 
 // nullSource backs un-admitted slots: always empty.
 type nullSource struct{}
@@ -284,13 +310,16 @@ func New(cfg Config) (*Scheduler, error) {
 		return nil, err
 	}
 	s := &Scheduler{
-		cfg:   cfg,
-		slots: make([]*regblock.Block, cfg.Slots),
-		srcs:  make([]regblock.HeadSource, cfg.Slots),
-		timed: make([]TimedSource, cfg.Slots),
-		nw:    nw,
-		gens:  make([]uint64, cfg.Slots),
-		txBuf: make([]Transmission, 0, cfg.Slots),
+		cfg:       cfg,
+		slots:     make([]*regblock.Block, cfg.Slots),
+		srcs:      make([]regblock.HeadSource, cfg.Slots),
+		timed:     make([]TimedSource, cfg.Slots),
+		nw:        nw,
+		expirable: make([]bool, cfg.Slots),
+		wcClass:   make([]bool, cfg.Slots),
+		guarded:   make([]bool, cfg.Slots),
+		gens:      make([]uint64, cfg.Slots),
+		txBuf:     make([]Transmission, 0, cfg.Slots),
 	}
 	for i := range s.gens {
 		s.gens[i] = genReload
@@ -300,14 +329,23 @@ func New(cfg Config) (*Scheduler, error) {
 		s.trace = hwsim.NewTrace(cfg.TraceDepth)
 	}
 	for i := range s.slots {
-		b, err := regblock.New(attr.SlotID(i), attr.Spec{Class: attr.EDF, Period: 1}, nullSource{})
+		spec := attr.Spec{Class: attr.EDF, Period: 1}
+		b, err := regblock.New(attr.SlotID(i), spec, nullSource{})
 		if err != nil {
 			return nil, err
 		}
 		s.slots[i] = b
 		s.srcs[i] = nullSource{}
+		s.cacheSpec(i, spec)
 	}
 	return s, nil
+}
+
+// cacheSpec refreshes slot i's class-fact caches from its admitted spec.
+func (s *Scheduler) cacheSpec(i int, spec attr.Spec) {
+	s.expirable[i] = spec.Class == attr.EDF || spec.Class == attr.WindowConstrained
+	s.wcClass[i] = spec.Class == attr.WindowConstrained
+	s.guarded[i] = spec.Class == attr.StaticPriority && spec.Guard != 0
 }
 
 // Config returns the scheduler's configuration.
@@ -332,6 +370,7 @@ func (s *Scheduler) Admit(i int, spec attr.Spec, src regblock.HeadSource) error 
 	s.slots[i] = b
 	s.srcs[i] = src
 	s.timed[i], _ = src.(TimedSource)
+	s.cacheSpec(i, spec)
 	return nil
 }
 
@@ -425,6 +464,19 @@ func (s *Scheduler) RunCycles(n int, visit func(*CycleResult) bool) int {
 	if !s.started {
 		panic("core: RunCycles before Start")
 	}
+	// Blind batches — no visitor, no trace, no metrics — take the lean
+	// cycle path: nothing observes per-cycle results, so the scheduler
+	// skips materializing them (and the network skips gathering the
+	// ordered block) while producing bit-identical slot state, counters
+	// and clocks. See runCycleLean for the equivalence argument.
+	if visit == nil && s.trace == nil && s.obs == nil {
+		s.wordsStale = true // lean latches drive keys only; see runCycle
+		for i := 0; i < n; i++ {
+			s.runCycleLean()
+		}
+		s.syncSources()
+		return n
+	}
 	// The batch result lives in the scheduler, not the stack: &cr handed to
 	// the visit closure would force a heap allocation per RunCycles call,
 	// which the zero-alloc guarantee (and its AllocsPerRun guards) forbid.
@@ -438,6 +490,137 @@ func (s *Scheduler) RunCycles(n int, visit func(*CycleResult) bool) int {
 	return n
 }
 
+// recenter re-centers the network's serial-safety windows on the most
+// recently transmitted head's deadline and arrival (in current packed-field
+// space) and schedules the next refresh.
+func (s *Scheduler) recenter(t uint64) {
+	s.nw.SetFieldCenters(
+		uint16(attr.WrapTime(s.dlHint)-s.keyRef),
+		uint16(attr.WrapTime(s.arrHint)-s.keyRef),
+	)
+	s.nextRecenter = t + centerRefreshPeriod
+}
+
+// syncSources advances every timed source to the last executed cycle's
+// virtual time. The lean cycle path advances a source only when the cycle
+// pulls from it (lazy advance); this batch-end sync restores the invariant
+// the eager path maintains — all sources current as of the latest cycle — so
+// source-side observers (traffic.Periodic.Generated and friends) read
+// identical values at every public-call boundary.
+func (s *Scheduler) syncSources() {
+	if s.vnow == 0 {
+		return
+	}
+	t := s.vnow - 1
+	for _, ts := range s.timed {
+		if ts != nil {
+			ts.Advance(t)
+		}
+	}
+}
+
+// runCycleLean executes one decision cycle with no observers attached,
+// producing the same slot state, counters, virtual clock and hardware-clock
+// accounting as runCycle while skipping everything only observers consume:
+// the CycleResult and its Transmissions, the metrics staging, and the
+// materialized block order (RunLoadedLight routes the key plane but not the
+// attribute words; members are read positionally via BlockSlotAt).
+//
+// Source advances are lazy: a timed source is advanced exactly when the
+// cycle is about to pull a head from it — refill of an empty slot, service
+// of a block member or winner, expiry drop of a window-constrained loser —
+// and all sources re-sync at batch end. Every TimedSource in the tree
+// advances latest-wins (an Advance to t' ≥ t leaves identical state whether
+// or not Advance(t) ran in between; package tests pin this), so skipped
+// intermediate advances are unobservable. Per-slot class facts come from
+// the cacheSpec caches; a valid slot is refilled only when its starvation
+// guard needs the tick, exactly the cases Refill acts on.
+func (s *Scheduler) runCycleLean() {
+	t := s.vnow
+
+	if t >= s.nextRekey {
+		s.keyRef = attr.WrapTime(t) - 0x8000
+		s.recenter(t)
+		for _, b := range s.slots {
+			b.SetKeyRef(s.keyRef)
+		}
+		s.nextRekey = t + keyRefreshPeriod
+	} else if t >= s.nextRecenter {
+		s.recenter(t)
+	}
+
+	for i, b := range s.slots {
+		if !b.Valid() {
+			if ts := s.timed[i]; ts != nil {
+				ts.Advance(t)
+			}
+			b.Refill(t)
+		} else if s.guarded[i] {
+			b.Refill(t)
+		}
+		if g := uint64(b.Gen()); g != s.gens[i] {
+			s.gens[i] = g
+			s.nw.SetInputKey(i, b.Key())
+		}
+	}
+	lt := s.nw.RunLoadedLight()
+
+	switch {
+	case s.cfg.Routing == WinnerOnly && !lt.Idle:
+		w := lt.WinnerSlot
+		wb := s.slots[w]
+		if ts := s.timed[w]; ts != nil {
+			ts.Advance(t)
+		}
+		s.arrHint, s.dlHint = wb.Arrival64(), wb.Deadline64()
+		wb.Service(wb.Deadline64() < t, true)
+		exp := t + 1
+		for i, b := range s.slots {
+			if !s.expirable[i] || i == int(w) || !b.Valid() || b.Deadline64() >= exp {
+				continue
+			}
+			if s.wcClass[i] {
+				if ts := s.timed[i]; ts != nil {
+					ts.Advance(t)
+				}
+				b.ExpireCheck(exp)
+			} else {
+				// ExpireCheck's EDF arm: charge the miss, keep the head.
+				b.Counters.Missed++
+			}
+		}
+	case s.cfg.Routing != WinnerOnly && lt.Valid > 0:
+		valid := lt.Valid
+		var circulated attr.SlotID
+		if s.cfg.Circulate == MaxFirst {
+			circulated = s.nw.BlockSlotAt(0)
+		} else {
+			circulated = s.nw.BlockSlotAt(valid - 1)
+		}
+		for r := 0; r < valid; r++ {
+			pos := r
+			if s.cfg.Circulate == MinFirst {
+				pos = valid - 1 - r // tail-first transaction
+			}
+			slot := s.nw.BlockSlotAt(pos)
+			mb := s.slots[slot]
+			if ts := s.timed[slot]; ts != nil {
+				ts.Advance(t)
+			}
+			if r == 0 {
+				s.arrHint, s.dlHint = mb.Arrival64(), mb.Deadline64()
+			}
+			mb.Service(mb.Deadline64() < t+uint64(r), slot == circulated)
+		}
+	default:
+		s.idleCount++
+	}
+
+	s.decisions++
+	s.hwCycles += uint64(s.cpd)
+	s.vnow++
+}
+
 // runCycle executes one decision cycle into cr (overwriting it entirely).
 func (s *Scheduler) runCycle(cr *CycleResult) {
 	t := s.vnow
@@ -447,10 +630,23 @@ func (s *Scheduler) runCycle(cr *CycleResult) {
 	// fast path (see keyRefreshPeriod).
 	if t >= s.nextRekey {
 		s.keyRef = attr.WrapTime(t) - 0x8000
+		s.recenter(t)
 		for _, b := range s.slots {
 			b.SetKeyRef(s.keyRef)
 		}
 		s.nextRekey = t + keyRefreshPeriod
+	} else if t >= s.nextRecenter {
+		s.recenter(t)
+	}
+
+	// A lean batch ran since the last full cycle: its latches drove keys
+	// only (the Light path never reads the attribute words), so force every
+	// slot's word back onto the bus before a word-materializing run.
+	if s.wordsStale {
+		for i := range s.gens {
+			s.gens[i] = genReload
+		}
+		s.wordsStale = false
 	}
 
 	// INGEST half 1 fused with the SCHEDULE latch: release newly arrived
@@ -547,6 +743,7 @@ func (s *Scheduler) AdmitDynamic(i int, spec attr.Spec, src regblock.HeadSource)
 	s.slots[i] = b
 	s.srcs[i] = src
 	s.timed[i], _ = src.(TimedSource)
+	s.cacheSpec(i, spec)
 	s.gens[i] = genReload // new block: its generation counter starts over
 	b.SetKeyRef(s.keyRef)
 	if ts := s.timed[i]; ts != nil {
@@ -614,6 +811,7 @@ func (s *Scheduler) runWinnerOnly(now uint64, res shuffle.Result, cr *CycleResul
 	cr.Winner = w.Slot
 	wb := s.slots[w.Slot]
 	s.cycleWinnerKey = wb.Key()
+	s.arrHint, s.dlHint = wb.Arrival64(), wb.Deadline64()
 	late := wb.Deadline64() < now
 	s.txBuf = append(s.txBuf, Transmission{
 		Slot: w.Slot, Rank: 0, Late: late, Deadline: w.Deadline,
@@ -662,6 +860,9 @@ func (s *Scheduler) runBlock(now uint64, res shuffle.Result, cr *CycleResult) {
 			member = res.Block[valid-1-r] // tail-first transaction
 		}
 		mb := s.slots[member.Slot]
+		if r == 0 {
+			s.arrHint, s.dlHint = mb.Arrival64(), mb.Deadline64()
+		}
 		late := mb.Deadline64() < now+uint64(r)
 		s.txBuf = append(s.txBuf, Transmission{
 			Slot: member.Slot, Rank: r, Late: late, Deadline: member.Deadline,

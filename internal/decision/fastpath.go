@@ -15,6 +15,19 @@ import (
 // deadline, arrival and slot — the simple comparator of §3.
 const keyTagMask = ^attr.KeyConstraintMask
 
+// KeyMask returns the key-field mask a datapath in the given mode compares:
+// all fields for DWCS, the TagOnly subset otherwise. Masking keys once at
+// latch time with this mask and then comparing unmasked is exactly
+// equivalent to FastOrder/KeyTie's per-compare masking — the mask is
+// idempotent — which is how the shuffle key plane keeps its inner loops
+// mode-oblivious.
+func KeyMask(mode Mode) attr.Key {
+	if mode == TagOnly {
+		return keyTagMask
+	}
+	return ^attr.Key(0)
+}
+
 // FastOrder orders two attribute words by their packed rank keys in one
 // unsigned integer compare. It reports (aFirst, decided); decided is false
 // when the keys cannot prove the order, and the caller must fall back to

@@ -8,6 +8,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/pci"
+	"repro/internal/qm"
 	"repro/internal/shard"
 )
 
@@ -23,17 +24,47 @@ func RunSharded(shards, slotsPerShard, framesPerStream int, mode pci.Mode) (*sha
 	return RunShardedInstrumented(shards, slotsPerShard, framesPerStream, mode, nil)
 }
 
+// RunShardedRTC is RunSharded with the run-to-completion shard loop: each
+// shard pipeline runs produce → schedule → transmit on one pinned OS thread
+// in batched epochs instead of three goroutines spin-waiting on rings, with
+// counters and bandwidth published per epoch. Results are equivalent; wall
+// throughput is what changes.
+func RunShardedRTC(shards, slotsPerShard, framesPerStream int, mode pci.Mode) (*shard.Result, error) {
+	return RunShardedOpts(shards, slotsPerShard, framesPerStream, ShardedOptions{Mode: mode, RunToCompletion: true})
+}
+
 // RunShardedInstrumented is RunSharded with an observability registry
 // attached: the router publishes its shard.* dispatcher and throughput
 // metrics (per-shard delivered counters are atomic, so scraping mid-run is
 // race-free). A nil reg degrades to the uninstrumented RunSharded.
 func RunShardedInstrumented(shards, slotsPerShard, framesPerStream int, mode pci.Mode, reg *obs.Registry) (*shard.Result, error) {
+	return RunShardedOpts(shards, slotsPerShard, framesPerStream, ShardedOptions{Mode: mode, Registry: reg})
+}
+
+// ShardedOptions selects the optional machinery of a sharded endsystem run:
+// PCI metering mode, an observability registry, the run-to-completion shard
+// loop, and the delay-driven shared buffer pool (a zero BufferPool keeps the
+// historical fixed per-stream rings).
+type ShardedOptions struct {
+	Mode            pci.Mode
+	Registry        *obs.Registry
+	RunToCompletion bool
+	BufferPool      qm.SharedConfig
+}
+
+// RunShardedOpts is the general sharded driver the named entry points wrap:
+// the same evenly-loaded endsystem under the §5.2 calibration, with opts
+// choosing metering, instrumentation, the shard loop, and the buffering
+// organization.
+func RunShardedOpts(shards, slotsPerShard, framesPerStream int, opts ShardedOptions) (*shard.Result, error) {
 	router, err := shard.New(shard.Config{
-		Shards:        shards,
-		SlotsPerShard: slotsPerShard,
-		HostNs:        HostCostNs,
-		Mode:          mode,
-		TransferBatch: TransferBatch,
+		Shards:          shards,
+		SlotsPerShard:   slotsPerShard,
+		HostNs:          HostCostNs,
+		Mode:            opts.Mode,
+		TransferBatch:   TransferBatch,
+		RunToCompletion: opts.RunToCompletion,
+		BufferPool:      opts.BufferPool,
 	})
 	if err != nil {
 		return nil, err
@@ -43,8 +74,8 @@ func RunShardedInstrumented(shards, slotsPerShard, framesPerStream int, mode pci
 	if _, err := router.AdmitBalanced(streams, spec); err != nil {
 		return nil, fmt.Errorf("endsystem: sharded admission: %w", err)
 	}
-	if reg != nil {
-		router.RegisterMetrics(reg, "shard")
+	if opts.Registry != nil {
+		router.RegisterMetrics(opts.Registry, "shard")
 	}
 	return router.Run(framesPerStream)
 }

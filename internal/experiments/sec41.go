@@ -65,7 +65,7 @@ func Sec41(streams, iterations int) ([]LatencyRow, error) {
 	rows = append(rows, LatencyRow{
 		Scheduler:     "DWCS software (this host, Go)",
 		Streams:       streams,
-		PerDecisionNs: float64(time.Since(start).Nanoseconds()) / float64(iterations),
+		PerDecisionNs: float64(time.Since(start).Nanoseconds()) / float64(iterations), //sslint:allow walltime — §4.1 latency harness measures real per-decision wall time by design
 		Note:          "O(N) scan + window update",
 	})
 
@@ -115,7 +115,7 @@ func Sec41(streams, iterations int) ([]LatencyRow, error) {
 		rows = append(rows, LatencyRow{
 			Scheduler:     mk.name,
 			Streams:       streams,
-			PerDecisionNs: float64(time.Since(start).Nanoseconds()) / float64(iterations),
+			PerDecisionNs: float64(time.Since(start).Nanoseconds()) / float64(iterations), //sslint:allow walltime — §4.1 latency harness measures real per-decision wall time by design
 			Note:          "dequeue+enqueue",
 		})
 	}
@@ -154,7 +154,7 @@ func Sec41(streams, iterations int) ([]LatencyRow, error) {
 	rows = append(rows, LatencyRow{
 		Scheduler:     "hierarchical WFQ, H-FSC-style (this host, Go)",
 		Streams:       streams,
-		PerDecisionNs: float64(time.Since(start).Nanoseconds()) / float64(iterations),
+		PerDecisionNs: float64(time.Since(start).Nanoseconds()) / float64(iterations), //sslint:allow walltime — §4.1 latency harness measures real per-decision wall time by design
 		Note:          fmt.Sprintf("%d-level tree walk", tree.Walks()),
 	})
 
@@ -172,7 +172,7 @@ func Sec41(streams, iterations int) ([]LatencyRow, error) {
 	rows = append(rows, LatencyRow{
 		Scheduler:     "Click-style element graph + SFQ (this host, Go)",
 		Streams:       streams,
-		PerDecisionNs: float64(time.Since(start).Nanoseconds()) / float64(iterations),
+		PerDecisionNs: float64(time.Since(start).Nanoseconds()) / float64(iterations), //sslint:allow walltime — §4.1 latency harness measures real per-decision wall time by design
 		Note:          "push/pull through 8-bucket SFQ",
 	})
 

@@ -58,7 +58,11 @@ func SortQuality(slotCounts []int, trials int, seed int64) ([]SortQualityRow, er
 						Valid:    true,
 					}
 				}
-				res := nw.Run(in)
+				// The trial's "current time" is the center of the sampled
+				// field range: passing it as the RunAt reference packs keys
+				// exactly as the scheduler's hot path would mid-run, so the
+				// ablation prices the decision blocks, not key renormalization.
+				res := nw.RunAt(in, 1<<13)
 				inv := 0
 				for i := 1; i < n; i++ {
 					if decision.Less(decision.DWCS, res.Block[i], res.Block[i-1]) {

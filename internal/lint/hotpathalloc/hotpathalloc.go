@@ -48,8 +48,20 @@ var builtinHot = map[string]map[string]bool{
 	"repro/internal/shuffle": {
 		"Network.run": true, "Network.runPaperLogN": true, "Network.runBitonic": true,
 		"Network.runTournament": true, "Network.emitBlock": true, "Network.compareAt": true,
-		"Network.Run": true, "Network.RunKeyed": true, "Network.RunLoaded": true,
-		"Network.SetInput": true, "perfectShuffle": true,
+		"Network.Run": true, "Network.RunAt": true, "Network.RunKeyed": true,
+		"Network.RunLoaded": true, "Network.RunLoadedLight": true,
+		"Network.SetInput": true, "Network.SetInputKey": true, "perfectShuffle": true,
+		// The SoA key plane: the branch-free pass kernels, the per-key
+		// window-safety bookkeeping, and the dense-lane credit fold.
+		"Network.runPaperLogNSoA": true, "Network.runTournamentSoA": true,
+		"Network.runBitonicSoA": true, "Network.lightFromFiles": true,
+		"Network.keyUnsafe": true, "Network.noteKey": true, "Network.rebase": true,
+		"Network.creditCompares": true, "Network.flushCredits": true,
+	},
+	"repro/internal/qm": {
+		// The shared buffer pool's lend/reclaim/measure path runs on every
+		// Offer and card-side dequeue past the reservation.
+		"pool.admit": true, "pool.release": true, "pool.reclaim": true, "pool.measure": true,
 	},
 	"repro/internal/decision": {
 		"FastOrder": true, "KeyTie": true, "Compare": true, "Block.Compare": true,

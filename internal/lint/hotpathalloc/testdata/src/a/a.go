@@ -121,6 +121,44 @@ func BadConcat(a, b string) string {
 	return a + b // want `string concatenation in the hot path`
 }
 
+// Pool mirrors the Queue Manager's shared-buffer credit ledger: lend and
+// reclaim run per frame on the producer/consumer hot paths, so the whole
+// family is marked and must stay allocation-free.
+type Pool struct {
+	free int64
+	lent []uint64
+}
+
+// GoodLend is the sanctioned lend/reclaim shape: counter arithmetic and
+// indexed loads/stores only.
+//
+//sslint:hotpath
+func (p *Pool) GoodLend(i int) bool {
+	if p.free <= 0 {
+		return false
+	}
+	p.free--
+	p.lent[i]++
+	return true
+}
+
+// BadLendObserve boxes the lend decision into an interface sink per frame.
+//
+//sslint:hotpath
+func (p *Pool) BadLendObserve(i int) {
+	sink(p.lent[i]) // want `implicit conversion of .* to interface`
+}
+
+// BadReclaimSnapshot copies the ledger per reclaim (stats belong on the
+// cold scrape path, not in the per-frame credit return).
+//
+//sslint:hotpath
+func (p *Pool) BadReclaimSnapshot() []uint64 {
+	out := make([]uint64, len(p.lent)) // want `make in the hot path allocates`
+	copy(out, p.lent)
+	return out
+}
+
 // sink is an interface-taking helper.
 func sink(v any) { _ = v }
 

@@ -46,6 +46,28 @@ func AllowedAbove() {
 	time.Sleep(time.Nanosecond)
 }
 
+// BadDelaySince measures a "queueing delay" by host-clock elapsed time —
+// the exact escape the delay-driven buffer pool must never make: lending
+// decisions are driven by modeled service rounds, so a wall-clock duration
+// here would couple buffering (and drop accounting) to host load.
+func BadDelaySince(enqueued time.Time) bool {
+	return time.Since(enqueued) > time.Millisecond // want `time.Since: wall-clock duration`
+}
+
+// BadDelayUntil is the deadline-flavored variant of the same escape.
+func BadDelayUntil(deadline time.Time) bool {
+	return time.Until(deadline) < 0 // want `time.Until: wall-clock duration`
+}
+
+// GoodModeledDelay measures delay the sanctioned way: arrival stamps
+// against a modeled dequeue clock, no host time anywhere.
+func GoodModeledDelay(rounds, arrival uint64) uint64 {
+	if rounds > arrival {
+		return rounds - arrival
+	}
+	return 0
+}
+
 // BadObsWallClock launders a wall-clock reading through the observability
 // layer's scrape stamp: obs timestamps in modeled-time code are cycle
 // counts, so the sanctioned wrapper is just as forbidden as time.Now here.

@@ -9,6 +9,13 @@
 //
 //   - time.Now, time.Sleep, time.Tick, time.After, time.AfterFunc,
 //     time.NewTimer, time.NewTicker — wall-clock sources and timers;
+//   - time.Since and time.Until — wall-clock *durations*. These are the
+//     escape a latency-driven mechanism reaches for first: the Queue
+//     Manager's delay-driven shared buffer pool lends capacity by measured
+//     queueing delay, and that delay is defined in modeled service rounds
+//     (frame arrival stamps against the dequeue clock), never host-clock
+//     elapsed time — a time.Since there would couple lending decisions, and
+//     through them drop accounting, to host load;
 //   - every math/rand top-level function that draws from the global source
 //     (Int, Intn, Float64, Perm, Shuffle, Seed, ...). Explicitly seeded
 //     generators — rand.New(rand.NewSource(seed)) — are the sanctioned
@@ -43,6 +50,8 @@ var Analyzer = &analysis.Analyzer{
 var forbidden = map[string]map[string]string{
 	"time": {
 		"Now":       "wall clock in modeled-time code",
+		"Since":     "wall-clock duration in modeled-time code (measured delays are modeled service rounds)",
+		"Until":     "wall-clock duration in modeled-time code (measured delays are modeled service rounds)",
 		"Sleep":     "wall-clock sleep in modeled-time code",
 		"Tick":      "wall-clock ticker in modeled-time code",
 		"After":     "wall-clock timer in modeled-time code",

@@ -45,4 +45,21 @@ func (m *Manager) RegisterMetrics(reg *obs.Registry, prefix string) {
 		reg.GaugeFunc(fmt.Sprintf("%s.slot%d.dropped", prefix, slot), "frames",
 			func() float64 { return float64(m.perDropped[slot]) })
 	}
+	if p := m.shared; p != nil {
+		// Shared-pool lending ledger: every cell is atomic, so these gauges
+		// are safe to scrape while the pipeline runs (and at quiescence
+		// pool.free + pool.lent equals the configured burst, borrows equals
+		// reclaims — the credit-conservation invariant, live on a dashboard).
+		reg.GaugeFunc(prefix+".pool.free", "frames", func() float64 { return float64(p.free.Load()) })
+		reg.GaugeFunc(prefix+".pool.lent", "frames", func() float64 {
+			var lent uint64
+			for i := range p.lent {
+				lent += p.lent[i].Load()
+			}
+			return float64(lent)
+		})
+		reg.GaugeFunc(prefix+".pool.borrows", "credits", func() float64 { return float64(p.borrows.Load()) })
+		reg.GaugeFunc(prefix+".pool.denials", "attempts", func() float64 { return float64(p.denials.Load()) })
+		reg.GaugeFunc(prefix+".pool.reclaims", "credits", func() float64 { return float64(p.reclaims.Load()) })
+	}
 }

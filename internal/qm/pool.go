@@ -1,0 +1,281 @@
+package qm
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// This file implements BShare-style delay-driven shared buffering for the
+// Queue Manager. Instead of giving every stream a fixed private ring, each
+// stream keeps a small guaranteed reservation and the remaining capacity
+// lives in one shared burst pool, lent frame-by-frame to streams that are
+// bursting *and still draining* — the classic shared-memory switch buffer
+// organization, with the lending decision driven by each stream's measured
+// queueing delay rather than a static per-queue cap.
+//
+// The delay that drives lending is modeled time, never the wall clock: a
+// frame's queueing delay is the aggregate dequeue clock (total dequeues over
+// the stream count — the manager's modeled service round) minus the frame's
+// Arrival stamp, measured as the frame leaves for the card. A stream whose
+// heads are fresh (delay ≤ target) is bursting through a fast-draining
+// queue, and lending it pool capacity absorbs the burst; a stream whose
+// heads are stale has a standing queue, and lending it more would only add
+// bufferbloat — it is cut off at its reservation until it drains. obs
+// wall-clock time must never enter this path (the sslint walltime rule
+// enforces it): lending decisions must be reproducible from the modeled
+// trace alone.
+//
+// Concurrency: the pool sits exactly on the SPSC boundary. The producer
+// acquires credits in Offer; the card side returns them at dequeue and
+// publishes measured delays. Every shared cell (free credits, per-stream
+// lent counts, last measured delay) is therefore atomic, mirroring the
+// evict-debt pattern — the rings themselves stay strictly SPSC.
+
+// SharedConfig parameterizes a delay-driven shared buffer pool.
+type SharedConfig struct {
+	// Reservation is each stream's guaranteed private ring depth in frames
+	// (≥ 1): submits below it never touch the pool.
+	Reservation int
+	// Burst is the shared pool size in frames: capacity lent one frame at a
+	// time to streams bursting past their reservation. Zero means no
+	// lending — the pool degenerates to fixed rings of Reservation frames.
+	Burst int
+	// DelayTarget is the lending cutoff in modeled service rounds: a stream
+	// whose last measured head delay exceeds it has a standing queue and is
+	// refused further pool credit until the queue drains. Zero means any
+	// measurable standing delay cuts lending off.
+	DelayTarget uint64
+}
+
+// Validate checks the pool configuration.
+func (c SharedConfig) Validate() error {
+	if c.Reservation < 1 {
+		return fmt.Errorf("qm: pool reservation %d", c.Reservation)
+	}
+	if c.Burst < 0 {
+		return fmt.Errorf("qm: pool burst %d", c.Burst)
+	}
+	return nil
+}
+
+// pool is the shared-buffer ledger: a free-credit count plus per-stream
+// lent-credit and measured-delay cells. All cells are atomic because the
+// producer (acquire) and the card side (return, measure) race on them; the
+// frame rings themselves remain SPSC.
+type pool struct {
+	reservation int
+	delayTarget uint64
+
+	// free is the shared burst credit remaining; lent[i] is how many of the
+	// missing credits stream i holds. free + Σ lent == Burst always — the
+	// credit-conservation invariant the tests pin down.
+	free atomic.Int64
+	lent []atomic.Uint64
+
+	// lastDelay[i] is stream i's most recent head queueing delay in modeled
+	// service rounds, written by the card-side dequeue and read by the
+	// producer's lending decision.
+	lastDelay []atomic.Uint64
+
+	// borrows / denials / reclaims account the lending traffic: credits
+	// acquired, borrow attempts refused (pool empty or delay over target),
+	// credits returned. borrows == reclaims at quiescence.
+	borrows  atomic.Uint64
+	denials  atomic.Uint64
+	reclaims atomic.Uint64
+
+	// delayObs, when attached, receives every measured head delay. It is an
+	// obs histogram: two atomic adds per Observe, no allocation.
+	delayObs *obs.Histogram
+}
+
+// PoolStats is a snapshot of the shared pool's lending ledger. Free and
+// Lent are live-safe (atomic); at quiescence Free+Lent == Burst and
+// Borrows == Reclaims.
+type PoolStats struct {
+	Reservation int
+	Burst       int
+	Free        int64
+	Lent        uint64
+	Borrows     uint64
+	Denials     uint64
+	Reclaims    uint64
+}
+
+// NewShared builds a manager whose n per-stream queues share a delay-driven
+// burst pool instead of fixed private capacity: every stream is guaranteed
+// cfg.Reservation frames, and up to cfg.Burst further frames are lent across
+// streams by measured queueing delay. The physical rings are sized to the
+// worst case (reservation plus the whole pool, rounded up to a power of
+// two), so an admitted frame never fails its push; the *logical* capacity is
+// enforced by the credit ledger in Offer.
+func NewShared(n int, cfg SharedConfig) (*Manager, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := New(n, ceilPow2(cfg.Reservation+cfg.Burst))
+	if err != nil {
+		return nil, err
+	}
+	p := &pool{
+		reservation: cfg.Reservation,
+		delayTarget: cfg.DelayTarget,
+		lent:        make([]atomic.Uint64, n),
+		lastDelay:   make([]atomic.Uint64, n),
+	}
+	p.free.Store(int64(cfg.Burst))
+	m.shared = p
+	return m, nil
+}
+
+// ceilPow2 returns the smallest power of two ≥ v (and ≥ 1).
+func ceilPow2(v int) int {
+	c := 1
+	for c < v {
+		c <<= 1
+	}
+	return c
+}
+
+// Shared reports the pool configuration in effect, or ok=false for a
+// fixed-capacity manager.
+func (m *Manager) Shared() (SharedConfig, bool) {
+	if m.shared == nil {
+		return SharedConfig{}, false
+	}
+	return SharedConfig{
+		Reservation: m.shared.reservation,
+		Burst:       int(m.shared.borrowCap()),
+		DelayTarget: m.shared.delayTarget,
+	}, true
+}
+
+// PoolStats snapshots the lending ledger; ok=false for a fixed-capacity
+// manager.
+func (m *Manager) PoolStats() (PoolStats, bool) {
+	p := m.shared
+	if p == nil {
+		return PoolStats{}, false
+	}
+	var lent uint64
+	for i := range p.lent {
+		lent += p.lent[i].Load()
+	}
+	return PoolStats{
+		Reservation: p.reservation,
+		Burst:       int(p.borrowCap()),
+		Free:        p.free.Load(),
+		Lent:        lent,
+		Borrows:     p.borrows.Load(),
+		Denials:     p.denials.Load(),
+		Reclaims:    p.reclaims.Load(),
+	}, true
+}
+
+// borrowCap recovers the configured Burst from the conservation invariant
+// (free + Σ lent is constant); it is only read on cold paths.
+func (p *pool) borrowCap() int64 {
+	t := p.free.Load()
+	for i := range p.lent {
+		t += int64(p.lent[i].Load())
+	}
+	return t
+}
+
+// SetDelayHistogram attaches a sink for measured head delays (modeled
+// service rounds, one observation per card-side dequeue). Attach it before
+// the pipeline starts; it is a no-op on a fixed-capacity manager.
+func (m *Manager) SetDelayHistogram(h *obs.Histogram) {
+	if m.shared != nil {
+		m.shared.delayObs = h
+	}
+}
+
+// StreamDelay returns stream i's last measured head queueing delay in
+// modeled service rounds (0 for fixed-capacity managers or out-of-range i).
+// Safe to read live: the cell is atomic.
+func (m *Manager) StreamDelay(i int) uint64 {
+	if m.shared == nil || i < 0 || i >= len(m.shared.lastDelay) {
+		return 0
+	}
+	return m.shared.lastDelay[i].Load()
+}
+
+// admit decides whether stream i, currently backlog frames deep, may accept
+// one more frame; borrowed reports whether the acceptance consumed a pool
+// credit (so a failed push can release it). Below the reservation admission
+// is unconditional; past it the stream must borrow, which the pool refuses
+// when the stream's measured delay shows a standing queue or the pool is
+// exhausted — that refusal is exactly the ring-full condition the overload
+// policy then arbitrates.
+//
+//sslint:hotpath
+func (p *pool) admit(i, backlog int) (ok, borrowed bool) {
+	if backlog < p.reservation {
+		return true, false
+	}
+	if p.lastDelay[i].Load() > p.delayTarget {
+		p.denials.Add(1)
+		return false, false
+	}
+	for {
+		v := p.free.Load()
+		if v <= 0 {
+			p.denials.Add(1)
+			return false, false
+		}
+		if p.free.CompareAndSwap(v, v-1) {
+			p.lent[i].Add(1)
+			p.borrows.Add(1)
+			return true, true
+		}
+	}
+}
+
+// release undoes an admit that borrowed but whose push then failed; the
+// credit goes straight back to the pool.
+func (p *pool) release(i int) {
+	p.lent[i].Add(^uint64(0))
+	p.free.Add(1)
+	p.borrows.Add(^uint64(0))
+}
+
+// reclaim returns one of stream i's lent credits, if it holds any — called
+// on every frame that leaves the ring (dequeue, eviction, drain), since any
+// departure shrinks the backlog the credits were covering. The CAS loop
+// tolerates the producer racing a concurrent borrow.
+//
+//sslint:hotpath
+func (p *pool) reclaim(i int) {
+	for {
+		v := p.lent[i].Load()
+		if v == 0 {
+			return
+		}
+		if p.lent[i].CompareAndSwap(v, v-1) {
+			p.free.Add(1)
+			p.reclaims.Add(1)
+			return
+		}
+	}
+}
+
+// measure records stream i's head queueing delay as the frame leaves for
+// the card: the manager's modeled service round (rounds) minus the frame's
+// Arrival stamp, clamped at zero for frames produced ahead of service. The
+// result feeds the producer's next lending decision and the attached
+// histogram. Modeled time only — see the package comment.
+//
+//sslint:hotpath
+func (p *pool) measure(i int, rounds, arrival uint64) {
+	var d uint64
+	if rounds > arrival {
+		d = rounds - arrival
+	}
+	p.lastDelay[i].Store(d)
+	if p.delayObs != nil {
+		p.delayObs.Observe(d)
+	}
+}

@@ -1,0 +1,253 @@
+package qm
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// drainAll pops every queued frame of stream i through the card-side source,
+// returning how many it dequeued.
+func drainAll(t *testing.T, m *Manager, i int) int {
+	t.Helper()
+	src := m.Source(i)
+	n := 0
+	for {
+		if _, ok := src.NextHead(); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+func TestNewSharedValidation(t *testing.T) {
+	if _, err := NewShared(4, SharedConfig{Reservation: 0, Burst: 4}); err == nil {
+		t.Fatal("Reservation 0 accepted")
+	}
+	if _, err := NewShared(0, SharedConfig{Reservation: 2, Burst: 4}); err == nil {
+		t.Fatal("0 streams accepted")
+	}
+	m, err := NewShared(4, SharedConfig{Reservation: 2, Burst: 4, DelayTarget: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, ok := m.Shared()
+	if !ok || cfg.Reservation != 2 || cfg.Burst != 4 || cfg.DelayTarget != 8 {
+		t.Fatalf("Shared() = %+v, %v", cfg, ok)
+	}
+	fixed, _ := New(4, 8)
+	if _, ok := fixed.Shared(); ok {
+		t.Fatal("fixed-capacity manager reports a pool")
+	}
+	if _, ok := fixed.PoolStats(); ok {
+		t.Fatal("fixed-capacity manager reports pool stats")
+	}
+	if d := fixed.StreamDelay(0); d != 0 {
+		t.Fatalf("fixed-capacity StreamDelay = %d", d)
+	}
+}
+
+// A stream bursting past its reservation borrows pool credits frame by
+// frame; dequeues return them; at quiescence the ledger conserves credits
+// exactly (free == burst, borrows == reclaims).
+func TestPoolLendingAndCreditConservation(t *testing.T) {
+	const res, burst = 2, 4
+	m, err := NewShared(2, SharedConfig{Reservation: res, Burst: burst, DelayTarget: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reservation admits freely, then each extra frame borrows one credit.
+	for k := 0; k < res+burst; k++ {
+		if v := m.Offer(0, Frame{Size: 64, Arrival: uint64(k)}); v != Queued {
+			t.Fatalf("offer %d: verdict %v", k, v)
+		}
+	}
+	st, _ := m.PoolStats()
+	if st.Free != 0 || st.Lent != burst || st.Borrows != burst {
+		t.Fatalf("after burst: %+v", st)
+	}
+	// Pool exhausted: stream 1 cannot even start borrowing past its own
+	// reservation, but its guaranteed frames still go through.
+	for k := 0; k < res; k++ {
+		if v := m.Offer(1, Frame{Size: 64}); v != Queued {
+			t.Fatalf("reserved offer %d: verdict %v", k, v)
+		}
+	}
+	if v := m.Offer(1, Frame{Size: 64}); v != Busy {
+		t.Fatalf("exhausted-pool offer: verdict %v (want Busy under backpressure)", v)
+	}
+	st, _ = m.PoolStats()
+	if st.Denials == 0 {
+		t.Fatal("refused borrow did not count a denial")
+	}
+	// Draining returns every credit.
+	got := drainAll(t, m, 0) + drainAll(t, m, 1)
+	if got != res+burst+res {
+		t.Fatalf("dequeued %d frames", got)
+	}
+	st, _ = m.PoolStats()
+	if st.Free != burst || st.Lent != 0 || st.Borrows != st.Reclaims {
+		t.Fatalf("at quiescence: %+v", st)
+	}
+}
+
+// A stream whose measured head delay exceeds the target is cut off at its
+// reservation — the standing-queue (bufferbloat) guard — and resumes
+// borrowing once a fresh head brings the measured delay back down.
+func TestPoolDelayThrottlesLending(t *testing.T) {
+	m, err := NewShared(1, SharedConfig{Reservation: 2, Burst: 8, DelayTarget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stale frames: arrival 0 while the dequeue clock advances past them.
+	for k := 0; k < 4; k++ {
+		if v := m.Offer(0, Frame{Size: 64}); v != Queued {
+			t.Fatalf("offer %d: verdict %v", k, v)
+		}
+	}
+	if n := drainAll(t, m, 0); n != 4 {
+		t.Fatalf("drained %d", n)
+	}
+	if d := m.StreamDelay(0); d <= 1 {
+		t.Fatalf("measured delay %d, want > target 1", d)
+	}
+	// Reservation still guaranteed; the borrow past it is refused. The
+	// arrivals track the dequeue clock (4 frames served so far) so these
+	// are fresh frames behind a stale measurement.
+	if v := m.Offer(0, Frame{Size: 64, Arrival: 4}); v != Queued {
+		t.Fatalf("reserved offer: verdict %v", v)
+	}
+	if v := m.Offer(0, Frame{Size: 64, Arrival: 5}); v != Queued {
+		t.Fatalf("reserved offer: verdict %v", v)
+	}
+	if v := m.Offer(0, Frame{Size: 64, Arrival: 6}); v != Busy {
+		t.Fatalf("throttled offer: verdict %v (want Busy)", v)
+	}
+	// Fresh heads (arrival at the clock) bring the measured delay back under
+	// the target and lending resumes.
+	if n := drainAll(t, m, 0); n != 2 {
+		t.Fatalf("drained %d", n)
+	}
+	if d := m.StreamDelay(0); d > 1 {
+		t.Fatalf("fresh-head delay %d, want ≤ 1", d)
+	}
+	for k := 0; k < 3; k++ {
+		if v := m.Offer(0, Frame{Size: 64, Arrival: 6 + uint64(k)}); v != Queued {
+			t.Fatalf("recovered offer %d: verdict %v", k, v)
+		}
+	}
+	st, _ := m.PoolStats()
+	if st.Lent != 1 {
+		t.Fatalf("recovered lending: %+v", st)
+	}
+}
+
+// DropOldest evictions and supervisor drains both shrink a borrowed
+// backlog, so both must return lent credits.
+func TestPoolReclaimOnEvictionAndDrain(t *testing.T) {
+	m, err := NewShared(1, SharedConfig{Reservation: 1, Burst: 4, DelayTarget: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetPolicy(DropOldest)
+	for k := 0; k < 5; k++ {
+		if v := m.Offer(0, Frame{Size: 64, Arrival: uint64(k)}); v != Queued {
+			t.Fatalf("offer %d: verdict %v", k, v)
+		}
+	}
+	// Pool exhausted: the next offer marks the oldest head for eviction.
+	if v := m.Offer(0, Frame{Size: 64, Arrival: 5}); v != Busy {
+		t.Fatalf("overflow offer: verdict %v", v)
+	}
+	if m.LiveDropped() != 1 {
+		t.Fatalf("live drops %d", m.LiveDropped())
+	}
+	// The eviction is consumed by the card side and frees a credit; the
+	// retried frame then borrows it back.
+	src := m.Source(0)
+	if _, ok := src.NextHead(); !ok {
+		t.Fatal("dequeue failed")
+	}
+	st, _ := m.PoolStats()
+	// Two departures (eviction + served head) against four lent credits.
+	if st.Lent != 2 || st.Free != 2 {
+		t.Fatalf("after eviction: %+v", st)
+	}
+	// Drain the rest: salvage skips nothing further, credits all return.
+	salvaged := m.Drain(0, nil)
+	if salvaged != 3 {
+		t.Fatalf("salvaged %d", salvaged)
+	}
+	st, _ = m.PoolStats()
+	if st.Free != 4 || st.Lent != 0 || st.Borrows != st.Reclaims {
+		t.Fatalf("after drain: %+v", st)
+	}
+}
+
+// The pool metrics surface on the qm registry page, live-safe.
+func TestPoolMetricsRegistered(t *testing.T) {
+	m, err := NewShared(2, SharedConfig{Reservation: 1, Burst: 2, DelayTarget: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	m.RegisterMetrics(reg, "qm")
+	h := obs.NewHistogram()
+	m.SetDelayHistogram(h)
+	for k := 0; k < 3; k++ {
+		m.Submit(0, Frame{Size: 64, Arrival: uint64(k)})
+	}
+	drainAll(t, m, 0)
+	if h.Count() != 3 {
+		t.Fatalf("delay histogram saw %d observations", h.Count())
+	}
+	snap := reg.Snapshot()
+	want := map[string]float64{
+		"qm.pool.free":     2,
+		"qm.pool.lent":     0,
+		"qm.pool.borrows":  2,
+		"qm.pool.reclaims": 2,
+	}
+	found := 0
+	for _, mt := range snap.Metrics {
+		if v, ok := want[mt.Name]; ok {
+			found++
+			if mt.Value != v {
+				t.Fatalf("%s = %v, want %v", mt.Name, mt.Value, v)
+			}
+		}
+	}
+	if found != len(want) {
+		t.Fatalf("found %d/%d pool metrics", found, len(want))
+	}
+}
+
+// TestZeroAllocPool pins the pool's 0-alloc steady state: submit/dequeue
+// churn past the reservation — borrowing, reclaiming, measuring delay into
+// an attached histogram — allocates nothing.
+func TestZeroAllocPool(t *testing.T) {
+	m, err := NewShared(2, SharedConfig{Reservation: 2, Burst: 8, DelayTarget: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetDelayHistogram(obs.NewHistogram())
+	src0, src1 := m.Source(0), m.Source(1)
+	var arrival uint64
+	allocs := testing.AllocsPerRun(200, func() {
+		for k := 0; k < 6; k++ {
+			m.Submit(0, Frame{Size: 64, Arrival: arrival})
+			m.Submit(1, Frame{Size: 64, Arrival: arrival})
+			arrival++
+		}
+		for {
+			_, ok0 := src0.NextHead()
+			_, ok1 := src1.NextHead()
+			if !ok0 && !ok1 {
+				break
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("pool steady state allocates: %v allocs/run", allocs)
+	}
+}

@@ -139,6 +139,12 @@ type Manager struct {
 	// from any goroutine while the pipeline runs. Backpressure refusals are
 	// not live drops: the producer still holds the frame.
 	liveDrops atomic.Uint64
+
+	// shared, when non-nil, is the delay-driven shared buffer pool
+	// (NewShared): per-stream logical capacity is a guaranteed reservation
+	// plus credits lent from a common burst pool, so "ring full" becomes a
+	// credit decision instead of a physical one. See pool.go.
+	shared *pool
 }
 
 // StreamStats is one stream's Queue-Manager accounting. Dropped counts
@@ -249,6 +255,17 @@ func (m *Manager) Offer(i int, f Frame) Verdict {
 		m.satRemaining--
 		full = true
 	}
+	// Under the shared pool the ring-full condition is logical: within the
+	// reservation a stream admits freely, past it the frame must borrow a
+	// pool credit, and a refused borrow (standing queue or exhausted pool)
+	// lands on the same overload-policy paths a physically full ring would.
+	borrowed := false
+	if !full && m.shared != nil {
+		var ok bool
+		if ok, borrowed = m.shared.admit(i, m.queues[i].Len()); !ok {
+			full = true
+		}
+	}
 	if !full {
 		f = m.stampTags(i, f)
 		if m.queues[i].Push(f) {
@@ -258,6 +275,9 @@ func (m *Manager) Offer(i int, f Frame) Verdict {
 			return Queued
 		}
 		m.unstampTags(i)
+		if borrowed {
+			m.shared.release(i)
+		}
 	}
 	// Every path below failed to enqueue: one refused attempt, whatever
 	// the policy. Losses are charged separately so Dropped keeps the
@@ -399,6 +419,9 @@ func (s *source) NextHead() (regblock.Head, bool) {
 			break
 		}
 		m.evict[s.stream].Add(^uint64(0))
+		if m.shared != nil {
+			m.shared.reclaim(s.stream) // an eviction shrinks the lent backlog too
+		}
 	}
 	f, ok := m.queues[s.stream].Pop()
 	if !ok {
@@ -406,6 +429,13 @@ func (s *source) NextHead() (regblock.Head, bool) {
 	}
 	m.Dequeued++
 	m.perDequeued[s.stream]++
+	if m.shared != nil {
+		// Return a lent credit if one is outstanding, and publish the head's
+		// measured queueing delay (modeled service rounds) for the producer's
+		// next lending decision.
+		m.shared.reclaim(s.stream)
+		m.shared.measure(s.stream, m.Dequeued/uint64(len(m.queues)), f.Arrival)
+	}
 	h := regblock.Head{Arrival: f.Arrival}
 	if m.specs[s.stream].Class == attr.FairTag {
 		// WFQ-style programs schedule on finish tags; STFQ on start tags
@@ -438,6 +468,9 @@ func (m *Manager) Drain(i int, fn func(Frame)) int {
 		f, ok := m.queues[i].Pop()
 		if !ok {
 			return salvaged
+		}
+		if m.shared != nil {
+			m.shared.reclaim(i) // every departure returns lent capacity
 		}
 		if m.evict[i].Load() > 0 {
 			m.evict[i].Add(^uint64(0))

@@ -16,9 +16,21 @@ import (
 //
 // Call it after New and before Run; the placement gauge assumes admission is
 // complete by the time it is scraped.
+// When the delay-driven shared buffer pool is configured (Config.BufferPool)
+// each shard additionally publishes its Queue Manager's accounting and pool
+// lending ledger under prefix.shardK.qm.*, plus a prefix.shardK.qm.delay
+// histogram of measured head queueing delays in modeled service rounds (the
+// signal that drives lending — modeled time, never the wall clock).
 func (r *Router) RegisterMetrics(reg *obs.Registry, prefix string) {
 	for _, s := range r.shards {
 		s.delivered = reg.Counter(fmt.Sprintf("%s.shard%d.delivered", prefix, s.index), "frames")
+	}
+	if r.cfg.BufferPool.Reservation > 0 {
+		for _, s := range r.shards {
+			qmPrefix := fmt.Sprintf("%s.shard%d.qm", prefix, s.index)
+			s.manager.SetDelayHistogram(reg.Histogram(qmPrefix+".delay", "rounds"))
+			s.manager.RegisterMetrics(reg, qmPrefix)
+		}
 	}
 	reg.GaugeFunc(prefix+".delivered", "frames", func() float64 {
 		var total uint64

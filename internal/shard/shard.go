@@ -91,6 +91,30 @@ type Config struct {
 	// full Table-2 datapath — the historical behavior. Admitted specs must
 	// still be legal under the derived mode (core.Admit enforces this).
 	Program decision.Program
+	// RunToCompletion selects the run-to-completion shard loop for Run:
+	// instead of three goroutines per shard (producer, scheduler,
+	// transmission engine) handing frames across spin-waited SPSC rings,
+	// one goroutine per shard pins its OS thread (runtime.LockOSThread)
+	// and runs produce → schedule → transmit phases to completion in
+	// batched epochs, publishing the delivered-frame counter and the
+	// bandwidth meter once per epoch instead of once per frame. Modeled
+	// time, per-slot accounting, PCI metering and the SPSC ring contracts
+	// are unchanged — each ring still has exactly one producer and one
+	// consumer, they just alternate phases on the same thread — so results
+	// are equivalent; what changes is that the simulation stops paying
+	// cross-goroutine handoffs and per-frame atomics on the hot path.
+	// RunSupervised ignores the flag: the supervisor's barrier-phased
+	// rounds and fault injection run exactly as before.
+	RunToCompletion bool
+	// BufferPool, when its Reservation is non-zero, replaces each shard's
+	// fixed per-stream rings (RingCapacity) with the Queue Manager's
+	// delay-driven shared buffer pool (qm.NewShared): every stream keeps a
+	// guaranteed reservation and a per-shard burst pool lends the rest by
+	// measured queueing delay, so a hot stream bursting through a draining
+	// queue can hold far more than an even split while a wedged stream is
+	// capped at its reservation. The zero value keeps the historical fixed
+	// rings. The pool is per shard — there is still no cross-shard state.
+	BufferPool qm.SharedConfig
 }
 
 // withDefaults returns cfg with zero fields filled in.
@@ -175,7 +199,13 @@ func New(cfg Config) (*Router, error) {
 	}
 	r := &Router{cfg: cfg, byID: make(map[StreamID]location)}
 	for k := 0; k < cfg.Shards; k++ {
-		manager, err := qm.New(cfg.SlotsPerShard, cfg.RingCapacity)
+		var manager *qm.Manager
+		var err error
+		if cfg.BufferPool.Reservation > 0 {
+			manager, err = qm.NewShared(cfg.SlotsPerShard, cfg.BufferPool)
+		} else {
+			manager, err = qm.New(cfg.SlotsPerShard, cfg.RingCapacity)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -426,7 +456,11 @@ func (r *Router) Run(framesPerStream int) (*Result, error) {
 		wg.Add(1)
 		go func(s *shardState) {
 			defer wg.Done()
-			res, err := r.runShard(s, framesPerStream, windowNs, stop, cancel)
+			run := r.runShard
+			if r.cfg.RunToCompletion {
+				run = r.runShardRTC
+			}
+			res, err := run(s, framesPerStream, windowNs, stop, cancel)
 			if err != nil {
 				cancel()
 				errCh <- fmt.Errorf("shard %d: %w", s.index, err)
@@ -436,7 +470,7 @@ func (r *Router) Run(framesPerStream int) (*Result, error) {
 		}(s)
 	}
 	wg.Wait()
-	wallNs := float64(time.Since(start))
+	wallNs := float64(time.Since(start)) //sslint:allow walltime — wall-clock scaling: aggregate throughput is reported in real elapsed time by design
 	close(errCh)
 	var failures, cancellations []error
 	for err := range errCh {
@@ -600,6 +634,138 @@ func (r *Router) runShard(s *shardState, framesPerStream int, windowNs float64, 
 		}
 	}
 	wg.Wait()
+	meter.Finish()
+
+	res.Frames = delivered
+	res.Decisions = s.sched.Decisions()
+	res.IdleCycles = s.sched.IdleCycles()
+	res.TransferNs = s.bus.BusyNs
+	res.VirtualNs = float64(total)*cfg.HostNs + s.bus.BusyNs
+	res.Counters = s.sched.Totals()
+	res.QM = s.manager.Totals()
+	res.Bandwidth = meter.Series(0)
+	return res, nil
+}
+
+// rtcIdleLimit bounds consecutive run-to-completion epochs without progress
+// before the shard declares itself wedged — a safety valve against a
+// misaccounted target, not a modeled timeout.
+const rtcIdleLimit = 1 << 14
+
+// runShardRTC is runShard in run-to-completion form: the calling goroutine
+// pins its OS thread and cycles produce → schedule → transmit epochs until
+// the shard's share of the run is delivered. Each epoch tops up every
+// stream ring from the frame iterator, hands the scheduler one
+// schedulerBatchCycles batch (draining the tx ring inline when it fills —
+// this thread owns both ends), drains the scheduled IDs, and only then
+// publishes the epoch's deliveries: one atomic Add on the obs counter and
+// one batched bandwidth-meter record, instead of a per-frame Inc and
+// Record. Ring contracts stay SPSC — one producer, one consumer, in
+// alternating phases on one thread.
+func (r *Router) runShardRTC(s *shardState, framesPerStream int, windowNs float64, stop <-chan struct{}, cancel func()) (ShardResult, error) {
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	cfg := r.cfg
+	n := len(s.streams)
+	res := ShardResult{Shard: s.index, Streams: n, PerSlot: make([]uint64, cfg.SlotsPerShard)}
+	if err := s.sched.Start(); err != nil {
+		return res, err
+	}
+	total := uint64(n) * uint64(framesPerStream)
+	if total == 0 {
+		// Nothing flow-hashed here; the shard idles out the run.
+		return res, nil
+	}
+	meter, err := stats.NewBandwidthMeter(1, windowNs)
+	if err != nil {
+		return res, err
+	}
+	stopped := func() bool {
+		select {
+		case <-stop:
+			return true
+		default:
+			return false
+		}
+	}
+
+	meterBatch := s.bus.BatchMeter(cfg.Mode)
+	produced := make([]uint64, n)
+	var delivered, scheduled, sinceBatch, epochDelivered uint64
+	drainOne := func() bool {
+		tx, ok := s.txRing.Pop()
+		if !ok {
+			return false
+		}
+		res.PerSlot[tx.Slot]++
+		delivered++
+		epochDelivered++
+		return true
+	}
+	idleEpochs := 0
+	for delivered < total {
+		if stopped() {
+			return res, errCanceled
+		}
+		progressed := false
+		// Produce: top up every stream ring from the frame iterator.
+		for slot := 0; slot < n; slot++ {
+			for produced[slot] < uint64(framesPerStream) {
+				if !s.manager.Submit(slot, qm.Frame{Size: cfg.FrameBytes, Arrival: produced[slot]}) {
+					break // ring full: the scheduler phase makes room
+				}
+				produced[slot]++
+				progressed = true
+			}
+		}
+		// Schedule: one batched epoch.
+		var loopErr error
+		s.sched.RunCycles(schedulerBatchCycles, func(cr *core.CycleResult) bool {
+			for _, tx := range cr.Transmissions {
+				for !s.txRing.Push(tx) {
+					drainOne() // tx ring full: consume in place
+				}
+				scheduled++
+				progressed = true
+				sinceBatch++
+				if sinceBatch == uint64(cfg.TransferBatch) {
+					sinceBatch = 0
+					if err := meterBatch(cfg.TransferBatch); err != nil {
+						loopErr = err
+						return false
+					}
+				}
+			}
+			return scheduled < total
+		})
+		if loopErr != nil {
+			return res, loopErr
+		}
+		// Transmit: drain what this epoch scheduled.
+		for drainOne() {
+			progressed = true
+		}
+		// Publish: the epoch's deliveries land in one batched flush.
+		if epochDelivered > 0 {
+			if s.delivered != nil {
+				s.delivered.Add(epochDelivered)
+			}
+			// Record cannot fail: stream 0 exists and the modeled clock
+			// (delivered count × host cost) is monotone.
+			_ = meter.Record(0, int(epochDelivered)*cfg.FrameBytes, float64(delivered)*cfg.HostNs)
+			epochDelivered = 0
+		}
+		if progressed {
+			idleEpochs = 0
+		} else if idleEpochs++; idleEpochs > rtcIdleLimit {
+			return res, fmt.Errorf("run-to-completion pipeline wedged: %d/%d delivered", delivered, total)
+		}
+	}
+	if sinceBatch > 0 {
+		if err := meterBatch(int(sinceBatch)); err != nil {
+			return res, err
+		}
+	}
 	meter.Finish()
 
 	res.Frames = delivered

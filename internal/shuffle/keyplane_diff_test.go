@@ -1,0 +1,65 @@
+package shuffle
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/decision"
+)
+
+func TestQuickDifferential(t *testing.T) {
+	for _, mode := range []decision.Mode{decision.DWCS, decision.TagOnly} {
+		for _, sch := range []Schedule{PaperLogN, Bitonic, Tournament} {
+			for _, n := range []int{2, 4, 8, 16, 64, 256} {
+				rng := rand.New(rand.NewSource(int64(n)*7 + int64(sch)*3 + int64(mode)))
+				nw, _ := New(n, mode, sch)
+				ref, _ := New(n, mode, sch)
+				ref.oracle = true
+				in := make([]attr.Attributes, n)
+				keys := make([]attr.Key, n)
+				for trial := 0; trial < 200; trial++ {
+					refT := attr.Time16(rng.Uint32())
+					for i := range in {
+						in[i] = attr.Attributes{
+							Deadline: attr.Time16(rng.Uint32() & 0xFFFF),
+							Arrival:  attr.Time16(rng.Uint32() & 0xFFFF),
+							LossNum:  uint8(rng.Intn(4)),
+							LossDen:  uint8(1 + rng.Intn(4)),
+							Slot:     attr.SlotID(i),
+							Valid:    rng.Intn(4) != 0,
+						}
+						if rng.Intn(3) == 0 {
+							in[i].Deadline = in[0].Deadline
+							in[i].Arrival = in[0].Arrival
+							in[i].LossNum, in[i].LossDen = in[0].LossNum, in[0].LossDen
+						}
+						keys[i] = in[i].Key(refT)
+					}
+					a := nw.RunKeyed(in, keys)
+					b := ref.RunKeyed(in, keys)
+					if a.Winner != b.Winner {
+						t.Fatalf("mode=%v sch=%v n=%d trial=%d winner %+v != %+v", mode, sch, n, trial, a.Winner, b.Winner)
+					}
+					if (a.Block == nil) != (b.Block == nil) {
+						t.Fatalf("block nil mismatch")
+					}
+					for i := range a.Block {
+						if a.Block[i] != b.Block[i] {
+							t.Fatalf("mode=%v sch=%v n=%d trial=%d block[%d] %+v != %+v", mode, sch, n, trial, i, a.Block[i], b.Block[i])
+						}
+					}
+					if a.Passes != b.Passes {
+						t.Fatalf("passes %d != %d", a.Passes, b.Passes)
+					}
+				}
+				ab, bb := nw.DecisionBlocks(), ref.DecisionBlocks()
+				for i := range ab {
+					if ab[i] != bb[i] {
+						t.Fatalf("mode=%v sch=%v n=%d block %d counters %+v != %+v", mode, sch, n, i, ab[i], bb[i])
+					}
+				}
+			}
+		}
+	}
+}

@@ -57,6 +57,7 @@ import (
 	"repro/internal/fpga"
 	"repro/internal/linecard"
 	"repro/internal/pci"
+	"repro/internal/qm"
 	"repro/internal/regblock"
 	"repro/internal/shard"
 	"repro/internal/streamlet"
@@ -268,6 +269,26 @@ func NewShardedRouter(cfg ShardedConfig) (*ShardedRouter, error) {
 // throughput (and wall-clock throughput that scales with host cores).
 func RunSharded(shards, slotsPerShard, framesPerStream int, mode TransferMode) (*ShardedResult, error) {
 	return endsystem.RunSharded(shards, slotsPerShard, framesPerStream, mode)
+}
+
+type (
+	// ShardedOptions selects the optional machinery of a sharded run: PCI
+	// metering, an observability registry, the run-to-completion shard loop,
+	// and the delay-driven shared buffer pool (DESIGN.md §9).
+	ShardedOptions = endsystem.ShardedOptions
+	// BufferPoolConfig sizes the Queue Manager's shared buffering: a
+	// guaranteed per-stream reservation plus a burst pool lent frame by
+	// frame while a stream's measured head delay (in modeled service
+	// rounds) stays at or under DelayTarget. A zero value keeps the
+	// historical fixed per-stream rings.
+	BufferPoolConfig = qm.SharedConfig
+)
+
+// RunShardedOpts is RunSharded with the optional machinery selectable —
+// the general driver behind RunSharded, RunShardedInstrumented, and the
+// run-to-completion/shared-buffering configurations.
+func RunShardedOpts(shards, slotsPerShard, framesPerStream int, opts ShardedOptions) (*ShardedResult, error) {
+	return endsystem.RunShardedOpts(shards, slotsPerShard, framesPerStream, opts)
 }
 
 // Fault injection and self-healing (internal/fault, DESIGN.md §7): seeded,
