@@ -1,6 +1,6 @@
 # ShareStreams-Go convenience targets (plain `go` commands work too).
 
-.PHONY: all check ci build test race bench bench-check perf perf-check report experiments cover fuzz fuzz-smoke lint chaos
+.PHONY: all check ci build test race bench bench-check perf perf-check report experiments cover fuzz fuzz-smoke lint lint-ci lint-stats chaos
 
 all: build test race lint
 
@@ -11,8 +11,10 @@ check: all bench-check perf-check cover chaos fuzz-smoke
 
 # ci mirrors .github/workflows/ci.yml locally: the same steps its required
 # jobs run, in one invocation (the workflow's perf job is advisory and is
-# reproduced by `make perf-check`).
-ci: build test race lint bench-check cover chaos
+# reproduced by `make perf-check`). lint-ci is the workflow's lint step:
+# the same suite as lint plus the sslint.json artifact and the suppression
+# audit.
+ci: build test race lint-ci bench-check cover chaos
 
 build:
 	go build ./...
@@ -35,6 +37,24 @@ lint:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	go vet ./...
 	go run ./cmd/sslint ./...
+
+# lint-ci is the CI flavor of lint: findings also land in sslint.json (the
+# uploaded artifact) and as GitHub ::error annotations on the PR diff, and
+# the //sslint:allow suppression audit runs so a reasonless allow fails the
+# job even when the analyzers themselves are clean.
+lint-ci:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	go vet ./...
+	go run ./cmd/sslint -json sslint.json -github ./...
+	go run ./cmd/sslint -stats ./...
+
+# lint-stats audits the //sslint:allow suppressions: per-analyzer counts
+# plus every annotation's site and reason, failing on any allow whose
+# reason clause is empty or malformed. The current snapshot is recorded in
+# DESIGN.md §10 — refresh it there when this output changes.
+lint-stats:
+	go run ./cmd/sslint -stats ./...
 
 bench:
 	go test -bench=. -benchmem ./...

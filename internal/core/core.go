@@ -692,7 +692,7 @@ func (s *Scheduler) runCycle(cr *CycleResult) {
 	}
 	cr.Transmissions = s.txBuf
 	if s.trace != nil {
-		s.emitTrace(cr)
+		s.emitTrace(cr) //sslint:allow allocproof — tracing is a debug facility; trace is nil on measured runs
 	}
 	if s.obs != nil {
 		s.observe(cr)
@@ -839,7 +839,7 @@ func (s *Scheduler) runBlock(now uint64, res shuffle.Result, cr *CycleResult) {
 	// Invalid slots sink to the block tail (Decision validity rule), so
 	// the valid prefix is the transaction.
 	valid := len(res.Block)
-	for valid > 0 && !res.Block[valid-1].Valid {
+	for valid > 0 && !res.Block[valid-1].Valid { //sslint:bounded valid strictly decreases toward its zero floor
 		valid--
 	}
 	if valid == 0 {

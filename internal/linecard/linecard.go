@@ -69,7 +69,7 @@ type DualPortSRAM struct {
 	// FabricWrites and InterfaceReads count the port operations;
 	// FabricDrops counts fabric arrivals that found a full queue.
 	FabricWrites   uint64
-	InterfaceReads uint64
+	InterfaceReads uint64 //sslint:ledger
 	FabricDrops    uint64
 }
 

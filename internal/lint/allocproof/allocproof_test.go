@@ -1,0 +1,12 @@
+package allocproof_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/allocproof"
+	"repro/internal/lint/linttest"
+)
+
+func TestAllocProof(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", allocproof.Analyzer)
+}

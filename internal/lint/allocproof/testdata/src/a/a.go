@@ -1,0 +1,115 @@
+// Fixture for the allocproof analyzer: warm-path allocations are findings —
+// even behind conditionals or hidden in same-package helpers — while
+// panic-doomed paths may format their message in peace.
+package a
+
+import "fmt"
+
+type sched struct {
+	buf []int
+	n   int
+}
+
+//sslint:hotpath
+func (s *sched) runCycle() {
+	if s.n > len(s.buf) {
+		s.grow() // want `call to grow on the hot path reaches an allocation`
+	}
+	for i := 0; i < s.n; i++ {
+		s.buf[i] = i
+	}
+	if s.n < 0 {
+		// Doomed block: every continuation panics, so the formatting is
+		// cold and accepted.
+		msg := fmt.Sprintf("impossible n %d", s.n)
+		panic(msg)
+	}
+}
+
+// grow is not hot itself; it is reached from the hot path.
+func grow(n int) []int {
+	return make([]int, n)
+}
+
+func (s *sched) grow() {
+	s.buf = make([]int, 2*s.n)
+}
+
+//sslint:hotpath
+func condAlloc(flag bool, n int) []int {
+	var out []int
+	if flag {
+		out = make([]int, n) // want `make in the hot path allocates`
+	}
+	return out
+}
+
+//sslint:hotpath
+func closureCapture(n int) func() int {
+	f := func() int { return n } // want `closure literal in the hot path`
+	return f
+}
+
+//sslint:hotpath
+func transitive(n int) int {
+	xs := helper(n) // want `call to helper on the hot path reaches an allocation`
+	return len(xs)
+}
+
+// helper launders the allocation through a second hop.
+func helper(n int) []int {
+	return deeper(n)
+}
+
+func deeper(n int) []int {
+	return grow(n)
+}
+
+//sslint:hotpath
+func cleanCallee(s *sched) int {
+	return peek(s) // accepted: callee allocates nothing on any warm path
+}
+
+func peek(s *sched) int {
+	if s.n == 0 {
+		return 0
+	}
+	return s.buf[0]
+}
+
+//sslint:hotpath
+func calleePanicPath(s *sched) {
+	guard(s) // accepted: guard's only allocation is panic-doomed
+}
+
+func guard(s *sched) {
+	if s.n < 0 {
+		panic(fmt.Sprintf("negative n %d", s.n))
+	}
+	s.n++
+}
+
+//sslint:hotpath
+func boxed(v int) {
+	sink(v) // want `implicit conversion of int to interface`
+}
+
+func sink(any interface{}) { _ = any }
+
+// recurse proves the memoization does not diverge on cycles.
+//
+//sslint:hotpath
+func mutualA(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return stepB(n)
+}
+
+func stepB(n int) int { return stepC(n - 1) }
+func stepC(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return stepB(n - 1)
+}

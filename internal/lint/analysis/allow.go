@@ -129,6 +129,97 @@ func filterAllowed(pkg *Package, diags []Diagnostic, ran map[string]bool) (kept,
 	return kept, problems
 }
 
+// AllowInfo is one well-formed //sslint:allow annotation, for suppression
+// auditing (`sslint -stats`).
+type AllowInfo struct {
+	Analyzer string
+	Reason   string
+	File     string
+	Line     int
+}
+
+// Allows returns the package's parsed //sslint:allow annotations plus the
+// malformed ones (missing analyzer, dash, or reason) as diagnostics. It does
+// not check usage — that is Run's job — so it is safe on packages whose
+// analyzers have not run.
+func Allows(pkg *Package) ([]AllowInfo, []Diagnostic) {
+	allows, problems := collectAllows(pkg)
+	infos := make([]AllowInfo, 0, len(allows))
+	for _, a := range allows {
+		infos = append(infos, AllowInfo{Analyzer: a.name, Reason: a.reason, File: a.file, Line: a.line})
+	}
+	return infos, problems
+}
+
+// Marker is one //sslint:<name> source marker with its optional argument
+// text and the source line it covers (its own line, or the next line for a
+// standalone comment — the same targeting rule as //sslint:allow).
+type Marker struct {
+	Arg  string
+	File string
+	Line int
+	Pos  token.Pos
+}
+
+// Markers collects every //sslint:<name> marker in the files, keyed by
+// file then covered line. Marker grammars with arguments (//sslint:bounded
+// <reason>) read Arg; bare markers leave it empty. It takes the pieces a
+// Pass already holds so analyzers can consume marker grammars directly.
+func Markers(fset *token.FileSet, files []*ast.File, name string) map[string]map[int]Marker {
+	want := "sslint:" + name
+	out := map[string]map[int]Marker{}
+	lineCache := map[string][]string{}
+	sourceLine := func(file string, line int) string {
+		lines, ok := lineCache[file]
+		if !ok {
+			if data, err := os.ReadFile(file); err == nil {
+				lines = strings.Split(string(data), "\n")
+			}
+			lineCache[file] = lines
+		}
+		if line-1 < 0 || line-1 >= len(lines) {
+			return ""
+		}
+		return lines[line-1]
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				text = strings.TrimSpace(text)
+				if text != want && !strings.HasPrefix(text, want+" ") {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				target := p.Line
+				if line := sourceLine(p.Filename, p.Line); p.Column-1 <= len(line) &&
+					strings.TrimSpace(line[:p.Column-1]) == "" {
+					target = p.Line + 1 // standalone comment covers the next line
+				}
+				if out[p.Filename] == nil {
+					out[p.Filename] = map[int]Marker{}
+				}
+				out[p.Filename][target] = Marker{
+					Arg:  strings.TrimSpace(strings.TrimPrefix(text, want)),
+					File: p.Filename,
+					Line: target,
+					Pos:  c.Pos(),
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MarkerAt returns the marker covering the position's line, if any.
+func MarkerAt(markers map[string]map[int]Marker, p token.Position) (Marker, bool) {
+	m, ok := markers[p.Filename][p.Line]
+	return m, ok
+}
+
 // CommentHasMarker reports whether any comment attached via doc or line
 // comment groups contains the given //sslint:<marker> directive. Analyzers
 // use markers (//sslint:hotpath, //sslint:aliased, //sslint:spsc,

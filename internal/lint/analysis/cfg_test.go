@@ -1,0 +1,371 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// buildCFG type-checks a small dependency-free source and returns the CFG of
+// its first function declaration.
+func buildCFG(t *testing.T, src string) (*analysis.Graph, *types.Info, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", "package p\n\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	if _, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return analysis.NewCFG(fd, info), info, fset
+		}
+	}
+	t.Fatal("no function declaration in source")
+	return nil, nil, nil
+}
+
+// blockWith finds the unique block whose Nodes contain a node matched by
+// pred.
+func blockWith(t *testing.T, g *analysis.Graph, what string, pred func(ast.Node) bool) *analysis.Block {
+	t.Helper()
+	var found *analysis.Block
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if pred(n) {
+				if found != nil && found != blk {
+					t.Fatalf("%s appears in two blocks (%d and %d)", what, found.Index, blk.Index)
+				}
+				found = blk
+			}
+		}
+	}
+	if found == nil {
+		t.Fatalf("%s not found in any block", what)
+	}
+	return found
+}
+
+// addAssignTo matches `name += ...`.
+func addAssignTo(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) == 0 || as.Tok != token.ADD_ASSIGN {
+			return false
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		return ok && id.Name == name
+	}
+}
+
+func TestCFGIfElseBranchEdges(t *testing.T) {
+	g, _, _ := buildCFG(t, `
+func f(a bool) int {
+	x := 0
+	if a {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`)
+	var trueEdge, falseEdge *analysis.Edge
+	for _, blk := range g.Blocks {
+		for _, e := range blk.Succs {
+			if e.Cond == nil {
+				continue
+			}
+			if e.Branch {
+				trueEdge = e
+			} else {
+				falseEdge = e
+			}
+		}
+	}
+	if trueEdge == nil || falseEdge == nil {
+		t.Fatal("want one true-branch and one false-branch conditional edge")
+	}
+	if trueEdge.From != falseEdge.From {
+		t.Error("both conditional edges should leave the condition block")
+	}
+	reach := g.ReachableFromEntry()
+	if !reach[g.Exit] {
+		t.Error("exit must be reachable")
+	}
+}
+
+func TestCFGNodeExactness(t *testing.T) {
+	// Every simple statement of the function must land in exactly one block,
+	// and statements inside function literals in none.
+	g, _, _ := buildCFG(t, `
+func f(n int, m map[int]int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	for k, v := range m {
+		s += k + v
+	}
+	switch {
+	case s > 10:
+		s = 10
+	default:
+		s++
+	}
+	h := func() {
+		inner := 1
+		_ = inner
+	}
+	h()
+	return s
+}`)
+	seen := map[ast.Node]int{}
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			seen[n]++
+		}
+	}
+	for n, c := range seen {
+		if c != 1 {
+			t.Errorf("node %T appears %d times across blocks", n, c)
+		}
+	}
+	inFuncLit := false
+	ast.Inspect(g.Fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			inFuncLit = true
+			return true
+		}
+		if inFuncLit {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				if seen[as] != 0 {
+					t.Error("function-literal statement leaked into the outer CFG")
+				}
+			}
+		}
+		return true
+	})
+	var stmts int
+	for _, blk := range g.Blocks {
+		stmts += len(blk.Nodes)
+	}
+	if stmts == 0 {
+		t.Fatal("CFG holds no nodes")
+	}
+}
+
+func TestCFGPanicDoomsBlock(t *testing.T) {
+	g, _, _ := buildCFG(t, `
+func f(bad bool) {
+	if bad {
+		msg := "boom"
+		panic(msg)
+	}
+	work()
+}
+
+func work() {}`)
+	isPanicStmt := func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	isWorkStmt := func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "work"
+	}
+	panicBlk := blockWith(t, g, "panic call", isPanicStmt)
+	workBlk := blockWith(t, g, "work call", isWorkStmt)
+
+	reach := g.ReachableFromEntry()
+	warm := g.CanReachExit()
+	if !reach[panicBlk] {
+		t.Error("panic block must be reachable from entry")
+	}
+	if warm[panicBlk] {
+		t.Error("panic block must be doomed: no continuation returns normally")
+	}
+	if !reach[workBlk] || !warm[workBlk] {
+		t.Error("work() block must be both reachable and able to reach exit")
+	}
+	if !reach[g.Panic] {
+		t.Error("panic sink must be reachable")
+	}
+}
+
+func TestCFGInfiniteLoopNeverExits(t *testing.T) {
+	g, _, _ := buildCFG(t, `
+func f() {
+	for {
+		spin()
+	}
+}
+
+func spin() {}`)
+	if g.ReachableFromEntry()[g.Exit] {
+		t.Error("exit must be unreachable past a condition-free for loop")
+	}
+}
+
+func TestCFGLabeledBreakContinue(t *testing.T) {
+	g, _, _ := buildCFG(t, `
+func f(n int) int {
+	s := 0
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == 3 {
+				continue outer
+			}
+			if j == 4 {
+				break outer
+			}
+			s += j
+		}
+	}
+	return s
+}`)
+	reach := g.ReachableFromEntry()
+	warm := g.CanReachExit()
+	inner := blockWith(t, g, "s += j", addAssignTo("s"))
+	if !reach[inner] || !warm[inner] {
+		t.Error("inner loop body must be reachable and exitable")
+	}
+	for _, blk := range g.Blocks {
+		if len(blk.Nodes) > 0 && !reach[blk] {
+			t.Errorf("block %d with %d nodes is unreachable", blk.Index, len(blk.Nodes))
+		}
+	}
+	if !warm[g.Entry] || !reach[g.Exit] {
+		t.Error("function must flow entry to exit")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g, _, _ := buildCFG(t, `
+func f(x int) int {
+	r := 0
+	switch x {
+	case 1:
+		r = 1
+		fallthrough
+	case 2:
+		r = 2
+	default:
+		r = 3
+	}
+	return r
+}`)
+	// The fallthrough must link case 1's body to case 2's body: find the two
+	// blocks via their distinct assignments and require a direct edge.
+	var c1, c2 *analysis.Block
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				continue
+			}
+			if bl, ok := as.Rhs[0].(*ast.BasicLit); ok {
+				switch bl.Value {
+				case "1":
+					c1 = blk
+				case "2":
+					c2 = blk
+				}
+			}
+		}
+	}
+	if c1 == nil || c2 == nil {
+		t.Fatal("case bodies not found")
+	}
+	linked := false
+	for _, e := range c1.Succs {
+		if e.To == c2 {
+			linked = true
+		}
+	}
+	if !linked {
+		t.Error("fallthrough edge from case 1 to case 2 missing")
+	}
+}
+
+func TestCFGGotoLoop(t *testing.T) {
+	g, _, _ := buildCFG(t, `
+func f(n int) int {
+	i := 0
+loop:
+	if i < n {
+		i++
+		goto loop
+	}
+	return i
+}`)
+	reach := g.ReachableFromEntry()
+	warm := g.CanReachExit()
+	inc := blockWith(t, g, "i++", func(n ast.Node) bool {
+		_, ok := n.(*ast.IncDecStmt)
+		return ok
+	})
+	if !reach[inc] || !warm[inc] {
+		t.Error("goto loop body must be reachable and exitable")
+	}
+	// i++ must eventually cycle back: the goto edge leads to the label block
+	// whose condition re-tests i < n.
+	if !reach[g.Exit] {
+		t.Error("exit must be reachable when the goto loop terminates")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	g, _, _ := buildCFG(t, `
+func f(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case <-b:
+		return 0
+	}
+}`)
+	reach := g.ReachableFromEntry()
+	if !reach[g.Exit] {
+		t.Error("both select arms return; exit must be reachable")
+	}
+	comms := 0
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			switch n.(type) {
+			case *ast.AssignStmt, *ast.ExprStmt:
+				comms++
+			}
+		}
+	}
+	if comms != 2 {
+		t.Errorf("want 2 comm statements across arm blocks, got %d", comms)
+	}
+}

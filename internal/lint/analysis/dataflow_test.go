@@ -1,0 +1,234 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// assignedOps is a string-set lattice tracking variable names that have been
+// assigned; join is injected so one fixture covers may (union) and must
+// (intersection) flavors.
+func assignedOps(join func(dst, src map[string]bool) (map[string]bool, bool)) analysis.FlowOps[map[string]bool] {
+	return analysis.FlowOps[map[string]bool]{
+		Entry: func() map[string]bool { return map[string]bool{} },
+		Clone: func(f map[string]bool) map[string]bool {
+			c := make(map[string]bool, len(f))
+			for k, v := range f {
+				c[k] = v
+			}
+			return c
+		},
+		Transfer: func(n ast.Node, f map[string]bool) map[string]bool {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				for _, l := range as.Lhs {
+					if id, ok := l.(*ast.Ident); ok {
+						f[id.Name] = true
+					}
+				}
+			}
+			return f
+		},
+		Join: join,
+	}
+}
+
+func union(dst, src map[string]bool) (map[string]bool, bool) {
+	changed := false
+	for k := range src {
+		if !dst[k] {
+			dst[k] = true
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+func intersect(dst, src map[string]bool) (map[string]bool, bool) {
+	changed := false
+	for k := range dst {
+		if !src[k] {
+			delete(dst, k)
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+const branchySrc = `
+func f(a bool) (int, int) {
+	var x, y int
+	if a {
+		x = 1
+		y = 1
+	} else {
+		x = 2
+	}
+	return x, y
+}`
+
+// returnBlock finds the block holding the function's final return.
+func returnBlock(t *testing.T, g *analysis.Graph) *analysis.Block {
+	t.Helper()
+	return blockWith(t, g, "return", func(n ast.Node) bool {
+		_, ok := n.(*ast.ReturnStmt)
+		return ok
+	})
+}
+
+func TestForwardMayAnalysis(t *testing.T) {
+	g, _, _ := buildCFG(t, branchySrc)
+	in := analysis.Forward(g, assignedOps(union))
+	fact := in[returnBlock(t, g)]
+	if fact == nil {
+		t.Fatal("return block has no in-fact")
+	}
+	if !fact["x"] || !fact["y"] {
+		t.Errorf("may-assigned at return: want x and y, got %v", fact)
+	}
+}
+
+func TestForwardMustAnalysis(t *testing.T) {
+	g, _, _ := buildCFG(t, branchySrc)
+	in := analysis.Forward(g, assignedOps(intersect))
+	fact := in[returnBlock(t, g)]
+	if fact == nil {
+		t.Fatal("return block has no in-fact")
+	}
+	if !fact["x"] {
+		t.Errorf("x is assigned on every path; must-fact %v should contain it", fact)
+	}
+	if fact["y"] {
+		t.Errorf("y is assigned on one path only; must-fact %v should drop it", fact)
+	}
+}
+
+func TestForwardLoopConverges(t *testing.T) {
+	g, _, _ := buildCFG(t, `
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`)
+	in := analysis.Forward(g, assignedOps(union))
+	fact := in[returnBlock(t, g)]
+	if !fact["s"] || !fact["i"] {
+		t.Errorf("loop facts must reach the return block, got %v", fact)
+	}
+	if len(in) == 0 {
+		t.Fatal("fixpoint returned no facts")
+	}
+}
+
+func TestForwardEdgeRefinement(t *testing.T) {
+	// An obligation created by `v, ok := get()` is killed along the ok=false
+	// edge — the shape conserve uses for guard-sensitive borrow tracking.
+	g, info, _ := buildCFG(t, `
+func f() int {
+	v, ok := get()
+	if ok {
+		return v
+	}
+	return -1
+}
+
+func get() (int, bool) { return 1, true }`)
+	ops := assignedOps(union)
+	ops.Transfer = func(n ast.Node, f map[string]bool) map[string]bool {
+		if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == 2 {
+			f["pending"] = true
+		}
+		return f
+	}
+	ops.Edge = func(e *analysis.Edge, f map[string]bool) (map[string]bool, bool) {
+		if e.Cond == nil {
+			return f, true
+		}
+		if cv, sense, ok := analysis.CondVar(info, e.Cond, e.Branch); ok && cv.Name() == "ok" && !sense {
+			delete(f, "pending")
+		}
+		return f, true
+	}
+	in := analysis.Forward(g, ops)
+
+	okReturn := blockWith(t, g, "return v", func(n ast.Node) bool {
+		rs, ok := n.(*ast.ReturnStmt)
+		return ok && len(rs.Results) == 1 && isIdent(rs.Results[0], "v")
+	})
+	failReturn := blockWith(t, g, "return -1", func(n ast.Node) bool {
+		rs, ok := n.(*ast.ReturnStmt)
+		return ok && (len(rs.Results) != 1 || !isIdent(rs.Results[0], "v"))
+	})
+	if !in[okReturn]["pending"] {
+		t.Error("ok=true path must carry the obligation")
+	}
+	if in[failReturn]["pending"] {
+		t.Error("ok=false edge must kill the obligation")
+	}
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func TestCondVarNegation(t *testing.T) {
+	g, info, _ := buildCFG(t, `
+func f(ok bool) int {
+	if !(!(ok)) {
+		return 1
+	}
+	return 0
+}`)
+	var tested int
+	for _, blk := range g.Blocks {
+		for _, e := range blk.Succs {
+			if e.Cond == nil {
+				continue
+			}
+			v, sense, ok := analysis.CondVar(info, e.Cond, e.Branch)
+			if !ok {
+				t.Fatalf("CondVar failed on %v", e.Cond)
+			}
+			if v.Name() != "ok" {
+				t.Fatalf("resolved wrong variable %s", v.Name())
+			}
+			// Double negation cancels: sense tracks the edge's branch.
+			if sense != e.Branch {
+				t.Errorf("double negation must preserve sense: edge branch %v, sense %v", e.Branch, sense)
+			}
+			tested++
+		}
+	}
+	if tested != 2 {
+		t.Fatalf("want 2 conditional edges, tested %d", tested)
+	}
+}
+
+func TestCondCall(t *testing.T) {
+	e, err := parser.ParseExpr("!(r.Push(v))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	call, sense, ok := analysis.CondCall(e, true)
+	if !ok || call == nil {
+		t.Fatal("CondCall must resolve through negation and parens")
+	}
+	if sense {
+		t.Error("negated call taken on the true branch means the call returned false")
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || sel.Sel.Name != "Push" {
+		t.Error("resolved the wrong call")
+	}
+	if _, _, ok := analysis.CondCall(e, false); !ok {
+		t.Error("CondCall must resolve for either branch")
+	}
+	if _, _, ok := analysis.CondCall(ast.NewIdent("x"), true); ok {
+		t.Error("a bare identifier is not a call")
+	}
+}

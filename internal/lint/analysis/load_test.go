@@ -1,0 +1,99 @@
+package analysis_test
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// The loader's failure modes must come back as diagnosable errors naming the
+// offending package — never panics, never silent empty results.
+
+func TestLoadNonexistentPattern(t *testing.T) {
+	_, err := analysis.Load("../../..", []string{"./does/not/exist"})
+	if err == nil {
+		t.Fatal("loading a nonexistent pattern must fail")
+	}
+	if !strings.Contains(err.Error(), "does/not/exist") {
+		t.Errorf("error should name the bad pattern, got: %v", err)
+	}
+}
+
+func TestLoadKnownGoodPattern(t *testing.T) {
+	pkgs, err := analysis.Load("../../..", []string{"./internal/ringbuf"})
+	if err != nil {
+		t.Fatalf("loading ringbuf: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "repro/internal/ringbuf" {
+		t.Fatalf("want exactly repro/internal/ringbuf, got %+v", pkgs)
+	}
+	if pkgs[0].Types == nil || pkgs[0].Info == nil || len(pkgs[0].Files) == 0 {
+		t.Error("loaded package must carry types, info, and files")
+	}
+}
+
+func TestTypeCheckDirTypeError(t *testing.T) {
+	dir := t.TempDir()
+	src := "package bad\n\nfunc f() int {\n\treturn \"not an int\"\n}\n"
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := analysis.TypeCheckDir(token.NewFileSet(), dir, "bad", failResolve)
+	if err == nil {
+		t.Fatal("type error must surface as an error")
+	}
+	if !strings.Contains(err.Error(), "type-checking bad") {
+		t.Errorf("error should name the package being checked, got: %v", err)
+	}
+}
+
+func TestTypeCheckDirParseError(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "broken.go"), []byte("package {{{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := analysis.TypeCheckDir(token.NewFileSet(), dir, "broken", failResolve)
+	if err == nil {
+		t.Fatal("parse error must surface as an error")
+	}
+}
+
+func TestTypeCheckDirEmpty(t *testing.T) {
+	_, err := analysis.TypeCheckDir(token.NewFileSet(), t.TempDir(), "empty", failResolve)
+	if err == nil || !strings.Contains(err.Error(), "no Go files") {
+		t.Errorf("empty fixture dir must be a 'no Go files' error, got: %v", err)
+	}
+}
+
+func TestTypeCheckDirMissingExportData(t *testing.T) {
+	dir := t.TempDir()
+	src := "package uses\n\nimport \"fmt\"\n\nfunc f() { fmt.Println() }\n"
+	if err := os.WriteFile(filepath.Join(dir, "uses.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// An ExportResolver built over no import paths resolves nothing: the
+	// import must fail with a "no export data" explanation, not a panic.
+	resolve, err := analysis.ExportResolver(".", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = analysis.TypeCheckDir(token.NewFileSet(), dir, "uses", resolve)
+	if err == nil {
+		t.Fatal("missing export data must surface as an error")
+	}
+	if !strings.Contains(err.Error(), "no export data") {
+		t.Errorf("error should explain the missing export data, got: %v", err)
+	}
+}
+
+// failResolve stands in for export data that is never needed; importing
+// anything through it surfaces as a readable error rather than a panic.
+func failResolve(path string) (io.ReadCloser, error) {
+	return nil, fmt.Errorf("no export data for %q", path)
+}

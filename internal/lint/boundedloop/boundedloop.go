@@ -1,0 +1,118 @@
+// Package boundedloop proves that every loop in the decision hot path has a
+// bounded trip count, so a cycle stays O(N log N) no matter what the inputs
+// do.
+//
+// A loop is accepted when its bound is visible in its header:
+//
+//   - a three-clause for with a relational condition and a post statement
+//     (`for i := 0; i < n; i++` — constant, slice-len, or N-derived bounds
+//     all take this shape);
+//   - a range over anything except a channel or an iterator function, whose
+//     trip count is the operand's length.
+//
+// Everything else — `for {}` spinners, condition-only retry loops, channel
+// drains — needs an //sslint:bounded <reason> annotation stating what bounds
+// the trip count (a CAS retry bounded by the pool burst, say). A bare
+// //sslint:bounded with no reason is itself a finding: the bound must be
+// argued, not asserted. The hot set is the shared hotset package's list plus
+// //sslint:hotpath-annotated functions; function literals are skipped — they
+// run on someone else's schedule.
+package boundedloop
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/hotset"
+)
+
+// Analyzer is the boundedloop check.
+var Analyzer = &analysis.Analyzer{
+	Name: "boundedloop",
+	Doc:  "require provably bounded trip counts for every loop in the decision hot path",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	markers := analysis.Markers(pass.Fset, pass.Files, "bounded")
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hotset.IsHot(pass.Pkg.Path(), fd) {
+				continue
+			}
+			analysis.WalkStack(fd.Body, func(n ast.Node, _ []ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.ForStmt:
+					if !boundedFor(x) {
+						check(pass, markers, x.Pos(), "loop without a header bound")
+					}
+				case *ast.RangeStmt:
+					if k := unboundedRangeKind(pass, x); k != "" {
+						check(pass, markers, x.Pos(), k)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// check reports the loop unless an //sslint:bounded annotation with a
+// non-empty reason covers its line.
+func check(pass *analysis.Pass, markers map[string]map[int]analysis.Marker, pos token.Pos, kind string) {
+	if m, ok := analysis.MarkerAt(markers, pass.Fset.Position(pos)); ok {
+		if strings.TrimSpace(m.Arg) == "" {
+			pass.Report(pos, "//sslint:bounded needs a reason: state what bounds the trip count")
+		}
+		return
+	}
+	pass.Reportf(pos, "%s in the hot path is not provably bounded; give it a `for i := 0; i < n; i++` header or annotate //sslint:bounded <reason>", kind)
+}
+
+// boundedFor accepts the three-clause shape whose condition is relational:
+// the induction variable marches toward a header-visible bound.
+func boundedFor(s *ast.ForStmt) bool {
+	return s.Cond != nil && s.Post != nil && relational(s.Cond)
+}
+
+// relational reports whether e compares two values (possibly inside a
+// boolean combination — `i < n && live` still bounds the loop by i).
+func relational(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return relational(x.X)
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.NEQ:
+			return true
+		case token.LAND, token.LOR:
+			return relational(x.X) || relational(x.Y)
+		}
+	}
+	return false
+}
+
+// unboundedRangeKind classifies ranges whose trip count is not a length:
+// channels block on the producer and iterator functions yield at their own
+// discretion. Everything else (slice, array, map, string, integer) is
+// bounded by construction.
+func unboundedRangeKind(pass *analysis.Pass, s *ast.RangeStmt) string {
+	tv, ok := pass.Info.Types[s.X]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Chan:
+		return "range over a channel"
+	case *types.Signature:
+		return "range over an iterator function"
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package boundedloop_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/boundedloop"
+	"repro/internal/lint/linttest"
+)
+
+func TestBoundedLoop(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", boundedloop.Analyzer)
+}

@@ -1,0 +1,66 @@
+// Fixture for the boundedloop analyzer: header-bounded loops and annotated
+// retries are accepted; spinners, condition-only loops, channel drains, and
+// reason-free annotations are findings.
+package a
+
+type w struct{ buf []int }
+
+//sslint:hotpath
+func (x *w) scan(n int) int {
+	s := 0
+	for i := 0; i < n; i++ { // bounded: three-clause relational header
+		s += i
+	}
+	for i := n; i > 0; i-- { // bounded: downward march
+		s += i
+	}
+	for i := 0; i < n && s < 100; i++ { // bounded: relational conjunct
+		s += i
+	}
+	for _, v := range x.buf { // bounded: slice length
+		s += v
+	}
+	for { // want `loop without a header bound in the hot path is not provably bounded`
+		if s > 10 {
+			break
+		}
+		s++
+	}
+	for s < 100 { // want `loop without a header bound`
+		s *= 2
+	}
+	//sslint:bounded CAS retry converges within Burst attempts
+	for !try() {
+	}
+	//sslint:bounded
+	for !try() { // want `needs a reason`
+	}
+	return s
+}
+
+//sslint:hotpath
+func drain(c chan int) int {
+	t := 0
+	for v := range c { // want `range over a channel`
+		t += v
+	}
+	return t
+}
+
+//sslint:hotpath
+func sweep(it func(func(int) bool)) int {
+	t := 0
+	for v := range it { // want `range over an iterator function`
+		t += v
+	}
+	return t
+}
+
+// cold is not in the hot set: its loops answer to no one.
+func cold() {
+	for {
+		break
+	}
+}
+
+func try() bool { return true }

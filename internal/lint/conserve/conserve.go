@@ -1,0 +1,385 @@
+// Package conserve verifies counter conservation structurally: a frame that
+// leaves a ring, and a buffer borrowed from a pool, must both be accounted
+// for on every path to the function's normal return.
+//
+// Two obligation kinds flow through the function's CFG:
+//
+//   - frame — created by a successful ringbuf Ring.Pop: the frame left the
+//     queue, so some ledger must record its fate before the function
+//     returns. A ledger is any counter whose declaration carries
+//     //sslint:ledger (struct fields and locals alike); updating one
+//     (x++, x += n, x = ..., x.Add(n)) discharges the frames in flight.
+//   - credit — created by calling an //sslint:borrows function (the pool's
+//     admit): the borrow must reach an //sslint:reclaims call (release /
+//     reclaim) before the return.
+//
+// Both kinds are also discharged by handing the value to Ring.Push — the
+// frame is back in a queue, conservation holds downstream — or by returning
+// the popped/borrowed value to the caller, which transfers the obligation
+// with it. Obligations guarded by the call's ok result stay pending until a
+// branch proves the removal happened: the ok=false edge kills them, the
+// ok=true edge activates them, and `if r.Push(v)`-style conditions discharge
+// along the success edge. Pending obligations whose guard is never examined
+// are not reported — the removal was never proven to happen.
+//
+// Paths that end in panic owe nothing (the process is done counting), and a
+// deliberate leak is declared at the creation site with //sslint:leaked
+// <reason>, which is expected to be rare and audited.
+package conserve
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the conserve check.
+var Analyzer = &analysis.Analyzer{
+	Name: "conserve",
+	Doc:  "require every ring removal to reach a ledger update and every pool borrow to reach a reclaim, on all paths",
+	Run:  run,
+}
+
+const (
+	frameOb = iota
+	creditOb
+)
+
+// ob is one in-flight obligation. Facts map creation position to ob, so an
+// obligation created in a loop folds onto itself.
+type ob struct {
+	kind   int
+	guard  *types.Var // ok result gating the removal; nil means proven
+	val    *types.Var // the popped/borrowed value, for return-transfer
+	active bool       // removal proven (unguarded, or guard-true edge taken)
+}
+
+type facts map[token.Pos]ob
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:    pass,
+		ledgers: analysis.Markers(pass.Fset, pass.Files, "ledger"),
+		leaked:  analysis.Markers(pass.Fset, pass.Files, "leaked"),
+		borrows: map[*types.Func]bool{},
+		reclaim: map[*types.Func]bool{},
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			if analysis.CommentHasMarker([]*ast.CommentGroup{fd.Doc}, "borrows") {
+				c.borrows[fn] = true
+			}
+			if analysis.CommentHasMarker([]*ast.CommentGroup{fd.Doc}, "reclaims") {
+				c.reclaim[fn] = true
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.checkFunc(fd)
+			}
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	ledgers map[string]map[int]analysis.Marker
+	leaked  map[string]map[int]analysis.Marker
+	borrows map[*types.Func]bool
+	reclaim map[*types.Func]bool
+}
+
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	g := analysis.NewCFG(fd, c.pass.Info)
+	ops := analysis.FlowOps[facts]{
+		Entry: func() facts { return facts{} },
+		Clone: func(f facts) facts {
+			n := make(facts, len(f))
+			for k, v := range f {
+				n[k] = v
+			}
+			return n
+		},
+		Transfer: c.transfer,
+		Edge:     c.edge,
+		Join: func(dst, src facts) (facts, bool) {
+			changed := false
+			for pos, o := range src {
+				d, seen := dst[pos]
+				if !seen {
+					dst[pos] = o
+					changed = true
+					continue
+				}
+				if o.active && !d.active {
+					d.active = true
+					dst[pos] = d
+					changed = true
+				}
+			}
+			return dst, changed
+		},
+	}
+	in := analysis.Forward(g, ops)
+	atExit, reached := in[g.Exit]
+	if !reached {
+		return // every path panics or spins; nothing returns normally
+	}
+	for pos, o := range atExit {
+		if !o.active {
+			continue
+		}
+		switch o.kind {
+		case frameOb:
+			c.pass.Report(pos, "frame removed from the ring here can reach return with no ledger update on some path; count it in an //sslint:ledger counter, push it onward, or mark the line //sslint:leaked <reason>")
+		case creditOb:
+			c.pass.Report(pos, "pool borrow here can reach return with no reclaim on some path; release it through an //sslint:reclaims function, push it onward, or mark the line //sslint:leaked <reason>")
+		}
+	}
+}
+
+// transfer folds one CFG node into the facts: creations at removal/borrow
+// statements, discharges at ledger updates, reclaim calls, pushes, and
+// ownership-transferring returns.
+func (c *checker) transfer(n ast.Node, f facts) facts {
+	c.create(n, f)
+	_, isStmt := n.(ast.Stmt)
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, isLit := x.(*ast.FuncLit); isLit {
+			return false
+		}
+		switch s := x.(type) {
+		case *ast.IncDecStmt:
+			if c.isLedger(baseVar(c.pass.Info, s.X)) {
+				discharge(f, frameOb)
+			}
+		case *ast.AssignStmt:
+			for _, l := range s.Lhs {
+				if c.isLedger(baseVar(c.pass.Info, l)) {
+					discharge(f, frameOb)
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := s.Fun.(*ast.SelectorExpr); ok {
+				if name := sel.Sel.Name; name == "Add" || name == "Store" {
+					if c.isLedger(baseVar(c.pass.Info, sel.X)) {
+						discharge(f, frameOb)
+					}
+				}
+			}
+			fn := callee(c.pass.Info, s)
+			if fn == nil {
+				return true
+			}
+			if c.reclaim[fn] {
+				discharge(f, creditOb)
+			}
+			// A push rooted in a statement re-queues the frame whatever its
+			// result; pushes tested in a condition discharge on the success
+			// edge instead (see edge).
+			if isStmt && isRingMethod(fn, "Push") {
+				discharge(f, frameOb)
+				discharge(f, creditOb)
+			}
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				id, ok := res.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v, _ := c.pass.Info.Uses[id].(*types.Var)
+				if v == nil {
+					continue
+				}
+				for pos, o := range f {
+					if o.val == v {
+						delete(f, pos) // ownership moves to the caller
+					}
+				}
+			}
+		}
+		return true
+	})
+	return f
+}
+
+// create recognizes obligation-creating statements: `v, ok := r.Pop()` /
+// `buf, ok := admit(...)` (pending on ok), and the same calls with the
+// result discarded (active at once — the removal is unconditional).
+func (c *checker) create(n ast.Node, f facts) {
+	var call *ast.CallExpr
+	var guard, val *types.Var
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		if len(s.Rhs) != 1 {
+			return
+		}
+		call, _ = s.Rhs[0].(*ast.CallExpr)
+		if call == nil {
+			return
+		}
+		if len(s.Lhs) >= 1 {
+			val = identVar(c.pass.Info, s.Lhs[0])
+		}
+		if len(s.Lhs) >= 2 {
+			guard = identVar(c.pass.Info, s.Lhs[len(s.Lhs)-1])
+		}
+	case *ast.ExprStmt:
+		call, _ = s.X.(*ast.CallExpr)
+	}
+	if call == nil {
+		return
+	}
+	fn := callee(c.pass.Info, call)
+	if fn == nil {
+		return
+	}
+	kind := -1
+	switch {
+	case isRingMethod(fn, "Pop"):
+		kind = frameOb
+	case c.borrows[fn]:
+		kind = creditOb
+	}
+	if kind < 0 {
+		return
+	}
+	if _, ok := analysis.MarkerAt(c.leaked, c.pass.Fset.Position(call.Pos())); ok {
+		return // declared leak: audited via lint-stats, not reported
+	}
+	f[call.Pos()] = ob{kind: kind, guard: guard, val: val, active: guard == nil}
+}
+
+// edge refines facts along conditional edges: guard outcomes prove or
+// disprove pending removals, and a Push tested in the condition discharges
+// along its success edge.
+func (c *checker) edge(e *analysis.Edge, f facts) (facts, bool) {
+	if e.Cond == nil {
+		return f, true
+	}
+	if v, sense, ok := analysis.CondVar(c.pass.Info, e.Cond, e.Branch); ok {
+		for pos, o := range f {
+			if o.guard != v {
+				continue
+			}
+			if sense {
+				o.active = true
+				o.guard = nil
+				f[pos] = o
+			} else {
+				delete(f, pos) // removal never happened on this edge
+			}
+		}
+		return f, true
+	}
+	if call, sense, ok := analysis.CondCall(e.Cond, e.Branch); ok && sense {
+		if fn := callee(c.pass.Info, call); fn != nil && isRingMethod(fn, "Push") {
+			discharge(f, frameOb)
+			discharge(f, creditOb)
+		}
+	}
+	return f, true
+}
+
+// discharge drops every obligation of the kind, pending or active.
+func discharge(f facts, kind int) {
+	for pos, o := range f {
+		if o.kind == kind {
+			delete(f, pos)
+		}
+	}
+}
+
+// isLedger reports whether v's declaration line carries //sslint:ledger.
+func (c *checker) isLedger(v *types.Var) bool {
+	if v == nil {
+		return false
+	}
+	_, ok := analysis.MarkerAt(c.ledgers, c.pass.Fset.Position(v.Pos()))
+	return ok
+}
+
+// baseVar resolves the variable (or struct field) at the base of an lvalue
+// expression: u.delivered[slot] resolves to the delivered field.
+func baseVar(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			v, _ := info.Uses[x.Sel].(*types.Var)
+			return v
+		case *ast.Ident:
+			if v, ok := info.Uses[x].(*types.Var); ok {
+				return v
+			}
+			v, _ := info.Defs[x].(*types.Var)
+			return v
+		default:
+			return nil
+		}
+	}
+}
+
+// identVar resolves a plain identifier to its variable, nil for `_` and
+// non-identifiers.
+func identVar(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+// callee resolves a call to its static *types.Func.
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isRingMethod reports whether fn is the named method on ringbuf's Ring.
+func isRingMethod(fn *types.Func, name string) bool {
+	if fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != "repro/internal/ringbuf" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Ring"
+}

@@ -1,0 +1,12 @@
+package conserve_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/conserve"
+	"repro/internal/lint/linttest"
+)
+
+func TestConserve(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", conserve.Analyzer)
+}

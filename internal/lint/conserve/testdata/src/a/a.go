@@ -1,0 +1,134 @@
+// Fixture for the conserve analyzer: every proven ring removal reaches a
+// ledger update (or a push onward, or the caller), every borrow reaches a
+// reclaim, and paths that skip the accounting on one branch are findings.
+package a
+
+import "repro/internal/ringbuf"
+
+type tx struct{ n int }
+
+type ledgers struct {
+	delivered uint64 //sslint:ledger
+	dropped   uint64 //sslint:ledger
+}
+
+// drainGood is the canonical consumer: pop, bail on empty, count.
+func drainGood(r *ringbuf.Ring[tx], l *ledgers) {
+	for {
+		_, ok := r.Pop()
+		if !ok {
+			break
+		}
+		l.delivered++
+	}
+}
+
+// localLedger counts into an annotated local, the shard/endsystem pattern.
+func localLedger(r *ringbuf.Ring[tx]) uint64 {
+	var delivered uint64 //sslint:ledger
+	for {
+		_, ok := r.Pop()
+		if !ok {
+			break
+		}
+		delivered++
+	}
+	return delivered
+}
+
+// drainBranchMiss counts only when flag is set: the other branch loses the
+// frame.
+func drainBranchMiss(r *ringbuf.Ring[tx], l *ledgers, flag bool) {
+	v, ok := r.Pop() // want `frame removed from the ring here can reach return with no ledger update`
+	if !ok {
+		return
+	}
+	if flag {
+		l.delivered++
+	}
+	_ = v.n
+}
+
+// popIgnored discards the result outright: the removal is unconditional and
+// never counted.
+func popIgnored(r *ringbuf.Ring[tx]) {
+	r.Pop() // want `frame removed from the ring`
+}
+
+// transferGood re-queues the frame; the failure branch counts the drop.
+func transferGood(src, dst *ringbuf.Ring[tx], l *ledgers) {
+	v, ok := src.Pop()
+	if !ok {
+		return
+	}
+	if !dst.Push(v) {
+		l.dropped++
+	}
+}
+
+// transferDrop forgets the push-failure branch.
+func transferDrop(src, dst *ringbuf.Ring[tx], l *ledgers) {
+	v, ok := src.Pop() // want `frame removed from the ring`
+	if !ok {
+		return
+	}
+	if !dst.Push(v) {
+	}
+}
+
+// next hands the frame (and the obligation) to its caller.
+func next(r *ringbuf.Ring[tx]) (tx, bool) {
+	v, ok := r.Pop()
+	return v, ok
+}
+
+// popPanics owes nothing on the panicking continuation.
+func popPanics(r *ringbuf.Ring[tx]) {
+	_, ok := r.Pop()
+	if !ok {
+		return
+	}
+	panic("fatal wiring error")
+}
+
+//sslint:borrows
+func borrow() (*tx, bool) { return &tx{}, true }
+
+//sslint:reclaims
+func reclaim(*tx) {}
+
+// borrowGood: every borrow reaches the reclaim.
+func borrowGood() {
+	b, ok := borrow()
+	if !ok {
+		return
+	}
+	reclaim(b)
+}
+
+// borrowLeak never reclaims.
+func borrowLeak() {
+	b, ok := borrow() // want `pool borrow here can reach return with no reclaim`
+	if !ok {
+		return
+	}
+	_ = b
+}
+
+// borrowDeclared leaks on purpose and says so.
+func borrowDeclared() {
+	b, _ := borrow() //sslint:leaked — handed to the DMA engine, reclaimed out of band
+	_ = b
+}
+
+// borrowToRing hands the buffer to a ring on success and reclaims on
+// failure: both arms conserve.
+func borrowToRing(dst *ringbuf.Ring[*tx]) {
+	b, ok := borrow()
+	if !ok {
+		return
+	}
+	if !dst.Push(b) {
+		reclaim(b)
+	}
+}

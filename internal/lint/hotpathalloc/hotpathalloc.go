@@ -18,15 +18,20 @@
 //     string<->[]byte conversions and string concatenation.
 //
 // The check is intraprocedural by design — calls out of the hot set are the
-// allocation test's job — and the hot set is the built-in list below plus
-// any function annotated //sslint:hotpath.
+// allocation test's job — and the hot set is the shared hotset package's
+// built-in list plus any function annotated //sslint:hotpath. The
+// flow-sensitive allocproof analyzer reuses WalkAllocs to prove the same
+// contracts per control-flow path.
 package hotpathalloc
 
 import (
+	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/hotset"
 )
 
 // Analyzer is the hotpathalloc check.
@@ -36,116 +41,52 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-// builtinHot names the hot-path functions per package path. Methods are
-// qualified by their receiver's base type ("Network.Run") so same-named
-// functions on other types — shuffle's gate-level Structural.Run, say — stay
-// out of the hot set.
-var builtinHot = map[string]map[string]bool{
-	"repro/internal/core": {
-		"Scheduler.runCycle": true, "Scheduler.RunCycles": true, "Scheduler.RunFor": true,
-		"Scheduler.runWinnerOnly": true, "Scheduler.runBlock": true, "Scheduler.observe": true,
-	},
-	"repro/internal/shuffle": {
-		"Network.run": true, "Network.runPaperLogN": true, "Network.runBitonic": true,
-		"Network.runTournament": true, "Network.emitBlock": true, "Network.compareAt": true,
-		"Network.Run": true, "Network.RunAt": true, "Network.RunKeyed": true,
-		"Network.RunLoaded": true, "Network.RunLoadedLight": true,
-		"Network.SetInput": true, "Network.SetInputKey": true, "perfectShuffle": true,
-		// The SoA key plane: the branch-free pass kernels, the per-key
-		// window-safety bookkeeping, and the dense-lane credit fold.
-		"Network.runPaperLogNSoA": true, "Network.runTournamentSoA": true,
-		"Network.runBitonicSoA": true, "Network.lightFromFiles": true,
-		"Network.keyUnsafe": true, "Network.noteKey": true, "Network.rebase": true,
-		"Network.creditCompares": true, "Network.flushCredits": true,
-	},
-	"repro/internal/qm": {
-		// The shared buffer pool's lend/reclaim/measure path runs on every
-		// Offer and card-side dequeue past the reservation.
-		"pool.admit": true, "pool.release": true, "pool.reclaim": true, "pool.measure": true,
-	},
-	"repro/internal/decision": {
-		"FastOrder": true, "KeyTie": true, "Compare": true, "Block.Compare": true,
-		"Block.CompareKeyed": true, "compare": true, "order": true, "Less": true,
-		"Program.Rank": true,
-	},
-	"repro/internal/attr": {
-		"Attributes.Key": true, "Attributes.KeyWith": true, "KeyConstraint": true,
-	},
-	"repro/internal/regblock": {
-		"Block.Out": true, "Block.Key": true, "Block.Gen": true, "Block.Valid": true,
-		"Block.SetKeyRef": true, "Block.rekey": true, "Block.rekeyConstraint": true,
-		"Block.setHead": true, "Block.deadlineFor": true, "Block.Load": true,
-		"Block.advance": true, "Block.Service": true, "Block.winnerWindowAdjust": true,
-		"Block.ExpireCheck": true, "Block.loserWindowAdjust": true, "Block.Refill": true,
-		"Block.guardCheck":    true,
-		"previewWinnerWindow": true, "previewLoserWindow": true,
-	},
-}
-
 func run(pass *analysis.Pass) error {
-	hotNames := builtinHot[pass.Pkg.Path()]
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			hot := hotNames[qualifiedName(fd)] ||
-				analysis.CommentHasMarker([]*ast.CommentGroup{fd.Doc}, "hotpath")
-			if hot {
-				checkHotFunc(pass, fd)
+			if hotset.IsHot(pass.Pkg.Path(), fd) {
+				WalkAllocs(pass, fd.Body, pass.Report)
 			}
 		}
 	}
 	return nil
 }
 
-// qualifiedName returns "Recv.Name" for methods and "Name" for functions.
-func qualifiedName(fd *ast.FuncDecl) string {
-	if fd.Recv == nil || len(fd.Recv.List) == 0 {
-		return fd.Name.Name
+// WalkAllocs walks the subtree rooted at root, reporting every
+// allocation-inducing construct through report. Subtrees under panic(...)
+// are exempt (wiring-error panics are cold by definition). It is the shared
+// classifier: hotpathalloc applies it to whole hot-function bodies, and the
+// flow-sensitive allocproof applies it node-by-node along the warm paths of
+// a function's control-flow graph.
+func WalkAllocs(pass *analysis.Pass, root ast.Node, report func(pos token.Pos, message string)) {
+	reportf := func(pos token.Pos, format string, args ...any) {
+		report(pos, fmt.Sprintf(format, args...))
 	}
-	t := fd.Recv.List[0].Type
-	for {
-		switch x := t.(type) {
-		case *ast.StarExpr:
-			t = x.X
-		case *ast.IndexExpr:
-			t = x.X
-		case *ast.IndexListExpr:
-			t = x.X
-		case *ast.Ident:
-			return x.Name + "." + fd.Name.Name
-		default:
-			return fd.Name.Name
-		}
-	}
-}
-
-// checkHotFunc walks one hot function, flagging allocation-inducing
-// constructs. Subtrees under panic(...) are exempt.
-func checkHotFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
-	analysis.WalkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+	analysis.WalkStack(root, func(n ast.Node, stack []ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.GoStmt:
-			pass.Report(x.Pos(), "go statement in the hot path: goroutine launch allocates")
+			report(x.Pos(), "go statement in the hot path: goroutine launch allocates")
 		case *ast.DeferStmt:
-			pass.Report(x.Pos(), "defer in the hot path: deferred frames cost on every cycle")
+			report(x.Pos(), "defer in the hot path: deferred frames cost on every cycle")
 		case *ast.FuncLit:
-			pass.Report(x.Pos(), "closure literal in the hot path: the closure (and its captures) may allocate per cycle")
+			report(x.Pos(), "closure literal in the hot path: the closure (and its captures) may allocate per cycle")
 			return false
 		case *ast.CompositeLit:
-			checkCompositeLit(pass, x, stack)
+			checkCompositeLit(pass, x, stack, report)
 		case *ast.BinaryExpr:
 			if x.Op.String() == "+" && isString(pass, x.X) {
-				pass.Report(x.Pos(), "string concatenation in the hot path allocates")
+				report(x.Pos(), "string concatenation in the hot path allocates")
 			}
 		case *ast.SelectorExpr:
 			if sel, ok := pass.Info.Selections[x]; ok && sel.Kind() == types.MethodVal && !isCallFun(stack, x) {
-				pass.Report(x.Pos(), "method-value binding in the hot path allocates a bound-method closure")
+				report(x.Pos(), "method-value binding in the hot path allocates a bound-method closure")
 			}
 		case *ast.CallExpr:
-			return checkCall(pass, x, stack)
+			return checkCall(pass, x, stack, report, reportf)
 		}
 		return true
 	})
@@ -153,7 +94,7 @@ func checkHotFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 
 // checkCall inspects one call in the hot path. It returns false to prune
 // traversal (panic arguments).
-func checkCall(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) bool {
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node, report func(token.Pos, string), reportf func(token.Pos, string, ...any)) bool {
 	// Builtins and panic.
 	if id, ok := call.Fun.(*ast.Ident); ok {
 		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
@@ -161,9 +102,9 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) bool {
 			case "panic":
 				return false // wiring-error panics are cold; their args don't count
 			case "make", "new":
-				pass.Reportf(call.Pos(), "%s in the hot path allocates; hoist the buffer into the owning struct", b.Name())
+				reportf(call.Pos(), "%s in the hot path allocates; hoist the buffer into the owning struct", b.Name())
 			case "append":
-				checkAppend(pass, call, stack)
+				checkAppend(call, stack, report)
 			}
 			return true
 		}
@@ -171,7 +112,7 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) bool {
 
 	// Conversions: T(x).
 	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
-		checkConversion(pass, call, tv.Type)
+		checkConversion(pass, call, tv.Type, report, reportf)
 		return true
 	}
 
@@ -180,7 +121,7 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) bool {
 		if obj := pass.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil {
 			switch obj.Pkg().Path() {
 			case "fmt", "errors", "strconv":
-				pass.Reportf(call.Pos(), "%s.%s in the hot path allocates; move formatting off the per-cycle path",
+				reportf(call.Pos(), "%s.%s in the hot path allocates; move formatting off the per-cycle path",
 					obj.Pkg().Name(), sel.Sel.Name)
 				return true
 			}
@@ -204,7 +145,7 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) bool {
 		if !ok || at.Type == nil || types.IsInterface(at.Type) || isNil(at) {
 			continue
 		}
-		pass.Reportf(arg.Pos(), "implicit conversion of %s to interface %s in the hot path may allocate (escaping interface box)",
+		reportf(arg.Pos(), "implicit conversion of %s to interface %s in the hot path may allocate (escaping interface box)",
 			at.Type, pt)
 	}
 	return true
@@ -213,7 +154,7 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) bool {
 // checkAppend allows only the reused-buffer pattern buf = append(buf, ...):
 // the result written straight back to the first argument, so growth is
 // amortized into a persistent buffer.
-func checkAppend(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
+func checkAppend(call *ast.CallExpr, stack []ast.Node, report func(token.Pos, string)) {
 	if len(call.Args) > 0 && len(stack) > 0 {
 		if as, ok := stack[len(stack)-1].(*ast.AssignStmt); ok &&
 			len(as.Lhs) == 1 && len(as.Rhs) == 1 && as.Rhs[0] == call &&
@@ -222,32 +163,32 @@ func checkAppend(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
 			return
 		}
 	}
-	pass.Report(call.Pos(), "append outside the reused-buffer pattern `buf = append(buf, ...)` in the hot path: growing a fresh slice allocates")
+	report(call.Pos(), "append outside the reused-buffer pattern `buf = append(buf, ...)` in the hot path: growing a fresh slice allocates")
 }
 
 // checkCompositeLit flags slice/map literals and heap-escaping &T{...}.
-func checkCompositeLit(pass *analysis.Pass, lit *ast.CompositeLit, stack []ast.Node) {
+func checkCompositeLit(pass *analysis.Pass, lit *ast.CompositeLit, stack []ast.Node, report func(token.Pos, string)) {
 	tv, ok := pass.Info.Types[lit]
 	if !ok || tv.Type == nil {
 		return
 	}
 	switch tv.Type.Underlying().(type) {
 	case *types.Slice:
-		pass.Report(lit.Pos(), "slice literal in the hot path allocates a fresh backing array")
+		report(lit.Pos(), "slice literal in the hot path allocates a fresh backing array")
 		return
 	case *types.Map:
-		pass.Report(lit.Pos(), "map literal in the hot path allocates")
+		report(lit.Pos(), "map literal in the hot path allocates")
 		return
 	}
 	if len(stack) > 0 {
 		if u, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && u.Op.String() == "&" && u.X == lit {
-			pass.Report(lit.Pos(), "&composite literal in the hot path heap-allocates")
+			report(lit.Pos(), "&composite literal in the hot path heap-allocates")
 		}
 	}
 }
 
 // checkConversion flags conversions that copy or box.
-func checkConversion(pass *analysis.Pass, call *ast.CallExpr, to types.Type) {
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr, to types.Type, report func(token.Pos, string), reportf func(token.Pos, string, ...any)) {
 	if len(call.Args) != 1 {
 		return
 	}
@@ -258,11 +199,11 @@ func checkConversion(pass *analysis.Pass, call *ast.CallExpr, to types.Type) {
 	from := at.Type.Underlying()
 	toU := to.Underlying()
 	if types.IsInterface(to) && !types.IsInterface(at.Type) && !isNil(at) {
-		pass.Reportf(call.Pos(), "conversion of %s to interface %s in the hot path may allocate", at.Type, to)
+		reportf(call.Pos(), "conversion of %s to interface %s in the hot path may allocate", at.Type, to)
 		return
 	}
 	if isStringByte(from, toU) {
-		pass.Report(call.Pos(), "string<->[]byte conversion in the hot path copies and allocates")
+		report(call.Pos(), "string<->[]byte conversion in the hot path copies and allocates")
 	}
 }
 

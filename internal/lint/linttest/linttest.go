@@ -8,14 +8,20 @@
 //	t := time.Now() // want `wall clock`
 //
 // Each `// want` comment holds one backquoted regular expression that must
-// match a diagnostic reported on that line; diagnostics with no matching
-// want, and wants with no matching diagnostic, fail the test. Because the
-// runner pushes findings through the same //sslint:allow filter as
-// cmd/sslint, fixtures exercise the suppression grammar too (an allowed line
-// simply carries no want).
+// match a diagnostic reported on that line, optionally pinned to a column
+// (`// want col=17 `...“); diagnostics with no matching want, and wants
+// with no matching diagnostic, fail the test — and every failure includes
+// the full got-diagnostics list so the fixture can be repaired in one pass.
+// Running the tests with -linttest.update prints that list as a unified
+// diff against the current expectations instead of failing piecemeal.
+// Because the runner pushes findings through the same //sslint:allow filter
+// as cmd/sslint, fixtures exercise the suppression grammar too (an allowed
+// line simply carries no want).
 package linttest
 
 import (
+	"flag"
+	"fmt"
 	"go/parser"
 	"go/token"
 	"os"
@@ -28,7 +34,10 @@ import (
 	"repro/internal/lint/analysis"
 )
 
-var wantRE = regexp.MustCompile("// want `([^`]*)`")
+var update = flag.Bool("linttest.update", false,
+	"print the got-diagnostics diff for each fixture instead of per-want errors")
+
+var wantRE = regexp.MustCompile("// want (?:col=([0-9]+) )?`([^`]*)`")
 
 // Run loads the fixture package in dir, applies the analyzers, filters
 // through //sslint:allow, and compares the surviving diagnostics against the
@@ -58,24 +67,68 @@ func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
 
 	wants := collectWants(t, pkg)
 	matched := make([]bool, len(wants))
+	var unexpected []string
 	for _, d := range diags {
 		p := fset.Position(d.Pos)
 		ok := false
 		for i, w := range wants {
-			if w.file == p.Filename && w.line == p.Line && w.re.MatchString(d.Message) {
+			if w.file == p.Filename && w.line == p.Line &&
+				(w.col == 0 || w.col == p.Column) && w.re.MatchString(d.Message) {
 				matched[i] = true
 				ok = true
 			}
 		}
 		if !ok {
-			t.Errorf("%s:%d: unexpected diagnostic [%s] %s", p.Filename, p.Line, d.Analyzer, d.Message)
+			unexpected = append(unexpected,
+				fmt.Sprintf("%s:%d:%d: [%s] %s", p.Filename, p.Line, p.Column, d.Analyzer, d.Message))
 		}
 	}
+	var unmatched []string
 	for i, w := range wants {
 		if !matched[i] {
-			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+			at := fmt.Sprintf("%s:%d", w.file, w.line)
+			if w.col != 0 {
+				at += fmt.Sprintf(" col=%d", w.col)
+			}
+			unmatched = append(unmatched, fmt.Sprintf("%s: no diagnostic matching %q", at, w.re))
 		}
 	}
+
+	if *update {
+		if len(unexpected) > 0 || len(unmatched) > 0 {
+			var diff strings.Builder
+			for _, u := range unmatched {
+				fmt.Fprintf(&diff, "- %s\n", u)
+			}
+			for _, u := range unexpected {
+				fmt.Fprintf(&diff, "+ %s\n", u)
+			}
+			t.Errorf("fixture %s diagnostics diff (-stale want, +missing want):\n%s\n%s",
+				dir, diff.String(), gotList(fset, diags))
+		}
+		return
+	}
+	for _, u := range unexpected {
+		t.Errorf("unexpected diagnostic %s", u)
+	}
+	for _, u := range unmatched {
+		t.Error(u)
+	}
+	if len(unexpected) > 0 || len(unmatched) > 0 {
+		t.Log(gotList(fset, diags))
+	}
+}
+
+// gotList renders every surviving diagnostic, for failure messages and
+// -linttest.update output.
+func gotList(fset *token.FileSet, diags []analysis.Diagnostic) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "full diagnostic list (%d):\n", len(diags))
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		fmt.Fprintf(&sb, "  %s:%d:%d: [%s] %s\n", p.Filename, p.Line, p.Column, d.Analyzer, d.Message)
+	}
+	return sb.String()
 }
 
 // fixtureImports lists the distinct import paths of the fixture's files.
@@ -110,6 +163,7 @@ func fixtureImports(dir string) ([]string, error) {
 type want struct {
 	file string
 	line int
+	col  int // 0 when the expectation does not pin a column
 	re   *regexp.Regexp
 }
 
@@ -131,12 +185,16 @@ func collectWants(t *testing.T, pkg *analysis.Package) []want {
 					continue
 				}
 				for _, m := range ms {
-					re, err := regexp.Compile(m[1])
+					re, err := regexp.Compile(m[2])
 					if err != nil {
-						t.Errorf("%s:%d: bad want regexp %q: %v", p.Filename, p.Line, m[1], err)
+						t.Errorf("%s:%d: bad want regexp %q: %v", p.Filename, p.Line, m[2], err)
 						continue
 					}
-					wants = append(wants, want{file: p.Filename, line: p.Line, re: re})
+					col := 0
+					if m[1] != "" {
+						col, _ = strconv.Atoi(m[1])
+					}
+					wants = append(wants, want{file: p.Filename, line: p.Line, col: col, re: re})
 				}
 			}
 		}

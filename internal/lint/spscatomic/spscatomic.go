@@ -43,9 +43,16 @@ var builtinFields = map[string]map[string][]string{
 type guarded map[*types.Var]*types.TypeName
 
 func run(pass *analysis.Pass) error {
-	fields := collectGuarded(pass)
+	fields := GuardedFields(pass)
 	if len(fields) == 0 {
 		return nil
+	}
+	// Declaration check: guarded fields must be sync/atomic types.
+	for fv, owner := range fields {
+		if !isAtomicType(fv.Type()) {
+			pass.Reportf(fv.Pos(), "SPSC pointer field %s.%s must be a sync/atomic type, not %s: plain loads and stores race between producer and consumer",
+				owner.Name(), fv.Name(), fv.Type())
+		}
 	}
 	for _, f := range pass.Files {
 		checkFile(pass, f, fields)
@@ -53,9 +60,12 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// collectGuarded resolves the guarded field set: built-ins for this package
-// plus //sslint:spsc-annotated struct fields.
-func collectGuarded(pass *analysis.Pass) guarded {
+// GuardedFields resolves the guarded field set for the package: built-ins
+// plus //sslint:spsc-annotated struct fields, keyed by field object (generic
+// origin) with the owning type as value. It reports nothing — the
+// flow-sensitive spscflow analyzer shares the same field set without
+// re-raising spscatomic's declaration findings.
+func GuardedFields(pass *analysis.Pass) map[*types.Var]*types.TypeName {
 	fields := guarded{}
 	add := func(owner *types.TypeName, names ...string) {
 		st, ok := owner.Type().Underlying().(*types.Struct)
@@ -107,13 +117,6 @@ func collectGuarded(pass *analysis.Pass) guarded {
 			}
 		}
 	}
-	// Declaration check: guarded fields must be sync/atomic types.
-	for fv, owner := range fields {
-		if !isAtomicType(fv.Type()) {
-			pass.Reportf(fv.Pos(), "SPSC pointer field %s.%s must be a sync/atomic type, not %s: plain loads and stores race between producer and consumer",
-				owner.Name(), fv.Name(), fv.Type())
-		}
-	}
 	return fields
 }
 
@@ -148,7 +151,7 @@ func checkFile(pass *analysis.Pass, f *ast.File, fields guarded) {
 			return true
 		}
 
-		if fd := enclosingFuncDecl(stack); fd == nil || !isMethodOn(pass, fd, owner) {
+		if fd := enclosingFuncDecl(stack); fd == nil || !IsMethodOn(pass, fd, owner) {
 			pass.Reportf(id.Pos(), "%s.%s accessed outside %s's own methods: the SPSC contract confines head/tail to the owning ring",
 				owner.Name(), fv.Name(), owner.Name())
 			return true
@@ -180,9 +183,9 @@ func enclosingFuncDecl(stack []ast.Node) *ast.FuncDecl {
 	return nil
 }
 
-// isMethodOn reports whether fd is a method whose receiver's base type is
+// IsMethodOn reports whether fd is a method whose receiver's base type is
 // owner.
-func isMethodOn(pass *analysis.Pass, fd *ast.FuncDecl, owner *types.TypeName) bool {
+func IsMethodOn(pass *analysis.Pass, fd *ast.FuncDecl, owner *types.TypeName) bool {
 	if fd.Recv == nil || len(fd.Recv.List) == 0 {
 		return false
 	}

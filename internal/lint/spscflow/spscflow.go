@@ -1,0 +1,162 @@
+// Package spscflow proves the SPSC rings' load-before-store discipline on
+// every control-flow path.
+//
+// spscatomic guarantees the head/tail indices are only ever touched through
+// their sync/atomic methods inside the owning type's methods — a syntactic
+// property. This analyzer adds the flow-sensitive half of the contract: a
+// Store (or Swap) to a guarded field must be dominated by a Load of that
+// same field, on every path that reaches it. A producer that publishes a
+// tail it never observed, or that loads only inside one branch, is
+// overwriting an index the consumer may have advanced past — exactly the
+// Len-ordering race PR 1 fixed by hand.
+//
+// The proof is a must-analysis over the function's CFG: the fact at a point
+// is the set of guarded fields loaded on *all* paths into it (intersection
+// at joins), and every Store/Swap checks membership. CompareAndSwap and Add
+// are read-modify-write and carry their own observation; Load seeds the
+// fact. The guarded field set is shared with spscatomic: the built-in
+// ringbuf head/tail plus //sslint:spsc-annotated fields.
+package spscflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/spscatomic"
+)
+
+// Analyzer is the spscflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "spscflow",
+	Doc:  "require every SPSC head/tail store to be dominated by a load of the same field on all paths",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	fields := spscatomic.GuardedFields(pass)
+	if len(fields) == 0 {
+		return nil
+	}
+	owners := map[*types.TypeName]bool{}
+	for _, o := range fields {
+		owners[o] = true
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			for o := range owners {
+				if spscatomic.IsMethodOn(pass, fd, o) {
+					checkMethod(pass, fd, fields)
+					break
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// loaded is the must-fact: guarded fields observed on every path here.
+type loaded map[*types.Var]bool
+
+func checkMethod(pass *analysis.Pass, fd *ast.FuncDecl, fields map[*types.Var]*types.TypeName) {
+	g := analysis.NewCFG(fd, pass.Info)
+	ops := analysis.FlowOps[loaded]{
+		Entry: func() loaded { return loaded{} },
+		Clone: func(f loaded) loaded {
+			c := make(loaded, len(f))
+			for k, v := range f {
+				c[k] = v
+			}
+			return c
+		},
+		Transfer: func(n ast.Node, f loaded) loaded {
+			replay(pass, n, fields, f, nil)
+			return f
+		},
+		Join: func(dst, src loaded) (loaded, bool) {
+			changed := false
+			for k := range dst {
+				if !src[k] {
+					delete(dst, k)
+					changed = true
+				}
+			}
+			return dst, changed
+		},
+	}
+	in := analysis.Forward(g, ops)
+
+	// Reporting pass: replay each reachable block's in-fact through its
+	// nodes in source order, flagging undominated stores as they appear.
+	for _, blk := range g.Blocks {
+		f, reachable := in[blk]
+		if !reachable {
+			continue
+		}
+		cur := ops.Clone(f)
+		for _, n := range blk.Nodes {
+			replay(pass, n, fields, cur, func(call *ast.CallExpr, fv *types.Var, method string) {
+				owner := fields[fv]
+				pass.Reportf(call.Pos(), "%s.%s.%s() is not dominated by %s.Load() on all paths: the index being overwritten was never observed",
+					owner.Name(), fv.Name(), method, fv.Name())
+			})
+		}
+	}
+}
+
+// replay folds one block node into the loaded-set, calling bad for each
+// Store/Swap whose field is not yet loaded. Call arguments are processed
+// before the call itself — `tail.Store(tail.Load()+1)` observes before it
+// publishes — and function literals belong to another flow.
+func replay(pass *analysis.Pass, n ast.Node, fields map[*types.Var]*types.TypeName, f loaded, bad func(*ast.CallExpr, *types.Var, string)) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, isLit := x.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fv, method := guardedCall(pass, call, fields)
+		if fv == nil {
+			return true
+		}
+		for _, a := range call.Args {
+			replay(pass, a, fields, f, bad)
+		}
+		switch method {
+		case "Load":
+			f[fv] = true
+		case "Store", "Swap":
+			if !f[fv] && bad != nil {
+				bad(call, fv, method)
+			}
+		}
+		return false // args already replayed
+	})
+}
+
+// guardedCall matches r.<field>.<Method>(...) where field is guarded,
+// returning the field's origin object and the atomic method name.
+func guardedCall(pass *analysis.Pass, call *ast.CallExpr, fields map[*types.Var]*types.TypeName) (*types.Var, string) {
+	msel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	fsel, ok := msel.X.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	fv, ok := pass.Info.Uses[fsel.Sel].(*types.Var)
+	if !ok {
+		return nil, ""
+	}
+	if _, guarded := fields[fv.Origin()]; !guarded {
+		return nil, ""
+	}
+	return fv.Origin(), msel.Sel.Name
+}

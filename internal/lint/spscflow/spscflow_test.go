@@ -1,0 +1,12 @@
+package spscflow_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/spscflow"
+)
+
+func TestSPSCFlow(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", spscflow.Analyzer)
+}

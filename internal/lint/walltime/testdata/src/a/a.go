@@ -24,6 +24,27 @@ func BadGlobalRand() int {
 	return rand.Intn(10) + int(f) // want `process-global rand source`
 }
 
+// BadTimers covers the timer-construction surface: timers and tickers are
+// host-clock machinery however they are wrapped.
+func BadTimers() {
+	t := time.NewTimer(time.Second)  // want `time.NewTimer: wall-clock timer`
+	k := time.NewTicker(time.Second) // want `time.NewTicker: wall-clock ticker`
+	t.Stop()
+	k.Stop()
+}
+
+// BadChannelClocks covers the channel-returning clock helpers.
+func BadChannelClocks() {
+	<-time.After(time.Millisecond) // want `time.After: wall-clock timer`
+	<-time.Tick(time.Millisecond)  // want `time.Tick: wall-clock ticker`
+}
+
+// AllowedTimer: even timer construction can be sanctioned at measurement
+// boundaries.
+func AllowedTimer() *time.Timer {
+	return time.NewTimer(time.Second) //sslint:allow walltime — fixture: scrape-loop timer outside modeled time
+}
+
 // GoodSeeded uses the sanctioned explicit-seed pattern.
 func GoodSeeded(seed int64) int {
 	rng := rand.New(rand.NewSource(seed))

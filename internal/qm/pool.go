@@ -212,6 +212,7 @@ func (m *Manager) StreamDelay(i int) uint64 {
 // policy then arbitrates.
 //
 //sslint:hotpath
+//sslint:borrows
 func (p *pool) admit(i, backlog int) (ok, borrowed bool) {
 	if backlog < p.reservation {
 		return true, false
@@ -220,7 +221,7 @@ func (p *pool) admit(i, backlog int) (ok, borrowed bool) {
 		p.denials.Add(1)
 		return false, false
 	}
-	for {
+	for { //sslint:bounded CAS retry; each iteration either lands the swap or observes a fresh contended value
 		v := p.free.Load()
 		if v <= 0 {
 			p.denials.Add(1)
@@ -236,6 +237,8 @@ func (p *pool) admit(i, backlog int) (ok, borrowed bool) {
 
 // release undoes an admit that borrowed but whose push then failed; the
 // credit goes straight back to the pool.
+//
+//sslint:reclaims
 func (p *pool) release(i int) {
 	p.lent[i].Add(^uint64(0))
 	p.free.Add(1)
@@ -248,8 +251,9 @@ func (p *pool) release(i int) {
 // tolerates the producer racing a concurrent borrow.
 //
 //sslint:hotpath
+//sslint:reclaims
 func (p *pool) reclaim(i int) {
-	for {
+	for { //sslint:bounded CAS retry; each iteration either lands the swap or observes a fresh contended value
 		v := p.lent[i].Load()
 		if v == 0 {
 			return

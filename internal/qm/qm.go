@@ -109,8 +109,8 @@ type Manager struct {
 	// refuses and loses). Backpressure refusals therefore raise Refused
 	// without touching Dropped: the producer still holds the frame.
 	Submitted uint64
-	Dequeued  uint64
-	Dropped   uint64
+	Dequeued  uint64 //sslint:ledger
+	Dropped   uint64 //sslint:ledger
 	Refused   uint64
 
 	// per-stream accounting
@@ -131,7 +131,7 @@ type Manager struct {
 	// evict is per-stream head-drop debt: the producer marks the oldest
 	// queued frame for discard, and the card-side dequeue (the only safe
 	// remover on an SPSC ring) consumes the debt before serving a head.
-	evict []atomic.Uint64
+	evict []atomic.Uint64 //sslint:ledger
 	// satRemaining forces the next n submit attempts down the ring-full
 	// path — the injected QM saturation burst. Producer-owned.
 	satRemaining uint64

@@ -556,7 +556,7 @@ func (nw *Network) BlockSlotAt(r int) attr.SlotID {
 func (nw *Network) lightFromFiles() Light {
 	valid := nw.n
 	fk := nw.finKeys
-	for valid > 0 && fk[valid-1]>>attr.KeyInvalidBit != 0 {
+	for valid > 0 && fk[valid-1]>>attr.KeyInvalidBit != 0 { //sslint:bounded valid strictly decreases toward its zero floor
 		valid--
 	}
 	lt := Light{Valid: valid, Idle: valid == 0, Passes: nw.lastPasses()}
