@@ -1,20 +1,21 @@
 # ShareStreams-Go convenience targets (plain `go` commands work too).
 
-.PHONY: all check ci build test race bench bench-check perf perf-check report experiments cover fuzz fuzz-smoke lint lint-ci lint-stats chaos
+.PHONY: all check ci build test race bench bench-check perf perf-check report experiments cover fuzz fuzz-smoke lint lint-ci lint-stats chaos soak smoke
 
 all: build test race lint
 
 # check is the full pre-merge gate: everything in all plus the perf
 # regression guards, the recorded-baseline perf gate, the coverage floor,
-# the chaos suite, and a short fuzz of the decision fast path.
-check: all bench-check perf-check cover chaos fuzz-smoke
+# the chaos suite, the control-plane soak and service smoke, and a short
+# fuzz of the decision fast path.
+check: all bench-check perf-check cover chaos soak smoke fuzz-smoke
 
 # ci mirrors .github/workflows/ci.yml locally: the same steps its required
 # jobs run, in one invocation (the workflow's perf job is advisory and is
 # reproduced by `make perf-check`). lint-ci is the workflow's lint step:
 # the same suite as lint plus the sslint.json artifact and the suppression
 # audit.
-ci: build test race lint-ci bench-check cover chaos
+ci: build test smoke race lint-ci bench-check cover chaos soak
 
 build:
 	go build ./...
@@ -112,6 +113,25 @@ chaos:
 		./internal/fault/ ./internal/shard/ ./internal/ringbuf/
 	go run ./cmd/ssbench -shards 2 -seed 1 faults
 	go run ./cmd/ssbench -shards 3 -seed 42 faults
+
+# Control-plane churn soak: SOAK_EVENTS seeded admin events through the live
+# engine, twice, requiring zero conservation violations and a byte-identical
+# journal replay (delivered+dropped+evicted+in-flight == offered at every
+# epoch fence). On failure the journal lands in soak-journal.txt — CI's
+# uploaded artifact. Deterministic: a failure replays from the seed alone.
+SOAK_EVENTS := 1000000
+SOAK_SEED := 1
+
+soak:
+	go run ./cmd/ssbench -seed $(SOAK_SEED) -events $(SOAK_EVENTS) -journal soak-journal.txt soak
+
+# Service smoke: start cmd/ssserved on a random port, drive the admin API
+# end to end with curl (admits, retunes, a program switch, pool resize,
+# drain/restart, evictions, deliberate errors), then shut down gracefully
+# and require a clean exit with balanced books. SMOKE_DIR=... pins the
+# artifact directory (CI points it at a workspace path for upload).
+smoke:
+	./scripts/smoke_ssserved.sh
 
 fuzz:
 	go test -fuzz FuzzWinnerCorrect -fuzztime 30s ./internal/shuffle/

@@ -16,6 +16,9 @@
 //	                     sharded rows (writes BENCH_PR2.json)
 //	ssbench rank         PR-6 rank-program sweep: N × program × fast-path hit
 //	                     rate (writes BENCH_PR6.json)
+//	ssbench soak         control-plane churn soak: -events seeded admin events
+//	                     twice, requiring conservation and a byte-identical
+//	                     journal replay (-journal names the failure artifact)
 //	ssbench all          everything above (perf and rank excluded; run them
 //	                     explicitly)
 //
@@ -55,7 +58,9 @@ func main() {
 	baseline := flag.String("baseline", "", "perf command: compare against this recorded report; exit nonzero on regression")
 	tolerance := flag.Float64("tolerance", 0.25, "perf gate slack: allowed ns/decision growth ratio and allocs/cycle budget")
 	metricsAddr := flag.String("metrics", "", "serve the obs registry and pprof on this address (e.g. :9090) for the run")
-	seed := flag.Int64("seed", 1, "faults command: base seed for the deterministic fault schedule")
+	seed := flag.Int64("seed", 1, "faults/soak commands: base seed for the deterministic schedule")
+	events := flag.Int("events", 1000000, "soak command: control events to churn through the live engine")
+	soakJournal := flag.String("journal", "", "soak command: write the journal text here on failure (CI's artifact)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Usage = usage
@@ -110,6 +115,8 @@ func main() {
 		tolerance:    *tolerance,
 		reg:          reg,
 		seed:         *seed,
+		events:       *events,
+		journalPath:  *soakJournal,
 	})
 
 	if *memProfile != "" {
@@ -134,7 +141,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ssbench [-csv file] [-shards K] [-seed n] [-json file] [-baseline file] [-tolerance x] [-metrics addr] [-cpuprofile file] [-memprofile file] {table3|fig1|fig7|fig8|fig9|fig10|throughput|latency|ablation|extensions|scale|gsr|sortquality|sharded|faults|perf|rank|all}")
+	fmt.Fprintln(os.Stderr, "usage: ssbench [-csv file] [-shards K] [-seed n] [-events n] [-journal file] [-json file] [-baseline file] [-tolerance x] [-metrics addr] [-cpuprofile file] [-memprofile file] {table3|fig1|fig7|fig8|fig9|fig10|throughput|latency|ablation|extensions|scale|gsr|sortquality|sharded|faults|soak|perf|rank|all}")
 }
 
 // runConfig carries the flag values down to the per-command drivers.
@@ -147,6 +154,8 @@ type runConfig struct {
 	tolerance    float64
 	reg          *obs.Registry
 	seed         int64
+	events       int
+	journalPath  string
 }
 
 func run(cmd string, rc runConfig) error {
@@ -182,6 +191,8 @@ func run(cmd string, rc runConfig) error {
 		return sharded(csvPath, shards, rc.reg)
 	case "faults":
 		return faults(csvPath, shards, rc.seed)
+	case "soak":
+		return soakCmd(rc)
 	case "perf":
 		return perf(rc)
 	case "rank":

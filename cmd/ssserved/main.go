@@ -1,0 +1,441 @@
+// Command ssserved hosts the sharded supervised endsystem as a long-running
+// service: a ctlplane.Engine stepped on a wall-clock epoch ticker, with an
+// HTTP admin API for live mutation — admit and evict streams, retune
+// attribute specs, switch a slot's rank program, resize a shard's shared
+// buffer pool, drain and restart shards — layered on the observability
+// endpoint (JSON /metrics plus pprof).
+//
+// Every admin request is enqueued on the control plane and applies at the
+// next epoch fence; the handler blocks until its response comes back from
+// the fence, so a 200 means the mutation is live (and a 409 carries the
+// control plane's deterministic error string). The full transition journal
+// streams to -journal, and on shutdown (SIGINT/SIGTERM or POST
+// /admin/shutdown) the daemon pauses traffic, runs the backlog out, prints
+// the final conservation ledger as JSON on stdout, and exits 0 only if the
+// books close: offered == delivered + dropped + evicted with nothing in
+// flight and zero epoch violations.
+//
+// Admin API (all mutations are POST; parameters are query params):
+//
+//	POST /admin/admit?id=N&class=edf|wc|static|fair&...   admit a stream
+//	POST /admin/evict?id=N                                evict, drain its ring
+//	POST /admin/retune?id=N&class=...&...                 retune (same class)
+//	POST /admin/program?id=N&program=dwcs|tag-only|stfq   switch rank program
+//	POST /admin/pool?shard=K&burst=B                      resize shared pool
+//	POST /admin/drain?shard=K                             quiesce a shard
+//	POST /admin/restart?shard=K                           resume a shard
+//	POST /admin/offering?frames=N                         offered load per slot
+//	POST /admin/shutdown                                  graceful exit
+//	GET  /admin/ledger                                    conservation snapshot
+//
+// Spec parameters per class: edf takes period; wc takes period, num, den;
+// static takes priority and optional guard; fair takes weight.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"repro/internal/attr"
+	"repro/internal/ctlplane"
+	"repro/internal/decision"
+	"repro/internal/endsystem"
+	"repro/internal/obs"
+	"repro/internal/qm"
+	"repro/internal/shard"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:0", "listen address for the admin/metrics endpoint")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for test harnesses)")
+	shards := flag.Int("shards", 4, "scheduler shard count")
+	slots := flag.Int("slots", 16, "stream-slots per shard")
+	program := flag.String("program", "dwcs", "initial rank program for every shard")
+	policy := flag.String("policy", "drop-oldest", "overload policy: drop-oldest or reject-new")
+	epochMs := flag.Int("epoch-ms", 5, "wall-clock milliseconds per control epoch")
+	cycles := flag.Int("cycles", 128, "decision cycles per shard per epoch")
+	frames := flag.Int("frames", 1, "frames offered per occupied slot per epoch")
+	journalPath := flag.String("journal", "", "stream the control-plane transition journal to this file")
+	flag.Parse()
+	if err := serve(*addr, *addrFile, *journalPath, serveConfig{
+		shards: *shards, slots: *slots, program: *program, policy: *policy,
+		epochMs: *epochMs, cycles: *cycles, frames: *frames,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "ssserved: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type serveConfig struct {
+	shards, slots           int
+	program, policy         string
+	epochMs, cycles, frames int
+}
+
+// submission is one admin request in flight to the engine goroutine; the
+// response channel is buffered so the engine never blocks on a departed
+// client.
+type submission struct {
+	req  ctlplane.Request
+	resp chan ctlplane.Response
+}
+
+func serve(addr, addrFile, journalPath string, cfg serveConfig) error {
+	prog, err := decision.ParseProgram(cfg.program)
+	if err != nil {
+		return err
+	}
+	var pol qm.Policy
+	switch cfg.policy {
+	case "drop-oldest":
+		pol = qm.DropOldest
+	case "reject-new":
+		pol = qm.RejectNew
+	default:
+		return fmt.Errorf("-policy %q: want drop-oldest or reject-new", cfg.policy)
+	}
+	if cfg.epochMs < 1 {
+		return fmt.Errorf("-epoch-ms %d: want >= 1", cfg.epochMs)
+	}
+
+	var journal *os.File
+	if journalPath != "" {
+		journal, err = os.Create(journalPath)
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+	}
+
+	eng, err := endsystem.NewService(endsystem.ServiceConfig{
+		Shards:          cfg.shards,
+		SlotsPerShard:   cfg.slots,
+		Program:         prog,
+		Policy:          pol,
+		CyclesPerEpoch:  cfg.cycles,
+		FramesPerStream: cfg.frames,
+		Journal:         journal,
+	})
+	if err != nil {
+		return err
+	}
+
+	reg := obs.NewRegistry()
+	eng.RegisterMetrics(reg, "ctl")
+	eng.Router().RegisterMetrics(reg, "shard")
+	adminNs := reg.Histogram("ssserved.admin_latency", "ns")
+
+	// The engine goroutine owns eng exclusively: admin handlers hand it
+	// requests over submit and wait for the fence to answer. Shutdown is a
+	// context cancel — from a signal or the /admin/shutdown route.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	submit := make(chan submission)
+	offer := make(chan int)
+	done := make(chan ctlplane.Ledger, 1)
+
+	mux := obs.NewMux(reg)
+	admin := func(route string, h func(url.Values) (ctlplane.Request, error)) {
+		mux.HandleFunc("/admin/"+route, func(w http.ResponseWriter, r *http.Request) {
+			start := obs.WallClock()
+			defer func() { adminNs.Observe(obs.WallClock() - start) }()
+			if r.Method != http.MethodPost {
+				httpError(w, http.StatusMethodNotAllowed, "POST only")
+				return
+			}
+			req, err := h(r.URL.Query())
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			sub := submission{req: req, resp: make(chan ctlplane.Response, 1)}
+			select {
+			case submit <- sub:
+			case <-ctx.Done():
+				httpError(w, http.StatusServiceUnavailable, "shutting down")
+				return
+			}
+			select {
+			case resp := <-sub.resp:
+				code := http.StatusOK
+				if !resp.OK() {
+					code = http.StatusConflict
+				}
+				writeJSON(w, code, resp)
+			case <-time.After(30 * time.Second):
+				httpError(w, http.StatusGatewayTimeout, "no epoch fence within 30s")
+			}
+		})
+	}
+	admin("admit", func(q url.Values) (ctlplane.Request, error) {
+		id, err := streamParam(q)
+		if err != nil {
+			return ctlplane.Request{}, err
+		}
+		spec, err := parseSpec(q)
+		if err != nil {
+			return ctlplane.Request{}, err
+		}
+		return ctlplane.Request{Op: ctlplane.OpAdmit, Stream: id, Spec: spec}, nil
+	})
+	admin("evict", func(q url.Values) (ctlplane.Request, error) {
+		id, err := streamParam(q)
+		return ctlplane.Request{Op: ctlplane.OpEvict, Stream: id}, err
+	})
+	admin("retune", func(q url.Values) (ctlplane.Request, error) {
+		id, err := streamParam(q)
+		if err != nil {
+			return ctlplane.Request{}, err
+		}
+		spec, err := parseSpec(q)
+		if err != nil {
+			return ctlplane.Request{}, err
+		}
+		return ctlplane.Request{Op: ctlplane.OpRetune, Stream: id, Spec: spec}, nil
+	})
+	admin("program", func(q url.Values) (ctlplane.Request, error) {
+		id, err := streamParam(q)
+		if err != nil {
+			return ctlplane.Request{}, err
+		}
+		p, err := decision.ParseProgram(q.Get("program"))
+		if err != nil {
+			return ctlplane.Request{}, err
+		}
+		return ctlplane.Request{Op: ctlplane.OpSetProgram, Stream: id, Program: p}, nil
+	})
+	admin("pool", func(q url.Values) (ctlplane.Request, error) {
+		k, err := intParam(q, "shard")
+		if err != nil {
+			return ctlplane.Request{}, err
+		}
+		burst, err := intParam(q, "burst")
+		if err != nil {
+			return ctlplane.Request{}, err
+		}
+		return ctlplane.Request{Op: ctlplane.OpResizePool, Shard: k, Burst: burst}, nil
+	})
+	admin("drain", func(q url.Values) (ctlplane.Request, error) {
+		k, err := intParam(q, "shard")
+		return ctlplane.Request{Op: ctlplane.OpDrainShard, Shard: k}, err
+	})
+	admin("restart", func(q url.Values) (ctlplane.Request, error) {
+		k, err := intParam(q, "shard")
+		return ctlplane.Request{Op: ctlplane.OpRestartShard, Shard: k}, err
+	})
+	mux.HandleFunc("/admin/offering", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		n, err := intParam(r.URL.Query(), "frames")
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		select {
+		case offer <- n:
+			writeJSON(w, http.StatusOK, map[string]int{"frames": n})
+		case <-ctx.Done():
+			httpError(w, http.StatusServiceUnavailable, "shutting down")
+		}
+	})
+	mux.HandleFunc("/admin/ledger", func(w http.ResponseWriter, r *http.Request) {
+		led := eng.Ledger() // atomic snapshot from the last fence: any-goroutine safe
+		writeJSON(w, http.StatusOK, ledgerDoc(eng, led))
+	})
+	mux.HandleFunc("/admin/shutdown", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "shutting down"})
+		stop()
+	})
+
+	bound, shutdownHTTP, err := obs.ServeHandler(addr, mux)
+	if err != nil {
+		return err
+	}
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "ssserved: %d shards × %d slots, program %s, policy %s; admin on http://%s/admin/, metrics on /metrics\n",
+		cfg.shards, cfg.slots, prog, pol, bound)
+
+	go engineLoop(eng, time.Duration(cfg.epochMs)*time.Millisecond, submit, offer, ctx.Done(), done)
+
+	<-ctx.Done()
+	stop() // restore default signal handling: a second ^C kills hard
+	fmt.Fprintln(os.Stderr, "ssserved: shutting down, settling the pipelines")
+	httpCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = shutdownHTTP(httpCtx)
+	final := <-done
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(ledgerDoc(eng, final)); err != nil {
+		return err
+	}
+	if !final.Balanced() || final.InFlight != 0 || eng.Violations() != 0 {
+		return fmt.Errorf("conservation did not close: %d violations, %d in flight",
+			eng.Violations(), final.InFlight)
+	}
+	return nil
+}
+
+// engineLoop owns the control-plane engine: it alone enqueues and steps.
+// Requests arriving between ticks land at the next fence; their responses
+// are correlated back to the waiting handler by sequence number. On
+// shutdown it pauses traffic and steps until nothing is in flight so the
+// final ledger closes exactly.
+func engineLoop(eng *ctlplane.Engine, epoch time.Duration, submit chan submission, offer chan int, quit <-chan struct{}, done chan<- ctlplane.Ledger) {
+	pending := make(map[uint64]chan ctlplane.Response)
+	tick := time.NewTicker(epoch)
+	defer tick.Stop()
+	step := func() ctlplane.Ledger {
+		rep := eng.Step()
+		for _, resp := range rep.Responses {
+			if ch, ok := pending[resp.Seq]; ok {
+				ch <- resp // buffered: never blocks on a departed client
+				delete(pending, resp.Seq)
+			}
+		}
+		return rep.Ledger
+	}
+	for {
+		select {
+		case sub := <-submit:
+			pending[eng.Enqueue(sub.req)] = sub.resp
+		case n := <-offer:
+			eng.SetOffering(n)
+		case <-tick.C:
+			step()
+		case <-quit:
+			// Settle: answer anything queued, stop offering, run the
+			// backlog out. Bounded so a wedged pipeline still exits (the
+			// unbalanced ledger then fails the process).
+			eng.SetOffering(0)
+			led := step()
+			for i := 0; led.InFlight > 0 && i < 1<<14; i++ {
+				led = step()
+			}
+			done <- led
+			return
+		}
+	}
+}
+
+// streamParam parses the id query parameter.
+func streamParam(q url.Values) (shard.StreamID, error) {
+	v, err := strconv.ParseUint(q.Get("id"), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("id: %v", err)
+	}
+	return shard.StreamID(v), nil
+}
+
+// intParam parses a required integer query parameter.
+func intParam(q url.Values, name string) (int, error) {
+	v, err := strconv.Atoi(q.Get(name))
+	if err != nil {
+		return 0, fmt.Errorf("%s: %v", name, err)
+	}
+	return v, nil
+}
+
+// uintParam parses an optional uint16 query parameter (0 when absent).
+func uintParam(q url.Values, name string) (uint16, error) {
+	s := q.Get(name)
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseUint(s, 10, 16)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %v", name, err)
+	}
+	return uint16(v), nil
+}
+
+// parseSpec builds an attribute spec from class-specific query parameters.
+// Validation proper happens at the fence (attr.Spec.Validate via the
+// scheduler); this only maps names to fields.
+func parseSpec(q url.Values) (attr.Spec, error) {
+	period, err := uintParam(q, "period")
+	if err != nil {
+		return attr.Spec{}, err
+	}
+	priority, err := uintParam(q, "priority")
+	if err != nil {
+		return attr.Spec{}, err
+	}
+	weight, err := uintParam(q, "weight")
+	if err != nil {
+		return attr.Spec{}, err
+	}
+	guard, err := uintParam(q, "guard")
+	if err != nil {
+		return attr.Spec{}, err
+	}
+	num, err := uintParam(q, "num")
+	if err != nil {
+		return attr.Spec{}, err
+	}
+	den, err := uintParam(q, "den")
+	if err != nil {
+		return attr.Spec{}, err
+	}
+	switch c := q.Get("class"); c {
+	case "edf":
+		return attr.Spec{Class: attr.EDF, Period: period}, nil
+	case "wc", "dwcs", "window-constrained":
+		return attr.Spec{
+			Class:      attr.WindowConstrained,
+			Period:     period,
+			Constraint: attr.Constraint{Num: uint8(num), Den: uint8(den)},
+		}, nil
+	case "static", "static-priority":
+		return attr.Spec{Class: attr.StaticPriority, Priority: priority, Guard: guard}, nil
+	case "fair", "fair-tag":
+		return attr.Spec{Class: attr.FairTag, Weight: weight}, nil
+	default:
+		return attr.Spec{}, fmt.Errorf("class %q: want edf, wc, static, or fair", c)
+	}
+}
+
+// ledgerDoc is the JSON served by /admin/ledger and printed at exit: the
+// conservation snapshot plus the journal replay identity.
+func ledgerDoc(eng *ctlplane.Engine, led ctlplane.Ledger) map[string]any {
+	hash, lines := eng.JournalSum()
+	return map[string]any{
+		"ledger":        led,
+		"balanced":      led.Balanced(),
+		"violations":    eng.Violations(),
+		"journal_hash":  fmt.Sprintf("%016x", hash),
+		"journal_lines": lines,
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -801,6 +801,37 @@ func (s *Scheduler) Rebind(i int, src regblock.HeadSource) (bool, error) {
 // Zero means every result ever produced belongs to the original binding.
 func (s *Scheduler) RebindEpoch() uint64 { return s.rebindEpoch }
 
+// Retune swaps slot i's service attributes while the scheduler runs, keeping
+// the slot's head source, in-flight head, and performance counters — the
+// counter-preserving spec change live control planes apply at epoch fences
+// (weights, periods, priorities, window constraints). The new spec must keep
+// the stream's attribute class (regblock enforces it; changing discipline
+// mid-stream is an evict + re-admit). The slot's window registers reset to
+// the new constraint; its current head keeps the deadline it was admitted
+// under, successors synthesize from the new spec. Costs one hardware clock
+// (the descriptor rewrite on the memory interface).
+func (s *Scheduler) Retune(i int, spec attr.Spec) error {
+	if !s.started {
+		return fmt.Errorf("core: Retune before Start (use Admit)")
+	}
+	if i < 0 || i >= s.cfg.Slots {
+		return fmt.Errorf("core: slot %d out of range [0, %d)", i, s.cfg.Slots)
+	}
+	if s.cfg.Mode == decision.TagOnly && spec.Class == attr.WindowConstrained {
+		return fmt.Errorf("core: window-constrained streams need the DWCS decision datapath, not tag-only")
+	}
+	if err := s.slots[i].Retune(spec); err != nil {
+		return err
+	}
+	s.cacheSpec(i, spec)
+	s.gens[i] = genReload
+	s.hwCycles++
+	if s.trace != nil {
+		s.trace.Add(hwsim.Event{Cycle: s.hwCycles, Signal: "ctl.state", Value: fmt.Sprintf("RETUNE[slot %d]", i)})
+	}
+	return nil
+}
+
 // runWinnerOnly transmits the single winner and expire-checks the losers.
 func (s *Scheduler) runWinnerOnly(now uint64, res shuffle.Result, cr *CycleResult) {
 	if !res.Winner.Valid {

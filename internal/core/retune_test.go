@@ -1,0 +1,111 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/decision"
+	"repro/internal/regblock"
+)
+
+func TestRetuneKeepsCountersAndHead(t *testing.T) {
+	s := edfScheduler(t, Config{Slots: 4, Routing: WinnerOnly})
+	s.RunFor(40)
+	before := s.SlotCounters(1)
+	if before.Services == 0 {
+		t.Fatal("slot 1 never served in the warm-up")
+	}
+	if !s.SlotAttributes(1).Valid {
+		t.Fatal("slot 1 should hold an in-flight head")
+	}
+	if err := s.Retune(1, attr.Spec{Class: attr.EDF, Period: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SlotCounters(1); got.Services != before.Services {
+		t.Fatalf("retune must keep counters: %+v vs %+v", got, before)
+	}
+	if !s.SlotAttributes(1).Valid {
+		t.Fatal("retune must keep the in-flight head")
+	}
+	if got := s.SlotSpec(1).Period; got != 7 {
+		t.Fatalf("retuned period %d, want 7", got)
+	}
+	s.RunFor(100)
+	if got := s.SlotCounters(1).Services; got <= before.Services {
+		t.Fatal("retuned slot never served again")
+	}
+}
+
+func TestRetuneResetsWindowRegisters(t *testing.T) {
+	spec := attr.Spec{Class: attr.WindowConstrained, Period: 4, Constraint: attr.Constraint{Num: 2, Den: 5}}
+	b, err := regblock.New(0, spec, &fixedHeads{heads: []regblock.Head{{Arrival: 0}, {Arrival: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Load(0)
+	b.Service(false, true) // winner-adjust consumes a window slot
+	served := b.Counters.Services
+	next := attr.Spec{Class: attr.WindowConstrained, Period: 4, Constraint: attr.Constraint{Num: 1, Den: 3}}
+	if err := b.Retune(next); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Out(); got.LossNum != 1 || got.LossDen != 3 {
+		t.Fatalf("retune must restart the window at the new constraint: %+v", got)
+	}
+	if b.Counters.Services != served {
+		t.Fatal("retune must keep counters")
+	}
+	if !b.Valid() {
+		t.Fatal("retune must keep the in-flight head")
+	}
+	if b.Spec().Constraint != next.Constraint {
+		t.Fatalf("spec not updated: %+v", b.Spec())
+	}
+}
+
+func TestRetuneValidation(t *testing.T) {
+	s, err := New(Config{Slots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edf := attr.Spec{Class: attr.EDF, Period: 1}
+	if err := s.Retune(0, edf); err == nil || !strings.Contains(err.Error(), "before Start") {
+		t.Fatalf("retune before Start: %v", err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Retune(-1, edf); err == nil {
+		t.Error("out-of-range slot accepted")
+	}
+	if err := s.Retune(2, edf); err == nil {
+		t.Error("out-of-range slot accepted")
+	}
+	// Class changes are an evict + re-admit, not a retune.
+	if err := s.Retune(0, attr.Spec{Class: attr.FairTag, Weight: 1}); err == nil ||
+		!strings.Contains(err.Error(), "class") {
+		t.Errorf("class change accepted: %v", err)
+	}
+	// Invalid specs are rejected before any state mutates.
+	if err := s.Retune(0, attr.Spec{Class: attr.EDF}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestRetuneRejectsWCOnTagOnly(t *testing.T) {
+	s, err := New(Config{Slots: 2, Mode: decision.TagOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Admit(0, attr.Spec{Class: attr.FairTag, Weight: 2}, &fixedHeads{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	wc := attr.Spec{Class: attr.WindowConstrained, Period: 4}
+	if err := s.Retune(0, wc); err == nil || !strings.Contains(err.Error(), "DWCS") {
+		t.Fatalf("WC retune on tag-only datapath accepted: %v", err)
+	}
+}

@@ -1,0 +1,560 @@
+// Package ctlplane is the epoch-fenced control plane of the supervised
+// sharded endsystem: the layer that lets a service admit, retune, and evict
+// streams, switch per-stream rank programs, resize shared buffer pools, and
+// drain or restart whole shards while the schedulers run.
+//
+// The engine advances in epochs. Each Step is one epoch: first every
+// control request enqueued since the last fence is applied, in sequence
+// order, at the shard barrier — no shard is mid-decision-cycle, no producer
+// is mid-offer, so the counter-preserving mutations (core.Retune, the
+// Rebind inside a live eviction) land on quiescent slots; then the engine
+// offers the epoch's traffic to every occupied slot; then every running
+// shard executes a fixed budget of decision cycles; and finally the engine
+// reconciles its conservation ledger:
+//
+//	offered == delivered + dropped(QM) + dropped(sched) + evicted + in-flight
+//
+// at every epoch, with in-flight computed as queued frames minus head-drop
+// eviction debt plus latched in-flight heads. A violation is a bug, never
+// load: the soak harness churns ~10⁶ control events through the engine and
+// requires zero.
+//
+// Every transition is journaled as one text line through a running FNV-64a
+// hash, so two runs with the same seed must produce byte-identical journals
+// — the hash, the line count, and the final ledger are the replay identity.
+// Nothing in the engine reads the wall clock, iterates a map, or consults
+// global randomness; determinism is structural, not statistical.
+package ctlplane
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/decision"
+	"repro/internal/obs"
+	"repro/internal/qm"
+	"repro/internal/shard"
+)
+
+// Op is a control-plane operation kind.
+type Op uint8
+
+const (
+	// OpAdmit admits Stream with Spec into its flow-hashed home shard.
+	OpAdmit Op = iota
+	// OpEvict removes Stream, draining its queue and flushing its head.
+	OpEvict
+	// OpRetune swaps Stream's service attributes in place (same class).
+	OpRetune
+	// OpSetProgram switches Stream's per-slot rank program (STFQ/WFQ tag
+	// choice).
+	OpSetProgram
+	// OpResizePool re-targets Shard's shared buffer pool to Burst frames.
+	OpResizePool
+	// OpDrainShard freezes Shard: no traffic is offered to its streams and
+	// its scheduler stops stepping; queued frames stay in flight.
+	OpDrainShard
+	// OpRestartShard resumes a drained Shard.
+	OpRestartShard
+)
+
+// String returns the operation name.
+func (o Op) String() string {
+	switch o {
+	case OpAdmit:
+		return "admit"
+	case OpEvict:
+		return "evict"
+	case OpRetune:
+		return "retune"
+	case OpSetProgram:
+		return "program"
+	case OpResizePool:
+		return "pool"
+	case OpDrainShard:
+		return "drain"
+	case OpRestartShard:
+		return "restart"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Request is one control-plane mutation, applied at the next epoch fence.
+// Which fields matter depends on Op; the rest are ignored.
+type Request struct {
+	// Seq is assigned by Enqueue; requests apply in Seq order.
+	Seq     uint64
+	Op      Op
+	Stream  shard.StreamID   // OpAdmit, OpEvict, OpRetune, OpSetProgram
+	Spec    attr.Spec        // OpAdmit, OpRetune
+	Program decision.Program // OpSetProgram
+	Burst   int              // OpResizePool
+	Shard   int              // OpResizePool, OpDrainShard, OpRestartShard
+}
+
+// Response reports one applied request. Err is a string, not an error, so
+// responses serialize identically everywhere (journal, JSON, tests).
+type Response struct {
+	Seq    uint64
+	Epoch  uint64
+	Op     Op
+	Stream shard.StreamID
+	Err    string `json:",omitempty"`
+	// Placement (OpAdmit, OpEvict); -1 when not applicable.
+	Shard int
+	Slot  int
+	// Eviction accounting (OpEvict).
+	Drained int
+	Flushed bool
+}
+
+// OK reports whether the request applied cleanly.
+func (r Response) OK() bool { return r.Err == "" }
+
+// Ledger is the conservation snapshot the engine reconciles at every epoch
+// fence. All counts are cumulative since New except InFlight and Streams,
+// which are instantaneous.
+type Ledger struct {
+	Epoch uint64
+	// Offered counts frames the engine handed to the Queue Managers that
+	// were accepted (queued) or definitively shed by the overload policy.
+	// Frames a Busy verdict turned away were never offered — the producer
+	// still holds them.
+	Offered uint64
+	// Delivered counts transmissions the schedulers produced.
+	Delivered uint64
+	// DroppedQM counts frames the overload policies lost (shed arrivals,
+	// evicted heads).
+	DroppedQM uint64
+	// DroppedSched counts frames the schedulers dropped (window-constraint
+	// expiry), accumulated across slot reuse.
+	DroppedSched uint64
+	// Evicted counts frames removed by live stream evictions: drained
+	// queues plus flushed in-flight heads.
+	Evicted uint64
+	// InFlight counts frames currently owed delivery: queued frames minus
+	// head-drop eviction debt, plus latched in-flight heads.
+	InFlight uint64
+	// Streams is the admitted stream count.
+	Streams uint64
+}
+
+// Balanced reports whether the ledger conserves frames.
+func (l Ledger) Balanced() bool {
+	return l.Offered == l.Delivered+l.DroppedQM+l.DroppedSched+l.Evicted+l.InFlight
+}
+
+// Config parameterizes an Engine. Zero fields take defaults.
+type Config struct {
+	// Shards, SlotsPerShard, RingCapacity, BufferPool, and Program
+	// parameterize the underlying shard.Router (see shard.Config).
+	Shards        int
+	SlotsPerShard int
+	RingCapacity  int
+	BufferPool    qm.SharedConfig
+	Program       decision.Program
+	// Policy is the overload policy every shard runs (default Backpressure).
+	Policy qm.Policy
+	// CyclesPerEpoch is each running shard's decision-cycle budget per Step
+	// (default 128).
+	CyclesPerEpoch int
+	// FramesPerStream is how many frames the engine offers to every
+	// occupied slot of every running shard each epoch (default 1; 0 pauses
+	// traffic, as SetOffering does live).
+	FramesPerStream int
+	// FrameBytes is the offered frame size (default 1500).
+	FrameBytes int
+	// Journal, when non-nil, receives every journal line. The running
+	// FNV-64a hash and line count accumulate regardless (JournalSum), so
+	// byte-identity is checkable without retaining the text.
+	Journal io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.CyclesPerEpoch == 0 {
+		c.CyclesPerEpoch = 128
+	}
+	if c.FramesPerStream == 0 {
+		c.FramesPerStream = 1
+	}
+	if c.FrameBytes == 0 {
+		c.FrameBytes = 1500
+	}
+	return c
+}
+
+// Engine is the epoch-fenced control plane. It is single-goroutine by
+// design: Enqueue and Step must be called from one goroutine (a daemon puts
+// a channel in front). The obs gauges read atomic snapshots published at
+// each fence, so scraping never races the engine.
+type Engine struct {
+	cfg      Config
+	r        *shard.Router
+	j        *journal
+	epoch    uint64
+	nextSeq  uint64
+	queue    []Request
+	drained  []bool
+	offering int
+
+	// Conservation ledger. cumSchedDrops accumulates scheduler drops that
+	// slot reuse would otherwise erase: a live eviction freezes the slot's
+	// Drops counter into dropBase, and the next dynamic admission resets
+	// both the hardware counter and the base, so
+	// cumSchedDrops + Σ (Drops − dropBase) is reuse-proof.
+	offered       uint64
+	delivered     uint64
+	evicted       uint64
+	cumSchedDrops uint64
+	dropBase      [][]uint64
+
+	// Scrape-safe mirrors, published at each fence.
+	last       atomic.Pointer[Ledger]
+	requests   atomic.Uint64
+	failures   atomic.Uint64
+	violations atomic.Uint64
+}
+
+// New builds an engine: the sharded router is created, switched into live
+// mode under cfg.Policy, and journal line zero records the configuration —
+// the first byte of the replay identity.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	r, err := shard.New(shard.Config{
+		Shards:        cfg.Shards,
+		SlotsPerShard: cfg.SlotsPerShard,
+		RingCapacity:  cfg.RingCapacity,
+		BufferPool:    cfg.BufferPool,
+		Program:       cfg.Program,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := r.StartLive(cfg.Policy); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:      cfg,
+		r:        r,
+		j:        newJournal(cfg.Journal),
+		drained:  make([]bool, cfg.Shards),
+		offering: cfg.FramesPerStream,
+		dropBase: make([][]uint64, cfg.Shards),
+	}
+	for k := range e.dropBase {
+		e.dropBase[k] = make([]uint64, cfg.SlotsPerShard)
+	}
+	e.last.Store(&Ledger{})
+	e.j.printf("ssctl v1 shards=%d slots=%d ring=%d pool=%d/%d program=%v policy=%v cycles=%d frames=%d",
+		cfg.Shards, cfg.SlotsPerShard, cfg.RingCapacity,
+		cfg.BufferPool.Reservation, cfg.BufferPool.Burst,
+		cfg.Program, cfg.Policy, cfg.CyclesPerEpoch, cfg.FramesPerStream)
+	return e, nil
+}
+
+// Router exposes the underlying sharded endsystem (read-only use: metrics,
+// placement queries). Mutate only through requests.
+func (e *Engine) Router() *shard.Router { return e.r }
+
+// Epoch returns the completed epoch count.
+func (e *Engine) Epoch() uint64 { return e.epoch }
+
+// Enqueue queues req for the next epoch fence and returns its sequence
+// number. Call from the engine goroutine only.
+func (e *Engine) Enqueue(req Request) uint64 {
+	e.nextSeq++
+	req.Seq = e.nextSeq
+	e.queue = append(e.queue, req)
+	return req.Seq
+}
+
+// SetOffering changes how many frames each occupied slot is offered per
+// epoch (0 pauses traffic — the settle phase of a soak). Journaled: offered
+// load is part of the replay identity.
+func (e *Engine) SetOffering(framesPerStream int) {
+	if framesPerStream < 0 {
+		framesPerStream = 0
+	}
+	e.offering = framesPerStream
+	e.j.printf("E%d offering frames=%d", e.epoch, framesPerStream)
+}
+
+// Ledger returns the conservation snapshot published at the last fence.
+// Safe from any goroutine.
+func (e *Engine) Ledger() Ledger { return *e.last.Load() }
+
+// JournalSum returns the running FNV-64a hash and line count of the
+// journal — the replay identity two same-seed runs must share byte for
+// byte.
+func (e *Engine) JournalSum() (hash uint64, lines uint64) { return e.j.sum() }
+
+// EpochReport is one Step's outcome.
+type EpochReport struct {
+	Epoch     uint64
+	Responses []Response
+	Ledger    Ledger
+	Balanced  bool
+}
+
+// Step runs one epoch: fence (apply every queued request in sequence
+// order), offer traffic, step every running shard, reconcile and journal
+// the conservation ledger. Call from the engine goroutine only.
+func (e *Engine) Step() EpochReport {
+	e.epoch++
+	rep := EpochReport{Epoch: e.epoch}
+
+	// Fence: the shards are quiescent between Steps, so mutations land at
+	// the barrier, in sequence order.
+	for _, req := range e.queue {
+		resp := e.apply(req)
+		e.requests.Add(1)
+		if !resp.OK() {
+			e.failures.Add(1)
+		}
+		e.journalResponse(req, resp)
+		rep.Responses = append(rep.Responses, resp)
+	}
+	e.queue = e.queue[:0]
+
+	// Offer the epoch's traffic to every occupied slot of every running
+	// shard, in (shard, slot) order — deterministic, no map iteration.
+	for k := 0; k < e.cfg.Shards; k++ {
+		if e.drained[k] {
+			continue
+		}
+		m := e.r.Manager(k)
+		for slot := 0; slot < e.cfg.SlotsPerShard; slot++ {
+			if _, ok := e.r.SlotStream(k, slot); !ok {
+				continue
+			}
+			for f := 0; f < e.offering; f++ {
+				switch m.Offer(slot, qm.Frame{Size: e.cfg.FrameBytes, Arrival: e.epoch}) {
+				case qm.Queued:
+					e.offered++
+				case qm.Shed:
+					// Lost on arrival; the QM charged the drop.
+					e.offered++
+				case qm.Busy:
+					// The policy held it back; the engine moves on — the
+					// frame was never offered.
+				default:
+				}
+			}
+		}
+	}
+
+	// Step every running shard its cycle budget; transmissions are
+	// deliveries.
+	for k := 0; k < e.cfg.Shards; k++ {
+		if e.drained[k] {
+			continue
+		}
+		_, _ = e.r.StepShard(k, e.cfg.CyclesPerEpoch, func(cr *core.CycleResult) bool {
+			e.delivered += uint64(len(cr.Transmissions))
+			return true
+		})
+	}
+
+	// Reconcile.
+	led := e.snapshot()
+	e.last.Store(&led)
+	rep.Ledger = led
+	rep.Balanced = led.Balanced()
+	if !rep.Balanced {
+		e.violations.Add(1)
+		e.j.printf("E%d VIOLATION offered=%d delivered=%d qmdrop=%d scheddrop=%d evicted=%d inflight=%d",
+			e.epoch, led.Offered, led.Delivered, led.DroppedQM, led.DroppedSched, led.Evicted, led.InFlight)
+	}
+	e.j.printf("E%d ledger offered=%d delivered=%d qmdrop=%d scheddrop=%d evicted=%d inflight=%d streams=%d",
+		e.epoch, led.Offered, led.Delivered, led.DroppedQM, led.DroppedSched, led.Evicted, led.InFlight, led.Streams)
+	return rep
+}
+
+// Violations returns how many epochs failed conservation (must stay 0).
+func (e *Engine) Violations() uint64 { return e.violations.Load() }
+
+// snapshot reconciles the conservation ledger at the current fence.
+func (e *Engine) snapshot() Ledger {
+	led := Ledger{
+		Epoch:        e.epoch,
+		Offered:      e.offered,
+		Delivered:    e.delivered,
+		Evicted:      e.evicted,
+		DroppedSched: e.cumSchedDrops,
+		Streams:      uint64(e.r.Streams()),
+	}
+	for k := 0; k < e.cfg.Shards; k++ {
+		m := e.r.Manager(k)
+		led.DroppedQM += m.Totals().Dropped
+		for slot := 0; slot < e.cfg.SlotsPerShard; slot++ {
+			led.DroppedSched += e.r.SlotCounters(k, slot).Drops - e.dropBase[k][slot]
+			if _, ok := e.r.SlotStream(k, slot); !ok {
+				continue
+			}
+			led.InFlight += uint64(m.Backlog(slot)) - m.EvictDebt(slot)
+			if e.r.SlotInFlight(k, slot) {
+				led.InFlight++
+			}
+		}
+	}
+	return led
+}
+
+// apply executes one fenced request against the quiescent shards.
+func (e *Engine) apply(req Request) Response {
+	resp := Response{Seq: req.Seq, Epoch: e.epoch, Op: req.Op, Stream: req.Stream, Shard: -1, Slot: -1}
+	fail := func(format string, args ...any) Response {
+		resp.Err = fmt.Sprintf(format, args...)
+		return resp
+	}
+	switch req.Op {
+	case OpAdmit:
+		if home := e.r.ShardOf(req.Stream); e.drained[home] {
+			return fail("ctlplane: home shard %d is drained", home)
+		}
+		k, slot, err := e.r.AdmitLive(req.Stream, req.Spec)
+		if err != nil {
+			return fail("%s", err)
+		}
+		// The slot's hardware counters restarted with the new block; its
+		// history is already folded into cumSchedDrops by the eviction.
+		e.dropBase[k][slot] = 0
+		resp.Shard, resp.Slot = k, slot
+	case OpEvict:
+		k, slot, ok := e.r.Locate(req.Stream)
+		if !ok {
+			return fail("ctlplane: stream %d not admitted", req.Stream)
+		}
+		if e.drained[k] {
+			return fail("ctlplane: stream %d's shard %d is drained", req.Stream, k)
+		}
+		drops := e.r.SlotCounters(k, slot).Drops
+		evRep, err := e.r.EvictLive(req.Stream)
+		if err != nil {
+			return fail("%s", err)
+		}
+		// Freeze the vacated slot's scheduler drops into the cumulative
+		// ledger; the slot idles (empty source) so the counter cannot move
+		// until re-admission resets it.
+		e.cumSchedDrops += drops - e.dropBase[k][slot]
+		e.dropBase[k][slot] = drops
+		e.evicted += uint64(evRep.Drained)
+		if evRep.Flushed {
+			e.evicted++
+		}
+		resp.Shard, resp.Slot = evRep.Shard, evRep.Slot
+		resp.Drained, resp.Flushed = evRep.Drained, evRep.Flushed
+	case OpRetune:
+		k, _, ok := e.r.Locate(req.Stream)
+		if !ok {
+			return fail("ctlplane: stream %d not admitted", req.Stream)
+		}
+		if e.drained[k] {
+			return fail("ctlplane: stream %d's shard %d is drained", req.Stream, k)
+		}
+		if err := e.r.RetuneLive(req.Stream, req.Spec); err != nil {
+			return fail("%s", err)
+		}
+	case OpSetProgram:
+		k, _, ok := e.r.Locate(req.Stream)
+		if !ok {
+			return fail("ctlplane: stream %d not admitted", req.Stream)
+		}
+		if e.drained[k] {
+			return fail("ctlplane: stream %d's shard %d is drained", req.Stream, k)
+		}
+		if err := e.r.SetStreamProgram(req.Stream, req.Program); err != nil {
+			return fail("%s", err)
+		}
+	case OpResizePool:
+		if req.Shard < 0 || req.Shard >= e.cfg.Shards {
+			return fail("ctlplane: shard %d out of range [0, %d)", req.Shard, e.cfg.Shards)
+		}
+		if err := e.r.Manager(req.Shard).ResizeBurst(req.Burst); err != nil {
+			return fail("%s", err)
+		}
+		resp.Shard = req.Shard
+	case OpDrainShard:
+		if req.Shard < 0 || req.Shard >= e.cfg.Shards {
+			return fail("ctlplane: shard %d out of range [0, %d)", req.Shard, e.cfg.Shards)
+		}
+		if e.drained[req.Shard] {
+			return fail("ctlplane: shard %d already drained", req.Shard)
+		}
+		e.drained[req.Shard] = true
+		resp.Shard = req.Shard
+	case OpRestartShard:
+		if req.Shard < 0 || req.Shard >= e.cfg.Shards {
+			return fail("ctlplane: shard %d out of range [0, %d)", req.Shard, e.cfg.Shards)
+		}
+		if !e.drained[req.Shard] {
+			return fail("ctlplane: shard %d is not drained", req.Shard)
+		}
+		e.drained[req.Shard] = false
+		resp.Shard = req.Shard
+	default:
+		return fail("ctlplane: unknown op %d", uint8(req.Op))
+	}
+	return resp
+}
+
+// journalResponse renders one applied request as a journal line. The
+// rendering is total: every field that influenced the outcome appears, so
+// the journal alone replays the decision sequence.
+func (e *Engine) journalResponse(req Request, resp Response) {
+	var target string
+	switch req.Op {
+	case OpAdmit, OpRetune:
+		target = fmt.Sprintf("id=%d spec=%s", req.Stream, req.Spec)
+	case OpEvict:
+		target = fmt.Sprintf("id=%d", req.Stream)
+	case OpSetProgram:
+		target = fmt.Sprintf("id=%d prog=%v", req.Stream, req.Program)
+	case OpResizePool:
+		target = fmt.Sprintf("shard=%d burst=%d", req.Shard, req.Burst)
+	case OpDrainShard, OpRestartShard:
+		target = fmt.Sprintf("shard=%d", req.Shard)
+	default:
+		target = fmt.Sprintf("op=%d", uint8(req.Op))
+	}
+	var outcome string
+	switch {
+	case !resp.OK():
+		outcome = "err: " + resp.Err
+	case req.Op == OpAdmit:
+		outcome = fmt.Sprintf("s%d.%d", resp.Shard, resp.Slot)
+	case req.Op == OpEvict:
+		outcome = fmt.Sprintf("s%d.%d drained=%d flushed=%t", resp.Shard, resp.Slot, resp.Drained, resp.Flushed)
+	default:
+		outcome = "ok"
+	}
+	e.j.printf("E%d #%d %s %s -> %s", e.epoch, req.Seq, req.Op, target, outcome)
+}
+
+// RegisterMetrics publishes the engine's control and conservation view on
+// reg under prefix (canonically "ctl"). Gauges read the atomic snapshot
+// published at each fence, so scrapes never race the engine goroutine.
+func (e *Engine) RegisterMetrics(reg *obs.Registry, prefix string) {
+	ledger := func(f func(Ledger) uint64) func() float64 {
+		return func() float64 { return float64(f(e.Ledger())) }
+	}
+	reg.GaugeFunc(prefix+".epoch", "epochs", ledger(func(l Ledger) uint64 { return l.Epoch }))
+	reg.GaugeFunc(prefix+".offered", "frames", ledger(func(l Ledger) uint64 { return l.Offered }))
+	reg.GaugeFunc(prefix+".delivered", "frames", ledger(func(l Ledger) uint64 { return l.Delivered }))
+	reg.GaugeFunc(prefix+".dropped_qm", "frames", ledger(func(l Ledger) uint64 { return l.DroppedQM }))
+	reg.GaugeFunc(prefix+".dropped_sched", "frames", ledger(func(l Ledger) uint64 { return l.DroppedSched }))
+	reg.GaugeFunc(prefix+".evicted", "frames", ledger(func(l Ledger) uint64 { return l.Evicted }))
+	reg.GaugeFunc(prefix+".inflight", "frames", ledger(func(l Ledger) uint64 { return l.InFlight }))
+	reg.GaugeFunc(prefix+".streams", "streams", ledger(func(l Ledger) uint64 { return l.Streams }))
+	reg.GaugeFunc(prefix+".requests", "requests", func() float64 { return float64(e.requests.Load()) })
+	reg.GaugeFunc(prefix+".request_errors", "requests", func() float64 { return float64(e.failures.Load()) })
+	reg.GaugeFunc(prefix+".violations", "epochs", func() float64 { return float64(e.violations.Load()) })
+	reg.GaugeFunc(prefix+".journal_lines", "lines", func() float64 {
+		_, lines := e.j.sum()
+		return float64(lines)
+	})
+}

@@ -1,0 +1,201 @@
+package ctlplane
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/decision"
+	"repro/internal/shard"
+)
+
+// apply enqueues one request and steps one epoch, returning its response.
+func apply(t *testing.T, e *Engine, req Request) Response {
+	t.Helper()
+	e.Enqueue(req)
+	rep := e.Step()
+	if len(rep.Responses) != 1 {
+		t.Fatalf("epoch applied %d responses, want 1", len(rep.Responses))
+	}
+	if !rep.Balanced {
+		t.Fatalf("conservation violated at epoch %d: %+v", rep.Epoch, rep.Ledger)
+	}
+	return rep.Responses[0]
+}
+
+// expectErr asserts the response failed with a message containing want.
+func expectErr(t *testing.T, resp Response, want string) {
+	t.Helper()
+	if resp.OK() {
+		t.Fatalf("%v #%d applied cleanly, want error containing %q", resp.Op, resp.Seq, want)
+	}
+	if !strings.Contains(resp.Err, want) {
+		t.Fatalf("%v error %q, want it to contain %q", resp.Op, resp.Err, want)
+	}
+}
+
+// TestEngineErrorPaths walks every admin error path the daemon surfaces:
+// malformed requests, unknown streams, mutations during a shard-dead
+// (drained) window, double drains and spurious restarts — each must fail
+// cleanly, be journaled, and leave conservation intact.
+func TestEngineErrorPaths(t *testing.T) {
+	e, err := New(Config{Shards: 2, SlotsPerShard: 4, RingCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edf := attr.Spec{Class: attr.EDF, Period: 3}
+
+	// Malformed requests.
+	expectErr(t, apply(t, e, Request{Op: Op(99)}), "unknown op")
+	expectErr(t, apply(t, e, Request{Op: OpAdmit, Stream: 1, Spec: attr.Spec{Class: attr.EDF}}),
+		"request period")
+	expectErr(t, apply(t, e, Request{Op: OpResizePool, Shard: 7, Burst: 4}), "out of range")
+	expectErr(t, apply(t, e, Request{Op: OpResizePool, Shard: 0, Burst: 4}), "fixed-capacity")
+	expectErr(t, apply(t, e, Request{Op: OpDrainShard, Shard: -1}), "out of range")
+
+	// Unknown streams.
+	expectErr(t, apply(t, e, Request{Op: OpEvict, Stream: 404}), "not admitted")
+	expectErr(t, apply(t, e, Request{Op: OpRetune, Stream: 404, Spec: edf}), "not admitted")
+	expectErr(t, apply(t, e, Request{Op: OpSetProgram, Stream: 404, Program: decision.ProgramSTFQ}),
+		"not admitted")
+
+	// A clean admission, then every mutation during its shard's dead
+	// window.
+	resp := apply(t, e, Request{Op: OpAdmit, Stream: 1, Spec: edf})
+	if !resp.OK() {
+		t.Fatalf("admit failed: %s", resp.Err)
+	}
+	home := e.Router().ShardOf(1)
+	if resp.Shard != home {
+		t.Fatalf("admitted to shard %d, home is %d", resp.Shard, home)
+	}
+	expectErr(t, apply(t, e, Request{Op: OpAdmit, Stream: 1, Spec: edf}), "already admitted")
+
+	if resp := apply(t, e, Request{Op: OpDrainShard, Shard: home}); !resp.OK() {
+		t.Fatalf("drain failed: %s", resp.Err)
+	}
+	expectErr(t, apply(t, e, Request{Op: OpRetune, Stream: 1, Spec: edf}), "drained")
+	expectErr(t, apply(t, e, Request{Op: OpEvict, Stream: 1}), "drained")
+	expectErr(t, apply(t, e, Request{Op: OpSetProgram, Stream: 1}), "drained")
+	// Admission to a drained home shard is refused too: pick an ID homed
+	// there.
+	var sameHome shard.StreamID
+	for id := shard.StreamID(2); ; id++ {
+		if e.Router().ShardOf(id) == home {
+			sameHome = id
+			break
+		}
+	}
+	expectErr(t, apply(t, e, Request{Op: OpAdmit, Stream: sameHome, Spec: edf}), "drained")
+
+	// Double drain, spurious restart.
+	expectErr(t, apply(t, e, Request{Op: OpDrainShard, Shard: home}), "already drained")
+	if resp := apply(t, e, Request{Op: OpRestartShard, Shard: home}); !resp.OK() {
+		t.Fatalf("restart failed: %s", resp.Err)
+	}
+	expectErr(t, apply(t, e, Request{Op: OpRestartShard, Shard: home}), "not drained")
+
+	// The dead window over, the same mutations apply cleanly.
+	if resp := apply(t, e, Request{Op: OpRetune, Stream: 1, Spec: attr.Spec{Class: attr.EDF, Period: 9}}); !resp.OK() {
+		t.Fatalf("retune after restart failed: %s", resp.Err)
+	}
+	if resp := apply(t, e, Request{Op: OpEvict, Stream: 1}); !resp.OK() {
+		t.Fatalf("evict after restart failed: %s", resp.Err)
+	}
+
+	if got := e.Violations(); got != 0 {
+		t.Fatalf("%d conservation violations", got)
+	}
+	if led := e.Ledger(); !led.Balanced() {
+		t.Fatalf("final ledger unbalanced: %+v", led)
+	}
+}
+
+// TestRetuneAppliesAtFence pins the epoch-fence contract: a retune enqueued
+// mid-epoch is invisible until the next Step applies it at the barrier.
+func TestRetuneAppliesAtFence(t *testing.T) {
+	e, err := New(Config{Shards: 1, SlotsPerShard: 2, RingCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := apply(t, e, Request{Op: OpAdmit, Stream: 1, Spec: attr.Spec{Class: attr.EDF, Period: 3}}); !resp.OK() {
+		t.Fatal(resp.Err)
+	}
+	e.Enqueue(Request{Op: OpRetune, Stream: 1, Spec: attr.Spec{Class: attr.EDF, Period: 11}})
+	// Not yet applied: the fence hasn't passed.
+	if got := e.Router().Manager(0).Spec(0).Period; got != 3 {
+		t.Fatalf("retune applied before the fence: period %d", got)
+	}
+	rep := e.Step()
+	if len(rep.Responses) != 1 || !rep.Responses[0].OK() {
+		t.Fatalf("fence did not apply the retune: %+v", rep.Responses)
+	}
+	if got := e.Router().Manager(0).Spec(0).Period; got != 11 {
+		t.Fatalf("period %d after the fence, want 11", got)
+	}
+}
+
+// TestSoakDeterminism runs the churn soak twice with one seed and once with
+// another: the same seed must reproduce the journal byte for byte (hash and
+// line count), a different seed must not, and no run may violate
+// conservation.
+func TestSoakDeterminism(t *testing.T) {
+	cfg := SoakConfig{Seed: 42, Events: 4000, EventsPerEpoch: 32, Shards: 2, SlotsPerShard: 8}
+	a, err := Soak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Soak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.JournalHash != b.JournalHash || a.JournalLines != b.JournalLines {
+		t.Fatalf("same seed diverged: %x/%d lines vs %x/%d lines",
+			a.JournalHash, a.JournalLines, b.JournalHash, b.JournalLines)
+	}
+	if a.Final != b.Final {
+		t.Fatalf("same seed, different final ledgers: %+v vs %+v", a.Final, b.Final)
+	}
+	if a.Violations != 0 {
+		t.Fatalf("%d conservation violations", a.Violations)
+	}
+	if a.Applied == 0 || a.Failed == 0 {
+		t.Fatalf("soak exercised applied=%d failed=%d; want both nonzero", a.Applied, a.Failed)
+	}
+	if a.Final.InFlight != 0 {
+		t.Fatalf("soak settled with %d frames in flight", a.Final.InFlight)
+	}
+
+	other := cfg
+	other.Seed = 43
+	c, err := Soak(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.JournalHash == a.JournalHash && c.JournalLines == a.JournalLines {
+		t.Fatal("different seeds produced identical journals")
+	}
+}
+
+// TestSoakJournalText checks the optional journal sink receives exactly the
+// hashed lines: the newline count equals the reported line count, and the
+// text re-hashes to the reported hash.
+func TestSoakJournalText(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := Soak(SoakConfig{Seed: 7, Events: 500, EventsPerEpoch: 16, Shards: 2, SlotsPerShard: 8, Journal: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := uint64(bytes.Count(buf.Bytes(), []byte("\n"))); got != res.JournalLines {
+		t.Fatalf("sink saw %d lines, journal counted %d", got, res.JournalLines)
+	}
+	j := newJournal(nil)
+	j.h.Write(buf.Bytes())
+	if sum := j.h.Sum64(); sum != res.JournalHash {
+		t.Fatalf("sink text hashes to %x, journal reports %x", sum, res.JournalHash)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("ssctl v1 ")) {
+		t.Fatalf("journal header missing: %q", buf.Bytes()[:40])
+	}
+}

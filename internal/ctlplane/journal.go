@@ -1,0 +1,48 @@
+package ctlplane
+
+import (
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"io"
+	"sync/atomic"
+)
+
+// journal streams transition lines through a running FNV-64a hash (and an
+// optional writer), tracking the line count. The hash-and-count pair is the
+// replay identity: two runs whose journals agree byte for byte agree on
+// both, and a 64-bit FNV collision between two different 10⁶-line journals
+// is not a failure mode worth more machinery. The running sum and count are
+// mirrored into atomics after each line so obs gauges can read them without
+// racing the engine goroutine.
+type journal struct {
+	h     hash.Hash64
+	w     io.Writer
+	buf   []byte
+	sum64 atomic.Uint64
+	lines atomic.Uint64
+}
+
+func newJournal(w io.Writer) *journal {
+	return &journal{h: fnv.New64a(), w: w}
+}
+
+// printf appends one line (format must not contain a newline; one is
+// added). Write errors on the optional sink are ignored by design — the
+// hash is the authoritative journal, the sink is a convenience copy.
+func (j *journal) printf(format string, args ...any) {
+	j.buf = j.buf[:0]
+	j.buf = fmt.Appendf(j.buf, format, args...)
+	j.buf = append(j.buf, '\n')
+	j.h.Write(j.buf) // fnv's Write cannot fail
+	if j.w != nil {
+		j.w.Write(j.buf) //nolint:errcheck — see doc comment
+	}
+	j.sum64.Store(j.h.Sum64())
+	j.lines.Add(1)
+}
+
+// sum returns the running hash and line count; safe from any goroutine.
+func (j *journal) sum() (hash uint64, lines uint64) {
+	return j.sum64.Load(), j.lines.Load()
+}

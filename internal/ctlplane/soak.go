@@ -1,0 +1,316 @@
+package ctlplane
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/attr"
+	"repro/internal/decision"
+	"repro/internal/qm"
+	"repro/internal/shard"
+)
+
+// This file is the seeded churn soak: a deterministic event generator that
+// batters the control plane with admit/evict/retune/program/pool/drain
+// events — a configurable count, canonically 10⁶ — while traffic flows, and
+// requires zero conservation violations and a byte-identical journal on
+// replay. The generator's randomness is a private splitmix64 stream seeded
+// from the config (sslint's walltime rule bans global math/rand in internal
+// packages, and a global source would break replay anyway); every choice,
+// including the deliberately malformed events that exercise the error
+// paths, derives from it.
+
+// prng is a splitmix64 sequence — tiny, fast, and fully determined by its
+// seed.
+type prng struct{ s uint64 }
+
+func (r *prng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// intn returns a uniform value in [0, n).
+func (r *prng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// SoakConfig parameterizes a churn soak. Zero fields take defaults.
+type SoakConfig struct {
+	// Seed drives every generator choice; same seed, same journal bytes.
+	Seed uint64
+	// Events is the control-event count to generate (default 100000; CI's
+	// make soak runs 1000000).
+	Events int
+	// EventsPerEpoch is how many events land at each epoch fence (default
+	// 64).
+	EventsPerEpoch int
+	// Shards / SlotsPerShard size the endsystem (defaults 4 × 16).
+	Shards        int
+	SlotsPerShard int
+	// CyclesPerEpoch is each shard's decision budget per epoch (default
+	// 128).
+	CyclesPerEpoch int
+	// Journal, when non-nil, receives the full journal text (CI uploads it
+	// as the failure artifact). The hash accumulates regardless.
+	Journal io.Writer
+}
+
+func (c SoakConfig) withDefaults() SoakConfig {
+	if c.Events == 0 {
+		c.Events = 100000
+	}
+	if c.EventsPerEpoch == 0 {
+		c.EventsPerEpoch = 64
+	}
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.SlotsPerShard == 0 {
+		c.SlotsPerShard = 16
+	}
+	if c.CyclesPerEpoch == 0 {
+		c.CyclesPerEpoch = 128
+	}
+	return c
+}
+
+// SoakResult summarizes a soak run. JournalHash/JournalLines are the replay
+// identity; Violations must be zero.
+type SoakResult struct {
+	Events       int
+	Epochs       uint64
+	Applied      uint64
+	Failed       uint64
+	Violations   uint64
+	JournalHash  uint64
+	JournalLines uint64
+	Final        Ledger
+}
+
+// soakState tracks the generator's view of the admitted stream population:
+// an order-preserving slice for deterministic random picks plus an index
+// map (never iterated) for O(1) removal.
+type soakState struct {
+	ids    []shard.StreamID
+	pos    map[shard.StreamID]int
+	class  map[shard.StreamID]attr.Class
+	nextID shard.StreamID
+}
+
+func (st *soakState) add(id shard.StreamID, c attr.Class) {
+	st.pos[id] = len(st.ids)
+	st.ids = append(st.ids, id)
+	st.class[id] = c
+}
+
+func (st *soakState) remove(id shard.StreamID) {
+	i, ok := st.pos[id]
+	if !ok {
+		return
+	}
+	last := len(st.ids) - 1
+	st.ids[i] = st.ids[last]
+	st.pos[st.ids[i]] = i
+	st.ids = st.ids[:last]
+	delete(st.pos, id)
+	delete(st.class, id)
+}
+
+// pick returns a uniformly chosen admitted stream (ok=false when none).
+func (st *soakState) pick(r *prng) (shard.StreamID, bool) {
+	if len(st.ids) == 0 {
+		return 0, false
+	}
+	return st.ids[r.intn(len(st.ids))], true
+}
+
+// randomSpec synthesizes a valid spec of class c.
+func randomSpec(r *prng, c attr.Class) attr.Spec {
+	switch c {
+	case attr.WindowConstrained:
+		den := uint8(3 + r.intn(4))
+		return attr.Spec{
+			Class:      attr.WindowConstrained,
+			Period:     uint16(2 + r.intn(14)),
+			Constraint: attr.Constraint{Num: uint8(r.intn(3)), Den: den},
+		}
+	case attr.EDF:
+		return attr.Spec{Class: attr.EDF, Period: uint16(1 + r.intn(15))}
+	case attr.StaticPriority:
+		return attr.Spec{Class: attr.StaticPriority, Priority: uint16(r.intn(1024))}
+	case attr.FairTag:
+		return attr.Spec{Class: attr.FairTag, Weight: uint16(1 + r.intn(8))}
+	default:
+		return attr.Spec{Class: attr.EDF, Period: 1}
+	}
+}
+
+// soakClasses is the class mix admitted by the soak — every discipline the
+// DWCS datapath hosts.
+var soakClasses = [...]attr.Class{
+	attr.WindowConstrained, attr.EDF, attr.StaticPriority, attr.FairTag,
+}
+
+// event generates one control request. The mix leans on admit/evict/retune
+// churn, with a tail of program switches, pool resizes, shard
+// drain/restart, and deliberately malformed events (unknown streams,
+// oversized pool bursts, class-changing retunes) so the error paths are
+// journaled too.
+func event(r *prng, st *soakState, cfg SoakConfig) Request {
+	switch roll := r.intn(100); {
+	case roll < 28: // admit a fresh stream
+		id := st.nextID
+		st.nextID++
+		c := soakClasses[r.intn(len(soakClasses))]
+		return Request{Op: OpAdmit, Stream: id, Spec: randomSpec(r, c)}
+	case roll < 48: // evict a known stream
+		if id, ok := st.pick(r); ok {
+			return Request{Op: OpEvict, Stream: id}
+		}
+		return Request{Op: OpEvict, Stream: 1 << 40} // nothing admitted: unknown-stream error path
+	case roll < 50: // evict an unknown stream (error path)
+		return Request{Op: OpEvict, Stream: shard.StreamID(1<<40 + r.intn(100))}
+	case roll < 72: // retune a known stream, same class
+		if id, ok := st.pick(r); ok {
+			return Request{Op: OpRetune, Stream: id, Spec: randomSpec(r, st.class[id])}
+		}
+		return Request{Op: OpRetune, Stream: 1 << 40, Spec: randomSpec(r, attr.EDF)}
+	case roll < 75: // retune with a class change (error path)
+		if id, ok := st.pick(r); ok {
+			next := soakClasses[(int(st.class[id])+1)%len(soakClasses)]
+			return Request{Op: OpRetune, Stream: id, Spec: randomSpec(r, next)}
+		}
+		return Request{Op: OpRetune, Stream: 1 << 40, Spec: randomSpec(r, attr.EDF)}
+	case roll < 83: // switch a known stream's rank program
+		id, _ := st.pick(r)
+		p := decision.ProgramSTFQ
+		if r.next()&1 == 0 {
+			p = decision.ProgramDWCS
+		}
+		return Request{Op: OpSetProgram, Stream: id, Program: p}
+	case roll < 89: // resize a shard's pool (sometimes past the slack: error path)
+		return Request{Op: OpResizePool, Shard: r.intn(cfg.Shards), Burst: r.intn(140)}
+	case roll < 95: // drain (double-drain errors included by construction)
+		return Request{Op: OpDrainShard, Shard: r.intn(cfg.Shards)}
+	default: // restart (not-drained errors included by construction)
+		return Request{Op: OpRestartShard, Shard: r.intn(cfg.Shards)}
+	}
+}
+
+// settleLimit bounds the settle phase: epochs with traffic paused before
+// the soak declares the pipelines wedged.
+const settleLimit = 1 << 14
+
+// Soak churns cfg.Events control events through a fresh engine, one
+// EventsPerEpoch batch per fence, with one frame per occupied slot offered
+// each epoch. After the last event it restarts every drained shard, pauses
+// traffic, and steps until nothing is in flight — conservation must then
+// close the books exactly: offered == delivered + dropped + evicted. It
+// returns an error on any conservation violation or a failure to settle;
+// journal identity is left to the caller (run it twice, compare
+// SoakResult.JournalHash and JournalLines).
+func Soak(cfg SoakConfig) (SoakResult, error) {
+	cfg = cfg.withDefaults()
+	eng, err := New(Config{
+		Shards:          cfg.Shards,
+		SlotsPerShard:   cfg.SlotsPerShard,
+		BufferPool:      qm.SharedConfig{Reservation: 8, Burst: 64, DelayTarget: 64},
+		Program:         decision.ProgramDWCS,
+		Policy:          qm.DropOldest,
+		CyclesPerEpoch:  cfg.CyclesPerEpoch,
+		FramesPerStream: 1,
+		Journal:         cfg.Journal,
+	})
+	if err != nil {
+		return SoakResult{}, err
+	}
+	r := &prng{s: cfg.Seed}
+	st := &soakState{
+		pos:    make(map[shard.StreamID]int),
+		class:  make(map[shard.StreamID]attr.Class),
+		nextID: 1,
+	}
+	res := SoakResult{Events: cfg.Events}
+
+	digest := func(rep EpochReport) {
+		for _, resp := range rep.Responses {
+			if !resp.OK() {
+				res.Failed++
+				continue
+			}
+			res.Applied++
+			switch resp.Op {
+			case OpAdmit:
+				// The generator recorded the class at generation time; keep
+				// the population in sync with what actually admitted.
+				if _, tracked := st.pos[resp.Stream]; !tracked {
+					st.add(resp.Stream, st.class[resp.Stream])
+				}
+			case OpEvict:
+				st.remove(resp.Stream)
+			default:
+			}
+		}
+	}
+
+	for produced := 0; produced < cfg.Events; {
+		n := cfg.EventsPerEpoch
+		if rest := cfg.Events - produced; n > rest {
+			n = rest
+		}
+		for i := 0; i < n; i++ {
+			req := event(r, st, cfg)
+			if req.Op == OpAdmit {
+				// Track the class before the fence so digest can admit it
+				// into the population.
+				st.class[req.Stream] = req.Spec.Class
+			}
+			eng.Enqueue(req)
+		}
+		produced += n
+		rep := eng.Step()
+		digest(rep)
+		if !rep.Balanced {
+			res.Violations++
+		}
+	}
+
+	// Settle: resume every drained shard, stop offering, and run the
+	// backlog out. The books must close exactly at quiescence.
+	led := eng.Ledger()
+	for k := 0; k < cfg.Shards; k++ {
+		eng.Enqueue(Request{Op: OpRestartShard, Shard: k})
+	}
+	eng.SetOffering(0)
+	for i := 0; ; i++ {
+		rep := eng.Step()
+		digest(rep)
+		if !rep.Balanced {
+			res.Violations++
+		}
+		led = rep.Ledger
+		if led.InFlight == 0 {
+			break
+		}
+		if i >= settleLimit {
+			return res, fmt.Errorf("ctlplane: soak failed to settle: %d frames in flight after %d extra epochs",
+				led.InFlight, i+1)
+		}
+	}
+
+	res.Epochs = eng.Epoch()
+	res.Violations = eng.Violations()
+	res.JournalHash, res.JournalLines = eng.JournalSum()
+	res.Final = led
+	if res.Violations != 0 {
+		return res, fmt.Errorf("ctlplane: soak saw %d conservation violations", res.Violations)
+	}
+	if led.Offered != led.Delivered+led.DroppedQM+led.DroppedSched+led.Evicted {
+		return res, fmt.Errorf("ctlplane: books do not close at quiescence: %+v", led)
+	}
+	return res, nil
+}

@@ -1,0 +1,74 @@
+package endsystem
+
+import (
+	"io"
+
+	"repro/internal/ctlplane"
+	"repro/internal/decision"
+	"repro/internal/qm"
+)
+
+// ServiceConfig parameterizes the live supervised endsystem a daemon hosts:
+// the sharded scheduler fabric sized for service operation, fronted by the
+// epoch-fenced control plane. Zero fields take service defaults — a 4×16
+// fabric with the delay-driven shared buffer pool and head-drop overload
+// handling, which is the configuration the soak and smoke gates pin.
+type ServiceConfig struct {
+	Shards        int
+	SlotsPerShard int
+	// Program is the rank program every shard runs (default ProgramDWCS,
+	// the full Table-2 datapath — every attribute class admits).
+	Program decision.Program
+	// Policy is the overload policy (default DropOldest: a service sheds
+	// the stalest work first rather than wedging producers).
+	Policy qm.Policy
+	// BufferPool configures the per-shard shared buffer pool; a zero value
+	// takes the service default (reservation 8, burst 64, delay target 64).
+	// Set Reservation negative to force fixed private rings instead.
+	BufferPool qm.SharedConfig
+	// RingCapacity sizes fixed private rings when the pool is disabled.
+	RingCapacity int
+	// CyclesPerEpoch is each shard's decision budget per control epoch.
+	CyclesPerEpoch int
+	// FramesPerStream is the synthetic per-slot load offered each epoch.
+	FramesPerStream int
+	// Journal receives the control plane's transition journal (optional).
+	Journal io.Writer
+}
+
+// NewService builds the live supervised endsystem: a ctlplane.Engine over a
+// sharded router in live mode, under the service defaults. The caller owns
+// stepping (one goroutine; see ctlplane.Engine).
+func NewService(cfg ServiceConfig) (*ctlplane.Engine, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = 4
+	}
+	if cfg.SlotsPerShard == 0 {
+		cfg.SlotsPerShard = 16
+	}
+	pool := cfg.BufferPool
+	if pool.Reservation == 0 && pool.Burst == 0 {
+		pool = qm.SharedConfig{Reservation: 8, Burst: 64, DelayTarget: 64}
+	}
+	if pool.Reservation < 0 {
+		pool = qm.SharedConfig{}
+	}
+	if cfg.Policy == qm.Backpressure {
+		// The zero value means "default", and a service's default is
+		// DropOldest: shed the stalest work rather than wedge the offered
+		// load. Backpressure is a batch-driver policy (the producer spins);
+		// it is not reachable through this facade.
+		cfg.Policy = qm.DropOldest
+	}
+	return ctlplane.New(ctlplane.Config{
+		Shards:          cfg.Shards,
+		SlotsPerShard:   cfg.SlotsPerShard,
+		RingCapacity:    cfg.RingCapacity,
+		BufferPool:      pool,
+		Program:         cfg.Program,
+		Policy:          cfg.Policy,
+		CyclesPerEpoch:  cfg.CyclesPerEpoch,
+		FramesPerStream: cfg.FramesPerStream,
+		Journal:         cfg.Journal,
+	})
+}

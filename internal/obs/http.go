@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
@@ -52,9 +53,8 @@ func NewMux(r *Registry) *http.ServeMux {
 
 // Serve starts the observability endpoint on addr (e.g. ":9090") in a
 // background goroutine and returns the bound address plus a closer. Callers
-// that want graceful lifecycle management should build their own server
-// around NewMux; this is the one-call path for the cmd/ harnesses'
-// -metrics flag.
+// that want graceful lifecycle management should use ServeHandler; this is
+// the one-call path for the cmd/ harnesses' -metrics flag.
 func Serve(addr string, r *Registry) (bound string, close func() error, err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -63,4 +63,21 @@ func Serve(addr string, r *Registry) (bound string, close func() error, err erro
 	srv := &http.Server{Handler: NewMux(r)}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), srv.Close, nil
+}
+
+// ServeHandler starts h on addr in a background goroutine and returns the
+// bound address plus a graceful shutdown function: in-flight requests are
+// allowed to finish up to the caller's context deadline, new connections
+// are refused immediately — the lifecycle a daemon wants, where Serve's
+// abrupt Close fits fire-and-forget harnesses. Extend the handler before
+// calling (NewMux returns a mutable *http.ServeMux admin routes can be
+// added to).
+func ServeHandler(addr string, h http.Handler) (bound string, shutdown func(context.Context) error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: h}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Shutdown, nil
 }

@@ -1,0 +1,118 @@
+package qm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/attr"
+)
+
+// TestEvictDebtReconciliation pins the in-flight accounting seam the control
+// plane fences on: under DropOldest a charged drop leaves the frame
+// physically queued until dequeue, and Backlog − EvictDebt is the frame
+// count still owing delivery.
+func TestEvictDebtReconciliation(t *testing.T) {
+	m, err := New(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Describe(0, attr.Spec{Class: attr.EDF, Period: 1}); err != nil {
+		t.Fatal(err)
+	}
+	m.SetPolicy(DropOldest)
+	for k := 0; k < 4; k++ {
+		if m.Offer(0, Frame{Size: 1, Arrival: uint64(k)}) != Queued {
+			t.Fatalf("frame %d not queued", k)
+		}
+	}
+	if m.Offer(0, Frame{Size: 1, Arrival: 4}) != Busy {
+		t.Fatal("full ring under DropOldest should report Busy while the eviction frees space")
+	}
+	if got := m.EvictDebt(0); got != 1 {
+		t.Fatalf("evict debt %d, want 1", got)
+	}
+	// The physically queued count includes the doomed head; the owed count
+	// subtracts it.
+	if owed := m.Backlog(0) - int(m.EvictDebt(0)); owed != 3 {
+		t.Fatalf("owed frames %d, want 3", owed)
+	}
+	// The card-side dequeue consumes the debt before serving a head.
+	if _, ok := m.Source(0).NextHead(); !ok {
+		t.Fatal("dequeue failed")
+	}
+	if got := m.EvictDebt(0); got != 0 {
+		t.Fatalf("evict debt after dequeue %d, want 0", got)
+	}
+	if m.EvictDebt(-1) != 0 || m.EvictDebt(5) != 0 {
+		t.Fatal("out-of-range debt must read 0")
+	}
+}
+
+func TestResizeBurst(t *testing.T) {
+	m, err := NewShared(2, SharedConfig{Reservation: 2, Burst: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := m.Describe(i, attr.Spec{Class: attr.EDF, Period: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fill stream 0 past its reservation so credits are out on loan.
+	for k := 0; k < 5; k++ {
+		if m.Offer(0, Frame{Size: 1, Arrival: uint64(k)}) != Queued {
+			t.Fatalf("frame %d not queued", k)
+		}
+	}
+	ps, _ := m.PoolStats()
+	if ps.Lent != 3 || ps.Free != 1 {
+		t.Fatalf("ledger before resize: %+v", ps)
+	}
+	// Shrink below the lent count: free goes negative, lending pauses, and
+	// nothing queued is discarded.
+	if err := m.ResizeBurst(1); err != nil {
+		t.Fatal(err)
+	}
+	ps, _ = m.PoolStats()
+	if ps.Burst != 1 || ps.Free != -2 {
+		t.Fatalf("ledger after shrink: %+v", ps)
+	}
+	if m.Offer(0, Frame{Size: 1, Arrival: 9}) == Queued {
+		t.Fatal("shrunken pool must refuse further lending")
+	}
+	if got := m.Backlog(0); got != 5 {
+		t.Fatalf("resize discarded queued frames: backlog %d, want 5", got)
+	}
+	// Reclaims pay the balance down; growth resumes lending immediately.
+	src := m.Source(0)
+	for k := 0; k < 5; k++ {
+		if _, ok := src.NextHead(); !ok {
+			t.Fatalf("dequeue %d failed", k)
+		}
+	}
+	ps, _ = m.PoolStats()
+	if ps.Free != 1 || ps.Lent != 0 {
+		t.Fatalf("ledger after drain: %+v", ps)
+	}
+	if err := m.ResizeBurst(6); err != nil {
+		t.Fatal(err)
+	}
+	if ps, _ = m.PoolStats(); ps.Burst != 6 || ps.Free != 6 {
+		t.Fatalf("ledger after grow: %+v", ps)
+	}
+
+	// Validation: negative, beyond physical slack, fixed-capacity manager.
+	if err := m.ResizeBurst(-1); err == nil {
+		t.Error("negative burst accepted")
+	}
+	if err := m.ResizeBurst(1 << 20); err == nil || !strings.Contains(err.Error(), "physical slack") {
+		t.Errorf("burst beyond the physical rings accepted: %v", err)
+	}
+	fixed, err := New(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fixed.ResizeBurst(2); err == nil {
+		t.Error("resize on a fixed-capacity manager accepted")
+	}
+}

@@ -104,6 +104,32 @@ type PoolStats struct {
 	Reclaims    uint64
 }
 
+// ResizeBurst re-targets the shared pool's burst capacity to n frames — the
+// live control plane's buffer-resize operation, applied at an epoch fence. A
+// grow adds free credits immediately; a shrink withdraws them, letting free
+// go negative when more than n credits are currently lent (lending pauses —
+// admit refuses on free ≤ 0 — until reclaims pay the balance down, so no
+// queued frame is ever discarded by a resize). The reservation and the
+// physical rings are untouched: n is capped at the physical slack
+// (ring capacity − reservation) so an admitted frame can never fail its
+// push. Call it only from a fenced quiescent point — the delta is computed
+// against the live ledger, which must not move mid-resize.
+func (m *Manager) ResizeBurst(n int) error {
+	p := m.shared
+	if p == nil {
+		return fmt.Errorf("qm: ResizeBurst on a fixed-capacity manager")
+	}
+	if n < 0 {
+		return fmt.Errorf("qm: pool burst %d", n)
+	}
+	if max := m.queues[0].Cap() - p.reservation; n > max {
+		return fmt.Errorf("qm: pool burst %d exceeds physical slack %d (ring %d − reservation %d)",
+			n, max, m.queues[0].Cap(), p.reservation)
+	}
+	p.free.Add(int64(n) - p.borrowCap())
+	return nil
+}
+
 // NewShared builds a manager whose n per-stream queues share a delay-driven
 // burst pool instead of fixed private capacity: every stream is guaranteed
 // cfg.Reservation frames, and up to cfg.Burst further frames are lent across

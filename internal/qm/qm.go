@@ -452,6 +452,33 @@ func (s *source) NextHead() (regblock.Head, bool) {
 	return h, true
 }
 
+// ResetTags clears stream i's fair-queuing finish tag, so the slot's next
+// occupant anchors its first stamp at the shared virtual time instead of
+// inheriting the previous stream's virtual finish. Call it only when the
+// slot is vacated at a fenced quiescent point (live eviction, after Drain):
+// resetting a slot that still holds tagged frames would let later stamps
+// run behind queued ones. The shared virtual clock itself is untouched —
+// it belongs to all fair streams, not to one slot.
+func (m *Manager) ResetTags(i int) {
+	if i < 0 || i >= len(m.queues) {
+		return
+	}
+	m.finish[i] = 0
+}
+
+// EvictDebt returns stream i's pending head-drop debt: frames already
+// accounted as Dropped by the DropOldest policy but still physically queued
+// until the card-side dequeue discards them. Control planes that reconcile
+// conservation at epoch fences subtract it from the physical backlog —
+// backlog(i) − EvictDebt(i) is the in-flight frame count that still owes
+// delivery. Safe to read live: the cell is atomic.
+func (m *Manager) EvictDebt(i int) uint64 {
+	if i < 0 || i >= len(m.queues) {
+		return 0
+	}
+	return m.evict[i].Load()
+}
+
 // Drain removes stream i's queued frames, calling fn for each salvageable
 // one, and returns how many fn saw. Frames owed to head-drop eviction debt
 // are discarded (their loss was already accounted at Offer time), not

@@ -344,6 +344,32 @@ func (b *Block) Rebind(src HeadSource, now uint64) (bool, error) {
 	return flushed, nil
 }
 
+// Retune swaps the slot's service attributes in place while keeping
+// everything else: the head source, the in-flight head, and the performance
+// counters all survive — the live-control counterpart of Rebind, which swaps
+// the source and keeps the spec. The new spec must be of the same attribute
+// class (a class change alters what the Queue Manager stamps and what the
+// expiry rules mean mid-stream; evict and re-admit instead). The window
+// registers reset to the new constraint — a retuned tolerance starts a fresh
+// window — while the current head keeps the deadline it was admitted under;
+// successors synthesize deadlines from the new spec (deadlineFor reads the
+// live spec).
+func (b *Block) Retune(spec attr.Spec) error {
+	if err := spec.Validate(); err != nil {
+		return fmt.Errorf("regblock: slot %d: %w", b.cur.Slot, err)
+	}
+	if spec.Class != b.spec.Class {
+		return fmt.Errorf("regblock: slot %d: retune cannot change class %v to %v",
+			b.cur.Slot, b.spec.Class, spec.Class)
+	}
+	b.spec = spec
+	b.orig = spec.Constraint
+	b.cur.LossNum = spec.Constraint.Num
+	b.cur.LossDen = spec.Constraint.Den
+	b.rekeyConstraint()
+	return nil
+}
+
 // Refill re-validates an idle slot when its queue becomes non-empty again
 // (event-driven path used by the endsystem). now anchors the new deadline.
 // For backlogged guarded static-priority slots it doubles as the per-cycle

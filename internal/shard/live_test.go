@@ -1,0 +1,235 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/attr"
+	"repro/internal/core"
+	"repro/internal/decision"
+	"repro/internal/qm"
+)
+
+// TestLiveLifecycle walks the live slot lifecycle end to end on one shard:
+// admit while running, deliver, evict with a drained backlog and a flushed
+// in-flight head, reuse the freed slot, retune in place.
+func TestLiveLifecycle(t *testing.T) {
+	r, err := New(Config{Shards: 2, SlotsPerShard: 4, RingCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := attr.Spec{Class: attr.EDF, Period: 3}
+
+	// Live ops are barred before StartLive.
+	if _, _, err := r.AdmitLive(1, spec); err == nil {
+		t.Fatal("AdmitLive before StartLive accepted")
+	}
+	if _, err := r.EvictLive(1); err == nil {
+		t.Fatal("EvictLive before StartLive accepted")
+	}
+	if err := r.StartLive(qm.RejectNew); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Live() {
+		t.Fatal("Live() false after StartLive")
+	}
+	// And batch ops are barred after it.
+	if err := r.Admit(9, spec); err == nil {
+		t.Fatal("batch Admit after StartLive accepted")
+	}
+	if _, err := r.Run(1); err == nil {
+		t.Fatal("batch Run after StartLive accepted")
+	}
+	if err := r.StartLive(qm.RejectNew); err == nil {
+		t.Fatal("double StartLive accepted")
+	}
+
+	home, s1, err := r.AdmitLive(1, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != 0 {
+		t.Fatalf("first live admission landed in slot %d, want 0", s1)
+	}
+	if _, _, err := r.AdmitLive(1, spec); err == nil {
+		t.Fatal("duplicate AdmitLive accepted")
+	}
+	if gotK, gotS, ok := r.Locate(1); !ok || gotK != home || gotS != s1 {
+		t.Fatalf("Locate(1) = (%d, %d, %v), want (%d, %d, true)", gotK, gotS, ok, home, s1)
+	}
+	if id, ok := r.SlotStream(home, s1); !ok || id != 1 {
+		t.Fatalf("SlotStream(%d, %d) = (%d, %v)", home, s1, id, ok)
+	}
+
+	// Fill the home shard with same-hash streams; the overflow admission is
+	// rejected (flow-hash admission control, same as batch).
+	var sameHome []StreamID
+	for id := StreamID(2); len(sameHome) < 4; id++ {
+		if r.ShardOf(id) == home {
+			sameHome = append(sameHome, id)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if k, slot, err := r.AdmitLive(sameHome[i], spec); err != nil || k != home || slot != i+1 {
+			t.Fatalf("admit %d: (%d, %d, %v), want slot %d on shard %d",
+				sameHome[i], k, slot, err, i+1, home)
+		}
+	}
+	if _, _, err := r.AdmitLive(sameHome[3], spec); err == nil ||
+		!strings.Contains(err.Error(), "full") {
+		t.Fatalf("overflow admission: %v", err)
+	}
+	if got := r.ShardStreams(home); got != 4 {
+		t.Fatalf("home shard occupancy %d, want 4", got)
+	}
+
+	// Deliver stream 1's frames through StepShard.
+	for f := 0; f < 5; f++ {
+		if !r.Submit(1, qm.Frame{Size: 100, Arrival: uint64(f)}) {
+			t.Fatalf("submit %d refused", f)
+		}
+	}
+	delivered := 0
+	for i := 0; i < 64 && delivered < 5; i++ {
+		if _, err := r.StepShard(home, 8, func(cr *core.CycleResult) bool {
+			delivered += len(cr.Transmissions)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if delivered != 5 {
+		t.Fatalf("delivered %d frames, want 5", delivered)
+	}
+	if got := r.SlotCounters(home, s1).Services; got != 5 {
+		t.Fatalf("slot services %d, want 5", got)
+	}
+	if r.ShardNow(home) == 0 {
+		t.Fatal("shard virtual time never advanced")
+	}
+
+	// Evict a never-stepped backlog: every queued frame drains, nothing was
+	// in flight.
+	for f := 0; f < 3; f++ {
+		if !r.Submit(sameHome[0], qm.Frame{Size: 100, Arrival: uint64(f)}) {
+			t.Fatalf("submit %d refused", f)
+		}
+	}
+	rep, err := r.EvictLive(sameHome[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shard != home || rep.Slot != 1 || rep.Drained != 3 || rep.Flushed {
+		t.Fatalf("evict report %+v, want shard %d slot 1 drained 3 unflushed", rep, home)
+	}
+	if _, ok := r.SlotStream(home, 1); ok {
+		t.Fatal("evicted slot still reports an occupant")
+	}
+
+	// Evict with an in-flight head: step until stream 1's next head latches,
+	// then the rebind must flush it.
+	for f := 0; f < 4; f++ {
+		r.Submit(1, qm.Frame{Size: 100, Arrival: uint64(10 + f)})
+	}
+	for i := 0; i < 64 && !r.SlotInFlight(home, s1); i++ {
+		if _, err := r.StepShard(home, 1, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !r.SlotInFlight(home, s1) {
+		t.Fatal("stream 1 never latched a head")
+	}
+	backlog := r.Backlog(1)
+	rep, err = r.EvictLive(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Flushed || rep.Drained != backlog {
+		t.Fatalf("evict report %+v, want flushed with drained %d", rep, backlog)
+	}
+	if _, err := r.EvictLive(1); err == nil {
+		t.Fatal("double eviction accepted")
+	}
+	if got := r.ShardStreams(home); got != 2 {
+		t.Fatalf("occupancy after evictions %d, want 2", got)
+	}
+
+	// Re-admission fills the lowest freed slot (slot 0, stream 1's old one).
+	k, slot, err := r.AdmitLive(sameHome[3], spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != home || slot != 0 {
+		t.Fatalf("re-admission landed at (%d, %d), want (%d, 0)", k, slot, home)
+	}
+	if got := r.SlotCounters(home, 0).Services; got != 0 {
+		t.Fatalf("reused slot carries stale counters: %d services", got)
+	}
+
+	// Retune in place: the spec changes on both the scheduler and the QM
+	// descriptor, counters survive.
+	served := r.SlotCounters(home, 2).Services
+	if err := r.RetuneLive(sameHome[1], attr.Spec{Class: attr.EDF, Period: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.shards[home].sched.SlotSpec(2).Period; got != 9 {
+		t.Fatalf("scheduler spec period %d after retune, want 9", got)
+	}
+	if got := r.Manager(home).Spec(2).Period; got != 9 {
+		t.Fatalf("QM descriptor period %d after retune, want 9", got)
+	}
+	if got := r.SlotCounters(home, 2).Services; got != served {
+		t.Fatalf("retune disturbed counters: %d, want %d", got, served)
+	}
+	// Class changes and unknown streams are rejected.
+	if err := r.RetuneLive(sameHome[1], attr.Spec{Class: attr.FairTag, Weight: 2}); err == nil {
+		t.Fatal("class-changing retune accepted")
+	}
+	if err := r.RetuneLive(777, spec); err == nil {
+		t.Fatal("retune of unknown stream accepted")
+	}
+}
+
+// TestLiveFairTagSlotReuse pins the tag-state hygiene of slot reuse: a
+// FairTag stream admitted into a vacated slot must not inherit the previous
+// occupant's virtual finish tag.
+func TestLiveFairTagSlotReuse(t *testing.T) {
+	r, err := New(Config{Shards: 1, SlotsPerShard: 2, RingCapacity: 8,
+		Program: decision.ProgramSTFQ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.StartLive(qm.Backpressure); err != nil {
+		t.Fatal(err)
+	}
+	spec := attr.Spec{Class: attr.FairTag, Weight: 1}
+	if _, _, err := r.AdmitLive(1, spec); err != nil {
+		t.Fatal(err)
+	}
+	// Queue large frames to run the slot's finish tag far ahead, then evict
+	// without serving them.
+	for f := 0; f < 4; f++ {
+		if !r.Submit(1, qm.Frame{Size: 1 << 20, Arrival: uint64(f)}) {
+			t.Fatalf("submit %d refused", f)
+		}
+	}
+	if _, err := r.EvictLive(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, slot, err := r.AdmitLive(2, spec); err != nil || slot != 0 {
+		t.Fatalf("re-admission: slot %d, err %v", slot, err)
+	}
+	// The new occupant's first dequeue must carry a tag anchored at the
+	// shared virtual time (still 0 — nothing entered service), not at the
+	// evicted stream's multi-megabyte finish.
+	if !r.Submit(2, qm.Frame{Size: 8, Arrival: 0}) {
+		t.Fatal("submit refused")
+	}
+	h, ok := r.Manager(0).Source(0).NextHead()
+	if !ok {
+		t.Fatal("dequeue failed")
+	}
+	if h.Tag > 8 {
+		t.Fatalf("reused slot inherited stale finish tag: %d", h.Tag)
+	}
+}

@@ -42,9 +42,10 @@ func (r *Router) RegisterMetrics(reg *obs.Registry, prefix string) {
 	reg.GaugeFunc(prefix+".placement_imbalance", "ratio", func() float64 {
 		var max, total int
 		for _, s := range r.shards {
-			total += len(s.streams)
-			if len(s.streams) > max {
-				max = len(s.streams)
+			n := int(s.occupied.Load())
+			total += n
+			if n > max {
+				max = n
 			}
 		}
 		if total == 0 {

@@ -31,6 +31,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/attr"
@@ -174,7 +175,17 @@ type shardState struct {
 	sched   *core.Scheduler
 	txRing  *ringbuf.Ring[core.Transmission]
 	bus     *pci.Bus
-	streams []StreamID // admitted streams in slot order
+	streams []StreamID // admitted streams in slot order (batch admission)
+
+	// Slot occupancy, maintained by both batch Admit and the live-mode slot
+	// lifecycle (AdmitLive/EvictLive): used[i] marks slot i bound to ids[i],
+	// occupied counts the used slots. Batch admission fills slots densely so
+	// occupied == len(streams) until the first live eviction. used/ids belong
+	// to the admitting goroutine; occupied is atomic because the obs
+	// placement gauge scrapes it while a live control plane mutates slots.
+	used     []bool
+	ids      []StreamID
+	occupied atomic.Int64
 
 	// delivered, when RegisterMetrics has attached it, counts frames the
 	// shard's transmission engine has drained — atomic, so the obs scrape
@@ -189,6 +200,7 @@ type Router struct {
 	shards []*shardState
 	byID   map[StreamID]location
 	ran    bool
+	live   bool // StartLive was called: slot lifecycle is dynamic, batch Run is barred
 }
 
 // New builds a router with cfg.Shards empty shards.
@@ -231,6 +243,8 @@ func New(cfg Config) (*Router, error) {
 			sched:   sched,
 			txRing:  txRing,
 			bus:     bus,
+			used:    make([]bool, cfg.SlotsPerShard),
+			ids:     make([]StreamID, cfg.SlotsPerShard),
 		})
 	}
 	return r, nil
@@ -243,12 +257,13 @@ func (r *Router) Shards() int { return len(r.shards) }
 func (r *Router) Streams() int { return len(r.byID) }
 
 // ShardStreams returns how many streams shard k carries (0 when k is out
-// of range).
+// of range). Batch admission fills slots densely, so this equals the batch
+// admit count until live evictions open holes.
 func (r *Router) ShardStreams(k int) int {
 	if k < 0 || k >= len(r.shards) {
 		return 0
 	}
-	return len(r.shards[k].streams)
+	return int(r.shards[k].occupied.Load())
 }
 
 // ShardOf returns stream id's home shard: an FNV-1a flow hash over the
@@ -298,6 +313,9 @@ func (r *Router) Admit(id StreamID, spec attr.Spec) error {
 		return err
 	}
 	s.streams = append(s.streams, id)
+	s.used[slot] = true
+	s.ids[slot] = id
+	s.occupied.Add(1)
 	r.byID[id] = location{shard: k, slot: slot}
 	return nil
 }
