@@ -1,21 +1,22 @@
 # ShareStreams-Go convenience targets (plain `go` commands work too).
 
-.PHONY: all check ci build test race bench bench-check perf perf-check report experiments cover fuzz fuzz-smoke lint lint-ci lint-stats chaos soak smoke
+.PHONY: all check ci build test race bench bench-check perf perf-check report experiments cover fuzz fuzz-smoke lint lint-ci lint-stats chaos soak crash smoke
 
 all: build test race lint
 
 # check is the full pre-merge gate: everything in all plus the perf
 # regression guards, the recorded-baseline perf gate, the coverage floor,
-# the chaos suite, the control-plane soak and service smoke, and a short
+# the chaos suite, the control-plane soak, the crash-recovery gate, the
+# service smoke (which includes the kill -9 recovery drill), and a short
 # fuzz of the decision fast path.
-check: all bench-check perf-check cover chaos soak smoke fuzz-smoke
+check: all bench-check perf-check cover chaos soak crash smoke fuzz-smoke
 
 # ci mirrors .github/workflows/ci.yml locally: the same steps its required
 # jobs run, in one invocation (the workflow's perf job is advisory and is
 # reproduced by `make perf-check`). lint-ci is the workflow's lint step:
 # the same suite as lint plus the sslint.json artifact and the suppression
 # audit.
-ci: build test smoke race lint-ci bench-check cover chaos soak
+ci: build test smoke race lint-ci bench-check cover chaos soak crash
 
 build:
 	go build ./...
@@ -125,11 +126,28 @@ SOAK_SEED := 1
 soak:
 	go run ./cmd/ssbench -seed $(SOAK_SEED) -events $(SOAK_EVENTS) -journal soak-journal.txt soak
 
+# Crash-recovery gate: one CRASH_EVENTS-event churn soak as the reference,
+# then a simulated kill -9 at CRASH_POINTS sampled byte offsets of its
+# journal — each crash replays the surviving prefix (torn tail truncated,
+# uncommitted epoch block dropped) and resumes through the full journal,
+# and must recover to the reference's journal hash, conservation ledger,
+# and admitted offering exactly. On divergence the reference journal lands
+# in crash-journal.txt — CI's uploaded artifact — and the failure replays
+# from the seed and reported crash offset alone.
+CRASH_EVENTS := 100000
+CRASH_POINTS := 100
+CRASH_SEED := 1
+
+crash:
+	go run ./cmd/ssbench -seed $(CRASH_SEED) -events $(CRASH_EVENTS) -points $(CRASH_POINTS) -journal crash-journal.txt crash
+
 # Service smoke: start cmd/ssserved on a random port, drive the admin API
 # end to end with curl (admits, retunes, a program switch, pool resize,
-# drain/restart, evictions, deliberate errors), then shut down gracefully
-# and require a clean exit with balanced books. SMOKE_DIR=... pins the
-# artifact directory (CI points it at a workspace path for upload).
+# drain/restart, evictions, deliberate errors), kill it with SIGKILL and
+# tear the journal's final write, restart with -recover, and require the
+# replayed daemon to carry the pre-crash state and exit cleanly with
+# balanced books. SMOKE_DIR=... pins the artifact directory (CI points it
+# at a workspace path for upload).
 smoke:
 	./scripts/smoke_ssserved.sh
 

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+
+	"repro/internal/ctlplane"
+)
+
+// crashCmd is CI's crash-recovery gate: it runs one seeded churn soak to
+// completion as the reference, then simulates a kill -9 at -points sampled
+// byte offsets of the journal — replaying the surviving prefix (torn tail
+// truncated, uncommitted epoch block dropped) and resuming through the full
+// journal — and requires every recovered engine to match the reference in
+// journal hash, line count, conservation ledger, and admitted offering. On
+// any divergence the reference journal is written to -journal so CI can
+// upload it as the debugging artifact; the failure is reproducible from the
+// seed and the reported crash offset alone.
+func crashCmd(rc runConfig) error {
+	if rc.events < 1 {
+		return fmt.Errorf("-events %d", rc.events)
+	}
+	if rc.points < 1 {
+		return fmt.Errorf("-points %d", rc.points)
+	}
+	fmt.Printf("Crash-recovery soak — %d events, seed %d, %d crash points\n",
+		rc.events, rc.seed, rc.points)
+
+	var text bytes.Buffer
+	cfg := ctlplane.CrashSoakConfig{
+		Soak:   ctlplane.SoakConfig{Seed: uint64(rc.seed), Events: rc.events, Journal: &text},
+		Points: rc.points,
+	}
+	res, err := ctlplane.CrashSoak(cfg)
+	ref := res.Reference
+	fmt.Printf("reference: %d epochs, %d applied / %d refused, journal %016x (%d lines, %d bytes)\n",
+		ref.Epochs, ref.Applied, ref.Failed, ref.JournalHash, ref.JournalLines, text.Len())
+	if err != nil {
+		if rc.journalPath != "" && text.Len() > 0 {
+			if werr := os.WriteFile(rc.journalPath, text.Bytes(), 0o644); werr != nil {
+				fmt.Fprintf(os.Stderr, "crash: journal artifact: %v\n", werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "crash: reference journal written to %s (%d bytes)\n",
+					rc.journalPath, text.Len())
+			}
+		}
+		return err
+	}
+
+	var minC, maxC int64 = int64(^uint64(0) >> 1), 0
+	var epochs uint64
+	for _, pt := range res.Points {
+		if pt.Committed < minC {
+			minC = pt.Committed
+		}
+		if pt.Committed > maxC {
+			maxC = pt.Committed
+		}
+		epochs += pt.Epochs
+	}
+	fmt.Printf("recovered %d/%d crash points (%d with torn tails); committed prefixes %d–%d bytes, %d epochs re-executed\n",
+		len(res.Points), rc.points, res.TornPoints, minC, maxC, epochs)
+	fmt.Printf("every point recovered to the reference identity: journal %016x, ledger closed, 0 violations\n",
+		ref.JournalHash)
+	return nil
+}

@@ -19,6 +19,9 @@
 //	ssbench soak         control-plane churn soak: -events seeded admin events
 //	                     twice, requiring conservation and a byte-identical
 //	                     journal replay (-journal names the failure artifact)
+//	ssbench crash        crash-recovery soak: one churn run, then simulated
+//	                     crashes at -points journal offsets, each replayed
+//	                     and resumed to the reference identity
 //	ssbench all          everything above (perf and rank excluded; run them
 //	                     explicitly)
 //
@@ -60,7 +63,8 @@ func main() {
 	metricsAddr := flag.String("metrics", "", "serve the obs registry and pprof on this address (e.g. :9090) for the run")
 	seed := flag.Int64("seed", 1, "faults/soak commands: base seed for the deterministic schedule")
 	events := flag.Int("events", 1000000, "soak command: control events to churn through the live engine")
-	soakJournal := flag.String("journal", "", "soak command: write the journal text here on failure (CI's artifact)")
+	soakJournal := flag.String("journal", "", "soak/crash commands: write the journal text here on failure (CI's artifact)")
+	points := flag.Int("points", 100, "crash command: crash offsets to sample over the reference journal")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Usage = usage
@@ -117,6 +121,7 @@ func main() {
 		seed:         *seed,
 		events:       *events,
 		journalPath:  *soakJournal,
+		points:       *points,
 	})
 
 	if *memProfile != "" {
@@ -141,7 +146,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ssbench [-csv file] [-shards K] [-seed n] [-events n] [-journal file] [-json file] [-baseline file] [-tolerance x] [-metrics addr] [-cpuprofile file] [-memprofile file] {table3|fig1|fig7|fig8|fig9|fig10|throughput|latency|ablation|extensions|scale|gsr|sortquality|sharded|faults|soak|perf|rank|all}")
+	fmt.Fprintln(os.Stderr, "usage: ssbench [-csv file] [-shards K] [-seed n] [-events n] [-points n] [-journal file] [-json file] [-baseline file] [-tolerance x] [-metrics addr] [-cpuprofile file] [-memprofile file] {table3|fig1|fig7|fig8|fig9|fig10|throughput|latency|ablation|extensions|scale|gsr|sortquality|sharded|faults|soak|crash|perf|rank|all}")
 }
 
 // runConfig carries the flag values down to the per-command drivers.
@@ -156,6 +161,7 @@ type runConfig struct {
 	seed         int64
 	events       int
 	journalPath  string
+	points       int
 }
 
 func run(cmd string, rc runConfig) error {
@@ -193,6 +199,8 @@ func run(cmd string, rc runConfig) error {
 		return faults(csvPath, shards, rc.seed)
 	case "soak":
 		return soakCmd(rc)
+	case "crash":
+		return crashCmd(rc)
 	case "perf":
 		return perf(rc)
 	case "rank":

@@ -9,11 +9,19 @@
 // next epoch fence; the handler blocks until its response comes back from
 // the fence, so a 200 means the mutation is live (and a 409 carries the
 // control plane's deterministic error string). The full transition journal
-// streams to -journal, and on shutdown (SIGINT/SIGTERM or POST
-// /admin/shutdown) the daemon pauses traffic, runs the backlog out, prints
-// the final conservation ledger as JSON on stdout, and exits 0 only if the
-// books close: offered == delivered + dropped + evicted with nothing in
-// flight and zero epoch violations.
+// streams to -journal under the -sync durability policy, and on shutdown
+// (SIGINT/SIGTERM or POST /admin/shutdown) the daemon pauses traffic, runs
+// the backlog out, prints the final conservation ledger as JSON on stdout,
+// and exits 0 only if the books close: offered == delivered + dropped +
+// evicted with nothing in flight and zero epoch violations.
+//
+// Crash recovery: with -recover, the daemon replays the -journal file at
+// boot — the control plane is reconstructed by deterministic re-execution,
+// the file is truncated to its committed prefix (a kill -9 tears the final
+// write; see DESIGN.md §12), and journaling resumes in append mode. The
+// HTTP endpoint is up during replay in degraded mode: admin routes answer
+// 503 with Retry-After, and GET /admin/recovery reports progress, seeded
+// from the journal's latest checkpoint before a single epoch re-executes.
 //
 // Admin API (all mutations are POST; parameters are query params):
 //
@@ -27,21 +35,25 @@
 //	POST /admin/offering?frames=N                         offered load per slot
 //	POST /admin/shutdown                                  graceful exit
 //	GET  /admin/ledger                                    conservation snapshot
+//	GET  /admin/recovery                                  recovery state
 //
 // Spec parameters per class: edf takes period; wc takes period, num, den;
 // static takes priority and optional guard; fair takes weight.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"os"
 	"os/signal"
 	"strconv"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -65,10 +77,15 @@ func main() {
 	cycles := flag.Int("cycles", 128, "decision cycles per shard per epoch")
 	frames := flag.Int("frames", 1, "frames offered per occupied slot per epoch")
 	journalPath := flag.String("journal", "", "stream the control-plane transition journal to this file")
+	ckpt := flag.Int("ckpt", 0, "journal checkpoint cadence in epoch fences (0: control-plane default; negative: disabled)")
+	recoverJournal := flag.Bool("recover", false, "replay the -journal file at boot and resume from its committed prefix")
+	syncMode := flag.String("sync", "fence", "journal durability: none (OS buffering), fence (fsync at each epoch fence), line (fsync every line)")
+	strict := flag.Bool("journal-strict", false, "treat any journal sink write loss as fatal: settle and exit non-zero")
 	flag.Parse()
 	if err := serve(*addr, *addrFile, *journalPath, serveConfig{
 		shards: *shards, slots: *slots, program: *program, policy: *policy,
-		epochMs: *epochMs, cycles: *cycles, frames: *frames,
+		epochMs: *epochMs, cycles: *cycles, frames: *frames, ckpt: *ckpt,
+		recover: *recoverJournal, sync: *syncMode, strict: *strict,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "ssserved: %v\n", err)
 		os.Exit(1)
@@ -76,9 +93,12 @@ func main() {
 }
 
 type serveConfig struct {
-	shards, slots           int
-	program, policy         string
-	epochMs, cycles, frames int
+	shards, slots                 int
+	program, policy               string
+	epochMs, cycles, frames, ckpt int
+	recover                       bool
+	sync                          string
+	strict                        bool
 }
 
 // submission is one admin request in flight to the engine goroutine; the
@@ -106,48 +126,54 @@ func serve(addr, addrFile, journalPath string, cfg serveConfig) error {
 	if cfg.epochMs < 1 {
 		return fmt.Errorf("-epoch-ms %d: want >= 1", cfg.epochMs)
 	}
-
-	var journal *os.File
-	if journalPath != "" {
-		journal, err = os.Create(journalPath)
-		if err != nil {
-			return err
-		}
-		defer journal.Close()
-	}
-
-	eng, err := endsystem.NewService(endsystem.ServiceConfig{
-		Shards:          cfg.shards,
-		SlotsPerShard:   cfg.slots,
-		Program:         prog,
-		Policy:          pol,
-		CyclesPerEpoch:  cfg.cycles,
-		FramesPerStream: cfg.frames,
-		Journal:         journal,
-	})
+	sync, err := parseSyncPolicy(cfg.sync)
 	if err != nil {
 		return err
 	}
+	if cfg.recover && journalPath == "" {
+		return fmt.Errorf("-recover needs -journal: there is nothing to replay")
+	}
 
 	reg := obs.NewRegistry()
-	eng.RegisterMetrics(reg, "ctl")
-	eng.Router().RegisterMetrics(reg, "shard")
 	adminNs := reg.Histogram("ssserved.admin_latency", "ns")
 
-	// The engine goroutine owns eng exclusively: admin handlers hand it
-	// requests over submit and wait for the fence to answer. Shutdown is a
-	// context cancel — from a signal or the /admin/shutdown route.
+	// The engine does not exist until recovery finishes; handlers reach it
+	// through an atomic pointer behind the ready gate. Until then the HTTP
+	// endpoint is up in degraded mode: admin routes answer 503 with
+	// Retry-After, and /admin/recovery reports progress.
+	var engp atomic.Pointer[ctlplane.Engine]
+	var ready atomic.Bool
+	var recovery atomic.Pointer[map[string]any]
+	recovery.Store(&map[string]any{"state": "starting"})
+
+	// The engine goroutine owns the engine exclusively: admin handlers hand
+	// it requests over submit and wait for the fence to answer. Shutdown is
+	// a context cancel — from a signal or the /admin/shutdown route.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	submit := make(chan submission)
 	offer := make(chan int)
 	done := make(chan ctlplane.Ledger, 1)
 
+	// degraded answers for the recovery window and reports whether the
+	// caller should return (the daemon is not ready to serve).
+	degraded := func(w http.ResponseWriter) bool {
+		if ready.Load() {
+			return false
+		}
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "recovering: journal replay in progress")
+		return true
+	}
+
 	mux := obs.NewMux(reg)
 	admin := func(route string, h func(url.Values) (ctlplane.Request, error)) {
 		mux.HandleFunc("/admin/"+route, func(w http.ResponseWriter, r *http.Request) {
 			start := obs.WallClock()
 			defer func() { adminNs.Observe(obs.WallClock() - start) }()
+			if degraded(w) {
+				return
+			}
 			if r.Method != http.MethodPost {
 				httpError(w, http.StatusMethodNotAllowed, "POST only")
 				return
@@ -233,6 +259,9 @@ func serve(addr, addrFile, journalPath string, cfg serveConfig) error {
 		return ctlplane.Request{Op: ctlplane.OpRestartShard, Shard: k}, err
 	})
 	mux.HandleFunc("/admin/offering", func(w http.ResponseWriter, r *http.Request) {
+		if degraded(w) {
+			return
+		}
 		if r.Method != http.MethodPost {
 			httpError(w, http.StatusMethodNotAllowed, "POST only")
 			return
@@ -250,10 +279,20 @@ func serve(addr, addrFile, journalPath string, cfg serveConfig) error {
 		}
 	})
 	mux.HandleFunc("/admin/ledger", func(w http.ResponseWriter, r *http.Request) {
+		if degraded(w) {
+			return
+		}
+		eng := engp.Load()
 		led := eng.Ledger() // atomic snapshot from the last fence: any-goroutine safe
 		writeJSON(w, http.StatusOK, ledgerDoc(eng, led))
 	})
+	mux.HandleFunc("/admin/recovery", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, *recovery.Load())
+	})
 	mux.HandleFunc("/admin/shutdown", func(w http.ResponseWriter, r *http.Request) {
+		if degraded(w) {
+			return
+		}
 		if r.Method != http.MethodPost {
 			httpError(w, http.StatusMethodNotAllowed, "POST only")
 			return
@@ -274,7 +313,45 @@ func serve(addr, addrFile, journalPath string, cfg serveConfig) error {
 	fmt.Fprintf(os.Stderr, "ssserved: %d shards × %d slots, program %s, policy %s; admin on http://%s/admin/, metrics on /metrics\n",
 		cfg.shards, cfg.slots, prog, pol, bound)
 
-	go engineLoop(eng, time.Duration(cfg.epochMs)*time.Millisecond, submit, offer, ctx.Done(), done)
+	// Build or recover the engine while the endpoint answers degraded.
+	eng, rep, closeJournal, err := openEngine(journalPath, sync, cfg, prog, pol, &recovery)
+	if err != nil {
+		httpCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = shutdownHTTP(httpCtx)
+		return err
+	}
+	defer closeJournal()
+	engp.Store(eng)
+	eng.RegisterMetrics(reg, "ctl")
+	eng.Router().RegisterMetrics(reg, "shard")
+	reg.GaugeFunc("ssserved.recovery.replayed_epochs", "epochs", func() float64 {
+		if rep == nil {
+			return 0
+		}
+		return float64(rep.Epochs)
+	})
+	reg.GaugeFunc("ssserved.recovery.torn_bytes", "bytes", func() float64 {
+		if rep == nil {
+			return 0
+		}
+		return float64(rep.TornBytes)
+	})
+	recovery.Store(&map[string]any{"state": "serving", "recovered": recoveredDoc(rep)})
+	ready.Store(true)
+	if rep != nil {
+		fmt.Fprintf(os.Stderr, "ssserved: recovered %d epochs from %s (%d bytes committed, %d torn)\n",
+			rep.Epochs, journalPath, rep.CommittedBytes, rep.TornBytes)
+	}
+
+	// After each fence the loop consults the sink watchdog: under
+	// -journal-strict the first lost journal line settles and exits.
+	watchdog := func() {
+		if cfg.strict && eng.SinkErrors() > 0 {
+			stop()
+		}
+	}
+	go engineLoop(eng, time.Duration(cfg.epochMs)*time.Millisecond, submit, offer, ctx.Done(), done, watchdog)
 
 	<-ctx.Done()
 	stop() // restore default signal handling: a second ^C kills hard
@@ -293,15 +370,182 @@ func serve(addr, addrFile, journalPath string, cfg serveConfig) error {
 		return fmt.Errorf("conservation did not close: %d violations, %d in flight",
 			eng.Violations(), final.InFlight)
 	}
+	if cfg.strict && eng.SinkErrors() > 0 {
+		return fmt.Errorf("journal sink lost %d lines (-journal-strict)", eng.SinkErrors())
+	}
 	return nil
+}
+
+// openEngine builds the control plane: a fresh engine journaling to
+// journalPath, or — under -recover, when the file holds a journal — one
+// reconstructed by replaying it, with the file truncated to its committed
+// prefix and reattached in append mode under the -sync policy. The replay
+// report is nil on a fresh start.
+func openEngine(journalPath string, sync syncPolicy, cfg serveConfig, prog decision.Program, pol qm.Policy,
+	recovery *atomic.Pointer[map[string]any]) (*ctlplane.Engine, *ctlplane.ReplayReport, func(), error) {
+	fresh := func(w *os.File) (*ctlplane.Engine, *ctlplane.ReplayReport, func(), error) {
+		var journal io.Writer
+		if w != nil {
+			journal = &syncWriter{f: w, policy: sync}
+		}
+		eng, err := endsystem.NewService(endsystem.ServiceConfig{
+			Shards:          cfg.shards,
+			SlotsPerShard:   cfg.slots,
+			Program:         prog,
+			Policy:          pol,
+			CyclesPerEpoch:  cfg.cycles,
+			FramesPerStream: cfg.frames,
+			CheckpointEvery: cfg.ckpt,
+			Journal:         journal,
+		})
+		if err != nil {
+			if w != nil {
+				w.Close()
+			}
+			return nil, nil, nil, err
+		}
+		closer := func() {}
+		if w != nil {
+			closer = func() { w.Close() }
+		}
+		return eng, nil, closer, nil
+	}
+
+	if journalPath == "" {
+		return fresh(nil)
+	}
+	if cfg.recover {
+		if st, err := os.Stat(journalPath); err == nil && st.Size() > 0 {
+			return recoverEngine(journalPath, sync, recovery)
+		}
+		// Nothing survived to replay; start fresh below.
+		fmt.Fprintf(os.Stderr, "ssserved: -recover: %s is missing or empty, starting fresh\n", journalPath)
+	}
+	f, err := os.Create(journalPath)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return fresh(f)
+}
+
+// recoverEngine replays journalPath into a fresh engine. Before the replay
+// proper it scans for the latest checkpoint — bounded-time state the
+// /admin/recovery endpoint reports while re-execution runs.
+func recoverEngine(journalPath string, sync syncPolicy,
+	recovery *atomic.Pointer[map[string]any]) (*ctlplane.Engine, *ctlplane.ReplayReport, func(), error) {
+	f, err := os.Open(journalPath)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer f.Close()
+
+	doc := map[string]any{"state": "replaying", "journal": journalPath}
+	if ck, ok, err := ctlplane.LatestCheckpoint(f); err == nil && ok {
+		doc["checkpoint"] = map[string]any{
+			"epoch": ck.Epoch, "seq": ck.Seq, "streams": len(ck.Streams),
+		}
+	}
+	recovery.Store(&doc)
+
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, nil, nil, err
+	}
+	eng, rep, err := ctlplane.Replay(f)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("recover %s: %w", journalPath, err)
+	}
+
+	// Drop the torn tail and any uncommitted block from the durable copy,
+	// then resume journaling where the committed prefix ends.
+	if err := os.Truncate(journalPath, rep.CommittedBytes); err != nil {
+		return nil, nil, nil, err
+	}
+	af, err := os.OpenFile(journalPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	eng.SetJournalSink(&syncWriter{f: af, policy: sync})
+	return eng, rep, func() { af.Close() }, nil
+}
+
+// recoveredDoc summarizes a replay report for /admin/recovery (nil on a
+// fresh start).
+func recoveredDoc(rep *ctlplane.ReplayReport) any {
+	if rep == nil {
+		return nil
+	}
+	return map[string]any{
+		"epochs":          rep.Epochs,
+		"requests":        rep.Requests,
+		"checkpoints":     rep.Checkpoints,
+		"committed_bytes": rep.CommittedBytes,
+		"torn_bytes":      rep.TornBytes,
+		"dropped_lines":   rep.DroppedLines,
+	}
+}
+
+// syncPolicy selects when the journal file is fsynced.
+type syncPolicy uint8
+
+const (
+	// syncNone leaves durability to the OS page cache.
+	syncNone syncPolicy = iota
+	// syncFence fsyncs when an epoch block completes (its ledger and
+	// checkpoint lines), so every acknowledged fence is durable before its
+	// responses unblock — the durability-before-ack contract.
+	syncFence
+	// syncLine fsyncs every journal line.
+	syncLine
+)
+
+func parseSyncPolicy(name string) (syncPolicy, error) {
+	switch name {
+	case "none":
+		return syncNone, nil
+	case "fence":
+		return syncFence, nil
+	case "line":
+		return syncLine, nil
+	default:
+		return 0, fmt.Errorf("-sync %q: want none, fence, or line", name)
+	}
+}
+
+// syncWriter writes journal lines to a file under a sync policy. Each Write
+// is exactly one journal line, so fence policy keys on the line kinds that
+// end an epoch block.
+type syncWriter struct {
+	f      *os.File
+	policy syncPolicy
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	n, err := s.f.Write(p)
+	if err != nil || n != len(p) {
+		return n, err
+	}
+	switch s.policy {
+	case syncLine:
+		err = s.f.Sync()
+	case syncFence:
+		if bytes.Contains(p, []byte(" ledger ")) || bytes.Contains(p, []byte(" checkpoint ")) {
+			err = s.f.Sync()
+		}
+	}
+	if err != nil {
+		return 0, err // a failed sync means the line is not durable
+	}
+	return n, nil
 }
 
 // engineLoop owns the control-plane engine: it alone enqueues and steps.
 // Requests arriving between ticks land at the next fence; their responses
-// are correlated back to the waiting handler by sequence number. On
-// shutdown it pauses traffic and steps until nothing is in flight so the
-// final ledger closes exactly.
-func engineLoop(eng *ctlplane.Engine, epoch time.Duration, submit chan submission, offer chan int, quit <-chan struct{}, done chan<- ctlplane.Ledger) {
+// are correlated back to the waiting handler by sequence number. After each
+// fence it runs the watchdog (the -journal-strict sink check). On shutdown
+// it pauses traffic and steps until nothing is in flight so the final
+// ledger closes exactly.
+func engineLoop(eng *ctlplane.Engine, epoch time.Duration, submit chan submission, offer chan int,
+	quit <-chan struct{}, done chan<- ctlplane.Ledger, watchdog func()) {
 	pending := make(map[uint64]chan ctlplane.Response)
 	tick := time.NewTicker(epoch)
 	defer tick.Stop()
@@ -323,6 +567,7 @@ func engineLoop(eng *ctlplane.Engine, epoch time.Duration, submit chan submissio
 			eng.SetOffering(n)
 		case <-tick.C:
 			step()
+			watchdog()
 		case <-quit:
 			// Settle: answer anything queued, stop offering, run the
 			// backlog out. Bounded so a wedged pipeline still exits (the
@@ -416,7 +661,7 @@ func parseSpec(q url.Values) (attr.Spec, error) {
 }
 
 // ledgerDoc is the JSON served by /admin/ledger and printed at exit: the
-// conservation snapshot plus the journal replay identity.
+// conservation snapshot plus the journal replay identity and sink health.
 func ledgerDoc(eng *ctlplane.Engine, led ctlplane.Ledger) map[string]any {
 	hash, lines := eng.JournalSum()
 	return map[string]any{
@@ -425,6 +670,7 @@ func ledgerDoc(eng *ctlplane.Engine, led ctlplane.Ledger) map[string]any {
 		"violations":    eng.Violations(),
 		"journal_hash":  fmt.Sprintf("%016x", hash),
 		"journal_lines": lines,
+		"sink_errors":   eng.SinkErrors(),
 	}
 }
 

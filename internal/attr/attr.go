@@ -16,7 +16,10 @@
 // (32768 ticks) of each other.
 package attr
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // SlotID identifies a Register Base block (stream-slot). The paper's
 // prototype exchanges 5-bit stream IDs with the host, supporting up to 32
@@ -253,6 +256,48 @@ func (s Spec) String() string {
 	default:
 		return fmt.Sprintf("spec(class=%d)", uint8(s.Class))
 	}
+}
+
+// ParseSpec is the inverse of Spec.String: it resolves the class from the
+// leading keyword, scans the class's natural terms, and accepts a string
+// exactly when re-rendering the parsed spec reproduces it byte for byte.
+// That round-trip rule is what lets the control-plane journal embed specs in
+// transition lines and replay them without a second grammar.
+func ParseSpec(s string) (Spec, error) {
+	var spec Spec
+	switch {
+	case strings.HasPrefix(s, "dwcs("):
+		spec.Class = WindowConstrained
+		if _, err := fmt.Sscanf(s, "dwcs(T=%d, W=%d/%d)",
+			&spec.Period, &spec.Constraint.Num, &spec.Constraint.Den); err != nil {
+			return Spec{}, fmt.Errorf("attr: malformed dwcs spec %q: %v", s, err)
+		}
+	case strings.HasPrefix(s, "edf("):
+		spec.Class = EDF
+		if _, err := fmt.Sscanf(s, "edf(T=%d)", &spec.Period); err != nil {
+			return Spec{}, fmt.Errorf("attr: malformed edf spec %q: %v", s, err)
+		}
+	case strings.HasPrefix(s, "static("):
+		spec.Class = StaticPriority
+		if strings.Contains(s, "guard=") {
+			if _, err := fmt.Sscanf(s, "static(p=%d, guard=%d)", &spec.Priority, &spec.Guard); err != nil {
+				return Spec{}, fmt.Errorf("attr: malformed static spec %q: %v", s, err)
+			}
+		} else if _, err := fmt.Sscanf(s, "static(p=%d)", &spec.Priority); err != nil {
+			return Spec{}, fmt.Errorf("attr: malformed static spec %q: %v", s, err)
+		}
+	case strings.HasPrefix(s, "fair("):
+		spec.Class = FairTag
+		if _, err := fmt.Sscanf(s, "fair(w=%d)", &spec.Weight); err != nil {
+			return Spec{}, fmt.Errorf("attr: malformed fair spec %q: %v", s, err)
+		}
+	default:
+		return Spec{}, fmt.Errorf("attr: unknown spec class in %q", s)
+	}
+	if got := spec.String(); got != s {
+		return Spec{}, fmt.Errorf("attr: spec %q does not round-trip (canonical form %q)", s, got)
+	}
+	return spec, nil
 }
 
 // Validate checks that the spec is self-consistent for its class.

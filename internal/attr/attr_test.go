@@ -263,3 +263,33 @@ func TestAttributesString(t *testing.T) {
 		t.Errorf("invalid String() = %q", got)
 	}
 }
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	specs := []Spec{
+		{Class: WindowConstrained, Period: 4, Constraint: Constraint{Num: 1, Den: 4}},
+		{Class: WindowConstrained, Period: 15, Constraint: Constraint{Num: 0, Den: 6}},
+		{Class: EDF, Period: 3},
+		{Class: StaticPriority, Priority: 512},
+		{Class: StaticPriority, Priority: 7, Guard: 200},
+		{Class: FairTag, Weight: 8},
+	}
+	for _, want := range specs {
+		got, err := ParseSpec(want.String())
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", want.String(), err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", want.String(), got, want)
+		}
+	}
+	for _, bad := range []string{
+		"", "bogus(T=3)", "edf(T=)", "edf(T=3", "edf(t=3)",
+		"dwcs(T=4)", "static(p=1, guard=)", "fair(w=2) trailing",
+		"spec(class=9)",
+	} {
+		if spec, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted as %+v, want error", bad, spec)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package ctlplane
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/attr"
+	"repro/internal/decision"
+	"repro/internal/shard"
+)
+
+// A checkpoint is the journal's periodic full-state record: every
+// CheckpointEvery fences the engine renders its complete control-plane view
+// — the admitted offering (every stream's placement, rank program, and
+// spec), the drained-shard set, the per-shard pool bursts, the offered load,
+// the request sequence number, and the conservation ledger — as one
+// self-checking journal line. Checkpoints serve two recovery roles:
+//
+//   - bounded-time state inspection: LatestCheckpoint scans a journal (or
+//     its torn prefix) and returns the last recorded control state without
+//     re-executing a single epoch — what a recovering daemon reports while
+//     replay proper is still running;
+//   - divergence localization: replay re-derives each checkpoint from the
+//     reconstructed engine and compares field by field, so a divergent
+//     replay fails within CheckpointEvery fences of the first bad epoch
+//     with a structured diff rather than a bare hash mismatch.
+//
+// The datapath residue (ring contents, latched heads, virtual time, fair
+// tags, window state) is deliberately NOT in the checkpoint: re-execution
+// from the journal reconstructs it exactly, and serializing it would freeze
+// every internal representation into the journal format. See DESIGN.md §12.
+
+// StreamEntry is one admitted stream in an offering snapshot: identity,
+// placement, rank program, and service spec.
+type StreamEntry struct {
+	ID      shard.StreamID
+	Shard   int
+	Slot    int
+	Program decision.Program
+	Spec    attr.Spec
+}
+
+// Checkpoint is the full control-plane state at one epoch fence.
+type Checkpoint struct {
+	Epoch    uint64
+	Seq      uint64        // last assigned (== last applied) request sequence
+	Offering int           // frames offered per occupied slot per epoch
+	Drained  []bool        // per-shard drain flags
+	Pool     []int         // per-shard shared-pool burst targets
+	Ledger   Ledger        // conservation snapshot at this fence
+	Streams  []StreamEntry // admitted offering in (shard, slot) order
+}
+
+// render serializes the checkpoint as one journal-line payload (no newline,
+// no per-line checksum — the journal adds that).
+func (ck Checkpoint) render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E%d checkpoint seq=%d offering=%d drained=", ck.Epoch, ck.Seq, ck.Offering)
+	for _, d := range ck.Drained {
+		if d {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	b.WriteString(" pool=")
+	for i, p := range ck.Pool {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(p))
+	}
+	l := ck.Ledger
+	fmt.Fprintf(&b, " ledger=%d/%d/%d/%d/%d/%d/%d",
+		l.Offered, l.Delivered, l.DroppedQM, l.DroppedSched, l.Evicted, l.InFlight, l.Streams)
+	b.WriteString(" streams=[")
+	for i, st := range ck.Streams {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "%d@%d.%d|%v|%s", st.ID, st.Shard, st.Slot, st.Program, st.Spec)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// parseCheckpoint is the inverse of render. payload is the line text after
+// "E<epoch> checkpoint " (the shared record parser has already consumed the
+// epoch prefix).
+func parseCheckpoint(epoch uint64, payload string) (Checkpoint, error) {
+	ck := Checkpoint{Epoch: epoch}
+	bad := func(format string, args ...any) (Checkpoint, error) {
+		return Checkpoint{}, fmt.Errorf("ctlplane: E%d checkpoint: %s", epoch, fmt.Sprintf(format, args...))
+	}
+	fields := strings.SplitN(payload, " ", 5)
+	if len(fields) != 5 {
+		return bad("want 5 fields, got %d", len(fields))
+	}
+	if _, err := fmt.Sscanf(fields[0], "seq=%d", &ck.Seq); err != nil {
+		return bad("seq: %v", err)
+	}
+	if _, err := fmt.Sscanf(fields[1], "offering=%d", &ck.Offering); err != nil {
+		return bad("offering: %v", err)
+	}
+	drained, ok := strings.CutPrefix(fields[2], "drained=")
+	if !ok {
+		return bad("missing drained field in %q", fields[2])
+	}
+	for _, c := range drained {
+		switch c {
+		case '0':
+			ck.Drained = append(ck.Drained, false)
+		case '1':
+			ck.Drained = append(ck.Drained, true)
+		default:
+			return bad("drained bit %q", c)
+		}
+	}
+	pool, ok := strings.CutPrefix(fields[3], "pool=")
+	if !ok {
+		return bad("missing pool field in %q", fields[3])
+	}
+	for _, p := range strings.Split(pool, ",") {
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return bad("pool burst %q: %v", p, err)
+		}
+		ck.Pool = append(ck.Pool, n)
+	}
+	rest := fields[4]
+	l := &ck.Ledger
+	l.Epoch = epoch
+	ledgerPart, streamsPart, ok := strings.Cut(rest, " streams=[")
+	if !ok {
+		return bad("missing streams list in %q", rest)
+	}
+	if _, err := fmt.Sscanf(ledgerPart, "ledger=%d/%d/%d/%d/%d/%d/%d",
+		&l.Offered, &l.Delivered, &l.DroppedQM, &l.DroppedSched, &l.Evicted, &l.InFlight, &l.Streams); err != nil {
+		return bad("ledger: %v", err)
+	}
+	streams, ok := strings.CutSuffix(streamsPart, "]")
+	if !ok {
+		return bad("unterminated streams list")
+	}
+	if streams != "" {
+		for _, entry := range strings.Split(streams, ";") {
+			st, err := parseStreamEntry(entry)
+			if err != nil {
+				return bad("%v", err)
+			}
+			ck.Streams = append(ck.Streams, st)
+		}
+	}
+	if ck.render() != "E"+strconv.FormatUint(epoch, 10)+" checkpoint "+payload {
+		return bad("does not round-trip")
+	}
+	return ck, nil
+}
+
+// parseStreamEntry parses one "id@shard.slot|program|spec" offering entry.
+func parseStreamEntry(s string) (StreamEntry, error) {
+	var st StreamEntry
+	head, rest, ok := strings.Cut(s, "|")
+	if !ok {
+		return st, fmt.Errorf("stream entry %q: missing program", s)
+	}
+	if _, err := fmt.Sscanf(head, "%d@%d.%d", &st.ID, &st.Shard, &st.Slot); err != nil {
+		return st, fmt.Errorf("stream entry %q: %v", s, err)
+	}
+	progName, specText, ok := strings.Cut(rest, "|")
+	if !ok {
+		return st, fmt.Errorf("stream entry %q: missing spec", s)
+	}
+	prog, err := decision.ParseProgram(progName)
+	if err != nil {
+		return st, fmt.Errorf("stream entry %q: %v", s, err)
+	}
+	st.Program = prog
+	spec, err := attr.ParseSpec(specText)
+	if err != nil {
+		return st, fmt.Errorf("stream entry %q: %v", s, err)
+	}
+	st.Spec = spec
+	return st, nil
+}
+
+// diff reports the first field-level difference between two checkpoints for
+// the same epoch ("" when identical) — replay's structured divergence
+// message.
+func (ck Checkpoint) diff(other Checkpoint) string {
+	a, b := ck.render(), other.render()
+	if a == b {
+		return ""
+	}
+	switch {
+	case ck.Seq != other.Seq:
+		return fmt.Sprintf("seq %d vs %d", ck.Seq, other.Seq)
+	case ck.Offering != other.Offering:
+		return fmt.Sprintf("offering %d vs %d", ck.Offering, other.Offering)
+	case ck.Ledger != other.Ledger:
+		return fmt.Sprintf("ledger %+v vs %+v", ck.Ledger, other.Ledger)
+	case len(ck.Streams) != len(other.Streams):
+		return fmt.Sprintf("%d streams vs %d", len(ck.Streams), len(other.Streams))
+	default:
+		return fmt.Sprintf("%q vs %q", a, b)
+	}
+}

@@ -1,0 +1,161 @@
+package ctlplane
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/fault"
+)
+
+// This file is the crash-point recovery harness: the proof that journal
+// replay is crash-safe at every byte. It runs one seeded churn soak to
+// completion (the reference run), then for each of a seeded sample of byte
+// offsets simulates a crash at that offset — the journal's prefix is all
+// that survived — and recovers: Replay the torn prefix, Resume through the
+// full journal, and require the recovered engine to match the reference in
+// journal hash, line count, conservation ledger, and admitted offering.
+// A single mismatch at a single offset is a divergence — recovery would
+// have silently rebuilt a different control plane than the one that
+// crashed.
+
+// CrashSoakConfig parameterizes a crash-recovery soak.
+type CrashSoakConfig struct {
+	// Soak is the churn workload. Its Journal sink, if set, receives the
+	// reference journal text (CI's failure artifact).
+	Soak SoakConfig
+	// Points is how many crash offsets to sample (default 16). Offsets are
+	// uniform over the journal, so they land mid-line, mid-checksum, and on
+	// record boundaries in proportion.
+	Points int
+	// PointSeed seeds the offset sampler (default: derived from Soak.Seed).
+	PointSeed int64
+}
+
+// CrashPointResult records one recovered crash point.
+type CrashPointResult struct {
+	// Offset is the crash instant: the journal had Offset bytes on disk.
+	Offset int64
+	// Committed/Torn split the prefix: replay truncated it to Committed
+	// bytes and dropped Torn (partial final write plus any epoch block
+	// that never reached its ledger).
+	Committed int64
+	Torn      int64
+	// Epochs counts fences re-executed during Replay (before Resume).
+	Epochs uint64
+}
+
+// CrashSoakResult summarizes a crash-recovery soak: every sampled point
+// recovered to the reference identity.
+type CrashSoakResult struct {
+	Reference SoakResult
+	Points    []CrashPointResult
+	// TornPoints counts points whose prefix needed truncation (Torn > 0) —
+	// the sample must include some, or it never exercised the torn-tail
+	// rule.
+	TornPoints int
+}
+
+// CrashSoak runs the harness. It returns an error on the first divergence
+// (lowest offset), on any reference-soak failure, and on a sample that
+// never landed mid-record.
+func CrashSoak(cfg CrashSoakConfig) (CrashSoakResult, error) {
+	if cfg.Points == 0 {
+		cfg.Points = 16
+	}
+	if cfg.PointSeed == 0 {
+		cfg.PointSeed = int64(cfg.Soak.Seed) + 1
+	}
+
+	// Reference run, journal text retained (and teed to the caller's sink).
+	var text bytes.Buffer
+	ref := cfg.Soak
+	if ref.Journal != nil {
+		ref.Journal = io.MultiWriter(&text, ref.Journal)
+	} else {
+		ref.Journal = &text
+	}
+	res, err := Soak(ref)
+	if err != nil {
+		return CrashSoakResult{}, fmt.Errorf("ctlplane: crash soak reference run: %w", err)
+	}
+	out := CrashSoakResult{Reference: res}
+	journal := text.Bytes()
+
+	points := fault.CrashPoints(cfg.PointSeed, cfg.Points, int64(len(journal)))
+	results := make([]*CrashPointResult, len(points))
+	errs := make([]error, len(points))
+
+	// Points are independent recoveries of independent engines: run them on
+	// all cores, report deterministically by ascending offset.
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, k := range points {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, k int64) {
+			defer func() { <-sem; wg.Done() }()
+			results[i], errs[i] = recoverPoint(journal, k, res)
+		}(i, k)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return out, fmt.Errorf("ctlplane: crash at byte %d: %w", points[i], err)
+		}
+		out.Points = append(out.Points, *results[i])
+		if results[i].Torn > 0 {
+			out.TornPoints++
+		}
+	}
+	if len(out.Points) >= 8 && out.TornPoints == 0 {
+		return out, fmt.Errorf("ctlplane: crash soak sampled %d points, none torn — the torn-tail rule went unexercised", len(out.Points))
+	}
+	return out, nil
+}
+
+// recoverPoint crashes at offset k and recovers: replay the surviving
+// prefix, resume through the full journal, compare every observable to the
+// reference.
+func recoverPoint(journal []byte, k int64, ref SoakResult) (*CrashPointResult, error) {
+	eng, rep, err := Replay(bytes.NewReader(journal[:k]))
+	if err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	pt := &CrashPointResult{
+		Offset:    k,
+		Committed: rep.CommittedBytes,
+		Torn:      rep.TornBytes,
+		Epochs:    rep.Epochs,
+	}
+	fin, err := Resume(eng, bytes.NewReader(journal), rep)
+	if err != nil {
+		return nil, fmt.Errorf("resume: %w", err)
+	}
+	if fin.Hash != ref.JournalHash || fin.Lines != ref.JournalLines {
+		return nil, fmt.Errorf("%w: recovered journal %x/%d lines, reference %x/%d",
+			ErrReplayDivergence, fin.Hash, fin.Lines, ref.JournalHash, ref.JournalLines)
+	}
+	if got := eng.Ledger(); got != ref.Final {
+		return nil, fmt.Errorf("%w: recovered ledger %+v, reference %+v", ErrReplayDivergence, got, ref.Final)
+	}
+	if eng.Violations() != 0 {
+		return nil, fmt.Errorf("%w: recovery manufactured %d conservation violations",
+			ErrReplayDivergence, eng.Violations())
+	}
+	offering := eng.Offering()
+	if len(offering) != len(ref.Offering) {
+		return nil, fmt.Errorf("%w: recovered offering has %d streams, reference %d",
+			ErrReplayDivergence, len(offering), len(ref.Offering))
+	}
+	for i := range offering {
+		if offering[i] != ref.Offering[i] {
+			return nil, fmt.Errorf("%w: recovered offering entry %d is %+v, reference %+v",
+				ErrReplayDivergence, i, offering[i], ref.Offering[i])
+		}
+	}
+	return pt, nil
+}

@@ -172,6 +172,11 @@ type Config struct {
 	// FNV-64a hash and line count accumulate regardless (JournalSum), so
 	// byte-identity is checkable without retaining the text.
 	Journal io.Writer
+	// CheckpointEvery is how many fences pass between full-state checkpoint
+	// records in the journal (default 256; negative disables them).
+	// Checkpoints bound how far LatestCheckpoint and replay divergence
+	// localization lag behind the tail — see checkpoint.go.
+	CheckpointEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -183,6 +188,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FrameBytes == 0 {
 		c.FrameBytes = 1500
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 256
+	}
+	if c.CheckpointEvery < 0 {
+		c.CheckpointEvery = 0
 	}
 	return c
 }
@@ -212,6 +223,15 @@ type Engine struct {
 	cumSchedDrops uint64
 	dropBase      [][]uint64
 
+	// Checkpoint state: the control plane's own record of what it has
+	// admitted, per (shard, slot), plus per-shard pool bursts. The router
+	// holds the live datapath truth; these mirrors exist so a checkpoint
+	// line (and the Offering accessor) can be rendered without new router
+	// surface, and they are updated only at the fence by apply().
+	specs     [][]attr.Spec
+	progs     [][]decision.Program
+	poolBurst []int
+
 	// Scrape-safe mirrors, published at each fence.
 	last       atomic.Pointer[Ledger]
 	requests   atomic.Uint64
@@ -238,21 +258,28 @@ func New(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		cfg:      cfg,
-		r:        r,
-		j:        newJournal(cfg.Journal),
-		drained:  make([]bool, cfg.Shards),
-		offering: cfg.FramesPerStream,
-		dropBase: make([][]uint64, cfg.Shards),
+		cfg:       cfg,
+		r:         r,
+		j:         newJournal(cfg.Journal),
+		drained:   make([]bool, cfg.Shards),
+		offering:  cfg.FramesPerStream,
+		dropBase:  make([][]uint64, cfg.Shards),
+		specs:     make([][]attr.Spec, cfg.Shards),
+		progs:     make([][]decision.Program, cfg.Shards),
+		poolBurst: make([]int, cfg.Shards),
 	}
 	for k := range e.dropBase {
 		e.dropBase[k] = make([]uint64, cfg.SlotsPerShard)
+		e.specs[k] = make([]attr.Spec, cfg.SlotsPerShard)
+		e.progs[k] = make([]decision.Program, cfg.SlotsPerShard)
+		e.poolBurst[k] = cfg.BufferPool.Burst
 	}
 	e.last.Store(&Ledger{})
-	e.j.printf("ssctl v1 shards=%d slots=%d ring=%d pool=%d/%d program=%v policy=%v cycles=%d frames=%d",
+	e.j.printf("ssctl v2 shards=%d slots=%d ring=%d pool=%d/%d/%d program=%v policy=%v cycles=%d frames=%d bytes=%d ckpt=%d",
 		cfg.Shards, cfg.SlotsPerShard, cfg.RingCapacity,
-		cfg.BufferPool.Reservation, cfg.BufferPool.Burst,
-		cfg.Program, cfg.Policy, cfg.CyclesPerEpoch, cfg.FramesPerStream)
+		cfg.BufferPool.Reservation, cfg.BufferPool.Burst, cfg.BufferPool.DelayTarget,
+		cfg.Program, cfg.Policy, cfg.CyclesPerEpoch, cfg.FramesPerStream,
+		cfg.FrameBytes, cfg.CheckpointEvery)
 	return e, nil
 }
 
@@ -371,8 +398,59 @@ func (e *Engine) Step() EpochReport {
 	}
 	e.j.printf("E%d ledger offered=%d delivered=%d qmdrop=%d scheddrop=%d evicted=%d inflight=%d streams=%d",
 		e.epoch, led.Offered, led.Delivered, led.DroppedQM, led.DroppedSched, led.Evicted, led.InFlight, led.Streams)
+	if k := e.cfg.CheckpointEvery; k > 0 && e.epoch%uint64(k) == 0 {
+		e.j.printf("%s", e.Checkpoint().render())
+	}
 	return rep
 }
+
+// Offering returns the admitted offering — every stream's placement, rank
+// program, and spec — in deterministic (shard, slot) order. It reflects the
+// last fence; call from the engine goroutine (or a quiesced engine).
+func (e *Engine) Offering() []StreamEntry {
+	var out []StreamEntry
+	for k := 0; k < e.cfg.Shards; k++ {
+		for slot := 0; slot < e.cfg.SlotsPerShard; slot++ {
+			id, ok := e.r.SlotStream(k, slot)
+			if !ok {
+				continue
+			}
+			out = append(out, StreamEntry{
+				ID: id, Shard: k, Slot: slot,
+				Program: e.progs[k][slot], Spec: e.specs[k][slot],
+			})
+		}
+	}
+	return out
+}
+
+// Checkpoint assembles the full control-plane state at the current fence —
+// what a periodic checkpoint record journals. Engine goroutine only.
+func (e *Engine) Checkpoint() Checkpoint {
+	return Checkpoint{
+		Epoch:    e.epoch,
+		Seq:      e.nextSeq,
+		Offering: e.offering,
+		Drained:  append([]bool(nil), e.drained...),
+		Pool:     append([]int(nil), e.poolBurst...),
+		Ledger:   *e.last.Load(),
+		Streams:  e.Offering(),
+	}
+}
+
+// SinkErrors returns how many journal lines the optional sink failed to
+// accept in full (write error or short write). The hash-side journal is
+// unaffected — the engine keeps running — but a daemon that needs the sink
+// to be a faithful recovery log watches this counter (ssserved
+// -journal-strict fails fast on the first loss). Safe from any goroutine.
+func (e *Engine) SinkErrors() uint64 { return e.j.sinkErrors() }
+
+// SetJournalSink replaces the journal sink (nil detaches it). The running
+// hash and line count are unaffected: the sink is the durable copy, not the
+// identity. Recovery uses this to attach the truncated journal file to a
+// replayed engine before stepping resumes. Engine goroutine only, or before
+// the engine starts stepping.
+func (e *Engine) SetJournalSink(w io.Writer) { e.j.setSink(w) }
 
 // Violations returns how many epochs failed conservation (must stay 0).
 func (e *Engine) Violations() uint64 { return e.violations.Load() }
@@ -423,6 +501,8 @@ func (e *Engine) apply(req Request) Response {
 		// The slot's hardware counters restarted with the new block; its
 		// history is already folded into cumSchedDrops by the eviction.
 		e.dropBase[k][slot] = 0
+		e.specs[k][slot] = req.Spec
+		e.progs[k][slot] = e.cfg.Program
 		resp.Shard, resp.Slot = k, slot
 	case OpEvict:
 		k, slot, ok := e.r.Locate(req.Stream)
@@ -449,7 +529,7 @@ func (e *Engine) apply(req Request) Response {
 		resp.Shard, resp.Slot = evRep.Shard, evRep.Slot
 		resp.Drained, resp.Flushed = evRep.Drained, evRep.Flushed
 	case OpRetune:
-		k, _, ok := e.r.Locate(req.Stream)
+		k, slot, ok := e.r.Locate(req.Stream)
 		if !ok {
 			return fail("ctlplane: stream %d not admitted", req.Stream)
 		}
@@ -459,8 +539,9 @@ func (e *Engine) apply(req Request) Response {
 		if err := e.r.RetuneLive(req.Stream, req.Spec); err != nil {
 			return fail("%s", err)
 		}
+		e.specs[k][slot] = req.Spec
 	case OpSetProgram:
-		k, _, ok := e.r.Locate(req.Stream)
+		k, slot, ok := e.r.Locate(req.Stream)
 		if !ok {
 			return fail("ctlplane: stream %d not admitted", req.Stream)
 		}
@@ -470,6 +551,7 @@ func (e *Engine) apply(req Request) Response {
 		if err := e.r.SetStreamProgram(req.Stream, req.Program); err != nil {
 			return fail("%s", err)
 		}
+		e.progs[k][slot] = req.Program
 	case OpResizePool:
 		if req.Shard < 0 || req.Shard >= e.cfg.Shards {
 			return fail("ctlplane: shard %d out of range [0, %d)", req.Shard, e.cfg.Shards)
@@ -477,6 +559,7 @@ func (e *Engine) apply(req Request) Response {
 		if err := e.r.Manager(req.Shard).ResizeBurst(req.Burst); err != nil {
 			return fail("%s", err)
 		}
+		e.poolBurst[req.Shard] = req.Burst
 		resp.Shard = req.Shard
 	case OpDrainShard:
 		if req.Shard < 0 || req.Shard >= e.cfg.Shards {
@@ -556,5 +639,8 @@ func (e *Engine) RegisterMetrics(reg *obs.Registry, prefix string) {
 	reg.GaugeFunc(prefix+".journal_lines", "lines", func() float64 {
 		_, lines := e.j.sum()
 		return float64(lines)
+	})
+	reg.GaugeFunc(prefix+".journal.sink_errors", "lines", func() float64 {
+		return float64(e.j.sinkErrors())
 	})
 }

@@ -2,6 +2,7 @@ package ctlplane
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -195,7 +196,18 @@ func TestSoakJournalText(t *testing.T) {
 	if sum := j.h.Sum64(); sum != res.JournalHash {
 		t.Fatalf("sink text hashes to %x, journal reports %x", sum, res.JournalHash)
 	}
-	if !bytes.HasPrefix(buf.Bytes(), []byte("ssctl v1 ")) {
+	if !bytes.HasPrefix(buf.Bytes(), []byte("ssctl v2 ")) {
 		t.Fatalf("journal header missing: %q", buf.Bytes()[:40])
+	}
+	// Every line self-checks: the " ~%08x" suffix is the FNV-32a of the
+	// payload — the property torn-tail truncation stands on.
+	for i, line := range bytes.Split(bytes.TrimSuffix(buf.Bytes(), []byte("\n")), []byte("\n")) {
+		if len(line) < 10 || line[len(line)-10] != ' ' || line[len(line)-9] != '~' {
+			t.Fatalf("line %d lacks a checksum suffix: %q", i, line)
+		}
+		payload := line[:len(line)-10]
+		if want := []byte(fmt.Sprintf(" ~%08x", lineSum(payload))); !bytes.Equal(line[len(line)-10:], want) {
+			t.Fatalf("line %d checksum mismatch: %q", i, line)
+		}
 	}
 }

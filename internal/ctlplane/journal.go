@@ -15,28 +15,52 @@ import (
 // is not a failure mode worth more machinery. The running sum and count are
 // mirrored into atomics after each line so obs gauges can read them without
 // racing the engine goroutine.
+//
+// Since ssctl v2 every line is self-checking: the payload is suffixed with
+// " ~%08x", the FNV-32a of the payload bytes. A crash mid-write leaves a
+// torn tail — a final line with no newline, or a truncated checksum, or a
+// checksum that does not match its payload — and the replay parser uses the
+// per-line checksum to truncate the journal at the last complete record
+// instead of guessing where the damage starts.
 type journal struct {
-	h     hash.Hash64
-	w     io.Writer
-	buf   []byte
-	sum64 atomic.Uint64
-	lines atomic.Uint64
+	h        hash.Hash64
+	w        io.Writer
+	buf      []byte
+	sum64    atomic.Uint64
+	lines    atomic.Uint64
+	sinkErrs atomic.Uint64
 }
 
 func newJournal(w io.Writer) *journal {
 	return &journal{h: fnv.New64a(), w: w}
 }
 
+// lineSum is the per-line FNV-32a self-check over the payload bytes (the
+// line text before the " ~%08x" suffix).
+func lineSum(payload []byte) uint32 {
+	h := uint32(2166136261)
+	for _, b := range payload {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return h
+}
+
 // printf appends one line (format must not contain a newline; one is
-// added). Write errors on the optional sink are ignored by design — the
-// hash is the authoritative journal, the sink is a convenience copy.
+// added), suffixed with its per-line checksum. Write errors on the optional
+// sink do not stop the engine — the hash is the authoritative journal, the
+// sink is the durable copy — but they are counted (sinkErrors) so a strict
+// daemon can fail fast instead of silently losing its recovery log.
 func (j *journal) printf(format string, args ...any) {
 	j.buf = j.buf[:0]
 	j.buf = fmt.Appendf(j.buf, format, args...)
+	j.buf = fmt.Appendf(j.buf, " ~%08x", lineSum(j.buf))
 	j.buf = append(j.buf, '\n')
 	j.h.Write(j.buf) // fnv's Write cannot fail
 	if j.w != nil {
-		j.w.Write(j.buf) //nolint:errcheck — see doc comment
+		if n, err := j.w.Write(j.buf); err != nil || n != len(j.buf) {
+			j.sinkErrs.Add(1)
+		}
 	}
 	j.sum64.Store(j.h.Sum64())
 	j.lines.Add(1)
@@ -46,3 +70,11 @@ func (j *journal) printf(format string, args ...any) {
 func (j *journal) sum() (hash uint64, lines uint64) {
 	return j.sum64.Load(), j.lines.Load()
 }
+
+// sinkErrors returns how many lines the sink failed to take in full; safe
+// from any goroutine.
+func (j *journal) sinkErrors() uint64 { return j.sinkErrs.Load() }
+
+// setSink replaces the journal's sink. Engine-goroutine only (recovery
+// attaches the truncated journal file here before stepping resumes).
+func (j *journal) setSink(w io.Writer) { j.w = w }

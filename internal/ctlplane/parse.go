@@ -1,0 +1,336 @@
+package ctlplane
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/attr"
+	"repro/internal/decision"
+	"repro/internal/qm"
+)
+
+// This file is the read side of the ssctl v2 journal: a checksum-validating
+// line scanner (torn-tail aware) and a total parser for every record kind
+// the engine emits. replay.go drives both to reconstruct an Engine.
+
+// ErrCorruptJournal marks damage the torn-tail rule cannot excuse: a
+// complete line (newline present) whose checksum does not match, a line
+// that fails the grammar, or a record sequence the engine could never have
+// emitted. A torn tail is legal only at end of input — a crash tears the
+// final write, nothing else.
+var ErrCorruptJournal = errors.New("ctlplane: corrupt journal")
+
+// ErrReplayDivergence marks a journal that parses cleanly but disagrees
+// with deterministic re-execution: the reconstructed engine produced
+// different bytes than the journal records. Either the journal was edited
+// or the engine is not the one that wrote it.
+var ErrReplayDivergence = errors.New("ctlplane: replay divergence")
+
+// scanner yields checksum-valid journal lines, tracking the byte offset,
+// line count, and running FNV-64a over the raw consumed bytes — the same
+// hash the writing engine maintains, so replay can equate "input consumed"
+// with "output reproduced" at every fence.
+type scanner struct {
+	br       *bufio.Reader
+	h        hash.Hash64
+	consumed int64  // bytes of complete, valid lines returned so far
+	lines    uint64 // lines returned so far
+	tail     int64  // bytes in the torn tail once EOF is reached
+}
+
+func newScanner(r io.Reader) *scanner {
+	return &scanner{br: bufio.NewReaderSize(r, 64<<10), h: fnv.New64a()}
+}
+
+// next returns the next line's payload (checksum suffix stripped). At end of
+// input it returns io.EOF; a final partial line — no newline, or a newline
+// but an unparseable or mismatched checksum suffix with nothing after it —
+// is recorded as the torn tail, not an error. Any other damage is
+// ErrCorruptJournal.
+func (sc *scanner) next() (string, error) {
+	raw, err := sc.br.ReadBytes('\n')
+	if err == io.EOF {
+		// No newline: whatever bytes remain are the torn tail (possibly
+		// zero — clean EOF).
+		sc.tail = int64(len(raw))
+		return "", io.EOF
+	}
+	if err != nil {
+		return "", err
+	}
+	line := raw[:len(raw)-1]
+	payload, ok := checkLine(line)
+	if !ok {
+		// The line is newline-terminated, so the write that produced it
+		// completed — unless this is the last line and the torn write
+		// happened to end in a byte that looks like '\n'... which it
+		// cannot: printf writes payload+checksum+'\n' in one buffer, and
+		// any strict prefix of it lacks the trailing newline. A complete
+		// line with a bad checksum is corruption, wherever it sits.
+		return "", fmt.Errorf("%w: line %d fails its checksum: %q",
+			ErrCorruptJournal, sc.lines+1, line)
+	}
+	sc.h.Write(raw)
+	sc.consumed += int64(len(raw))
+	sc.lines++
+	return payload, nil
+}
+
+// sum returns the running hash over consumed lines — comparable to the
+// writing engine's JournalSum at the same line count.
+func (sc *scanner) sum() (uint64, uint64) { return sc.h.Sum64(), sc.lines }
+
+// checkLine validates one line's " ~%08x" self-check and returns the
+// payload.
+func checkLine(line []byte) (string, bool) {
+	if len(line) < 10 || line[len(line)-10] != ' ' || line[len(line)-9] != '~' {
+		return "", false
+	}
+	want, err := strconv.ParseUint(string(line[len(line)-8:]), 16, 32)
+	if err != nil {
+		return "", false
+	}
+	payload := line[:len(line)-10]
+	if lineSum(payload) != uint32(want) {
+		return "", false
+	}
+	return string(payload), true
+}
+
+// recKind classifies a parsed journal record.
+type recKind uint8
+
+const (
+	recHeader recKind = iota
+	recResponse
+	recOffering
+	recLedger
+	recViolation
+	recCheckpoint
+)
+
+// record is one parsed journal line.
+type record struct {
+	kind   recKind
+	epoch  uint64
+	cfg    Config     // recHeader
+	seq    uint64     // recResponse
+	req    Request    // recResponse (the request side; outcome is not needed)
+	frames int        // recOffering
+	led    Ledger     // recLedger
+	ck     Checkpoint // recCheckpoint
+}
+
+// parseRecord parses one checksum-stripped payload into a record.
+func parseRecord(payload string) (record, error) {
+	if strings.HasPrefix(payload, "ssctl v2 ") {
+		cfg, err := parseHeader(payload)
+		return record{kind: recHeader, cfg: cfg}, err
+	}
+	if strings.HasPrefix(payload, "ssctl ") {
+		return record{}, fmt.Errorf("unsupported journal version: %q", payload)
+	}
+	var rec record
+	rest, ok := strings.CutPrefix(payload, "E")
+	if !ok {
+		return rec, fmt.Errorf("unrecognized record: %q", payload)
+	}
+	epochText, rest, ok := strings.Cut(rest, " ")
+	if !ok {
+		return rec, fmt.Errorf("truncated record: %q", payload)
+	}
+	epoch, err := strconv.ParseUint(epochText, 10, 64)
+	if err != nil {
+		return rec, fmt.Errorf("epoch %q: %v", epochText, err)
+	}
+	rec.epoch = epoch
+	switch {
+	case strings.HasPrefix(rest, "#"):
+		rec.kind = recResponse
+		rec.seq, rec.req, err = parseResponse(rest)
+		rec.req.Seq = rec.seq
+		return rec, err
+	case strings.HasPrefix(rest, "offering "):
+		rec.kind = recOffering
+		if _, err := fmt.Sscanf(rest, "offering frames=%d", &rec.frames); err != nil {
+			return rec, fmt.Errorf("offering record %q: %v", payload, err)
+		}
+		return rec, nil
+	case strings.HasPrefix(rest, "ledger "):
+		rec.kind = recLedger
+		l := &rec.led
+		l.Epoch = epoch
+		if _, err := fmt.Sscanf(rest, "ledger offered=%d delivered=%d qmdrop=%d scheddrop=%d evicted=%d inflight=%d streams=%d",
+			&l.Offered, &l.Delivered, &l.DroppedQM, &l.DroppedSched, &l.Evicted, &l.InFlight, &l.Streams); err != nil {
+			return rec, fmt.Errorf("ledger record %q: %v", payload, err)
+		}
+		return rec, nil
+	case strings.HasPrefix(rest, "VIOLATION "):
+		rec.kind = recViolation
+		return rec, nil
+	case strings.HasPrefix(rest, "checkpoint "):
+		rec.kind = recCheckpoint
+		rec.ck, err = parseCheckpoint(epoch, strings.TrimPrefix(rest, "checkpoint "))
+		return rec, err
+	default:
+		return rec, fmt.Errorf("unrecognized record: %q", payload)
+	}
+}
+
+// parseHeader parses journal line zero back into the Config that wrote it
+// (Journal and sink-side fields excluded — they are not part of the replay
+// identity).
+func parseHeader(payload string) (Config, error) {
+	var cfg Config
+	var program, policy string
+	if _, err := fmt.Sscanf(payload,
+		"ssctl v2 shards=%d slots=%d ring=%d pool=%d/%d/%d program=%s policy=%s cycles=%d frames=%d bytes=%d ckpt=%d",
+		&cfg.Shards, &cfg.SlotsPerShard, &cfg.RingCapacity,
+		&cfg.BufferPool.Reservation, &cfg.BufferPool.Burst, &cfg.BufferPool.DelayTarget,
+		&program, &policy, &cfg.CyclesPerEpoch, &cfg.FramesPerStream,
+		&cfg.FrameBytes, &cfg.CheckpointEvery); err != nil {
+		return cfg, fmt.Errorf("header %q: %v", payload, err)
+	}
+	prog, err := decision.ParseProgram(program)
+	if err != nil {
+		return cfg, fmt.Errorf("header: %v", err)
+	}
+	cfg.Program = prog
+	pol, err := qm.ParsePolicy(policy)
+	if err != nil {
+		return cfg, fmt.Errorf("header: %v", err)
+	}
+	cfg.Policy = pol
+	// The header records resolved values, so a literal zero means "none",
+	// not "default": withDefaults must not re-inflate it.
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = -1
+	}
+	// FramesPerStream=0 cannot appear in a header (withDefaults makes it 1
+	// before New journals it), so no such guard is needed there.
+	return cfg, nil
+}
+
+// parseResponse parses the request side of a response record's tail
+// ("#<seq> <op> <target> -> <outcome>"). The outcome is deliberately
+// ignored: replay re-derives it and the hash check proves it matched.
+func parseResponse(rest string) (uint64, Request, error) {
+	var req Request
+	seqText, rest, ok := strings.Cut(strings.TrimPrefix(rest, "#"), " ")
+	if !ok {
+		return 0, req, fmt.Errorf("truncated response: %q", rest)
+	}
+	seq, err := strconv.ParseUint(seqText, 10, 64)
+	if err != nil {
+		return 0, req, fmt.Errorf("response seq %q: %v", seqText, err)
+	}
+	opName, rest, ok := strings.Cut(rest, " ")
+	if !ok {
+		return 0, req, fmt.Errorf("truncated response: %q", rest)
+	}
+	// Split the target from the outcome at the first " -> ": no target
+	// renders the delimiter (stream IDs, specs, program and shard numbers
+	// cannot contain it), and error outcomes follow it.
+	target, _, ok := strings.Cut(rest, " -> ")
+	if !ok {
+		return 0, req, fmt.Errorf("response missing outcome: %q", rest)
+	}
+	fail := func(err error) (uint64, Request, error) {
+		return 0, req, fmt.Errorf("%s target %q: %v", opName, target, err)
+	}
+	switch opName {
+	case "admit", "retune":
+		if opName == "admit" {
+			req.Op = OpAdmit
+		} else {
+			req.Op = OpRetune
+		}
+		idText, specText, ok := strings.Cut(target, " spec=")
+		if !ok {
+			return fail(fmt.Errorf("missing spec"))
+		}
+		if _, err := fmt.Sscanf(idText, "id=%d", &req.Stream); err != nil {
+			return fail(err)
+		}
+		spec, err := parseSpecText(specText)
+		if err != nil {
+			return fail(err)
+		}
+		req.Spec = spec
+	case "evict":
+		req.Op = OpEvict
+		if _, err := fmt.Sscanf(target, "id=%d", &req.Stream); err != nil {
+			return fail(err)
+		}
+	case "program":
+		req.Op = OpSetProgram
+		idText, progText, ok := strings.Cut(target, " prog=")
+		if !ok {
+			return fail(fmt.Errorf("missing prog"))
+		}
+		if _, err := fmt.Sscanf(idText, "id=%d", &req.Stream); err != nil {
+			return fail(err)
+		}
+		prog, err := parseProgramText(progText)
+		if err != nil {
+			return fail(err)
+		}
+		req.Program = prog
+	case "pool":
+		req.Op = OpResizePool
+		if _, err := fmt.Sscanf(target, "shard=%d burst=%d", &req.Shard, &req.Burst); err != nil {
+			return fail(err)
+		}
+	case "drain", "restart":
+		if opName == "drain" {
+			req.Op = OpDrainShard
+		} else {
+			req.Op = OpRestartShard
+		}
+		if _, err := fmt.Sscanf(target, "shard=%d", &req.Shard); err != nil {
+			return fail(err)
+		}
+	default:
+		// Unknown ops journal as "op(N) op=N -> err: ...": reconstruct the
+		// raw op so replay re-fails it identically.
+		var n uint8
+		if _, err := fmt.Sscanf(opName, "op(%d)", &n); err != nil {
+			return 0, req, fmt.Errorf("unknown op %q", opName)
+		}
+		req.Op = Op(n)
+	}
+	return seq, req, nil
+}
+
+// parseSpecText parses a journaled spec, including the "spec(class=N)"
+// rendering of an invalid-class request: the class alone determines how the
+// engine rejects it, so the lossy form still re-fails identically.
+func parseSpecText(s string) (attr.Spec, error) {
+	if strings.HasPrefix(s, "spec(class=") {
+		var n uint8
+		if _, err := fmt.Sscanf(s, "spec(class=%d)", &n); err != nil {
+			return attr.Spec{}, fmt.Errorf("malformed spec %q: %v", s, err)
+		}
+		return attr.Spec{Class: attr.Class(n)}, nil
+	}
+	return attr.ParseSpec(s)
+}
+
+// parseProgramText parses a journaled rank program, including the
+// "program(N)" rendering of an out-of-range one.
+func parseProgramText(s string) (decision.Program, error) {
+	if strings.HasPrefix(s, "program(") {
+		var n uint8
+		if _, err := fmt.Sscanf(s, "program(%d)", &n); err != nil {
+			return 0, fmt.Errorf("malformed program %q: %v", s, err)
+		}
+		return decision.Program(n), nil
+	}
+	return decision.ParseProgram(s)
+}

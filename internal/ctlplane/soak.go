@@ -54,6 +54,11 @@ type SoakConfig struct {
 	// CyclesPerEpoch is each shard's decision budget per epoch (default
 	// 128).
 	CyclesPerEpoch int
+	// CheckpointEvery is the engine's checkpoint cadence in fences (default
+	// 0 — the engine's own default; negative disables checkpoints). The
+	// crash harness uses a dense cadence so sampled crash points land on
+	// every side of a checkpoint boundary.
+	CheckpointEvery int
 	// Journal, when non-nil, receives the full journal text (CI uploads it
 	// as the failure artifact). The hash accumulates regardless.
 	Journal io.Writer
@@ -89,6 +94,10 @@ type SoakResult struct {
 	JournalHash  uint64
 	JournalLines uint64
 	Final        Ledger
+	// Offering is the admitted offering at quiescence — the crash-point
+	// harness's divergence oracle compares it entry for entry against a
+	// recovered engine's.
+	Offering []StreamEntry
 }
 
 // soakState tracks the generator's view of the admitted stream population:
@@ -224,6 +233,7 @@ func Soak(cfg SoakConfig) (SoakResult, error) {
 		CyclesPerEpoch:  cfg.CyclesPerEpoch,
 		FramesPerStream: 1,
 		Journal:         cfg.Journal,
+		CheckpointEvery: cfg.CheckpointEvery,
 	})
 	if err != nil {
 		return SoakResult{}, err
@@ -306,6 +316,7 @@ func Soak(cfg SoakConfig) (SoakResult, error) {
 	res.Violations = eng.Violations()
 	res.JournalHash, res.JournalLines = eng.JournalSum()
 	res.Final = led
+	res.Offering = eng.Offering()
 	if res.Violations != 0 {
 		return res, fmt.Errorf("ctlplane: soak saw %d conservation violations", res.Violations)
 	}

@@ -34,6 +34,9 @@ type ServiceConfig struct {
 	FramesPerStream int
 	// Journal receives the control plane's transition journal (optional).
 	Journal io.Writer
+	// CheckpointEvery is the journal's checkpoint cadence in epoch fences
+	// (0 takes the control plane's default; negative disables checkpoints).
+	CheckpointEvery int
 }
 
 // NewService builds the live supervised endsystem: a ctlplane.Engine over a
@@ -70,5 +73,6 @@ func NewService(cfg ServiceConfig) (*ctlplane.Engine, error) {
 		CyclesPerEpoch:  cfg.CyclesPerEpoch,
 		FramesPerStream: cfg.FramesPerStream,
 		Journal:         cfg.Journal,
+		CheckpointEvery: cfg.CheckpointEvery,
 	})
 }

@@ -10,3 +10,11 @@ import (
 func TestConserve(t *testing.T) {
 	linttest.Run(t, "testdata/src/a", conserve.Analyzer)
 }
+
+// TestConserveReplayFixture pins the recovery path's accounting: replayed
+// drains and settle loops remove frames from live rings, and every removal
+// must still reach a ledger — recovery that loses accounting rebuilds an
+// engine whose books no longer close.
+func TestConserveReplayFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/replay", conserve.Analyzer)
+}

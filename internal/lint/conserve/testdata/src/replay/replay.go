@@ -1,0 +1,87 @@
+// Package replay is the conserve fixture for the recovery path: journal
+// replay re-executes fences against live rings, and every frame a replayed
+// drain or settle loop removes must still land in a ledger — recovery that
+// loses accounting would "recover" to books that no longer close. The
+// patterns here mirror ctlplane's replay/settle code shapes.
+package replay
+
+import "repro/internal/ringbuf"
+
+type frame struct{ seq uint64 }
+
+type books struct {
+	delivered uint64 //sslint:ledger
+	evicted   uint64 //sslint:ledger
+}
+
+// replayDrainGood is the replayed evict: pop the slot's ring dry and count
+// every frame as evicted, exactly as the original execution did.
+func replayDrainGood(r *ringbuf.Ring[frame], b *books) {
+	for {
+		_, ok := r.Pop()
+		if !ok {
+			break
+		}
+		b.evicted++
+	}
+}
+
+// settleGood is the shutdown/settle loop shape: run the backlog out with
+// every pop counted as delivered.
+func settleGood(r *ringbuf.Ring[frame], b *books) uint64 {
+	var n uint64
+	for {
+		_, ok := r.Pop()
+		if !ok {
+			break
+		}
+		b.delivered++
+		n++
+	}
+	return n
+}
+
+// replayDiscard is the recovery bug this fixture pins: flushing the
+// journal's recorded drain count without counting the frames rebuilds an
+// engine whose ledger diverges from the journal's — the frames existed,
+// the books forgot them.
+func replayDiscard(r *ringbuf.Ring[frame], drained int) {
+	for i := 0; i < drained; i++ {
+		r.Pop() // want `frame removed from the ring`
+	}
+}
+
+// replayConditional counts only frames past the torn-tail boundary; the
+// early-seq branch loses its frame.
+func replayConditional(r *ringbuf.Ring[frame], b *books, committed uint64) {
+	v, ok := r.Pop() // want `frame removed from the ring here can reach return with no ledger update`
+	if !ok {
+		return
+	}
+	if v.seq > committed {
+		b.delivered++
+	}
+}
+
+// requeueGood re-executes a transfer: the frame moves onward, and the
+// overflow branch counts the drop into an annotated local — conserved on
+// both arms.
+func requeueGood(src, dst *ringbuf.Ring[frame]) uint64 {
+	var dropped uint64 //sslint:ledger
+	for {
+		v, ok := src.Pop()
+		if !ok {
+			break
+		}
+		if !dst.Push(v) {
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// handoff passes the frame and the accounting obligation to the caller —
+// the replayer's fence loop owns the ledger there.
+func handoff(r *ringbuf.Ring[frame]) (frame, bool) {
+	return r.Pop()
+}

@@ -1,0 +1,66 @@
+// Package syncpolicy is the walltime fixture for journal-durability code:
+// checkpoint cadence, sync decisions, and crash-point sampling are all
+// defined in epochs, journaled bytes, and seeded draws — never host time.
+// Replay determinism is the whole contract (DESIGN.md §12): the same
+// journal must rebuild the same engine on any machine at any speed, so a
+// wall-clock reading anywhere in the durability path is a finding. The
+// daemon's epoch ticker and fsync latency measurements live in cmd/, which
+// the driver exempts by design.
+package syncpolicy
+
+import (
+	"math/rand"
+	"time"
+)
+
+// GoodEpochCadence decides checkpoint emission by fence count — pure
+// modulo arithmetic on the epoch counter, the sanctioned cadence.
+func GoodEpochCadence(epoch uint64, every uint64) bool {
+	return every > 0 && epoch%every == 0
+}
+
+// GoodSeededCrashPoints samples crash offsets from an explicitly seeded
+// generator: the seed alone replays the same simulated kill -9 sequence.
+func GoodSeededCrashPoints(seed int64, n int, size int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int64, 0, n)
+	for len(out) < n {
+		out = append(out, 1+rng.Int63n(size-1))
+	}
+	return out
+}
+
+// BadTimedCheckpoint gates checkpoint emission on host-clock elapsed time:
+// two replays of the same journal would checkpoint at different records.
+func BadTimedCheckpoint(last time.Time) bool {
+	return time.Since(last) > time.Second // want `time.Since: wall-clock duration`
+}
+
+// BadSyncStamp stamps a durability decision with the host clock; the
+// journal text now differs across runs and the replay hash with it.
+func BadSyncStamp() int64 {
+	return time.Now().UnixNano() // want `time.Now: wall clock`
+}
+
+// BadSyncTicker drives fsync off a wall-clock ticker instead of the epoch
+// fence: durability would depend on host load, not on what was committed.
+func BadSyncTicker() *time.Ticker {
+	return time.NewTicker(5 * time.Millisecond) // want `time.NewTicker: wall-clock ticker`
+}
+
+// BadGlobalCrashPoints draws crash offsets from the process-global source:
+// the sampled points depend on whatever else drew first, so a recovery
+// failure is not reproducible from the seed.
+func BadGlobalCrashPoints(n int, size int64) []int64 {
+	out := make([]int64, 0, n)
+	for len(out) < n {
+		out = append(out, 1+rand.Int63n(size-1)) // want `process-global rand source`
+	}
+	return out
+}
+
+// AllowedReplayStopwatch is the sanctioned escape: reporting how long a
+// recovery took on this host is a wall-clock job, and says so.
+func AllowedReplayStopwatch(start time.Time) time.Duration {
+	return time.Since(start) //sslint:allow walltime — fixture: operator-facing recovery stopwatch
+}

@@ -16,3 +16,11 @@ func TestWalltime(t *testing.T) {
 func TestWalltimeFaultFixture(t *testing.T) {
 	linttest.Run(t, "testdata/src/fault", Analyzer)
 }
+
+// TestWalltimeSyncPolicyFixture pins the journal-durability contract:
+// checkpoint cadence is epoch arithmetic, crash-point sampling is a seeded
+// draw, and any host-clock reading in the durability path would break
+// replay determinism (DESIGN.md §12).
+func TestWalltimeSyncPolicyFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/syncpolicy", Analyzer)
+}

@@ -45,6 +45,18 @@ func TestPolicyString(t *testing.T) {
 	}
 }
 
+func TestParsePolicyRoundTrip(t *testing.T) {
+	for _, p := range []Policy{Backpressure, RejectNew, DropOldest} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", p.String(), got, err, p)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("ParsePolicy accepted an unknown policy name")
+	}
+}
+
 func TestBackpressureVerdictMatchesSubmit(t *testing.T) {
 	m := overloadManager(t, 1, 2)
 	fillRing(t, m, 0, 2)

@@ -60,6 +60,21 @@ func (p Policy) String() string {
 	}
 }
 
+// ParsePolicy resolves a policy by its String name — the inverse the
+// control-plane journal header and the daemon's -policy flag share.
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "backpressure":
+		return Backpressure, nil
+	case "reject-new":
+		return RejectNew, nil
+	case "drop-oldest":
+		return DropOldest, nil
+	default:
+		return 0, fmt.Errorf("qm: unknown overload policy %q", name)
+	}
+}
+
 // Verdict is the outcome of an Offer under the manager's overload policy.
 type Verdict uint8
 

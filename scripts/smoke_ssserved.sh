@@ -1,12 +1,16 @@
 #!/bin/sh
-# Smoke test for cmd/ssserved: start the daemon on a random port, drive the
-# admin API end to end (admit, retune, program switch, pool resize, drain,
-# restart, evict — plus one deliberate error), then shut it down gracefully
-# and require a clean exit with a balanced final conservation ledger.
+# Smoke test for cmd/ssserved, in two phases. Phase 1 starts the daemon on a
+# random port, drives the admin API end to end (admit, retune, program
+# switch, pool resize, drain, restart, evict — plus deliberate errors),
+# checks the live ledger, then kills the daemon with SIGKILL and tears the
+# journal's final write, as a real crash would. Phase 2 restarts it with
+# -recover on the torn journal, requires the admitted state to have
+# survived replay (a duplicate admit must 409), then shuts down gracefully
+# and requires a clean exit with a balanced final conservation ledger.
 #
 # Artifacts land in $SMOKE_DIR (default: a fresh mktemp dir): daemon stdout
-# (the final ledger JSON), stderr, and the transition journal. CI uploads
-# the directory when this script fails.
+# (the final ledger JSON), stderr for both phases, and the transition
+# journal. CI uploads the directory when this script fails.
 set -eu
 
 SMOKE_DIR=${SMOKE_DIR:-$(mktemp -d)}
@@ -15,37 +19,72 @@ ADDR_FILE="$SMOKE_DIR/addr"
 JOURNAL="$SMOKE_DIR/journal.txt"
 OUT="$SMOKE_DIR/stdout.json"
 ERR="$SMOKE_DIR/stderr.log"
+OUT2="$SMOKE_DIR/stdout-recovered.json"
+ERR2="$SMOKE_DIR/stderr-recovered.log"
 
 echo "smoke: artifacts in $SMOKE_DIR"
 go build -o "$BIN" ./cmd/ssserved
 
-"$BIN" -addr-file "$ADDR_FILE" -journal "$JOURNAL" -epoch-ms 2 >"$OUT" 2>"$ERR" &
-PID=$!
-trap 'kill "$PID" 2>/dev/null || true' EXIT
+# wait_addr: block until the daemon publishes its bound address, bounded.
+wait_addr() {
+    : >"$ADDR_FILE"
+    i=0
+    while [ ! -s "$ADDR_FILE" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "smoke: FAIL: daemon never published its address" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    ADDR=$(cat "$ADDR_FILE")
+}
 
-# Wait for the daemon to publish its bound address.
-i=0
-while [ ! -s "$ADDR_FILE" ]; do
-    i=$((i + 1))
-    if [ "$i" -gt 50 ]; then
-        echo "smoke: FAIL: daemon never published its address" >&2
-        exit 1
-    fi
-    sleep 0.1
-done
-ADDR=$(cat "$ADDR_FILE")
-echo "smoke: daemon on $ADDR"
-
-# post ROUTE QUERY EXPECTED_HTTP_CODE
+# post ROUTE QUERY EXPECTED_HTTP_CODE — every curl carries a hard timeout,
+# and transient failures (connection refused, 503 while the daemon replays
+# its journal) retry with linear backoff, bounded at 5 attempts.
 post() {
-    code=$(curl -s -o "$SMOKE_DIR/last-response.json" -w '%{http_code}' \
-        -X POST "http://$ADDR/admin/$1?$2")
+    attempt=0
+    while :; do
+        code=$(curl -s --max-time 5 -o "$SMOKE_DIR/last-response.json" -w '%{http_code}' \
+            -X POST "http://$ADDR/admin/$1?$2") || code=000
+        if [ "$code" != "000" ] && { [ "$code" != "503" ] || [ "$3" = "503" ]; }; then
+            break
+        fi
+        attempt=$((attempt + 1))
+        if [ "$attempt" -ge 5 ]; then
+            echo "smoke: FAIL: POST /admin/$1?$2 -> HTTP $code after $attempt attempts" >&2
+            exit 1
+        fi
+        sleep "$attempt"
+    done
     if [ "$code" != "$3" ]; then
         echo "smoke: FAIL: POST /admin/$1?$2 -> HTTP $code, want $3" >&2
         cat "$SMOKE_DIR/last-response.json" >&2
         exit 1
     fi
 }
+
+# get ROUTE OUTFILE — same timeout and bounded retry as post.
+get() {
+    attempt=0
+    until curl -s --max-time 5 "http://$ADDR/admin/$1" >"$2"; do
+        attempt=$((attempt + 1))
+        if [ "$attempt" -ge 5 ]; then
+            echo "smoke: FAIL: GET /admin/$1 unreachable after $attempt attempts" >&2
+            exit 1
+        fi
+        sleep "$attempt"
+    done
+}
+
+# ── Phase 1: drive the API, then crash hard ────────────────────────────────
+
+"$BIN" -addr-file "$ADDR_FILE" -journal "$JOURNAL" -epoch-ms 2 >"$OUT" 2>"$ERR" &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+wait_addr
+echo "smoke: daemon on $ADDR"
 
 post admit 'id=1&class=edf&period=3' 200
 post admit 'id=2&class=wc&period=4&num=1&den=4' 200
@@ -63,26 +102,60 @@ post admit 'id=99&class=bogus' 400             # rejected before the fence
 
 # Let a few epochs of traffic flow, then check the live ledger balances.
 sleep 0.3
-curl -s "http://$ADDR/admin/ledger" >"$SMOKE_DIR/ledger.json"
+get ledger "$SMOKE_DIR/ledger.json"
 grep -q '"balanced": true' "$SMOKE_DIR/ledger.json" || {
     echo "smoke: FAIL: live ledger unbalanced" >&2
     cat "$SMOKE_DIR/ledger.json" >&2
     exit 1
 }
 
+# Crash: SIGKILL — no settle, no close — then tear the journal's final
+# write, the on-disk state a power cut mid-line leaves behind.
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+trap - EXIT
+size=$(wc -c <"$JOURNAL")
+head -c "$((size - 7))" "$JOURNAL" >"$JOURNAL.torn" && mv "$JOURNAL.torn" "$JOURNAL"
+echo "smoke: killed -9, journal torn to $((size - 7)) bytes"
+
+# ── Phase 2: recover and finish cleanly ────────────────────────────────────
+
+"$BIN" -addr-file "$ADDR_FILE" -journal "$JOURNAL" -recover -epoch-ms 2 >"$OUT2" 2>"$ERR2" &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+wait_addr
+echo "smoke: recovered daemon on $ADDR"
+
+get recovery "$SMOKE_DIR/recovery.json"
+grep -q '"state": "serving"' "$SMOKE_DIR/recovery.json" || {
+    echo "smoke: FAIL: recovery did not reach serving" >&2
+    cat "$SMOKE_DIR/recovery.json" >&2
+    exit 1
+}
+
+# Replay must have rebuilt the pre-crash control plane: stream 1 is still
+# admitted (duplicate admit refused at the fence), stream 2 stays evicted,
+# and new mutations apply on top.
+post admit 'id=1&class=edf&period=9' 409
+post evict 'id=2' 409
+post admit 'id=4&class=static&priority=2' 200
+post evict 'id=3' 200
+
+sleep 0.3
 post shutdown '' 200
 if ! wait "$PID"; then
-    echo "smoke: FAIL: daemon exited nonzero" >&2
-    cat "$ERR" >&2
+    echo "smoke: FAIL: recovered daemon exited nonzero" >&2
+    cat "$ERR2" >&2
     exit 1
 fi
 trap - EXIT
 
 # The exit ledger must close the books: balanced, nothing in flight, no
-# violations, and the journal must have recorded the session.
-grep -q '"balanced": true' "$OUT" || { echo "smoke: FAIL: final ledger unbalanced" >&2; cat "$OUT" >&2; exit 1; }
-grep -q '"InFlight": 0' "$OUT" || { echo "smoke: FAIL: frames in flight at exit" >&2; cat "$OUT" >&2; exit 1; }
-grep -q '"violations": 0' "$OUT" || { echo "smoke: FAIL: conservation violations" >&2; cat "$OUT" >&2; exit 1; }
-head -1 "$JOURNAL" | grep -q '^ssctl v1 ' || { echo "smoke: FAIL: journal header missing" >&2; exit 1; }
+# violations, and the journal must have recorded both sessions.
+grep -q '"balanced": true' "$OUT2" || { echo "smoke: FAIL: final ledger unbalanced" >&2; cat "$OUT2" >&2; exit 1; }
+grep -q '"InFlight": 0' "$OUT2" || { echo "smoke: FAIL: frames in flight at exit" >&2; cat "$OUT2" >&2; exit 1; }
+grep -q '"violations": 0' "$OUT2" || { echo "smoke: FAIL: conservation violations" >&2; cat "$OUT2" >&2; exit 1; }
+head -1 "$JOURNAL" | grep -q '^ssctl v2 ' || { echo "smoke: FAIL: journal header missing" >&2; exit 1; }
+grep -q 'recovered' "$ERR2" || { echo "smoke: FAIL: recovery summary missing from stderr" >&2; cat "$ERR2" >&2; exit 1; }
 
-echo "smoke: PASS ($(wc -l <"$JOURNAL") journal lines)"
+echo "smoke: PASS ($(wc -l <"$JOURNAL") journal lines across crash and recovery)"
